@@ -1,0 +1,30 @@
+# Convenience targets; see CONTRIBUTING.md.
+
+.PHONY: install test bench bench-quick report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_DAYS=28 pytest benchmarks/ --benchmark-only
+
+report:
+	repro report --days 98 --output report.txt
+
+examples:
+	python examples/quickstart.py
+	python examples/auditorium_study.py --days 14
+	python examples/sensor_placement.py --days 14 --draws 5
+	python examples/comfort_audit.py --days 7
+	python examples/reduced_model_control.py --days 14 --control-days 2
+	python examples/occupancy_sensing.py --days 7
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

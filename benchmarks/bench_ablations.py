@@ -1,0 +1,169 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* ridge strength in the piecewise LSQ (the paper's overfitting story),
+* identification sampling period,
+* similarity-graph construction (Gaussian width / edge threshold),
+* eigengap on raw vs log eigenvalues.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cluster.eigengap import choose_k_by_eigengap
+from repro.cluster.laplacian import laplacian_eigensystem
+from repro.cluster.similarity import SimilarityOptions, correlation_similarity, euclidean_similarity
+from repro.data.assemble import AssemblyConfig, assemble_dataset
+from repro.data.modes import OCCUPIED
+from repro.experiments.table1 import OCCUPIED_EVAL
+from repro.geometry.layout import THERMOSTAT_IDS
+from repro.sysid.evaluation import fit_and_evaluate
+
+
+def test_ablation_ridge(benchmark, ctx, capsys):
+    """Ridge on the full 27-sensor second-order model: plain LSQ (the
+    paper's choice) should be near-optimal on full training data, while
+    heavy ridge under-fits."""
+
+    def sweep():
+        out = {}
+        for ridge in (0.0, 1e-3, 1e-1, 10.0):
+            _, ev = fit_and_evaluate(
+                ctx.train_occupied,
+                ctx.valid_occupied,
+                order=2,
+                mode=OCCUPIED,
+                ridge=ridge,
+                evaluation=OCCUPIED_EVAL,
+            )
+            out[ridge] = ev.overall_percentile(90)
+        return out
+
+    errors = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nridge ablation (90th pct RMS):", {k: round(v, 3) for k, v in errors.items()})
+    assert errors[0.0] < errors[10.0] * 1.5  # heavy ridge is never much better
+    assert min(errors.values()) < 1.5
+
+
+def test_ablation_sampling_period(benchmark, ctx, capsys):
+    """Identification sampling period: the 15-minute default should not
+    be dominated by coarser assembly."""
+
+    def sweep():
+        out = {}
+        for period in (900.0, 1800.0):
+            dataset = assemble_dataset(
+                ctx.output.raw,
+                config=AssemblyConfig(period=period),
+                sensor_ids=list(ctx.analysis.sensor_ids),
+            )
+            train, valid = dataset.split_half_days(OCCUPIED)
+            _, ev = fit_and_evaluate(
+                train, valid, order=2, mode=OCCUPIED, evaluation=OCCUPIED_EVAL
+            )
+            out[period] = ev.overall_percentile(90)
+        return out
+
+    errors = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nsampling-period ablation (90th pct RMS):", {k: round(v, 3) for k, v in errors.items()})
+    assert errors[900.0] <= errors[1800.0] * 1.25
+
+
+def test_ablation_similarity_construction(benchmark, ctx, capsys):
+    """Graph construction: thresholding weak edges must not destroy the
+    two-zone structure found by correlation similarity."""
+
+    def sweep():
+        train = ctx.train_occupied_wireless
+        out = {}
+        for threshold in (0.0, 0.2, 0.5):
+            weights = correlation_similarity(
+                train.temperatures, SimilarityOptions(edge_threshold=threshold)
+            )
+            eigenvalues, _ = laplacian_eigensystem(weights)
+            k, _ = choose_k_by_eigengap(eigenvalues)
+            out[threshold] = k
+        return out
+
+    ks = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nedge-threshold ablation (chosen k):", ks)
+    # Mild sparsification preserves the two-zone structure; aggressive
+    # thresholds (0.5) may fragment a zone — the ablation's finding.
+    assert ks[0.0] == 2 and ks[0.2] == 2
+    assert ks[0.5] >= 2
+
+
+def test_ablation_model_order(benchmark, ctx, capsys):
+    """Orders beyond 2: the paper skipped them for computational cost;
+    this sweep checks whether a 3rd or 4th lag would have paid off."""
+    from repro.sysid.arx import identify_arx
+    from repro.sysid.evaluation import evaluate_model
+
+    def sweep():
+        out = {}
+        for order in (1, 2, 3, 4):
+            model = identify_arx(
+                ctx.train_occupied, order=order, mode=OCCUPIED, ridge=1e-8
+            )
+            ev = evaluate_model(
+                model, ctx.valid_occupied, mode=OCCUPIED, options=OCCUPIED_EVAL
+            )
+            out[order] = ev.overall_percentile(90)
+        return out
+
+    errors = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nmodel-order ablation (90th pct RMS):", {k: round(v, 3) for k, v in errors.items()})
+    # Each extra lag recovers more of the hidden state (envelope masses,
+    # duct lag), so the error keeps falling past order 2 on this
+    # substrate — the paper's computational-cost stopping point left
+    # accuracy on the table.  Recorded in EXPERIMENTS.md.
+    assert errors[2] < errors[1]
+    assert errors[3] <= errors[2] + 0.05
+    assert errors[4] <= errors[3] + 0.05
+
+
+def test_ablation_clustering_stability(benchmark, ctx, capsys):
+    """The paper's consistency claim, quantified: correlation clustering
+    should reproduce (nearly) the same partition on different day
+    subsets; Euclidean clustering is less stable."""
+    from repro.cluster.stability import bootstrap_stability
+
+    def sweep():
+        out = {}
+        for method in ("correlation", "euclidean"):
+            result = bootstrap_stability(
+                ctx.wireless, method, k=2, n_bootstrap=6, seed=5
+            )
+            out[method] = (result.mean_ari, result.min_ari)
+        return out
+
+    scores = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print(
+            "\nclustering stability (mean/min ARI over day bootstraps):",
+            {m: (round(a, 2), round(b, 2)) for m, (a, b) in scores.items()},
+        )
+    assert scores["correlation"][0] > 0.8
+    assert scores["correlation"][0] >= scores["euclidean"][0]
+
+
+def test_ablation_eigengap_log_vs_raw(benchmark, ctx, capsys):
+    """The paper's log-eigengap: compare the cluster count it selects
+    with a raw-eigenvalue gap rule."""
+
+    def sweep():
+        train = ctx.train_occupied_wireless
+        weights = correlation_similarity(train.temperatures)
+        eigenvalues, _ = laplacian_eigensystem(weights)
+        k_log, _ = choose_k_by_eigengap(eigenvalues)
+        raw_gaps = np.diff(eigenvalues)
+        k_raw = int(np.argmax(raw_gaps[1 : len(eigenvalues) // 2])) + 2
+        return {"log": k_log, "raw": k_raw, "eigenvalues": eigenvalues[:6]}
+
+    out = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\neigengap ablation:", {k: v for k, v in out.items() if k != "eigenvalues"})
+    assert out["log"] == 2

@@ -1,0 +1,66 @@
+"""Benchmark: closed-loop control on the reduced model (paper extension).
+
+The paper's conclusion claims its simplified models are "a practical
+basis for more accurate and effective HVAC control"; this benchmark
+demonstrates it: MPC reading only the pipeline's two selected sensors
+achieves better occupant-weighted comfort than the plant's PI loop on
+its plume-biased wall thermostats.
+"""
+
+from datetime import datetime
+
+from benchmarks.conftest import run_once
+from repro.control import (
+    CalendarForecaster,
+    ForecastingController,
+    MPCConfig,
+    ReducedModelMPC,
+    run_closed_loop,
+)
+from repro.control.closed_loop import SensorFeedbackController, make_disturbance_source
+from repro.core import PipelineConfig, ThermalModelingPipeline
+from repro.simulation import AuditoriumSimulator, SimulationConfig
+
+
+def test_closed_loop_mpc_vs_pi(benchmark, ctx, capsys):
+    def experiment():
+        train = ctx.train_occupied_wireless
+        pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=2, ridge=10.0))
+        fitted = pipeline.fit(train)
+
+        control_config = SimulationConfig(start=datetime(2013, 3, 18), days=4.0)
+        positions = [train.sensor_positions[s] for s in fitted.selected_sensor_ids]
+        baseline = run_closed_loop(control_config)
+
+        mpc = ReducedModelMPC(fitted.model, n_flows=4, config=MPCConfig(setpoint=21.0))
+        controller = SensorFeedbackController(
+            mpc, positions, make_disturbance_source(control_config)
+        )
+        mpc_run = run_closed_loop(control_config, controller=controller)
+
+        probe = AuditoriumSimulator(control_config)
+        forecaster = CalendarForecaster(
+            probe.calendar, probe.lighting, probe.weather,
+            control_config.start, control_config.dt,
+        )
+        mpc2 = ReducedModelMPC(fitted.model, n_flows=4, config=MPCConfig(setpoint=21.0))
+        forecast_run = run_closed_loop(
+            control_config,
+            controller=ForecastingController(mpc2, positions, forecaster),
+        )
+        return baseline.metrics, mpc_run.metrics, forecast_run.metrics
+
+    pi, mpc, forecast = run_once(benchmark, experiment)
+    with capsys.disabled():
+        print(f"\nPI on thermostats : {pi.summary()}")
+        print(f"MPC (persistence) : {mpc.summary()}")
+        print(f"MPC (calendar)    : {forecast.summary()}")
+    # The headline: better comfort from two well-chosen sensors.
+    assert mpc.comfort_rms < pi.comfort_rms
+    assert mpc.comfort_p95 < pi.comfort_p95
+    # And the mechanism: the MPC actually cools the under-served room more.
+    assert mpc.cooling_energy_kwh > pi.cooling_energy_kwh
+    # Calendar-aware planning keeps the comfort and saves energy vs
+    # persistence (pre-cooling beats chasing).
+    assert forecast.comfort_rms <= mpc.comfort_rms + 0.05
+    assert forecast.cooling_energy_kwh < mpc.cooling_energy_kwh

@@ -1,0 +1,14 @@
+"""Benchmark: Fig. 10 — selection strategies across cluster counts."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig10.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    for row in result.rows:
+        _, sms, srs, rs = row
+        assert sms <= rs
+        assert srs <= rs

@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 11 — simplified-model accuracy across cluster counts."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig11.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    sms_wins = sum(1 for row in result.rows if row[1] <= row[3])
+    assert sms_wins >= 0.7 * len(result.rows)

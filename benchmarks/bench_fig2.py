@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 2 — spatial snapshot during a full seminar."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig2.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    assert 1.0 < result.extras["spread"] < 4.0
+    temps = {row[0]: row[4] for row in result.rows}
+    zones = {row[0]: row[1] for row in result.rows}
+    back = np.mean([t for s, t in temps.items() if zones[s] == "back"])
+    tstat = np.mean([t for s, t in temps.items() if zones[s] == "thermostat"])
+    assert back > tstat + 0.5

@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 3 — per-sensor RMS error CDFs, first vs second order."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig3.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    firsts = np.array([row[1] for row in result.rows])
+    seconds = np.array([row[2] for row in result.rows])
+    # CDF dominance: the second-order model wins on nearly every sensor.
+    assert (seconds <= firsts).mean() > 0.9

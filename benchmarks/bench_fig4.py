@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 4 — one-day measured vs predicted trace (sensor 1)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig4.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + "\n".join(result.render().splitlines()[:14]))
+        for note in result.notes:
+            print("note:", note)
+    measured = result.extras["measured"]
+    rms1 = np.sqrt(np.mean((result.extras["first_order"] - measured) ** 2))
+    rms2 = np.sqrt(np.mean((result.extras["second_order"] - measured) ** 2))
+    assert rms2 <= rms1

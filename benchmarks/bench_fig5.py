@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 5 — training-horizon and prediction-length sweeps."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig5.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    horizon_rows = [row for row in result.rows if row[0] == "horizon_hours"]
+    assert len(horizon_rows) == 5
+    # Error grows with the prediction horizon (both orders).
+    assert horizon_rows[-1][2] > horizon_rows[0][2]
+    assert horizon_rows[-1][3] > horizon_rows[0][3]
+    # Second order at or below first order at the longest horizon.
+    assert horizon_rows[-1][3] <= horizon_rows[-1][2]
+    training_rows = [row for row in result.rows if row[0] == "training_days"]
+    assert training_rows, "training sweep needs enough usable days"

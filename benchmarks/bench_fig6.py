@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 6 — Euclidean vs correlation spectral clustering."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig6.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    purity = {}
+    for row in result.rows:
+        purity.setdefault(row[0], []).append(row[4])
+    # Correlation clustering recovers the physical zones cleanly.
+    assert np.mean(purity["correlation"]) > 0.95
+    assert np.mean(purity["euclidean"]) <= np.mean(purity["correlation"])

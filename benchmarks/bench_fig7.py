@@ -1,0 +1,15 @@
+"""Benchmark: Fig. 7 — Euclidean clustering quality at k = 3, 4, 5."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig7.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    k3 = [row for row in result.rows if row[0] == 3]
+    overall = k3[0][4]
+    # At least one Euclidean cluster's spread approaches the overall
+    # spread (the paper's "inconsistent" cluster).
+    assert max(row[3] for row in k3) > 0.5 * overall

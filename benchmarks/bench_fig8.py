@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 8 — correlation clustering quality at k = 2..5."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig8.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    k2 = [row for row in result.rows if row[0] == 2]
+    overall = k2[0][4]
+    # Every correlation cluster stays below the overall spread and keeps
+    # positive within-cluster residual correlation.
+    assert all(row[3] < overall for row in k2)
+    assert all(row[5] > 0.2 for row in k2)

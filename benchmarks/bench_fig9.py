@@ -1,0 +1,12 @@
+"""Benchmark: Fig. 9 — error vs sensors selected per cluster (SRS)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, ctx, capsys):
+    result = run_once(benchmark, fig9.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    errors = [row[1] for row in result.rows]
+    assert errors[-1] < errors[0]

@@ -1,0 +1,19 @@
+"""Benchmark: Table I — RMS prediction error at the 90th percentile.
+
+Regenerates the paper's headline accuracy table (occupied/unoccupied ×
+first/second order) and asserts its shape: second-order beats
+first-order and the occupied mode is harder.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark, ctx, capsys):
+    result = run_once(benchmark, table1.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    values = {(row[0], row[1]): row[2] for row in result.rows}
+    assert values[("occupied", 2)] < values[("occupied", 1)]
+    assert values[("unoccupied", 2)] <= values[("unoccupied", 1)] + 0.05
+    assert values[("unoccupied", 2)] < values[("occupied", 2)]

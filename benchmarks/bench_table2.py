@@ -1,0 +1,17 @@
+"""Benchmark: Table II — sensor-selection strategies (2 clusters).
+
+Shape: SMS < SRS < RS and the HVAC thermostats are the worst of the
+cluster-agnostic baselines.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_table2(benchmark, ctx, capsys):
+    result = run_once(benchmark, table2.run, context=ctx)
+    with capsys.disabled():
+        print("\n" + result.render())
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["SMS"] < values["SRS"] < values["RS"]
+    assert values["Thermostats"] > values["SRS"]

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate every table and figure of the paper on the
+paper-scale synthetic trace (98 days by default; override with the
+``REPRO_BENCH_DAYS`` environment variable for a quicker pass).  The
+trace is generated once per session and shared.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, get_context
+
+#: Paper-scale default; export REPRO_BENCH_DAYS=28 for a quick pass.
+BENCH_DAYS = float(os.environ.get("REPRO_BENCH_DAYS", "98"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return get_context(days=BENCH_DAYS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A full modeling study of the auditorium (the paper's Section IV).
+
+Identifies first- and second-order thermal models in both HVAC modes,
+compares their free-run prediction accuracy, then explores how accuracy
+responds to the training horizon and the prediction length — the
+workflow a building engineer would run before designing a controller.
+
+Run:  python examples/auditorium_study.py [--days 42]
+"""
+
+import argparse
+
+from repro import OCCUPIED, UNOCCUPIED, default_dataset, fit_and_evaluate
+from repro.sysid import prediction_length_sweep
+from repro.sysid.evaluation import EvaluationOptions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=42.0)
+    args = parser.parse_args()
+
+    dataset = default_dataset(days=args.days)
+
+    print("== model order comparison ==")
+    for mode, evaluation_options in (
+        (OCCUPIED, EvaluationOptions(start_offset_hours=1.5, horizon_hours=13.5)),
+        (UNOCCUPIED, EvaluationOptions(start_offset_hours=0.5, horizon_hours=7.5)),
+    ):
+        train, validate = dataset.split_half_days(mode)
+        for order in (1, 2):
+            model, evaluation = fit_and_evaluate(
+                train, validate, order=order, mode=mode, evaluation=evaluation_options
+            )
+            print(
+                f"{mode.name:>10} order {order}: "
+                f"90th-pct RMS {evaluation.overall_percentile(90):.3f} degC "
+                f"over {evaluation.n_days} days "
+                f"(spectral radius {model.spectral_radius():.3f})"
+            )
+
+    print("\n== prediction-horizon sweep (occupied) ==")
+    train, validate = dataset.split_half_days(OCCUPIED)
+    sweep = prediction_length_sweep(train, validate, mode=OCCUPIED)
+    print(f"{'horizon_h':>10} {'order1':>8} {'order2':>8}")
+    for horizon, error1, error2 in sweep.as_rows():
+        print(f"{horizon:>10.1f} {error1:>8.3f} {error2:>8.3f}")
+    print("\nsecond-order models stay below first-order at every horizon, and")
+    print("both degrade as the free run gets longer - the paper's Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

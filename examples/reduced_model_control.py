@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Close the loop: MPC on the reduced model vs the thermostat PI.
+
+This is the payoff the paper promises in its conclusion: the simplified
+thermal model (two well-chosen sensors instead of 27) is good enough to
+*control* the room.  The script
+
+1. runs the paper's pipeline on a synthetic training month (cluster ->
+   near-mean selection -> reduced second-order model),
+2. wraps that model in a receding-horizon MPC reading only the two
+   selected sensors, and
+3. simulates a fresh week under (a) the building's PI loop on its
+   plume-biased wall thermostats and (b) the MPC — then compares
+   occupant-weighted comfort and cooling energy.
+
+The PI under-cools the back of the room because its thermostats hang in
+the supply-air plume; the MPC sees a genuine back-zone sensor and fixes
+that, at the price of somewhat more cooling energy.
+
+Run:  python examples/reduced_model_control.py [--days 28] [--control-days 4]
+"""
+
+import argparse
+from datetime import datetime, timedelta
+
+from repro import OCCUPIED, PipelineConfig, ThermalModelingPipeline, default_dataset
+from repro.control import MPCConfig, ReducedModelMPC, run_closed_loop
+from repro.control.closed_loop import SensorFeedbackController, make_disturbance_source
+from repro.geometry.layout import THERMOSTAT_IDS
+from repro.simulation import SimulationConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=28.0, help="training-trace length")
+    parser.add_argument("--control-days", type=float, default=4.0, help="closed-loop test length")
+    parser.add_argument("--setpoint", type=float, default=21.0)
+    args = parser.parse_args()
+
+    print("== step 1: train the reduced model ==")
+    dataset = default_dataset(days=args.days)
+    wireless = dataset.select_sensors(
+        [s for s in dataset.sensor_ids if s not in THERMOSTAT_IDS]
+    )
+    train, _ = wireless.split_half_days(OCCUPIED)
+    pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=2, ridge=10.0))
+    fitted = pipeline.fit(train)
+    print(f"selected sensors: {fitted.selected_sensor_ids} "
+          f"(front + back zone representatives)")
+
+    print("\n== step 2: closed-loop comparison ==")
+    control_config = SimulationConfig(
+        start=datetime(2013, 3, 18), days=args.control_days
+    )
+    baseline = run_closed_loop(control_config, setpoint=args.setpoint)
+    print(f"PI on wall thermostats: {baseline.metrics.summary()}")
+
+    mpc = ReducedModelMPC(
+        fitted.model, n_flows=4, config=MPCConfig(setpoint=args.setpoint)
+    )
+    positions = [train.sensor_positions[s] for s in fitted.selected_sensor_ids]
+    controller = SensorFeedbackController(
+        mpc, positions, make_disturbance_source(control_config)
+    )
+    mpc_run = run_closed_loop(control_config, controller=controller, setpoint=args.setpoint)
+    print(f"MPC on reduced model:   {mpc_run.metrics.summary()}")
+
+    # Variant: plan against the room's event calendar instead of a
+    # persistence forecast — pre-cool before the seminar fills the room.
+    from repro.control import CalendarForecaster, ForecastingController
+    from repro.simulation import AuditoriumSimulator
+
+    probe = AuditoriumSimulator(control_config)
+    forecaster = CalendarForecaster(
+        probe.calendar, probe.lighting, probe.weather,
+        control_config.start, control_config.dt,
+    )
+    mpc2 = ReducedModelMPC(fitted.model, n_flows=4, config=MPCConfig(setpoint=args.setpoint))
+    forecast_run = run_closed_loop(
+        control_config,
+        controller=ForecastingController(mpc2, positions, forecaster),
+        setpoint=args.setpoint,
+    )
+    print(f"MPC + event calendar:   {forecast_run.metrics.summary()}")
+
+    improvement = 1.0 - mpc_run.metrics.comfort_rms / baseline.metrics.comfort_rms
+    print(f"\ncomfort improvement over PI: {improvement:.0%} "
+          f"({len(controller.plan_log)} re-plans over {args.control_days:g} days)")
+    print("the reduced model - two sensors, identified from one month of a "
+          "temporary dense deployment - is sufficient to control the room;")
+    print("feeding the room's schedule into the forecast then saves energy "
+          "on top (pre-cooling beats chasing).")
+
+
+if __name__ == "__main__":
+    main()

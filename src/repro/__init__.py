@@ -1,0 +1,91 @@
+"""repro — data-driven thermal modeling for HVAC-controlled large open spaces.
+
+A full reproduction of *"Thermal Modeling for a HVAC Controlled
+Real-life Auditorium"* (ICDCS 2014): the instrumented-auditorium testbed
+(as a physics simulator + sensing substrate), piecewise least-squares
+system identification of first/second-order thermal models, spectral
+sensor clustering with eigengap model-order selection, sensor-selection
+strategies (SMS/SRS/RS/thermostats/GP placement), and the model-
+simplification pipeline that combines them.
+
+Quickstart::
+
+    from repro import default_dataset, ThermalModelingPipeline, OCCUPIED
+
+    dataset = default_dataset(days=28)            # synthetic 4-week trace
+    train, validate = dataset.split_half_days(OCCUPIED)
+    pipeline = ThermalModelingPipeline()
+    pipeline.fit(train)
+    report = pipeline.evaluate(validate)
+    print(report.summary())
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ClusteringError,
+    ConfigurationError,
+    DataError,
+    GeometryError,
+    IdentificationError,
+    ReproError,
+    SelectionError,
+    SensingError,
+    SimulationError,
+)
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.data.modes import Mode, OCCUPIED, UNOCCUPIED
+from repro.data.synth import SynthConfig, default_dataset, default_output, generate
+from repro.core import PipelineConfig, PipelineReport, PipelineResult, ThermalModelingPipeline
+from repro.sysid import FirstOrderModel, SecondOrderModel, identify, fit_and_evaluate
+from repro.cluster import ClusteringResult, cluster_sensors
+from repro.selection import (
+    SelectionResult,
+    near_mean_selection,
+    random_selection,
+    stratified_random_selection,
+)
+from repro.comfort import ComfortConditions, pmv_ppd
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "SimulationError",
+    "SensingError",
+    "DataError",
+    "IdentificationError",
+    "ClusteringError",
+    "SelectionError",
+    # data
+    "AuditoriumDataset",
+    "InputChannels",
+    "Mode",
+    "OCCUPIED",
+    "UNOCCUPIED",
+    "SynthConfig",
+    "generate",
+    "default_output",
+    "default_dataset",
+    # core
+    "ThermalModelingPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "PipelineReport",
+    # sysid
+    "FirstOrderModel",
+    "SecondOrderModel",
+    "identify",
+    "fit_and_evaluate",
+    # cluster / selection
+    "ClusteringResult",
+    "cluster_sensors",
+    "SelectionResult",
+    "near_mean_selection",
+    "stratified_random_selection",
+    "random_selection",
+    # comfort
+    "ComfortConditions",
+    "pmv_ppd",
+]

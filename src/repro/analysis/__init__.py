@@ -1,0 +1,20 @@
+"""Secondary analyses built on the multi-modal dataset.
+
+The testbed logs more than temperature: the HVAC portal records CO₂ and
+air flows, the camera counts occupants.  This subpackage holds the
+analyses that cross those modalities — currently CO₂-based occupancy
+estimation, which replaces the paper's manual photo counting with a
+physics inversion of the ventilation mass balance.
+"""
+
+from repro.analysis.occupancy_from_co2 import (
+    CO2EstimatorConfig,
+    OccupancyEstimate,
+    estimate_occupancy_from_co2,
+)
+
+__all__ = [
+    "CO2EstimatorConfig",
+    "OccupancyEstimate",
+    "estimate_occupancy_from_co2",
+]

@@ -1,0 +1,130 @@
+"""Occupancy estimation from the HVAC portal's CO₂ log.
+
+The paper counted occupants by manually inspecting webcam photos every
+15 minutes and notes that "in the future, occupancy could be measured
+automatically".  The portal already logs the room's CO₂ concentration
+and the VAV air flows, and the well-mixed CO₂ balance
+
+    V dC/dt = n g · 10⁶ − Q_fresh (C − C_out)
+
+can simply be inverted for the headcount ``n``:
+
+    n̂(t) = [ V dC/dt + Q_fresh (C − C_out) ] / (g · 10⁶)
+
+with ``g`` the per-person CO₂ generation rate and ``Q_fresh`` the
+fresh-air share of the logged supply flow.  The derivative of the
+(noisy, irregular) CO₂ log is stabilized by resampling to a uniform
+grid, central differencing and a short moving-average smoother.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.resample import resample_last_value
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+from repro.sensing.raw import RawDataset
+from repro.simulation.simulator import CO2_PER_PERSON, FRESH_AIR_FRACTION, OUTDOOR_CO2_PPM
+
+
+@dataclass(frozen=True)
+class CO2EstimatorConfig:
+    """Physical constants and smoothing of the inversion."""
+
+    #: Room air volume, m³.
+    room_volume: float = 1920.0
+    #: CO₂ generation per occupant, m³/s.
+    generation_per_person: float = CO2_PER_PERSON
+    #: Fraction of supply flow that is fresh outdoor air.
+    fresh_air_fraction: float = FRESH_AIR_FRACTION
+    #: Outdoor CO₂ concentration, ppm.
+    outdoor_ppm: float = OUTDOOR_CO2_PPM
+    #: Estimation grid period, seconds.
+    period: float = 900.0
+    #: Moving-average window (grid ticks) applied to the estimate.
+    smoothing_ticks: int = 3
+    #: Staleness bound when resampling the portal logs, seconds.
+    staleness: float = 2400.0
+
+    def __post_init__(self) -> None:
+        if self.room_volume <= 0 or self.generation_per_person <= 0:
+            raise DataError("room_volume and generation_per_person must be positive")
+        if not 0.0 < self.fresh_air_fraction <= 1.0:
+            raise DataError("fresh_air_fraction must be in (0, 1]")
+        if self.smoothing_ticks < 1:
+            raise DataError("smoothing_ticks must be at least 1")
+
+
+@dataclass
+class OccupancyEstimate:
+    """CO₂-inverted occupancy on a uniform grid."""
+
+    axis: TimeAxis
+    #: Estimated headcount (NaN where the portal had gaps).
+    estimate: np.ndarray
+    #: Camera counts resampled to the same grid (for comparison).
+    camera: np.ndarray
+
+    def mean_absolute_error(self) -> float:
+        """MAE between estimate and camera counts over common ticks."""
+        both = np.isfinite(self.estimate) & np.isfinite(self.camera)
+        if not both.any():
+            raise DataError("no overlapping estimate/camera samples")
+        return float(np.mean(np.abs(self.estimate[both] - self.camera[both])))
+
+    def correlation(self) -> float:
+        """Pearson correlation with the camera counts."""
+        both = np.isfinite(self.estimate) & np.isfinite(self.camera)
+        a, b = self.estimate[both], self.camera[both]
+        if a.size < 3 or a.std() < 1e-9 or b.std() < 1e-9:
+            raise DataError("not enough variation to correlate")
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+def _moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """NaN-propagating centred moving average."""
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    padded = np.convolve(values, kernel, mode="same")
+    return padded
+
+
+def estimate_occupancy_from_co2(
+    raw: RawDataset,
+    config: Optional[CO2EstimatorConfig] = None,
+) -> OccupancyEstimate:
+    """Invert the CO₂ balance of ``raw``'s portal logs for occupancy."""
+    config = config or CO2EstimatorConfig()
+    count = int(np.floor(raw.duration_seconds / config.period)) + 1
+    axis = TimeAxis(epoch=raw.epoch, period=config.period, count=count)
+
+    co2 = resample_last_value(raw.portal("co2"), axis, max_staleness=config.staleness)
+    n_vavs = sum(1 for name in raw.portal_streams if name.endswith("_flow"))
+    flows = np.zeros(count)
+    for v in range(n_vavs):
+        flows = flows + resample_last_value(
+            raw.portal(f"vav{v + 1}_flow"), axis, max_staleness=config.staleness
+        )
+
+    # Central-difference derivative, ppm/s.
+    dcdt = np.full(count, np.nan)
+    dcdt[1:-1] = (co2[2:] - co2[:-2]) / (2.0 * config.period)
+
+    fresh = config.fresh_air_fraction * flows
+    numerator = config.room_volume * dcdt + fresh * (co2 - config.outdoor_ppm)
+    estimate = numerator / (config.generation_per_person * 1e6)
+    estimate = _moving_average(estimate, config.smoothing_ticks)
+    estimate = np.clip(estimate, 0.0, None)
+
+    if raw.occupancy_stream is None:
+        camera = np.full(count, np.nan)
+    else:
+        camera = resample_last_value(
+            raw.occupancy_stream, axis, max_staleness=config.staleness
+        )
+    return OccupancyEstimate(axis=axis, estimate=estimate, camera=camera)

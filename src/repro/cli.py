@@ -1,0 +1,270 @@
+"""``repro`` command-line interface.
+
+Subcommands::
+
+    repro simulate    generate the synthetic trace and save it as CSV
+    repro info        summarize a dataset (synthetic or loaded from CSV)
+    repro fit         identify thermal models and report prediction error
+    repro cluster     spectral-cluster the sensors and print memberships
+    repro select      run a sensor-selection strategy and score it
+    repro snapshot    render a temperature snapshot on the ASCII floor plan
+    repro experiment  run one (or all) of the paper's tables/figures
+    repro report      run every experiment and write a combined report
+
+Every subcommand accepts ``--days`` and ``--seed`` to control the
+synthetic trace; the trace is cached per (days, seed) within a process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import rng as rng_mod
+from repro.version import __version__
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--days", type=float, default=28.0, help="length of the synthetic trace (days)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=rng_mod.DEFAULT_SEED, help="root random seed"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal modeling for an HVAC-controlled auditorium (ICDCS 2014 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate the synthetic trace and save as CSV")
+    _add_common(p)
+    p.add_argument("--output", required=True, help="output file stem (writes <stem>.csv)")
+    p.add_argument(
+        "--full", action="store_true", help="save all 41 units instead of the screened analysis set"
+    )
+
+    p = sub.add_parser("info", help="summarize a dataset")
+    _add_common(p)
+    p.add_argument("--input", help="CSV stem to load (default: synthesize)")
+
+    p = sub.add_parser("fit", help="identify thermal models and report errors")
+    _add_common(p)
+    p.add_argument("--order", type=int, choices=(1, 2), default=2)
+    p.add_argument("--mode", choices=("occupied", "unoccupied"), default="occupied")
+    p.add_argument("--ridge", type=float, default=0.0)
+
+    p = sub.add_parser("cluster", help="spectral-cluster the sensors")
+    _add_common(p)
+    p.add_argument("--method", choices=("euclidean", "correlation"), default="correlation")
+    p.add_argument("--k", type=int, default=None, help="cluster count (default: eigengap)")
+
+    p = sub.add_parser("select", help="run a sensor-selection strategy")
+    _add_common(p)
+    p.add_argument(
+        "--strategy", choices=("sms", "srs", "rs", "thermostats", "gp"), default="sms"
+    )
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--per-cluster", type=int, default=1)
+
+    p = sub.add_parser("snapshot", help="render a temperature snapshot on the floor plan")
+    _add_common(p)
+    p.add_argument("--tick", type=int, default=None, help="axis tick (default: busiest instant)")
+
+    p = sub.add_parser("experiment", help="run one of the paper's tables/figures")
+    _add_common(p)
+    p.add_argument(
+        "id",
+        help="experiment id (table1, table2, fig2..fig11, ext-control, "
+        "ext-occupancy, ext-order, ext-stability, or 'all')",
+    )
+
+    p = sub.add_parser("report", help="run every experiment and write a combined report")
+    _add_common(p)
+    p.add_argument("--output", help="write the report to this file (default: stdout)")
+
+    return parser
+
+
+def _context(args):
+    from repro.experiments.context import get_context
+
+    return get_context(days=args.days, seed=args.seed)
+
+
+def _cmd_simulate(args) -> int:
+    from repro.data.io import save_dataset_csv
+    from repro.data.synth import SynthConfig, generate
+    from repro.simulation.simulator import SimulationConfig
+
+    output = generate(
+        SynthConfig(simulation=SimulationConfig(days=args.days, seed=args.seed), seed=args.seed)
+    )
+    dataset = output.full_dataset if args.full else output.analysis_dataset
+    path = save_dataset_csv(dataset, args.output)
+    print(f"wrote {dataset.n_sensors} sensors x {dataset.n_samples} ticks to {path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.data.modes import OCCUPIED, UNOCCUPIED
+
+    if args.input:
+        from repro.data.io import load_dataset_csv
+
+        dataset = load_dataset_csv(args.input)
+    else:
+        dataset = _context(args).analysis
+    print(f"sensors ({dataset.n_sensors}): {list(dataset.sensor_ids)}")
+    print(f"ticks: {dataset.n_samples} at {dataset.axis.period:.0f}s from {dataset.axis.epoch}")
+    print(f"temperature coverage: {dataset.coverage():.1%}")
+    for mode in (OCCUPIED, UNOCCUPIED):
+        usable = dataset.usable_days(mode)
+        print(f"usable {mode.name} days: {len(usable)}")
+    segments = dataset.segments()
+    print(f"continuous segments: {len(segments)} (longest {max((len(s) for s in segments), default=0)} ticks)")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.data.modes import OCCUPIED, UNOCCUPIED
+    from repro.experiments.table1 import OCCUPIED_EVAL, UNOCCUPIED_EVAL
+    from repro.sysid.evaluation import fit_and_evaluate
+
+    ctx = _context(args)
+    mode = OCCUPIED if args.mode == "occupied" else UNOCCUPIED
+    train = ctx.train_occupied if mode is OCCUPIED else ctx.train_unoccupied
+    valid = ctx.valid_occupied if mode is OCCUPIED else ctx.valid_unoccupied
+    evaluation_options = OCCUPIED_EVAL if mode is OCCUPIED else UNOCCUPIED_EVAL
+    model, evaluation = fit_and_evaluate(
+        train, valid, order=args.order, mode=mode, ridge=args.ridge, evaluation=evaluation_options
+    )
+    print(f"order-{args.order} model, {mode.name} mode, {evaluation.n_days} evaluated days")
+    print(f"90th-percentile RMS error: {evaluation.overall_percentile(90):.3f} degC")
+    print(f"overall RMS error:        {evaluation.overall_rms():.3f} degC")
+    print(f"model spectral radius:    {model.spectral_radius():.4f}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.cluster import cluster_mean_temperatures, cluster_sensors
+
+    ctx = _context(args)
+    clustering = cluster_sensors(ctx.train_occupied_wireless, method=args.method, k=args.k)
+    means = cluster_mean_temperatures(clustering, ctx.train_occupied_wireless)
+    print(f"{args.method} similarity, k = {clustering.k} (eigengap pick)")
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        print(f"cluster {cluster}: mean {means[cluster]:.2f} degC, members {members}")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from repro.cluster import cluster_sensors
+    from repro.selection import (
+        evaluate_selection,
+        gp_selection,
+        near_mean_selection,
+        random_selection,
+        stratified_random_selection,
+        thermostat_selection,
+    )
+
+    ctx = _context(args)
+    train, valid = ctx.train_occupied_wireless, ctx.valid_occupied_wireless
+    clustering = cluster_sensors(train, method="correlation", k=args.k)
+    if args.strategy == "sms":
+        selection = near_mean_selection(clustering, train, n_per_cluster=args.per_cluster)
+    elif args.strategy == "srs":
+        selection = stratified_random_selection(
+            clustering, seed=args.seed, n_per_cluster=args.per_cluster
+        )
+    elif args.strategy == "rs":
+        selection = random_selection(clustering, seed=args.seed, n_per_cluster=args.per_cluster)
+    elif args.strategy == "thermostats":
+        selection = thermostat_selection(clustering, ctx.train_occupied)
+        train, valid = ctx.train_occupied, ctx.valid_occupied
+    else:
+        selection = gp_selection(clustering, train)
+    error = evaluate_selection(selection, clustering, valid)
+    print(f"strategy {selection.strategy}, k = {clustering.k}")
+    for cluster, sensors in sorted(selection.assignment.items()):
+        print(f"cluster {cluster}: representatives {list(sensors)}")
+    print(f"99th-percentile cluster-mean error: {error:.3f} degC")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    ctx = _context(args)
+    ids = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; available: {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        result = EXPERIMENTS[experiment_id].run(context=ctx)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    ctx = _context(args)
+    chunks = [
+        f"Experiment report: {args.days:g}-day synthetic trace, seed {args.seed}",
+        "",
+    ]
+    for experiment_id, module in EXPERIMENTS.items():
+        result = module.run(context=ctx)
+        chunks.append(result.render())
+        chunks.append("")
+    text = "\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.experiments.floorplan import busiest_tick, render_floorplan
+
+    dataset = _context(args).analysis
+    tick = args.tick if args.tick is not None else busiest_tick(dataset)
+    print(render_floorplan(dataset, tick))
+    occupancy = dataset.input_channel("occupancy")[tick]
+    print(f"occupancy at snapshot: ~{occupancy:.0f}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "snapshot": _cmd_snapshot,
+    "info": _cmd_info,
+    "fit": _cmd_fit,
+    "cluster": _cmd_cluster,
+    "select": _cmd_select,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Sensor clustering (Section V of the paper).
+
+Sensors are clustered from their temperature traces via spectral
+clustering on a similarity graph built with either the Euclidean
+distance or the correlation between traces; the number of clusters is
+chosen by the largest gap between consecutive log-eigenvalues of the
+graph Laplacian.  Everything — the graph construction, the Laplacian,
+the eigengap rule, the k-means used on the spectral embedding, and the
+baseline clusterers — is implemented here from scratch.
+"""
+
+from repro.cluster.similarity import (
+    SimilarityOptions,
+    correlation_matrix,
+    correlation_similarity,
+    euclidean_similarity,
+    pairwise_euclidean,
+)
+from repro.cluster.laplacian import graph_laplacian, laplacian_eigensystem
+from repro.cluster.eigengap import choose_k_by_eigengap, log_eigenvalues
+from repro.cluster.kmeans import KMeansResult, kmeans
+from repro.cluster.spectral import ClusteringResult, spectral_clustering, cluster_sensors
+from repro.cluster.baselines import kmeans_traces, single_linkage
+from repro.cluster.stability import (
+    StabilityResult,
+    adjusted_rand_index,
+    bootstrap_stability,
+)
+from repro.cluster.quality import (
+    ClusterQuality,
+    cluster_mean_temperatures,
+    cluster_quality,
+    within_cluster_correlation,
+)
+
+__all__ = [
+    "SimilarityOptions",
+    "pairwise_euclidean",
+    "correlation_matrix",
+    "euclidean_similarity",
+    "correlation_similarity",
+    "graph_laplacian",
+    "laplacian_eigensystem",
+    "log_eigenvalues",
+    "choose_k_by_eigengap",
+    "kmeans",
+    "KMeansResult",
+    "spectral_clustering",
+    "cluster_sensors",
+    "ClusteringResult",
+    "kmeans_traces",
+    "single_linkage",
+    "ClusterQuality",
+    "cluster_quality",
+    "cluster_mean_temperatures",
+    "within_cluster_correlation",
+    "adjusted_rand_index",
+    "bootstrap_stability",
+    "StabilityResult",
+]

@@ -1,0 +1,81 @@
+"""Baseline clustering algorithms the paper compares against.
+
+The paper motivates spectral clustering over "traditional clustering
+algorithms such as k-means or single linkage"; both are implemented
+here (from scratch) so that comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.cluster.kmeans import kmeans
+from repro.cluster.similarity import pairwise_euclidean
+from repro.errors import ClusteringError
+
+
+def _impute_traces(traces: np.ndarray) -> np.ndarray:
+    """Column-mean imputation so vector-space methods can run on gappy data."""
+    traces = np.array(traces, dtype=float, copy=True)
+    for j in range(traces.shape[1]):
+        column = traces[:, j]
+        finite = np.isfinite(column)
+        if not finite.any():
+            raise ClusteringError(f"column {j} has no finite samples")
+        column[~finite] = column[finite].mean()
+    return traces
+
+
+def kmeans_traces(
+    traces: np.ndarray, k: int, seed: rng_mod.SeedLike = None
+) -> np.ndarray:
+    """Plain k-means on the (transposed, mean-imputed) trace vectors."""
+    points = _impute_traces(traces).T
+    return kmeans(points, k, seed=seed).labels
+
+
+def single_linkage(traces: np.ndarray, k: int, min_common_samples: int = 10) -> np.ndarray:
+    """Agglomerative single-linkage clustering on pairwise RMS distances.
+
+    Merges the two closest clusters (minimum over cross-pair distances)
+    until ``k`` remain.  Pairs with insufficient common data are treated
+    as infinitely far apart.
+    """
+    distances = pairwise_euclidean(traces, min_common_samples=min_common_samples)
+    n = distances.shape[0]
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k={k} out of range for {n} sensors")
+    d = np.where(np.isfinite(distances), distances, np.inf)
+    np.fill_diagonal(d, np.inf)
+
+    cluster_of = np.arange(n)
+    active = set(range(n))
+    # d is maintained as the single-linkage distance between cluster
+    # representatives; merging takes the elementwise minimum.
+    while len(active) > k:
+        best = (np.inf, -1, -1)
+        for i in active:
+            for j in active:
+                if j <= i:
+                    continue
+                if d[i, j] < best[0]:
+                    best = (d[i, j], i, j)
+        _, i, j = best
+        if i < 0:
+            raise ClusteringError(
+                "graph is disconnected at this k; lower k or relax min_common_samples"
+            )
+        cluster_of[cluster_of == j] = i
+        d[i, :] = np.minimum(d[i, :], d[j, :])
+        d[:, i] = d[i, :]
+        d[i, i] = np.inf
+        d[j, :] = np.inf
+        d[:, j] = np.inf
+        active.remove(j)
+    # Relabel to 0..k-1 in order of first appearance.
+    labels = np.empty(n, dtype=int)
+    mapping: dict = {}
+    for index, root in enumerate(cluster_of):
+        labels[index] = mapping.setdefault(int(root), len(mapping))
+    return labels

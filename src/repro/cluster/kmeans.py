@@ -1,0 +1,125 @@
+"""Lloyd's k-means with k-means++ seeding, implemented from scratch.
+
+Used on the spectral embedding (rows of the Laplacian eigenvector
+matrix) and as a trace-space baseline clusterer.  Deterministic given a
+seed; several restarts keep the best inertia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means fit."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, gen: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centers proportionally to D²."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(gen.integers(n))
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for c in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-300:
+            # All points coincide with chosen centers; fill arbitrarily.
+            centers[c:] = points[int(gen.integers(n))]
+            break
+        probs = closest_sq / total
+        choice = int(gen.choice(n, p=probs))
+        centers[c] = points[choice]
+        closest_sq = np.minimum(closest_sq, np.sum((points - centers[c]) ** 2, axis=1))
+    return centers
+
+
+def _fill_empty_clusters(
+    labels: np.ndarray, assignment_cost: np.ndarray, k: int
+) -> np.ndarray:
+    """Give every empty cluster a *distinct* point.
+
+    Points are drawn farthest-cost-first, never taking the last member
+    of a cluster, so the invariant "every cluster non-empty" holds even
+    for degenerate inputs (e.g. all points identical).
+    """
+    labels = labels.copy()
+    order = np.argsort(-assignment_cost)
+    taken: set = set()
+    for c in range(k):
+        if np.any(labels == c):
+            continue
+        for index in order:
+            index = int(index)
+            if index in taken:
+                continue
+            if np.sum(labels == labels[index]) <= 1:
+                continue  # would just move the hole elsewhere
+            labels[index] = c
+            taken.add(index)
+            break
+    return labels
+
+
+def _lloyd(points: np.ndarray, centers: np.ndarray, max_iter: int) -> KMeansResult:
+    k = centers.shape[0]
+    n = points.shape[0]
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(1, max_iter + 1):
+        distances = np.sum((points[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+        new_labels = np.argmin(distances, axis=1)
+        new_labels = _fill_empty_clusters(
+            new_labels, distances[np.arange(n), new_labels], k
+        )
+        converged = np.array_equal(new_labels, labels) and iteration > 1
+        labels = new_labels
+        for c in range(k):
+            members = labels == c
+            if members.any():
+                centers[c] = points[members].mean(axis=0)
+        if converged:
+            break
+    distances = np.sum((points - centers[labels]) ** 2, axis=1)
+    return KMeansResult(
+        labels=labels, centers=centers, inertia=float(distances.sum()), n_iterations=iteration
+    )
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: rng_mod.SeedLike = None,
+    n_init: int = 8,
+    max_iter: int = 200,
+) -> KMeansResult:
+    """Cluster ``points`` (rows) into ``k`` groups; best of ``n_init`` runs."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ClusteringError("points must be a 2-D array")
+    if not np.all(np.isfinite(points)):
+        raise ClusteringError("points contain non-finite entries")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ClusteringError(f"k={k} out of range for {n} points")
+    if n_init < 1 or max_iter < 1:
+        raise ClusteringError("n_init and max_iter must be positive")
+    best: KMeansResult | None = None
+    for restart in range(n_init):
+        gen = rng_mod.derive(seed, "kmeans", index=restart)
+        centers = _kmeanspp_init(points, k, gen)
+        result = _lloyd(points, centers.copy(), max_iter)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,157 @@
+"""Cluster-quality metrics (paper Section V-C, Figs. 6–8).
+
+Two metrics compare clusterings:
+
+* the CDF of the **maximum pairwise temperature difference** inside
+  each cluster over the evaluation period — small differences mean one
+  sensor can stand in for the cluster;
+* the **within-cluster correlation** — high correlation means the
+  cluster moves together, which HVAC control can exploit.
+
+Plus the per-cluster mean temperature (the right-hand panels of
+Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.similarity import correlation_matrix
+from repro.cluster.spectral import ClusteringResult
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import ClusteringError
+from repro.sysid.metrics import empirical_cdf
+
+
+@dataclass
+class ClusterQuality:
+    """Quality summary of one clustering on an evaluation dataset."""
+
+    k: int
+    #: cluster -> condensed vector of max pairwise |ΔT| within the cluster.
+    max_differences: Dict[int, np.ndarray]
+    #: Max pairwise |ΔT| over *all* sensors (the paper's "overall" curve).
+    overall_differences: np.ndarray
+    #: Full correlation matrix, rows/cols ordered cluster-by-cluster.
+    correlation: np.ndarray
+    #: Sensor IDs in the correlation matrix's order.
+    correlation_order: Tuple[int, ...]
+    #: cluster -> mean within-cluster pairwise correlation.
+    mean_within_correlation: Dict[int, float]
+
+    def difference_cdf(self, cluster: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """CDF of max pairwise differences for one cluster (or overall)."""
+        values = (
+            self.overall_differences if cluster is None else self.max_differences[cluster]
+        )
+        return empirical_cdf(values)
+
+    def fraction_below(self, threshold: float, cluster: int) -> float:
+        """Fraction of in-cluster pairs whose max difference is below ``threshold``."""
+        values = self.max_differences[cluster]
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return float("nan")
+        return float(np.mean(finite < threshold))
+
+
+def _pairwise_max_abs_diff(columns: np.ndarray) -> np.ndarray:
+    n = columns.shape[1]
+    out: List[float] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = np.abs(columns[:, i] - columns[:, j])
+            finite = diff[np.isfinite(diff)]
+            out.append(float(finite.max()) if finite.size else np.nan)
+    return np.asarray(out) if out else np.asarray([0.0])
+
+
+def cluster_quality(
+    clustering: ClusteringResult,
+    dataset: AuditoriumDataset,
+) -> ClusterQuality:
+    """Evaluate ``clustering`` against (typically held-out) ``dataset``.
+
+    Correlations are computed after removing the network common mode
+    (the shared diurnal cycle), matching the contrast of the paper's
+    correlation maps; the max-difference CDFs use the raw traces.
+    """
+    columns = {sid: dataset.temperature_of(sid) for sid in clustering.sensor_ids}
+    all_matrix = np.column_stack([columns[sid] for sid in clustering.sensor_ids])
+    from repro.cluster.similarity import remove_network_mean
+
+    residual = remove_network_mean(all_matrix)
+    residual_of = {
+        sid: residual[:, i] for i, sid in enumerate(clustering.sensor_ids)
+    }
+
+    max_differences: Dict[int, np.ndarray] = {}
+    mean_corr: Dict[int, float] = {}
+    order: List[int] = []
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        order.extend(members)
+        if len(members) < 2:
+            max_differences[cluster] = np.asarray([0.0])
+            mean_corr[cluster] = 1.0
+            continue
+        member_matrix = np.column_stack([columns[sid] for sid in members])
+        max_differences[cluster] = _pairwise_max_abs_diff(member_matrix)
+        member_residuals = np.column_stack([residual_of[sid] for sid in members])
+        corr = correlation_matrix(member_residuals, min_common_samples=5)
+        upper = corr[np.triu_indices_from(corr, k=1)]
+        finite = upper[np.isfinite(upper)]
+        mean_corr[cluster] = float(finite.mean()) if finite.size else float("nan")
+
+    overall = _pairwise_max_abs_diff(all_matrix)
+
+    ordered_residuals = np.column_stack([residual_of[sid] for sid in order])
+    correlation = correlation_matrix(ordered_residuals, min_common_samples=5)
+
+    return ClusterQuality(
+        k=clustering.k,
+        max_differences=max_differences,
+        overall_differences=overall,
+        correlation=correlation,
+        correlation_order=tuple(order),
+        mean_within_correlation=mean_corr,
+    )
+
+
+def cluster_mean_temperatures(
+    clustering: ClusteringResult, dataset: AuditoriumDataset
+) -> Dict[int, float]:
+    """Time-mean temperature of each cluster (Fig. 6 right panels)."""
+    out: Dict[int, float] = {}
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        matrix = np.column_stack([dataset.temperature_of(sid) for sid in members])
+        finite = matrix[np.isfinite(matrix)]
+        if finite.size == 0:
+            raise ClusteringError(f"cluster {cluster} has no finite samples")
+        out[cluster] = float(finite.mean())
+    return out
+
+
+def within_cluster_correlation(
+    clustering: ClusteringResult, dataset: AuditoriumDataset
+) -> Dict[int, float]:
+    """Mean pairwise correlation inside each cluster on ``dataset``."""
+    return cluster_quality(clustering, dataset).mean_within_correlation
+
+
+def cluster_mean_trace(
+    dataset: AuditoriumDataset, members: Sequence[int]
+) -> np.ndarray:
+    """Per-tick mean temperature over ``members`` (NaN-aware)."""
+    if not members:
+        raise ClusteringError("empty member list")
+    matrix = np.column_stack([dataset.temperature_of(sid) for sid in members])
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return np.nanmean(matrix, axis=1)

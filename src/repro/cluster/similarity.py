@@ -1,0 +1,189 @@
+"""Similarity graphs between sensors (paper Section V-A).
+
+Two weightings are studied, mirroring the paper:
+
+* **Euclidean**: the RMS distance between two sensors' temperature
+  traces, turned into a similarity with a Gaussian kernel whose width
+  follows the median-distance heuristic.  This groups sensors by
+  *temperature level* (front cool vs back warm).
+* **Correlation**: the Pearson correlation between traces.  This groups
+  sensors by *co-movement* — how similarly they respond to HVAC and
+  occupancy — which is why the paper finds it gives more consistent
+  clusters.
+
+Both handle missing samples by restricting each pair to its common
+finite rows, and both can threshold weak edges (the ε-graph of the
+spectral-clustering literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class SimilarityOptions:
+    """Graph-construction knobs."""
+
+    #: Gaussian kernel width for Euclidean similarity; ``None`` uses the
+    #: median pairwise distance (the standard heuristic).
+    sigma: Optional[float] = None
+    #: Zero out similarities below this value (ε-graph sparsification).
+    edge_threshold: float = 0.0
+    #: Minimum number of common finite samples for a pair to get an edge.
+    min_common_samples: int = 10
+    #: For correlation similarity: correlate first differences instead
+    #: of raw traces, emphasizing response dynamics over level.
+    use_differences: bool = False
+    #: For correlation similarity: subtract the per-tick network mean
+    #: before correlating.  All sensors share the room's diurnal cycle
+    #: (raw pairwise correlations are ~0.97+); removing the common mode
+    #: exposes the spatial structure — within-zone correlations stay
+    #: high while cross-zone ones go negative, matching the paper's
+    #: correlation maps (Figs. 7–8).
+    remove_common_mode: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma is not None and self.sigma <= 0:
+            raise ClusteringError("sigma must be positive")
+        if not 0.0 <= self.edge_threshold < 1.0:
+            raise ClusteringError("edge_threshold must be in [0, 1)")
+        if self.min_common_samples < 2:
+            raise ClusteringError("min_common_samples must be at least 2")
+
+
+def _check_traces(traces: np.ndarray) -> np.ndarray:
+    traces = np.asarray(traces, dtype=float)
+    if traces.ndim != 2:
+        raise ClusteringError("traces must be a (n_samples, n_sensors) matrix")
+    if traces.shape[1] < 2:
+        raise ClusteringError("need at least two sensors to cluster")
+    return traces
+
+
+def pairwise_euclidean(traces: np.ndarray, min_common_samples: int = 10) -> np.ndarray:
+    """RMS distance between each pair of columns over common finite rows.
+
+    Using the *root-mean-square* rather than the raw Euclidean norm
+    makes pairs with different amounts of common data comparable.
+    Pairs with too few common samples get distance NaN.
+    """
+    traces = _check_traces(traces)
+    n = traces.shape[1]
+    out = np.zeros((n, n))
+    finite = np.isfinite(traces)
+    for i in range(n):
+        for j in range(i + 1, n):
+            common = finite[:, i] & finite[:, j]
+            count = int(common.sum())
+            if count < min_common_samples:
+                out[i, j] = out[j, i] = np.nan
+                continue
+            diff = traces[common, i] - traces[common, j]
+            out[i, j] = out[j, i] = float(np.sqrt(np.mean(diff**2)))
+    return out
+
+
+def remove_network_mean(traces: np.ndarray) -> np.ndarray:
+    """Subtract the per-tick mean across sensors (NaN-aware)."""
+    traces = _check_traces(traces)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        common = np.nanmean(traces, axis=1)
+    return traces - common[:, None]
+
+
+def correlation_matrix(
+    traces: np.ndarray,
+    min_common_samples: int = 10,
+    use_differences: bool = False,
+    remove_common_mode: bool = False,
+) -> np.ndarray:
+    """Pearson correlation between each pair of columns (common rows).
+
+    With ``use_differences`` the correlation is computed on first
+    differences; with ``remove_common_mode`` the per-tick network mean
+    is subtracted first.  Both remove the shared diurnal component that
+    otherwise pins every pairwise correlation near 1.
+    """
+    traces = _check_traces(traces)
+    if remove_common_mode:
+        traces = remove_network_mean(traces)
+    if use_differences:
+        traces = np.diff(traces, axis=0)
+    n = traces.shape[1]
+    out = np.eye(n)
+    finite = np.isfinite(traces)
+    for i in range(n):
+        for j in range(i + 1, n):
+            common = finite[:, i] & finite[:, j]
+            count = int(common.sum())
+            if count < min_common_samples:
+                out[i, j] = out[j, i] = np.nan
+                continue
+            a = traces[common, i]
+            b = traces[common, j]
+            sa, sb = a.std(), b.std()
+            if sa <= 1e-12 or sb <= 1e-12:
+                out[i, j] = out[j, i] = 0.0
+                continue
+            out[i, j] = out[j, i] = float(np.corrcoef(a, b)[0, 1])
+    return out
+
+
+def _apply_threshold(weights: np.ndarray, threshold: float) -> np.ndarray:
+    if threshold > 0.0:
+        weights = np.where(weights >= threshold, weights, 0.0)
+    return weights
+
+
+def euclidean_similarity(
+    traces: np.ndarray, options: Optional[SimilarityOptions] = None
+) -> np.ndarray:
+    """Gaussian-kernel similarity from pairwise RMS distances.
+
+    ``s_ij = exp(-d_ij² / (2 σ²))`` with σ from the median-distance
+    heuristic unless given.  NaN distances (insufficient overlap)
+    become zero-weight edges; the diagonal is zero (no self-loops).
+    """
+    options = options or SimilarityOptions()
+    distances = pairwise_euclidean(traces, min_common_samples=options.min_common_samples)
+    upper = distances[np.triu_indices_from(distances, k=1)]
+    finite = upper[np.isfinite(upper)]
+    if finite.size == 0:
+        raise ClusteringError("no sensor pair has enough common samples")
+    sigma = options.sigma if options.sigma is not None else float(np.median(finite))
+    if sigma <= 0:
+        sigma = float(np.mean(finite)) or 1.0
+    with np.errstate(invalid="ignore"):
+        weights = np.exp(-np.square(distances) / (2.0 * sigma**2))
+    weights = np.where(np.isfinite(weights), weights, 0.0)
+    np.fill_diagonal(weights, 0.0)
+    return _apply_threshold(weights, options.edge_threshold)
+
+
+def correlation_similarity(
+    traces: np.ndarray, options: Optional[SimilarityOptions] = None
+) -> np.ndarray:
+    """Similarity from Pearson correlations: ``s_ij = max(r_ij, 0)``.
+
+    Negative correlations mean the locations move oppositely — no
+    affinity — so they are clipped to zero rather than folded in.
+    """
+    options = options or SimilarityOptions()
+    corr = correlation_matrix(
+        traces,
+        min_common_samples=options.min_common_samples,
+        use_differences=options.use_differences,
+        remove_common_mode=options.remove_common_mode,
+    )
+    weights = np.where(np.isfinite(corr), np.clip(corr, 0.0, 1.0), 0.0)
+    np.fill_diagonal(weights, 0.0)
+    return _apply_threshold(weights, options.edge_threshold)

@@ -1,0 +1,140 @@
+"""Spectral clustering of sensors (paper Section V, von Luxburg [23]).
+
+Pipeline: similarity graph → Laplacian → eigengap picks ``k`` → embed
+each sensor as the row of the first ``k`` eigenvectors → k-means on the
+embedding.  :func:`cluster_sensors` is the dataset-level entry point
+used by the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.cluster.eigengap import choose_k_by_eigengap, log_eigenvalues
+from repro.cluster.kmeans import kmeans
+from repro.cluster.laplacian import laplacian_eigensystem
+from repro.cluster.similarity import (
+    SimilarityOptions,
+    correlation_similarity,
+    euclidean_similarity,
+)
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import ClusteringError
+
+SIMILARITY_METHODS = ("euclidean", "correlation")
+
+
+@dataclass
+class ClusteringResult:
+    """Sensor clusters plus the spectral diagnostics the paper plots."""
+
+    sensor_ids: Tuple[int, ...]
+    labels: np.ndarray
+    k: int
+    method: str
+    eigenvalues: np.ndarray
+    #: Log-eigengaps; ``gaps[k-1]`` selected ``k``.
+    eigengaps: np.ndarray
+    weights: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=int)
+        if self.labels.shape != (len(self.sensor_ids),):
+            raise ClusteringError("labels length must match sensor_ids")
+
+    def members(self, cluster: int) -> List[int]:
+        """Sensor IDs in one cluster (sorted)."""
+        if not 0 <= cluster < self.k:
+            raise ClusteringError(f"cluster {cluster} out of range (k={self.k})")
+        return sorted(
+            sid for sid, label in zip(self.sensor_ids, self.labels) if label == cluster
+        )
+
+    def as_dict(self) -> Dict[int, List[int]]:
+        """Mapping cluster index → member sensor IDs."""
+        return {c: self.members(c) for c in range(self.k)}
+
+    def label_of(self, sensor_id: int) -> int:
+        """Cluster label of one sensor."""
+        try:
+            index = self.sensor_ids.index(int(sensor_id))
+        except ValueError:
+            raise ClusteringError(f"sensor {sensor_id} was not clustered") from None
+        return int(self.labels[index])
+
+    def sizes(self) -> List[int]:
+        """Cluster sizes, by cluster index."""
+        return [int(np.sum(self.labels == c)) for c in range(self.k)]
+
+    def log_eigenvalues(self) -> np.ndarray:
+        """Floored natural-log eigenvalues (the paper's middle panels)."""
+        return log_eigenvalues(self.eigenvalues)
+
+
+def similarity_from_traces(
+    traces: np.ndarray, method: str, options: Optional[SimilarityOptions] = None
+) -> np.ndarray:
+    """Dispatch to the requested similarity construction."""
+    if method == "euclidean":
+        return euclidean_similarity(traces, options)
+    if method == "correlation":
+        return correlation_similarity(traces, options)
+    raise ClusteringError(f"unknown similarity method {method!r}; use one of {SIMILARITY_METHODS}")
+
+
+def spectral_clustering(
+    weights: np.ndarray,
+    k: Optional[int] = None,
+    seed: rng_mod.SeedLike = None,
+    normalized: bool = True,
+    k_max: Optional[int] = None,
+) -> Tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """Cluster a similarity graph.
+
+    Returns ``(labels, k, eigenvalues, gaps)``.  ``k=None`` lets the
+    eigengap rule choose; eigenvalues reported are those of the
+    *unnormalized* Laplacian (what the paper plots) while the embedding
+    uses the normalized one by default.
+    """
+    weights = np.asarray(weights, dtype=float)
+    plot_eigenvalues, _ = laplacian_eigensystem(weights, normalized=False)
+    chosen_k, gaps = choose_k_by_eigengap(plot_eigenvalues, k_max=k_max)
+    if k is None:
+        k = chosen_k
+    if not 1 <= k <= weights.shape[0]:
+        raise ClusteringError(f"k={k} out of range")
+    _, eigenvectors = laplacian_eigensystem(weights, normalized=normalized)
+    embedding = eigenvectors[:, :k]
+    if normalized:
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        embedding = embedding / np.maximum(norms, 1e-12)
+    result = kmeans(embedding, k, seed=seed)
+    return result.labels, k, plot_eigenvalues, gaps
+
+
+def cluster_sensors(
+    dataset: AuditoriumDataset,
+    method: str = "correlation",
+    k: Optional[int] = None,
+    options: Optional[SimilarityOptions] = None,
+    seed: rng_mod.SeedLike = None,
+    k_max: Optional[int] = None,
+) -> ClusteringResult:
+    """Cluster a dataset's sensors from their temperature traces."""
+    weights = similarity_from_traces(dataset.temperatures, method, options)
+    labels, chosen_k, eigenvalues, gaps = spectral_clustering(
+        weights, k=k, seed=seed, k_max=k_max
+    )
+    return ClusteringResult(
+        sensor_ids=dataset.sensor_ids,
+        labels=labels,
+        k=chosen_k if k is None else k,
+        method=method,
+        eigenvalues=eigenvalues,
+        eigengaps=gaps,
+        weights=weights,
+    )

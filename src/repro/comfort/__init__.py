@@ -1,0 +1,12 @@
+"""Thermal-comfort modeling (Fanger PMV/PPD, ASHRAE 55).
+
+The paper motivates fine-grained sensing by noting that the ~2 °C
+front-to-back spread it measures moves the Predicted Mean Vote by about
+0.5 — enough to push seated occupants from "comfortable" to "slightly
+cool/warm".  This subpackage implements the full Fanger model so that
+claim can be checked quantitatively on the reproduced data.
+"""
+
+from repro.comfort.pmv import ComfortConditions, pmv, pmv_ppd, ppd_from_pmv
+
+__all__ = ["ComfortConditions", "pmv", "pmv_ppd", "ppd_from_pmv"]

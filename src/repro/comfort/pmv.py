@@ -1,0 +1,133 @@
+"""Fanger's PMV/PPD thermal-comfort model (ISO 7730 / ASHRAE 55).
+
+Predicted Mean Vote (PMV) maps the thermal environment (air and radiant
+temperature, air speed, humidity) and the occupant (metabolic rate,
+clothing) onto the seven-point comfort scale (−3 cold … +3 hot);
+Predicted Percentage Dissatisfied (PPD) follows from PMV.  The clothing
+surface temperature is solved by the standard fixed-point iteration.
+
+Implementation follows the reference algorithm of ISO 7730 Annex D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComfortConditions:
+    """Environment + occupant parameters for a PMV evaluation.
+
+    Defaults describe a seated audience in light indoor clothing with
+    still air — the auditorium's situation.
+    """
+
+    #: Air temperature, °C.
+    air_temp: float = 22.0
+    #: Mean radiant temperature, °C (≈ air temperature indoors).
+    radiant_temp: float = 22.0
+    #: Relative air speed, m/s.
+    air_speed: float = 0.1
+    #: Relative humidity, %.
+    relative_humidity: float = 40.0
+    #: Metabolic rate, met (seated, quiet: 1.0–1.2).
+    metabolic_rate: float = 1.1
+    #: Clothing insulation, clo (trousers + long-sleeve shirt ≈ 0.7).
+    clothing: float = 0.7
+    #: External work, met (normally 0).
+    external_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.air_speed < 0:
+            raise ConfigurationError("air_speed must be non-negative")
+        if not 0.0 <= self.relative_humidity <= 100.0:
+            raise ConfigurationError("relative_humidity must be in [0, 100]")
+        if self.metabolic_rate <= 0:
+            raise ConfigurationError("metabolic_rate must be positive")
+        if self.clothing < 0:
+            raise ConfigurationError("clothing must be non-negative")
+
+
+def _saturation_vapour_pressure(temp_c: float) -> float:
+    """Saturation water vapour pressure, Pa (Antoine-style fit used by
+    the ISO 7730 reference code)."""
+    return float(np.exp(16.6536 - 4030.183 / (temp_c + 235.0)) * 1000.0)
+
+
+def pmv(conditions: ComfortConditions) -> float:
+    """Predicted Mean Vote for the given conditions.
+
+    Raises :class:`ConfigurationError` if the clothing-temperature
+    iteration fails to converge (inputs far outside the model's range).
+    """
+    c = conditions
+    pa = c.relative_humidity / 100.0 * _saturation_vapour_pressure(c.air_temp)
+    icl = 0.155 * c.clothing  # clo -> m²K/W
+    m = c.metabolic_rate * 58.15  # met -> W/m²
+    w = c.external_work * 58.15
+    mw = m - w
+
+    fcl = 1.05 + 0.645 * icl if icl > 0.078 else 1.0 + 1.29 * icl
+    hcf = 12.1 * np.sqrt(max(c.air_speed, 0.0))
+    taa = c.air_temp + 273.0
+    tra = c.radiant_temp + 273.0
+
+    # Fixed-point iteration for the clothing surface temperature.
+    tcla = taa + (35.5 - c.air_temp) / (3.5 * icl + 0.1)
+    p1 = icl * fcl
+    p2 = p1 * 3.96
+    p3 = p1 * 100.0
+    p4 = p1 * taa
+    p5 = 308.7 - 0.028 * mw + p2 * (tra / 100.0) ** 4
+    xn = tcla / 100.0
+    xf = tcla / 50.0
+    eps = 1.5e-5
+    hc = hcf
+    for _ in range(200):
+        xf = (xf + xn) / 2.0
+        hcn = 2.38 * abs(100.0 * xf - taa) ** 0.25
+        hc = max(hcf, hcn)
+        xn = (p5 + p4 * hc - p2 * xf**4) / (100.0 + p3 * hc)
+        if abs(xn - xf) <= eps:
+            break
+    else:
+        raise ConfigurationError("PMV clothing-temperature iteration did not converge")
+    tcl = 100.0 * xn - 273.0
+
+    # Heat-loss components (W/m²).
+    hl1 = 3.05 * 0.001 * (5733.0 - 6.99 * mw - pa)  # skin diffusion
+    hl2 = 0.42 * (mw - 58.15) if mw > 58.15 else 0.0  # sweating
+    hl3 = 1.7 * 1e-5 * m * (5867.0 - pa)  # latent respiration
+    hl4 = 0.0014 * m * (34.0 - c.air_temp)  # dry respiration
+    hl5 = 3.96 * fcl * (xn**4 - (tra / 100.0) ** 4)  # radiation
+    hl6 = fcl * hc * (tcl - c.air_temp)  # convection
+
+    ts = 0.303 * np.exp(-0.036 * m) + 0.028
+    return float(ts * (mw - hl1 - hl2 - hl3 - hl4 - hl5 - hl6))
+
+
+def ppd_from_pmv(pmv_value: float) -> float:
+    """Predicted Percentage Dissatisfied (%), from PMV."""
+    return float(100.0 - 95.0 * np.exp(-0.03353 * pmv_value**4 - 0.2179 * pmv_value**2))
+
+
+def pmv_ppd(conditions: ComfortConditions) -> Tuple[float, float]:
+    """``(PMV, PPD)`` for the given conditions."""
+    value = pmv(conditions)
+    return value, ppd_from_pmv(value)
+
+
+def pmv_at_temperature(air_temp: float, base: ComfortConditions = ComfortConditions()) -> float:
+    """PMV with only the air (and radiant) temperature changed.
+
+    Convenience used to evaluate how the auditorium's spatial spread
+    moves comfort: the paper's claim is ~0.5 PMV per 2 °C.
+    """
+    from dataclasses import replace
+
+    return pmv(replace(base, air_temp=float(air_temp), radiant_temp=float(air_temp)))

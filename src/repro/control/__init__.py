@@ -1,0 +1,36 @@
+"""HVAC control on the simplified thermal model (the paper's motivation).
+
+The paper closes by arguing its reduced models "provide a practical
+foundation for fine-grained HVAC control design and optimization".  This
+subpackage delivers that step:
+
+* :mod:`repro.control.mpc` — a receding-horizon model-predictive
+  controller built on the reduced (selected-sensor) thermal model,
+  solving a bounded least-squares tracking problem over the VAV flows.
+* :mod:`repro.control.closed_loop` — run the physics simulator in closed
+  loop under any supervisory controller and score comfort and energy,
+  enabling the comparison the paper motivates: control driven by two
+  *representative* sensors versus the plant's plume-biased thermostats.
+"""
+
+from repro.control.mpc import MPCConfig, ReducedModelMPC
+from repro.control.forecast import CalendarForecaster, ForecastingController
+from repro.control.closed_loop import (
+    ClosedLoopMetrics,
+    ClosedLoopResult,
+    SensorFeedbackController,
+    run_closed_loop,
+    score_closed_loop,
+)
+
+__all__ = [
+    "MPCConfig",
+    "ReducedModelMPC",
+    "CalendarForecaster",
+    "ForecastingController",
+    "SensorFeedbackController",
+    "ClosedLoopResult",
+    "ClosedLoopMetrics",
+    "run_closed_loop",
+    "score_closed_loop",
+]

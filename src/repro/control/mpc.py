@@ -1,0 +1,217 @@
+"""Model-predictive control on the reduced thermal model.
+
+The controller holds the reduced (selected-sensor) model identified by
+the paper's pipeline and, every re-planning interval, solves a
+finite-horizon tracking problem over the VAV flows:
+
+    min_f  Σ_k ||T̂(k) − T_set||²  +  λ Σ_k ||f(k)||²
+    s.t.   f_min ≤ f(k) ≤ f_max
+
+where T̂ comes from the linear model driven by the planned flows and a
+persistence forecast of the disturbances (occupancy, lighting, ambient).
+Because the model is linear and the constraints are boxes, the problem
+is a bounded least squares solved exactly by
+:func:`scipy.optimize.lsq_linear`; the first planned step is applied and
+the horizon recedes.
+
+The model's sampling period (15 minutes by default) is much longer than
+the plant's 1-minute step, so plans are recomputed at the model period
+and held in between — the standard supervisory-control arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import lsq_linear
+
+from repro.errors import ConfigurationError
+from repro.sysid.models import ThermalModel
+
+
+@dataclass(frozen=True)
+class MPCConfig:
+    """Tuning of the receding-horizon controller."""
+
+    #: Comfort setpoint the selected sensors are steered toward, °C.
+    setpoint: float = 21.0
+    #: Planning horizon in model steps (model period is typically 15 min).
+    horizon: int = 8
+    #: Energy weight λ on squared flows.
+    energy_weight: float = 0.05
+    #: Move-suppression weight μ on squared flow *changes* between
+    #: consecutive plan steps (and from the previously applied flow).
+    #: Damps the bang-bang oscillation that model mismatch plus a
+    #: persistence disturbance forecast would otherwise induce.
+    move_weight: float = 8.0
+    #: VAV flow bounds, m³/s (matching the plant's VAV boxes).
+    min_flow: float = 0.03
+    max_flow: float = 0.80
+    #: Model sampling period, seconds (how often plans are recomputed).
+    model_period: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be at least 1")
+        if not 0.0 <= self.min_flow <= self.max_flow:
+            raise ConfigurationError("need 0 <= min_flow <= max_flow")
+        if self.energy_weight < 0:
+            raise ConfigurationError("energy_weight must be non-negative")
+        if self.move_weight < 0:
+            raise ConfigurationError("move_weight must be non-negative")
+        if self.model_period <= 0:
+            raise ConfigurationError("model_period must be positive")
+
+
+class ReducedModelMPC:
+    """Receding-horizon controller over a reduced thermal model.
+
+    Parameters
+    ----------
+    model:
+        The reduced model identified on the selected sensors.  Its input
+        layout must be the canonical one: ``n_flows`` VAV flows followed
+        by (occupancy, lighting, ambient).
+    n_flows:
+        Number of controllable flow channels (the paper's plant has 4).
+    config:
+        Controller tuning.
+    """
+
+    def __init__(
+        self,
+        model: ThermalModel,
+        n_flows: int = 4,
+        config: Optional[MPCConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or MPCConfig()
+        if not 1 <= n_flows < model.n_inputs:
+            raise ConfigurationError(
+                f"n_flows={n_flows} incompatible with a model of {model.n_inputs} inputs"
+            )
+        self.n_flows = n_flows
+        self._response = self._build_flow_response()
+
+    # -- prediction machinery ------------------------------------------------
+
+    def _build_flow_response(self) -> np.ndarray:
+        """Impulse responses of the model outputs to each flow channel.
+
+        ``response[t, :, c]`` is ∂T̂(t+1)/∂f_c(0): the temperature change
+        ``t+1`` steps after a unit flow impulse on channel ``c``.  By
+        linearity the whole prediction decomposes into a free response
+        plus these shifted impulse responses.
+        """
+        h = self.config.horizon
+        p = self.model.n_sensors
+        m = self.model.n_inputs
+        response = np.zeros((h, p, self.n_flows))
+        zero_seed = np.zeros((self.model.order, p))
+        for c in range(self.n_flows):
+            u = np.zeros((h, m))
+            u[0, c] = 1.0
+            with_impulse = self.model.simulate(zero_seed, u)
+            baseline = self.model.simulate(zero_seed, np.zeros((h, m)))
+            response[:, :, c] = with_impulse - baseline
+        return response
+
+    def free_response(
+        self, history: np.ndarray, disturbances: np.ndarray
+    ) -> np.ndarray:
+        """Predicted temperatures with *zero* flow over the horizon.
+
+        ``history`` is the ``(order, p)`` measured seed; ``disturbances``
+        the ``(horizon, m - n_flows)`` forecast of (occupancy, lighting,
+        ambient).
+        """
+        h = self.config.horizon
+        u = np.zeros((h, self.model.n_inputs))
+        u[:, self.n_flows :] = disturbances
+        return self.model.simulate(history, u)
+
+    def plan(
+        self,
+        history: np.ndarray,
+        disturbances: np.ndarray,
+        previous_flows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Solve the horizon problem; returns planned flows ``(horizon, n_flows)``.
+
+        ``previous_flows`` (the last applied command) anchors the
+        move-suppression penalty so the plan cannot jump from one
+        re-plan to the next.
+        """
+        cfg = self.config
+        h = cfg.horizon
+        p = self.model.n_sensors
+        disturbances = np.asarray(disturbances, dtype=float)
+        if disturbances.shape != (h, self.model.n_inputs - self.n_flows):
+            raise ConfigurationError(
+                f"disturbance forecast has shape {disturbances.shape}, expected "
+                f"({h}, {self.model.n_inputs - self.n_flows})"
+            )
+        free = self.free_response(np.asarray(history, dtype=float), disturbances)
+
+        # Stack the tracking objective: rows (h*p), unknowns (h*n_flows).
+        n_u = h * self.n_flows
+        blocks = []
+        targets = []
+        design = np.zeros((h * p, n_u))
+        for t in range(h):
+            for j in range(t + 1):
+                lag = t - j
+                design[t * p : (t + 1) * p, j * self.n_flows : (j + 1) * self.n_flows] = (
+                    self._response[lag]
+                )
+        blocks.append(design)
+        targets.append((cfg.setpoint - free).reshape(-1))
+
+        # Energy regularization rows: sqrt(λ) f = 0.
+        if cfg.energy_weight > 0:
+            blocks.append(np.sqrt(cfg.energy_weight) * np.eye(n_u))
+            targets.append(np.zeros(n_u))
+
+        # Move suppression rows: sqrt(μ) (f_k − f_{k−1}) = 0, anchored at
+        # the previously applied flow when available.
+        if cfg.move_weight > 0:
+            root = np.sqrt(cfg.move_weight)
+            diff = np.zeros(((h - 1) * self.n_flows, n_u))
+            for k in range(1, h):
+                rows = slice((k - 1) * self.n_flows, k * self.n_flows)
+                diff[rows, k * self.n_flows : (k + 1) * self.n_flows] = np.eye(self.n_flows)
+                diff[rows, (k - 1) * self.n_flows : k * self.n_flows] = -np.eye(self.n_flows)
+            if h > 1:
+                blocks.append(root * diff)
+                targets.append(np.zeros((h - 1) * self.n_flows))
+            if previous_flows is not None:
+                anchor = np.zeros((self.n_flows, n_u))
+                anchor[:, : self.n_flows] = np.eye(self.n_flows)
+                blocks.append(root * anchor)
+                targets.append(root * np.asarray(previous_flows, dtype=float))
+
+        stacked = np.vstack(blocks)
+        target = np.concatenate(targets)
+        solution = lsq_linear(
+            stacked,
+            target,
+            bounds=(cfg.min_flow, cfg.max_flow),
+            method="bvls" if n_u <= 64 else "trf",
+        )
+        return solution.x.reshape(h, self.n_flows)
+
+    # -- supervisory-controller interface -------------------------------------
+
+    def make_supervisor(self, positions: Sequence, disturbance_source):
+        """Wrap this MPC as a simulator supervisory controller.
+
+        ``positions`` are the selected sensors' physical positions (the
+        readings arrive in the same order); ``disturbance_source`` is a
+        callable ``(step) -> (occupancy, lighting, ambient)`` giving the
+        current disturbance values used as a persistence forecast.
+        """
+        from repro.control.closed_loop import SensorFeedbackController
+
+        return SensorFeedbackController(self, positions, disturbance_source)

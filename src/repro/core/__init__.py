@@ -1,0 +1,26 @@
+"""The paper's contribution: the three-step thermal-modeling pipeline.
+
+1. **Instrument densely** during a training phase (here: the synthetic
+   deployment in :mod:`repro.sensing`).
+2. **Cluster** sensors from their traces and **select** one
+   representative per cluster (:mod:`repro.cluster`,
+   :mod:`repro.selection`).
+3. **Identify** a simple dynamic thermal model over just the selected
+   sensors (:mod:`repro.sysid`).
+
+:class:`ThermalModelingPipeline` packages the three steps behind one
+object with a scikit-learn-style ``fit`` / ``evaluate`` API.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import PipelineReport, PipelineResult, ThermalModelingPipeline
+from repro.core.reduction import reduce_dataset, reduced_model
+
+__all__ = [
+    "PipelineConfig",
+    "ThermalModelingPipeline",
+    "PipelineResult",
+    "PipelineReport",
+    "reduce_dataset",
+    "reduced_model",
+]

@@ -1,0 +1,61 @@
+"""Configuration of the end-to-end modeling pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.similarity import SimilarityOptions
+from repro.data.modes import Mode, OCCUPIED
+from repro.errors import ConfigurationError
+from repro.sysid.evaluation import EvaluationOptions
+
+CLUSTER_METHODS = ("euclidean", "correlation")
+SELECTION_STRATEGIES = ("sms", "srs", "rs", "thermostats", "gp")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything the three-step pipeline needs to run."""
+
+    #: Similarity used for spectral clustering.
+    cluster_method: str = "correlation"
+    #: Cluster count; ``None`` lets the eigengap rule choose.
+    n_clusters: Optional[int] = None
+    #: Similarity-graph construction options.
+    similarity: SimilarityOptions = field(default_factory=SimilarityOptions)
+    #: Selection strategy (``sms``, ``srs``, ``rs``, ``thermostats``, ``gp``).
+    selection_strategy: str = "sms"
+    #: Representatives per cluster.
+    sensors_per_cluster: int = 1
+    #: Model order for the reduced model (1 or 2).
+    model_order: int = 2
+    #: Ridge penalty for the reduced-model identification.  Small
+    #: selected-sensor models need regularization to free-run stably
+    #: over a full day; 0 reproduces the paper's plain LSQ.
+    ridge: float = 1.0
+    #: HVAC mode the pipeline models.
+    mode: Mode = OCCUPIED
+    #: Free-run evaluation options.
+    evaluation: EvaluationOptions = field(default_factory=EvaluationOptions)
+    #: Seed for the stochastic strategies (srs, rs) and k-means restarts.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cluster_method not in CLUSTER_METHODS:
+            raise ConfigurationError(
+                f"unknown cluster_method {self.cluster_method!r}; use one of {CLUSTER_METHODS}"
+            )
+        if self.selection_strategy not in SELECTION_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown selection_strategy {self.selection_strategy!r}; "
+                f"use one of {SELECTION_STRATEGIES}"
+            )
+        if self.n_clusters is not None and self.n_clusters < 1:
+            raise ConfigurationError("n_clusters must be positive")
+        if self.sensors_per_cluster < 1:
+            raise ConfigurationError("sensors_per_cluster must be positive")
+        if self.model_order not in (1, 2):
+            raise ConfigurationError("model_order must be 1 or 2")
+        if self.ridge < 0:
+            raise ConfigurationError("ridge must be non-negative")

@@ -1,0 +1,141 @@
+"""The end-to-end thermal-modeling pipeline.
+
+``fit`` runs cluster → select → identify on training data; ``evaluate``
+scores both the raw selection (how well the representatives stand in
+for their cluster means) and the reduced model's free-run predictions
+on held-out data.  This is the workflow a building operator would run
+once with a dense temporary deployment, then keep only the selected
+sensors and the reduced model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.spectral import ClusteringResult, cluster_sensors
+from repro.core.config import PipelineConfig
+from repro.core.reduction import reduce_dataset, reduced_model
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import ConfigurationError, SelectionError
+from repro.selection.base import SelectionResult
+from repro.selection.evaluate import cluster_mean_errors, reduced_model_errors
+from repro.selection.placement import gp_selection, thermostat_selection
+from repro.selection.random_sel import random_selection
+from repro.selection.stratified import near_mean_selection, stratified_random_selection
+from repro.sysid.metrics import percentile
+from repro.sysid.models import ThermalModel
+
+
+@dataclass
+class PipelineResult:
+    """Artifacts of one fitted pipeline."""
+
+    clustering: ClusteringResult
+    selection: SelectionResult
+    model: ThermalModel
+    train: AuditoriumDataset = field(repr=False)
+
+    @property
+    def selected_sensor_ids(self):
+        return self.selection.sensors()
+
+
+@dataclass
+class PipelineReport:
+    """Held-out evaluation of a fitted pipeline."""
+
+    #: Pooled |representative − cluster mean| errors, °C.
+    selection_errors: np.ndarray
+    #: Pooled |reduced-model prediction − cluster mean| errors, °C.
+    model_errors: np.ndarray
+
+    def selection_percentile(self, q: float = 99.0) -> float:
+        return percentile(self.selection_errors, q)
+
+    def model_percentile(self, q: float = 99.0) -> float:
+        return percentile(self.model_errors, q)
+
+    def summary(self) -> str:
+        return (
+            f"selection error p99 = {self.selection_percentile():.2f} degC; "
+            f"reduced-model error p99 = {self.model_percentile():.2f} degC"
+        )
+
+
+class ThermalModelingPipeline:
+    """The paper's three-step method behind a fit/evaluate API."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None) -> None:
+        self.config = config or PipelineConfig()
+        self._result: Optional[PipelineResult] = None
+
+    @property
+    def result(self) -> PipelineResult:
+        if self._result is None:
+            raise ConfigurationError("pipeline has not been fitted yet")
+        return self._result
+
+    def _select(
+        self, clustering: ClusteringResult, train: AuditoriumDataset
+    ) -> SelectionResult:
+        cfg = self.config
+        if cfg.selection_strategy == "sms":
+            return near_mean_selection(clustering, train, n_per_cluster=cfg.sensors_per_cluster)
+        if cfg.selection_strategy == "srs":
+            return stratified_random_selection(
+                clustering, seed=cfg.seed, n_per_cluster=cfg.sensors_per_cluster
+            )
+        if cfg.selection_strategy == "rs":
+            return random_selection(clustering, seed=cfg.seed, n_per_cluster=cfg.sensors_per_cluster)
+        if cfg.selection_strategy == "thermostats":
+            return thermostat_selection(clustering, train)
+        if cfg.selection_strategy == "gp":
+            return gp_selection(
+                clustering, train, n_select=clustering.k * cfg.sensors_per_cluster
+            )
+        raise SelectionError(f"unknown strategy {cfg.selection_strategy!r}")
+
+    def fit(self, train: AuditoriumDataset) -> PipelineResult:
+        """Run cluster → select → identify on the training dataset."""
+        cfg = self.config
+        clustering = cluster_sensors(
+            train,
+            method=cfg.cluster_method,
+            k=cfg.n_clusters,
+            options=cfg.similarity,
+            seed=cfg.seed,
+        )
+        selection = self._select(clustering, train)
+        model = reduced_model(
+            train, selection, order=cfg.model_order, mode=cfg.mode, ridge=cfg.ridge
+        )
+        self._result = PipelineResult(
+            clustering=clustering, selection=selection, model=model, train=train
+        )
+        return self._result
+
+    def evaluate(self, validate: AuditoriumDataset) -> PipelineReport:
+        """Score the fitted pipeline on held-out data."""
+        result = self.result
+        cfg = self.config
+        selection_errors = cluster_mean_errors(
+            result.selection, result.clustering, validate, mode=cfg.mode
+        )
+        model_errors = reduced_model_errors(
+            result.selection,
+            result.clustering,
+            result.train,
+            validate,
+            order=cfg.model_order,
+            mode=cfg.mode,
+            ridge=cfg.ridge,
+            evaluation=cfg.evaluation,
+        )
+        return PipelineReport(selection_errors=selection_errors, model_errors=model_errors)
+
+    def reduced_dataset(self, dataset: AuditoriumDataset) -> AuditoriumDataset:
+        """Restrict any dataset to the fitted pipeline's selected sensors."""
+        return reduce_dataset(dataset, self.result.selection)

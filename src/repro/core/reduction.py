@@ -1,0 +1,33 @@
+"""Model reduction helpers: from a selection to a reduced dataset/model."""
+
+from __future__ import annotations
+
+from repro.data.dataset import AuditoriumDataset
+from repro.data.modes import Mode, OCCUPIED
+from repro.selection.base import SelectionResult
+from repro.sysid.identify import IdentificationOptions, identify
+from repro.sysid.models import ThermalModel
+
+
+def reduce_dataset(dataset: AuditoriumDataset, selection: SelectionResult) -> AuditoriumDataset:
+    """Restrict ``dataset`` to the selected sensors (sorted, deduplicated)."""
+    return dataset.select_sensors(selection.sensors())
+
+
+def reduced_model(
+    train: AuditoriumDataset,
+    selection: SelectionResult,
+    order: int = 2,
+    mode: Mode = OCCUPIED,
+    ridge: float = 0.0,
+) -> ThermalModel:
+    """Identify the simplified thermal model over only the selected sensors.
+
+    This is the paper's end product: a model small enough for control
+    design, built from the handful of sensors a long-term deployment
+    keeps.
+    """
+    reduced_train = reduce_dataset(train, selection)
+    return identify(
+        reduced_train, IdentificationOptions(order=order, ridge=ridge), mode=mode
+    )

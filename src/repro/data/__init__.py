@@ -1,0 +1,39 @@
+"""Dataset layer: time series, resampling, gaps, modes and screening.
+
+The testbed produces *irregular* data — event-driven wireless sensor
+reports, HVAC portal logs every 10–30 minutes, camera snapshots every
+15 minutes — with multi-hour gaps from network and server outages.  This
+subpackage turns that raw material into the aligned, gap-segmented,
+mode-split matrices that system identification (Eq. 4 of the paper)
+consumes.
+"""
+
+from repro.data.timeseries import EventSeries, TimeAxis, UniformSeries
+from repro.data.resample import resample_last_value, resample_mean
+from repro.data.gaps import Segment, find_segments, mask_gaps
+from repro.data.modes import Mode, OCCUPIED, UNOCCUPIED, mode_mask, split_by_day
+from repro.data.screening import ScreeningReport, screen_sensors
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.data.io import load_dataset_csv, save_dataset_csv
+
+__all__ = [
+    "EventSeries",
+    "TimeAxis",
+    "UniformSeries",
+    "resample_last_value",
+    "resample_mean",
+    "Segment",
+    "find_segments",
+    "mask_gaps",
+    "Mode",
+    "OCCUPIED",
+    "UNOCCUPIED",
+    "mode_mask",
+    "split_by_day",
+    "ScreeningReport",
+    "screen_sensors",
+    "AuditoriumDataset",
+    "InputChannels",
+    "load_dataset_csv",
+    "save_dataset_csv",
+]

@@ -1,0 +1,215 @@
+"""The assembled auditorium dataset.
+
+An :class:`AuditoriumDataset` holds, on one uniform time axis,
+
+* the temperature matrix ``T`` — one column per sensor (NaN where the
+  sensor had no fresh report), and
+* the input matrix ``U`` — the paper's model inputs: the four VAV air
+  flows ``h(k)``, occupancy ``o(k)``, lighting ``l(k)`` and ambient
+  temperature ``w(k)``.
+
+It provides the operations the paper's evaluation protocol needs:
+selecting sensor subsets, restricting to HVAC modes, finding usable
+days, the half/half train-validation split, and gap segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.gaps import Segment, find_segments
+from repro.data.modes import Mode, daily_windows, mode_mask
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+from repro.geometry.auditorium import Point
+
+
+@dataclass(frozen=True)
+class InputChannels:
+    """Canonical layout of the model-input matrix ``U``."""
+
+    n_vavs: int = 4
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        vavs = tuple(f"vav{i + 1}_flow" for i in range(self.n_vavs))
+        return vavs + ("occupancy", "lighting", "ambient")
+
+    @property
+    def n_channels(self) -> int:
+        return self.n_vavs + 3
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise DataError(f"unknown input channel {name!r}") from None
+
+
+@dataclass
+class AuditoriumDataset:
+    """Aligned temperature and input matrices for the auditorium."""
+
+    axis: TimeAxis
+    sensor_ids: Tuple[int, ...]
+    temperatures: np.ndarray
+    inputs: np.ndarray
+    channels: InputChannels = field(default_factory=InputChannels)
+    sensor_positions: Dict[int, Point] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sensor_ids = tuple(int(s) for s in self.sensor_ids)
+        self.temperatures = np.asarray(self.temperatures, dtype=float)
+        self.inputs = np.asarray(self.inputs, dtype=float)
+        n = len(self.axis)
+        if self.temperatures.shape != (n, len(self.sensor_ids)):
+            raise DataError(
+                f"temperatures shape {self.temperatures.shape} does not match "
+                f"({n}, {len(self.sensor_ids)})"
+            )
+        if self.inputs.shape != (n, self.channels.n_channels):
+            raise DataError(
+                f"inputs shape {self.inputs.shape} does not match ({n}, {self.channels.n_channels})"
+            )
+        if len(set(self.sensor_ids)) != len(self.sensor_ids):
+            raise DataError("duplicate sensor IDs")
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.axis)
+
+    @property
+    def n_sensors(self) -> int:
+        return len(self.sensor_ids)
+
+    def column_of(self, sensor_id: int) -> int:
+        """Column index of ``sensor_id`` in the temperature matrix."""
+        try:
+            return self.sensor_ids.index(int(sensor_id))
+        except ValueError:
+            raise DataError(f"sensor {sensor_id} not in dataset") from None
+
+    def temperature_of(self, sensor_id: int) -> np.ndarray:
+        """Temperature column of one sensor."""
+        return self.temperatures[:, self.column_of(sensor_id)]
+
+    def input_channel(self, name: str) -> np.ndarray:
+        """One input channel by name (e.g. ``"ambient"``)."""
+        return self.inputs[:, self.channels.index_of(name)]
+
+    def vav_flows(self) -> np.ndarray:
+        """The ``h(k)`` block of the inputs, shape ``(N, n_vavs)``."""
+        return self.inputs[:, : self.channels.n_vavs]
+
+    # -- transformations ----------------------------------------------------
+
+    def select_sensors(self, sensor_ids: Sequence[int]) -> "AuditoriumDataset":
+        """Dataset restricted to the given sensors (order preserved)."""
+        ids = [int(s) for s in sensor_ids]
+        cols = [self.column_of(s) for s in ids]
+        return AuditoriumDataset(
+            axis=self.axis,
+            sensor_ids=tuple(ids),
+            temperatures=self.temperatures[:, cols].copy(),
+            inputs=self.inputs.copy(),
+            channels=self.channels,
+            sensor_positions={s: self.sensor_positions[s] for s in ids if s in self.sensor_positions},
+        )
+
+    def window(self, start: int, stop: int) -> "AuditoriumDataset":
+        """Dataset over ticks ``start:stop`` (new axis)."""
+        return AuditoriumDataset(
+            axis=self.axis.subaxis(start, stop),
+            sensor_ids=self.sensor_ids,
+            temperatures=self.temperatures[start:stop].copy(),
+            inputs=self.inputs[start:stop].copy(),
+            channels=self.channels,
+            sensor_positions=dict(self.sensor_positions),
+        )
+
+    def masked_outside(self, row_mask: np.ndarray) -> "AuditoriumDataset":
+        """Copy with rows where ``row_mask`` is False set to NaN.
+
+        Keeping the axis intact (rather than dropping rows) preserves
+        day/mode bookkeeping, and gap segmentation treats the masked
+        rows as outages, matching the paper's piecewise objective.
+        """
+        row_mask = np.asarray(row_mask, dtype=bool)
+        if row_mask.shape != (self.n_samples,):
+            raise DataError("row_mask length mismatch")
+        temps = self.temperatures.copy()
+        inputs = self.inputs.copy()
+        temps[~row_mask] = np.nan
+        inputs[~row_mask] = np.nan
+        return replace(self, temperatures=temps, inputs=inputs)
+
+    # -- day / mode bookkeeping ---------------------------------------------
+
+    def mode_rows(self, mode: Mode) -> np.ndarray:
+        """Boolean mask of rows inside ``mode``'s daily window."""
+        return mode_mask(self.axis, mode)
+
+    def day_coverage(self, mode: Mode) -> Dict[int, float]:
+        """Per-day fraction of the mode window where *all* channels are valid."""
+        stacked = np.hstack([self.temperatures, self.inputs])
+        ok = np.isfinite(stacked).all(axis=1)
+        out: Dict[int, float] = {}
+        for day, (start, stop) in daily_windows(self.axis, mode).items():
+            window = ok[start:stop]
+            out[day] = float(window.mean()) if window.size else 0.0
+        return out
+
+    def usable_days(self, mode: Mode, min_coverage: float = 0.7) -> List[int]:
+        """Days whose mode-window coverage meets ``min_coverage``.
+
+        This reproduces the paper's "excluding days with sensor and
+        server failures" step that reduced 98 days to 64.
+        """
+        return sorted(d for d, c in self.day_coverage(mode).items() if c >= min_coverage)
+
+    def restrict_days(self, days: Sequence[int], mode: Optional[Mode] = None) -> "AuditoriumDataset":
+        """Copy keeping only rows on the given day ordinals (and mode)."""
+        wanted = set(int(d) for d in days)
+        day_of_row = self.axis.day_indices()
+        mask = np.isin(day_of_row, sorted(wanted))
+        if mode is not None:
+            windows = daily_windows(self.axis, mode)
+            mask = np.zeros(self.n_samples, dtype=bool)
+            for day in wanted:
+                if day in windows:
+                    start, stop = windows[day]
+                    mask[start:stop] = True
+        return self.masked_outside(mask)
+
+    def split_half_days(
+        self, mode: Mode, min_coverage: float = 0.7
+    ) -> Tuple["AuditoriumDataset", "AuditoriumDataset"]:
+        """The paper's protocol: usable days, first half train, second half validate."""
+        days = self.usable_days(mode, min_coverage=min_coverage)
+        if len(days) < 2:
+            raise DataError(f"only {len(days)} usable days; cannot split")
+        half = len(days) // 2
+        train = self.restrict_days(days[:half], mode=mode)
+        valid = self.restrict_days(days[half:], mode=mode)
+        return train, valid
+
+    # -- segmentation ---------------------------------------------------------
+
+    def segments(
+        self, mode: Optional[Mode] = None, min_length: int = 3
+    ) -> List[Segment]:
+        """Continuous fully-valid runs, optionally confined to one mode."""
+        stacked = np.hstack([self.temperatures, self.inputs])
+        mask = self.mode_rows(mode) if mode is not None else None
+        return find_segments(stacked, min_length=min_length, mask=mask)
+
+    def coverage(self) -> float:
+        """Overall fraction of finite temperature entries."""
+        if self.temperatures.size == 0:
+            return 0.0
+        return float(np.isfinite(self.temperatures).mean())

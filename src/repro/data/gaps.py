@@ -1,0 +1,115 @@
+"""Gap detection and segmentation into continuous sampling intervals.
+
+The paper's identification objective (Eq. 4) is a *piecewise* least
+squares over the continuous sampling intervals ``[s_i, e_i]`` that
+survive the sensor-network and backend-server outages.  This module
+finds those intervals on a uniform grid: a tick is *valid* when every
+required channel has a value, and a :class:`Segment` is a maximal run of
+valid ticks of at least a minimum length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of valid ticks ``[start, stop)`` on some axis."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise DataError(f"empty segment [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def indices(self) -> np.ndarray:
+        """Tick indices covered by this segment."""
+        return np.arange(self.start, self.stop)
+
+    def intersect(self, start: int, stop: int) -> Optional["Segment"]:
+        """Overlap of this segment with ``[start, stop)``, or ``None``."""
+        lo, hi = max(self.start, start), min(self.stop, stop)
+        if hi <= lo:
+            return None
+        return Segment(lo, hi)
+
+
+def valid_mask(matrix: np.ndarray) -> np.ndarray:
+    """Boolean mask of ticks where *every* column is finite."""
+    values = np.asarray(matrix, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.ndim != 2:
+        raise DataError("expected a 1-D or 2-D array")
+    return np.isfinite(values).all(axis=1)
+
+
+def find_segments(
+    matrix: np.ndarray,
+    min_length: int = 2,
+    mask: Optional[np.ndarray] = None,
+) -> List[Segment]:
+    """Maximal runs of fully-valid ticks in ``matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        ``(N,)`` or ``(N, p)`` array; a tick is valid when all its
+        entries are finite.
+    min_length:
+        Discard runs shorter than this many ticks (an identification
+        step needs at least 2 ticks; the second-order model needs 3).
+    mask:
+        Optional extra boolean mask (``True`` = usable tick) AND-ed with
+        the finite-value mask — used to confine segments to one HVAC
+        mode.
+    """
+    if min_length < 1:
+        raise DataError("min_length must be at least 1")
+    ok = valid_mask(matrix)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != ok.shape:
+            raise DataError(f"mask shape {mask.shape} does not match data {ok.shape}")
+        ok = ok & mask
+    segments: List[Segment] = []
+    n = ok.size
+    i = 0
+    while i < n:
+        if not ok[i]:
+            i += 1
+            continue
+        j = i
+        while j < n and ok[j]:
+            j += 1
+        if j - i >= min_length:
+            segments.append(Segment(i, j))
+        i = j
+    return segments
+
+
+def mask_gaps(matrix: np.ndarray, segments: Sequence[Segment]) -> np.ndarray:
+    """Copy of ``matrix`` with everything outside ``segments`` set to NaN."""
+    values = np.array(matrix, dtype=float, copy=True)
+    keep = np.zeros(values.shape[0], dtype=bool)
+    for segment in segments:
+        keep[segment.start : segment.stop] = True
+    values[~keep] = np.nan
+    return values
+
+
+def coverage(segments: Sequence[Segment], n_ticks: int) -> float:
+    """Fraction of ``n_ticks`` covered by ``segments``."""
+    if n_ticks <= 0:
+        return 0.0
+    return sum(len(s) for s in segments) / float(n_ticks)

@@ -1,0 +1,124 @@
+"""CSV persistence for assembled datasets.
+
+A dataset round-trips through two files:
+
+* ``<stem>.csv`` — one row per tick: ISO timestamp, every temperature
+  column (``t<sensor_id>``), every input column.  Missing values are
+  empty fields.
+* ``<stem>.meta.json`` — axis epoch/period, sensor IDs and positions.
+
+Plain CSV keeps the data easily inspectable and loadable from any other
+toolchain, which matters for a dataset meant to stand in for a public
+trace.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+from repro.geometry.auditorium import Point
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+def _paths(stem: Union[str, Path]) -> Tuple[Path, Path]:
+    stem = Path(stem)
+    if stem.suffix == ".csv":
+        stem = stem.with_suffix("")
+    return stem.with_suffix(".csv"), Path(str(stem) + ".meta.json")
+
+
+def save_dataset_csv(dataset: AuditoriumDataset, stem: Union[str, Path]) -> Path:
+    """Write ``dataset`` to ``<stem>.csv`` + ``<stem>.meta.json``.
+
+    Returns the CSV path.
+    """
+    csv_path, meta_path = _paths(stem)
+    csv_path.parent.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "epoch": dataset.axis.epoch.strftime(_TIME_FORMAT),
+        "period_seconds": dataset.axis.period,
+        "count": len(dataset.axis),
+        "sensor_ids": list(dataset.sensor_ids),
+        "n_vavs": dataset.channels.n_vavs,
+        "sensor_positions": {
+            str(sid): [p.x, p.y, p.z] for sid, p in dataset.sensor_positions.items()
+        },
+    }
+    meta_path.write_text(json.dumps(meta, indent=2))
+
+    header = (
+        ["timestamp"]
+        + [f"t{sid}" for sid in dataset.sensor_ids]
+        + list(dataset.channels.names)
+    )
+    datetimes = dataset.axis.datetimes()
+    with csv_path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row_index in range(dataset.n_samples):
+            row = [datetimes[row_index].strftime(_TIME_FORMAT)]
+            for value in dataset.temperatures[row_index]:
+                row.append("" if not np.isfinite(value) else f"{value:.4f}")
+            for value in dataset.inputs[row_index]:
+                row.append("" if not np.isfinite(value) else f"{value:.6g}")
+            writer.writerow(row)
+    return csv_path
+
+
+def load_dataset_csv(stem: Union[str, Path]) -> AuditoriumDataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`."""
+    csv_path, meta_path = _paths(stem)
+    if not csv_path.exists() or not meta_path.exists():
+        raise DataError(f"dataset files not found at {csv_path} / {meta_path}")
+    meta = json.loads(meta_path.read_text())
+    axis = TimeAxis(
+        epoch=datetime.strptime(meta["epoch"], _TIME_FORMAT),
+        period=float(meta["period_seconds"]),
+        count=int(meta["count"]),
+    )
+    sensor_ids = [int(s) for s in meta["sensor_ids"]]
+    channels = InputChannels(n_vavs=int(meta["n_vavs"]))
+    positions = {
+        int(sid): Point(*coords) for sid, coords in meta.get("sensor_positions", {}).items()
+    }
+
+    n_temp = len(sensor_ids)
+    n_input = channels.n_channels
+    temps = np.full((len(axis), n_temp), np.nan)
+    inputs = np.full((len(axis), n_input), np.nan)
+    with csv_path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        expected = 1 + n_temp + n_input
+        if len(header) != expected:
+            raise DataError(f"CSV has {len(header)} columns, expected {expected}")
+        for row_index, row in enumerate(reader):
+            if row_index >= len(axis):
+                raise DataError("CSV has more rows than the axis length in metadata")
+            for j in range(n_temp):
+                cell = row[1 + j]
+                if cell:
+                    temps[row_index, j] = float(cell)
+            for j in range(n_input):
+                cell = row[1 + n_temp + j]
+                if cell:
+                    inputs[row_index, j] = float(cell)
+    return AuditoriumDataset(
+        axis=axis,
+        sensor_ids=tuple(sensor_ids),
+        temperatures=temps,
+        inputs=inputs,
+        channels=channels,
+        sensor_positions=positions,
+    )

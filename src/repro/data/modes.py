@@ -1,0 +1,125 @@
+"""Occupied / unoccupied HVAC mode handling.
+
+The auditorium's HVAC runs in *occupied* mode from 06:00 to 21:00 and in
+*unoccupied* (low-flow, uncontrolled) mode overnight.  The paper splits
+the trace by mode before identification because the two regimes have
+different dynamics, and then aggregates same-mode windows across days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.gaps import Segment
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Mode:
+    """An HVAC operating mode active over a daily hour window.
+
+    ``start_hour <= hour < end_hour`` when ``start_hour < end_hour``;
+    otherwise the window wraps past midnight (e.g. 21:00 → 06:00).
+    """
+
+    name: str
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.start_hour < 24.0 and 0.0 <= self.end_hour <= 24.0):
+            raise DataError("mode hours must lie in [0, 24]")
+
+    @property
+    def wraps_midnight(self) -> bool:
+        return self.end_hour <= self.start_hour
+
+    @property
+    def duration_hours(self) -> float:
+        """Length of the daily window in hours."""
+        if self.wraps_midnight:
+            return 24.0 - self.start_hour + self.end_hour
+        return self.end_hour - self.start_hour
+
+    def contains_hour(self, hour: float) -> bool:
+        """Whether clock ``hour`` falls inside this mode's daily window."""
+        hour = hour % 24.0
+        if self.wraps_midnight:
+            return hour >= self.start_hour or hour < self.end_hour
+        return self.start_hour <= hour < self.end_hour
+
+
+#: HVAC actively conditioning: 06:00–21:00 (paper Section III-A).
+OCCUPIED = Mode(name="occupied", start_hour=6.0, end_hour=21.0)
+
+#: Low-flow setback overnight: 21:00–06:00.
+UNOCCUPIED = Mode(name="unoccupied", start_hour=21.0, end_hour=6.0)
+
+
+def mode_mask(axis: TimeAxis, mode: Mode) -> np.ndarray:
+    """Boolean mask of ticks on ``axis`` falling inside ``mode``."""
+    hours = axis.hours_of_day()
+    if mode.wraps_midnight:
+        return (hours >= mode.start_hour) | (hours < mode.end_hour)
+    return (hours >= mode.start_hour) & (hours < mode.end_hour)
+
+
+def split_by_day(axis: TimeAxis, mode: Mode) -> List[Segment]:
+    """One :class:`Segment` per calendar day covering that day's mode window.
+
+    For a midnight-wrapping mode the window is attributed to the day it
+    *starts* on (21:00 Monday → 06:00 Tuesday counts as Monday's
+    unoccupied window).  Days whose window is entirely off-axis are
+    skipped; partially covered edge days are clipped.
+    """
+    hours = axis.hours_of_day()
+    n = len(axis)
+    if n == 0:
+        return []
+    in_mode = mode_mask(axis, mode)
+    # Day ordinal attributed per tick: for wrapping modes, early-morning
+    # ticks belong to the previous day's window.
+    day = axis.day_indices().astype(int)
+    if mode.wraps_midnight:
+        early = in_mode & (hours < mode.end_hour)
+        day = day.copy()
+        day[early] -= 1
+    segments: List[Segment] = []
+    current_day = None
+    start = None
+    for i in range(n):
+        if in_mode[i]:
+            if start is None:
+                start, current_day = i, day[i]
+            elif day[i] != current_day:
+                if i - start >= 2:
+                    segments.append(Segment(start, i))
+                start, current_day = i, day[i]
+        elif start is not None:
+            if i - start >= 2:
+                segments.append(Segment(start, i))
+            start = None
+    if start is not None and n - start >= 2:
+        segments.append(Segment(start, n))
+    return segments
+
+
+def daily_windows(
+    axis: TimeAxis, mode: Mode
+) -> Dict[int, Tuple[int, int]]:
+    """Map day ordinal → ``(start, stop)`` tick bounds of its mode window."""
+    out: Dict[int, Tuple[int, int]] = {}
+    hours = axis.hours_of_day()
+    day = axis.day_indices().astype(int)
+    in_mode = mode_mask(axis, mode)
+    if mode.wraps_midnight:
+        early = in_mode & (hours < mode.end_hour)
+        day = day.copy()
+        day[early] -= 1
+    for segment in split_by_day(axis, mode):
+        out[int(day[segment.start])] = (segment.start, segment.stop)
+    return out

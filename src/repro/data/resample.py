@@ -1,0 +1,94 @@
+"""Resampling irregular event streams onto uniform grids.
+
+The wireless sensors report asynchronously (only when the reading moves
+by 0.1 °C), the HVAC portal logs every 10–30 minutes and the camera
+snaps every 15 minutes.  Identification needs everything on one uniform
+axis; these helpers perform last-value-hold and window-mean resampling
+with an explicit *staleness* bound so that outages become NaN instead of
+silently-held stale values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.timeseries import EventSeries, TimeAxis, UniformSeries
+from repro.errors import DataError
+
+
+def resample_last_value(
+    series: EventSeries,
+    axis: TimeAxis,
+    max_staleness: Optional[float] = None,
+) -> np.ndarray:
+    """Sample-and-hold resampling of ``series`` onto ``axis``.
+
+    For each tick the most recent event at or before that tick is used.
+    Ticks whose freshest event is older than ``max_staleness`` seconds
+    (or that have no preceding event at all) become NaN.
+
+    A sensible ``max_staleness`` for report-on-change sensors is several
+    times the resampling period: a healthy sensor that simply saw no
+    temperature change stays valid, while a sensor knocked out by a
+    network outage goes NaN once the outage exceeds the bound.
+    """
+    shifted = series.shifted_to(axis.epoch)
+    ticks = axis.seconds()
+    out = np.full(len(axis), np.nan)
+    if shifted.is_empty():
+        return out
+    indices = np.searchsorted(shifted.times, ticks, side="right") - 1
+    valid = indices >= 0
+    safe = np.clip(indices, 0, None)
+    values = shifted.values[safe]
+    ages = ticks - shifted.times[safe]
+    if max_staleness is not None:
+        if max_staleness <= 0:
+            raise DataError("max_staleness must be positive")
+        valid &= ages <= max_staleness
+    out[valid] = values[valid]
+    return out
+
+
+def resample_mean(
+    series: EventSeries,
+    axis: TimeAxis,
+    min_events: int = 1,
+) -> np.ndarray:
+    """Mean of events falling in each tick's window ``[t, t + period)``.
+
+    Windows holding fewer than ``min_events`` events become NaN.  Used
+    for dense streams (e.g. raw 1-minute simulation traces) where the
+    window mean is a better estimate than sample-and-hold.
+    """
+    if min_events < 1:
+        raise DataError("min_events must be at least 1")
+    shifted = series.shifted_to(axis.epoch)
+    edges = np.concatenate([axis.seconds(), [axis.seconds()[-1] + axis.period]]) if len(axis) else np.array([0.0])
+    out = np.full(len(axis), np.nan)
+    if shifted.is_empty() or len(axis) == 0:
+        return out
+    bins = np.searchsorted(edges, shifted.times, side="right") - 1
+    in_range = (bins >= 0) & (bins < len(axis))
+    bins = bins[in_range]
+    vals = shifted.values[in_range]
+    counts = np.bincount(bins, minlength=len(axis))
+    sums = np.bincount(bins, weights=vals, minlength=len(axis))
+    ok = counts >= min_events
+    out[ok] = sums[ok] / counts[ok]
+    return out
+
+
+def resample_many(
+    streams: Sequence[EventSeries],
+    axis: TimeAxis,
+    max_staleness: Optional[float] = None,
+) -> UniformSeries:
+    """Stack several event streams into one multi-channel uniform series."""
+    if not streams:
+        raise DataError("no streams to resample")
+    columns = [resample_last_value(s, axis, max_staleness=max_staleness) for s in streams]
+    names = tuple(s.name or f"ch{i}" for i, s in enumerate(streams))
+    return UniformSeries(axis=axis, values=np.column_stack(columns), names=names)

@@ -1,0 +1,171 @@
+"""Unreliable-sensor screening.
+
+The paper notes that "following pre-processing, several sensors with
+unreliable results are removed from the dataset".  This module is that
+pre-processing step: it computes robust per-sensor health statistics and
+rejects sensors whose behaviour is inconsistent with the rest of the
+network — excessive missing data, a stuck output, abnormal noise, or a
+drift away from the network consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class SensorHealth:
+    """Health statistics of one sensor over the screening window."""
+
+    sensor_id: int
+    missing_fraction: float
+    #: Longest run of identical consecutive values, as a fraction of the trace.
+    longest_stuck_fraction: float
+    #: Robust high-frequency noise level (median |first difference|), °C.
+    noise_level: float
+    #: Worst absolute deviation of the sensor's daily median from the
+    #: network's daily median, °C — catches slow calibration drift.
+    consensus_deviation: float
+
+
+@dataclass(frozen=True)
+class ScreeningThresholds:
+    """Rejection thresholds for :func:`screen_sensors`."""
+
+    max_missing_fraction: float = 0.5
+    max_stuck_fraction: float = 0.35
+    max_noise_level: float = 0.35
+    max_consensus_deviation: float = 1.2
+
+
+@dataclass
+class ScreeningReport:
+    """Outcome of screening: who stays, who goes, and why."""
+
+    kept_ids: Tuple[int, ...]
+    dropped: Dict[int, str] = field(default_factory=dict)
+    health: Dict[int, SensorHealth] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"kept {len(self.kept_ids)} sensors: {list(self.kept_ids)}"]
+        for sid, reason in sorted(self.dropped.items()):
+            lines.append(f"dropped {sid}: {reason}")
+        return "\n".join(lines)
+
+
+def _longest_run_fraction(values: np.ndarray) -> float:
+    """Fraction of the valid trace occupied by its longest constant run."""
+    finite = values[np.isfinite(values)]
+    if finite.size < 2:
+        return 1.0
+    changed = np.diff(finite) != 0.0
+    longest = 0
+    current = 1
+    for moved in changed:
+        if moved:
+            longest = max(longest, current)
+            current = 1
+        else:
+            current += 1
+    longest = max(longest, current)
+    return longest / finite.size
+
+
+def sensor_health(
+    sensor_id: int, values: np.ndarray, network_daily_median: np.ndarray, day_of_row: np.ndarray
+) -> SensorHealth:
+    """Compute the health statistics of one sensor column."""
+    values = np.asarray(values, dtype=float)
+    finite_mask = np.isfinite(values)
+    missing = 1.0 - float(finite_mask.mean()) if values.size else 1.0
+    finite = values[finite_mask]
+    if finite.size >= 2:
+        noise = float(np.median(np.abs(np.diff(finite))))
+    else:
+        noise = 0.0
+    # Daily-median deviation from the network consensus.
+    deviations: List[float] = []
+    for day in np.unique(day_of_row):
+        rows = (day_of_row == day) & finite_mask
+        if not rows.any():
+            continue
+        consensus_rows = network_daily_median[rows]
+        consensus_rows = consensus_rows[np.isfinite(consensus_rows)]
+        if consensus_rows.size == 0:
+            continue
+        deviations.append(abs(float(np.median(values[rows])) - float(np.median(consensus_rows))))
+    consensus_dev = max(deviations) if deviations else 0.0
+    return SensorHealth(
+        sensor_id=sensor_id,
+        missing_fraction=missing,
+        longest_stuck_fraction=_longest_run_fraction(values),
+        noise_level=noise,
+        consensus_deviation=consensus_dev,
+    )
+
+
+def screen_sensors(
+    temperatures: np.ndarray,
+    sensor_ids: Sequence[int],
+    day_of_row: np.ndarray,
+    thresholds: Optional[ScreeningThresholds] = None,
+    protected_ids: Sequence[int] = (),
+) -> ScreeningReport:
+    """Screen a temperature matrix and decide which sensors to keep.
+
+    Parameters
+    ----------
+    temperatures:
+        ``(N, p)`` matrix with NaN for missing samples.
+    sensor_ids:
+        Column labels.
+    day_of_row:
+        Day ordinal of each row (for consensus-drift statistics).
+    thresholds:
+        Rejection limits; defaults to :class:`ScreeningThresholds`.
+    protected_ids:
+        Sensors never dropped regardless of health (the paper always
+        keeps the HVAC thermostats, which are part of the control loop).
+    """
+    temps = np.asarray(temperatures, dtype=float)
+    ids = [int(s) for s in sensor_ids]
+    if temps.ndim != 2 or temps.shape[1] != len(ids):
+        raise DataError("temperature matrix does not match sensor_ids")
+    day_of_row = np.asarray(day_of_row)
+    if day_of_row.shape != (temps.shape[0],):
+        raise DataError("day_of_row length mismatch")
+    limits = thresholds or ScreeningThresholds()
+    protected = set(int(s) for s in protected_ids)
+
+    import warnings
+
+    with np.errstate(all="ignore"), warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        network_median = np.nanmedian(temps, axis=1) if temps.size else np.zeros(temps.shape[0])
+
+    kept: List[int] = []
+    dropped: Dict[int, str] = {}
+    health: Dict[int, SensorHealth] = {}
+    for col, sid in enumerate(ids):
+        h = sensor_health(sid, temps[:, col], network_median, day_of_row)
+        health[sid] = h
+        reason = None
+        if h.missing_fraction > limits.max_missing_fraction:
+            reason = f"missing {h.missing_fraction:.0%} of samples"
+        elif h.longest_stuck_fraction > limits.max_stuck_fraction:
+            reason = f"stuck for {h.longest_stuck_fraction:.0%} of the trace"
+        elif h.noise_level > limits.max_noise_level:
+            reason = f"noise level {h.noise_level:.2f} degC per sample"
+        elif h.consensus_deviation > limits.max_consensus_deviation:
+            reason = f"drifted {h.consensus_deviation:.1f} degC from network consensus"
+        if reason is not None and sid not in protected:
+            dropped[sid] = reason
+        else:
+            kept.append(sid)
+    return ScreeningReport(kept_ids=tuple(kept), dropped=dropped, health=health)

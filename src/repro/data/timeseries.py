@@ -1,0 +1,237 @@
+"""Time axes and series containers.
+
+Two kinds of series appear in the testbed:
+
+* :class:`EventSeries` — irregular, event-driven samples, e.g. a wireless
+  sensor that only transmits when its reading changes by 0.1 °C, or an
+  HVAC portal that logs every 10–30 minutes.
+* :class:`UniformSeries` — values aligned to a regular :class:`TimeAxis`,
+  possibly containing NaN where no fresh measurement was available.
+
+All timestamps are stored as float seconds relative to the series'
+``epoch`` (a timezone-naive :class:`datetime.datetime`), which keeps the
+numerics simple while still supporting calendar queries (hour of day,
+weekday) needed for occupied/unoccupied mode splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class TimeAxis:
+    """A uniform time grid: ``count`` ticks of ``period`` seconds from ``epoch``."""
+
+    epoch: datetime
+    period: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise DataError("period must be positive")
+        if self.count < 0:
+            raise DataError("count must be non-negative")
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def duration(self) -> float:
+        """Total covered duration in seconds (last tick minus first)."""
+        return self.period * max(self.count - 1, 0)
+
+    def seconds(self) -> np.ndarray:
+        """Offsets of each tick from ``epoch`` in seconds."""
+        return np.arange(self.count, dtype=float) * self.period
+
+    def datetime_at(self, index: int) -> datetime:
+        """Wall-clock datetime of tick ``index``."""
+        if not 0 <= index < self.count:
+            raise DataError(f"index {index} out of range for axis of length {self.count}")
+        return self.epoch + timedelta(seconds=index * self.period)
+
+    def datetimes(self) -> List[datetime]:
+        """Wall-clock datetimes of every tick."""
+        return [self.epoch + timedelta(seconds=s) for s in self.seconds()]
+
+    def index_of(self, when: datetime) -> int:
+        """Index of the tick at or immediately before ``when``.
+
+        A 1 ms tolerance absorbs the microsecond truncation that
+        ``datetime`` applies to fractional-second periods, so
+        ``index_of(datetime_at(i)) == i`` holds exactly.
+        """
+        offset = (when - self.epoch).total_seconds()
+        index = int(np.floor((offset + 1e-3) / self.period))
+        if not 0 <= index < self.count:
+            raise DataError(f"{when} is outside this axis")
+        return index
+
+    def hours_of_day(self) -> np.ndarray:
+        """Hour-of-day (float, 0–24) of each tick."""
+        base = self.epoch.hour + self.epoch.minute / 60.0 + self.epoch.second / 3600.0
+        hours = (base + self.seconds() / 3600.0) % 24.0
+        return hours
+
+    def day_indices(self) -> np.ndarray:
+        """Calendar-day ordinal (0 = epoch's day) of each tick."""
+        midnight = datetime(self.epoch.year, self.epoch.month, self.epoch.day)
+        base = (self.epoch - midnight).total_seconds()
+        return ((base + self.seconds()) // SECONDS_PER_DAY).astype(int)
+
+    def weekdays(self) -> np.ndarray:
+        """ISO weekday index (Monday=0) of each tick."""
+        first = self.epoch.weekday()
+        return (first + self.day_indices()) % 7
+
+    def subaxis(self, start: int, stop: int) -> "TimeAxis":
+        """A new axis covering ticks ``start:stop`` of this one."""
+        if not (0 <= start <= stop <= self.count):
+            raise DataError(f"invalid subaxis bounds [{start}, {stop})")
+        return TimeAxis(
+            epoch=self.epoch + timedelta(seconds=start * self.period),
+            period=self.period,
+            count=stop - start,
+        )
+
+    @staticmethod
+    def spanning(start: datetime, end: datetime, period: float) -> "TimeAxis":
+        """Axis from ``start`` to at most ``end`` with the given period."""
+        if end < start:
+            raise DataError("end precedes start")
+        total = (end - start).total_seconds()
+        count = int(np.floor(total / period)) + 1
+        return TimeAxis(epoch=start, period=period, count=count)
+
+
+@dataclass
+class EventSeries:
+    """Irregular timestamped samples from one source.
+
+    ``times`` are float second offsets from ``epoch`` and must be
+    strictly increasing; ``values`` is a same-length float array.
+    """
+
+    epoch: datetime
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise DataError("times and values must be one-dimensional")
+        if self.times.shape != self.values.shape:
+            raise DataError(
+                f"times ({self.times.shape}) and values ({self.values.shape}) differ"
+            )
+        if self.times.size > 1 and not np.all(np.diff(self.times) > 0):
+            raise DataError(f"event times of {self.name or 'series'} must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def is_empty(self) -> bool:
+        return self.times.size == 0
+
+    def shifted_to(self, epoch: datetime) -> "EventSeries":
+        """The same events re-expressed relative to a different ``epoch``."""
+        delta = (self.epoch - epoch).total_seconds()
+        return EventSeries(epoch=epoch, times=self.times + delta, values=self.values.copy(), name=self.name)
+
+    def between(self, t_start: float, t_stop: float) -> "EventSeries":
+        """Events with ``t_start <= time < t_stop`` (seconds from epoch)."""
+        mask = (self.times >= t_start) & (self.times < t_stop)
+        return EventSeries(
+            epoch=self.epoch, times=self.times[mask], values=self.values[mask], name=self.name
+        )
+
+    def last_value_before(self, t: float) -> Tuple[Optional[float], Optional[float]]:
+        """``(value, age_seconds)`` of the most recent event at or before ``t``.
+
+        Returns ``(None, None)`` if no event precedes ``t``.
+        """
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        if index < 0:
+            return None, None
+        return float(self.values[index]), float(t - self.times[index])
+
+    def merge(self, other: "EventSeries") -> "EventSeries":
+        """Union of two event streams from the same source (same epoch)."""
+        other = other.shifted_to(self.epoch)
+        times = np.concatenate([self.times, other.times])
+        values = np.concatenate([self.values, other.values])
+        order = np.argsort(times, kind="stable")
+        times, values = times[order], values[order]
+        if times.size > 1 and np.any(np.diff(times) <= 0):
+            raise DataError("merged streams contain duplicate timestamps")
+        return EventSeries(epoch=self.epoch, times=times, values=values, name=self.name)
+
+
+@dataclass
+class UniformSeries:
+    """Values aligned to a :class:`TimeAxis`; NaN marks missing samples.
+
+    ``values`` may be one-dimensional (a single channel) or two-
+    dimensional ``(len(axis), n_channels)``.
+    """
+
+    axis: TimeAxis
+    values: np.ndarray
+    names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape[0] != len(self.axis):
+            raise DataError(
+                f"values have {self.values.shape[0]} rows, axis has {len(self.axis)} ticks"
+            )
+        if self.values.ndim not in (1, 2):
+            raise DataError("values must be 1-D or 2-D")
+        if self.names and self.values.ndim == 2 and len(self.names) != self.values.shape[1]:
+            raise DataError("names length must match channel count")
+
+    @property
+    def n_channels(self) -> int:
+        return 1 if self.values.ndim == 1 else self.values.shape[1]
+
+    def channel(self, name: str) -> np.ndarray:
+        """Column of the named channel."""
+        if self.values.ndim == 1:
+            raise DataError("single-channel series has no named channels")
+        try:
+            index = self.names.index(name)
+        except ValueError:
+            raise DataError(f"unknown channel {name!r}; have {self.names}") from None
+        return self.values[:, index]
+
+    def missing_fraction(self) -> float:
+        """Fraction of entries that are NaN."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.isnan(self.values).mean())
+
+    def window(self, start: int, stop: int) -> "UniformSeries":
+        """Rows ``start:stop`` as a new series on the matching subaxis."""
+        return UniformSeries(
+            axis=self.axis.subaxis(start, stop),
+            values=self.values[start:stop].copy(),
+            names=self.names,
+        )
+
+
+def iter_days(axis: TimeAxis) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(day_ordinal, tick_indices)`` for each calendar day on ``axis``."""
+    days = axis.day_indices()
+    for day in np.unique(days):
+        yield int(day), np.flatnonzero(days == day)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class at API
+boundaries while still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class GeometryError(ReproError):
+    """A spatial query or construction is invalid (e.g. point outside room)."""
+
+
+class SimulationError(ReproError):
+    """The physics simulation failed (instability, bad inputs, ...)."""
+
+
+class SensingError(ReproError):
+    """A sensing-layer operation failed (unknown sensor, bad deployment, ...)."""
+
+
+class DataError(ReproError):
+    """A dataset operation failed (misaligned series, empty segment, ...)."""
+
+
+class IdentificationError(ReproError):
+    """System identification failed (no usable samples, singular problem, ...)."""
+
+
+class ClusteringError(ReproError):
+    """Clustering failed (degenerate similarity graph, bad cluster count, ...)."""
+
+
+class SelectionError(ReproError):
+    """Sensor selection failed (empty cluster, unknown strategy, ...)."""

@@ -1,0 +1,50 @@
+"""Common result type and text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned plain-text table."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of every experiment runner."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    #: Free-form notes: paper reference values, deviations, parameters.
+    notes: List[str] = field(default_factory=list)
+    #: Extra machine-readable artifacts (CDF arrays, memberships, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text rendering: title, table, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

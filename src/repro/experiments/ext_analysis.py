@@ -1,0 +1,110 @@
+"""Extension experiments: CO₂ occupancy estimation, ARX order sweep and
+clustering stability.
+
+Three short studies beyond the paper's figures:
+
+* ``ext-occupancy`` — the paper's "occupancy could be measured
+  automatically" future work, via the CO₂ mass-balance inversion.
+* ``ext-order`` — the model orders the paper skipped for computational
+  cost, via the general ARX identification.
+* ``ext-stability`` — the paper's "more consistent manner" claim about
+  correlation clustering, quantified with bootstrap ARI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.modes import OCCUPIED
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext, resolve_context
+from repro.experiments.table1 import OCCUPIED_EVAL
+
+
+def run_occupancy(context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """CO₂-based occupancy estimation vs the camera."""
+    from repro.analysis import estimate_occupancy_from_co2
+
+    ctx = resolve_context(context)
+    estimate = estimate_occupancy_from_co2(ctx.output.raw)
+    both = np.isfinite(estimate.estimate) & np.isfinite(estimate.camera)
+    busy = both & (estimate.camera > 40)
+    rows = [
+        ["mean absolute error (people)", round(estimate.mean_absolute_error(), 2)],
+        ["correlation with camera", round(estimate.correlation(), 3)],
+        ["compared samples", int(both.sum())],
+        [
+            "mean estimate during busy ticks (camera > 40)",
+            round(float(estimate.estimate[busy].mean()), 1) if busy.any() else "n/a",
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="ext-occupancy",
+        title="Occupancy from the CO2 mass balance (no camera)",
+        headers=["metric", "value"],
+        rows=rows,
+        notes=[
+            "shape targets: MAE of a few people, correlation > 0.7; the "
+            "estimate lags arrivals by one ventilation time constant",
+            "extension - the paper counted photos by hand and called "
+            "automation future work",
+        ],
+    )
+
+
+def run_order_sweep(
+    context: Optional[ExperimentContext] = None, orders: Sequence[int] = (1, 2, 3, 4)
+) -> ExperimentResult:
+    """Prediction error of ARX models of increasing order."""
+    from repro.sysid.arx import identify_arx
+    from repro.sysid.evaluation import evaluate_model
+
+    ctx = resolve_context(context)
+    rows = []
+    for order in orders:
+        model = identify_arx(ctx.train_occupied, order=order, mode=OCCUPIED, ridge=1e-8)
+        evaluation = evaluate_model(
+            model, ctx.valid_occupied, mode=OCCUPIED, options=OCCUPIED_EVAL
+        )
+        rows.append(
+            [order, round(evaluation.overall_percentile(90.0), 3), round(model.spectral_radius(), 3)]
+        )
+    return ExperimentResult(
+        experiment_id="ext-order",
+        title="ARX model order vs 13.5 h prediction error (occupied, 90th pct RMS)",
+        headers=["order", "error_degC", "spectral_radius"],
+        rows=rows,
+        notes=[
+            "the paper stopped at order 2 citing computational cost; on "
+            "this substrate extra lags keep recovering hidden state "
+            "(envelope masses, duct lag), so the error keeps falling",
+        ],
+    )
+
+
+def run_stability(
+    context: Optional[ExperimentContext] = None, n_bootstrap: int = 6
+) -> ExperimentResult:
+    """Bootstrap partition stability of the two similarity constructions."""
+    from repro.cluster.stability import bootstrap_stability
+
+    ctx = resolve_context(context)
+    rows = []
+    for method in ("correlation", "euclidean"):
+        result = bootstrap_stability(
+            ctx.wireless, method, k=2, n_bootstrap=n_bootstrap, seed=5
+        )
+        rows.append([method, round(result.mean_ari, 3), round(result.min_ari, 3)])
+    return ExperimentResult(
+        experiment_id="ext-stability",
+        title=f"Clustering stability over {n_bootstrap} day-bootstraps (ARI, k=2)",
+        headers=["method", "mean_ari", "min_ari"],
+        rows=rows,
+        notes=[
+            "shape target: correlation clustering reproduces its partition "
+            "across day subsets (ARI near 1); Euclidean is less stable - "
+            "the paper's 'more consistent manner' claim, quantified",
+        ],
+    )

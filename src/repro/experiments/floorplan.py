@@ -1,0 +1,98 @@
+"""ASCII floor-plan rendering of a temperature snapshot (Fig. 2 in text).
+
+Renders the auditorium's floor plan as a character grid with each
+sensor's reading placed at its position and shaded into temperature
+bands, so the cool-front / warm-back pattern is visible straight from a
+terminal — the textual equivalent of the paper's Fig. 2 heat map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import DataError
+
+#: Shading ramp from coolest to warmest band.
+SHADES = " .:-=+*#%@"
+
+
+def _band(value: float, low: float, high: float, n_bands: int) -> int:
+    if high <= low:
+        return 0
+    frac = (value - low) / (high - low)
+    return int(np.clip(frac * (n_bands - 1), 0, n_bands - 1))
+
+
+def render_floorplan(
+    dataset: AuditoriumDataset,
+    tick: int,
+    width: int = 72,
+    height: int = 22,
+    room_width: float = 20.0,
+    room_depth: float = 16.0,
+) -> str:
+    """Render one tick's sensor readings on the floor plan.
+
+    Sensors are drawn as their ID over a shading background keyed to
+    their temperature band; the front of the room (diffusers,
+    thermostats) is the top edge.
+    """
+    if not 0 <= tick < dataset.n_samples:
+        raise DataError(f"tick {tick} out of range")
+    if width < 20 or height < 8:
+        raise DataError("canvas too small to render")
+    readings: List[Tuple[int, float, float, float]] = []
+    for sid in dataset.sensor_ids:
+        position = dataset.sensor_positions.get(sid)
+        if position is None:
+            continue
+        value = float(dataset.temperature_of(sid)[tick])
+        if not np.isfinite(value):
+            continue
+        readings.append((sid, position.x, position.y, value))
+    if not readings:
+        raise DataError("no finite sensor readings with known positions at this tick")
+
+    temps = np.array([r[3] for r in readings])
+    low, high = float(temps.min()), float(temps.max())
+    n_bands = len(SHADES)
+
+    canvas = [[" " for _ in range(width)] for _ in range(height)]
+    for sid, x, y, value in readings:
+        col = int(np.clip(x / room_width * (width - 1), 0, width - 1))
+        row = int(np.clip(y / room_depth * (height - 1), 0, height - 1))
+        shade = SHADES[_band(value, low, high, n_bands)]
+        label = f"{sid}"
+        for offset, char in enumerate(label):
+            c = col + offset
+            if c < width:
+                canvas[row][c] = char
+        # Shade a halo around the label so bands are visible.
+        for dc in (-1, len(label)):
+            c = col + dc
+            if 0 <= c < width:
+                canvas[row][c] = shade
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.append("|" + "FRONT (diffusers / thermostats)".center(width) + "|")
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("|" + "BACK".center(width) + "|")
+    lines.append(border)
+    when = dataset.axis.datetime_at(tick)
+    lines.append(f"snapshot {when}; {low:.1f} degC = '{SHADES[0]}' ... {high:.1f} degC = '{SHADES[-1]}'")
+    return "\n".join(lines)
+
+
+def busiest_tick(dataset: AuditoriumDataset) -> int:
+    """The fully-instrumented tick with the highest occupancy count."""
+    occupancy = dataset.input_channel("occupancy")
+    valid = np.isfinite(occupancy) & np.isfinite(dataset.temperatures).all(axis=1)
+    if not valid.any():
+        raise DataError("no fully-instrumented tick available")
+    indices = np.flatnonzero(valid)
+    return int(indices[np.argmax(occupancy[indices])])

@@ -1,0 +1,81 @@
+"""Table II: sensor-selection strategies at 2 clusters, 1 sensor each.
+
+99th percentile of the cluster-mean prediction error on validation
+data.  Paper values (°C): SMS 0.38, SRS 0.73, RS 1.07, Thermostats
+1.89, GP 1.53.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional
+
+from repro.cluster import cluster_sensors
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ExperimentContext, resolve_context
+from repro.selection import (
+    evaluate_selection,
+    gp_selection,
+    near_mean_selection,
+    random_selection,
+    stratified_random_selection,
+    thermostat_selection,
+)
+
+PAPER_VALUES = {"SMS": 0.38, "SRS": 0.73, "RS": 1.07, "Thermostats": 1.89, "GP": 1.53}
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    k: int = 2,
+    n_random_draws: int = 20,
+) -> ExperimentResult:
+    """Reproduce Table II.
+
+    Random strategies (SRS, RS) are averaged over ``n_random_draws``
+    seeds; the paper reports a single draw, so the averaged value is
+    the fairer summary of the strategy.
+    """
+    ctx = resolve_context(context)
+    train_w, valid_w = ctx.train_occupied_wireless, ctx.valid_occupied_wireless
+    clustering = cluster_sensors(train_w, method="correlation", k=k)
+
+    sms = evaluate_selection(near_mean_selection(clustering, train_w), clustering, valid_w)
+    srs = statistics.mean(
+        evaluate_selection(
+            stratified_random_selection(clustering, seed=draw), clustering, valid_w
+        )
+        for draw in range(n_random_draws)
+    )
+    rs = statistics.mean(
+        evaluate_selection(random_selection(clustering, seed=draw), clustering, valid_w)
+        for draw in range(n_random_draws)
+    )
+    thermostats = evaluate_selection(
+        thermostat_selection(clustering, ctx.train_occupied),
+        clustering,
+        ctx.valid_occupied,
+    )
+    gp = evaluate_selection(gp_selection(clustering, train_w), clustering, valid_w)
+
+    measured = {"SMS": sms, "SRS": srs, "RS": rs, "Thermostats": thermostats, "GP": gp}
+    rows = [
+        [name, round(measured[name], 3), PAPER_VALUES[name]]
+        for name in ("SMS", "SRS", "RS", "Thermostats", "GP")
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title=f"Sensor selection comparison ({k} clusters, 1 sensor per cluster): "
+        "99th-percentile cluster-mean prediction error (degC)",
+        headers=["strategy", "measured", "paper"],
+        rows=rows,
+        notes=[
+            "shape targets: SMS < SRS < RS; thermostats worst of the "
+            "cluster-agnostic baselines (both sit in the cool front zone)",
+            "known deviation: on the synthetic covariance, greedy GP-MI "
+            "placement picks one sensor per zone and performs between SRS "
+            "and RS, better than the paper reported for its testbed",
+            f"SRS and RS averaged over {n_random_draws} random draws",
+        ],
+        extras={"clustering": clustering.as_dict()},
+    )

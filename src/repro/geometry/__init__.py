@@ -1,0 +1,44 @@
+"""Spatial description of the instrumented auditorium.
+
+This subpackage models the physical layout the paper's testbed is built
+around: the room envelope, the 90-seat seating area, the two linear
+supply-air diffusers fed by four VAV boxes, the positions of the wireless
+temperature sensors and HVAC thermostats (Fig. 1 of the paper), and the
+zonal discretization used by the physics simulator.
+"""
+
+from repro.geometry.auditorium import (
+    Auditorium,
+    Diffuser,
+    Point,
+    Seat,
+    default_auditorium,
+)
+from repro.geometry.layout import (
+    CEILING_SENSOR_IDS,
+    FRONT_SENSOR_IDS,
+    BACK_SENSOR_IDS,
+    RELIABLE_GROUND_SENSOR_IDS,
+    THERMOSTAT_IDS,
+    UNRELIABLE_GROUND_SENSOR_IDS,
+    SensorSpec,
+    default_sensor_layout,
+)
+from repro.geometry.zones import ZoneGrid
+
+__all__ = [
+    "Auditorium",
+    "Diffuser",
+    "Point",
+    "Seat",
+    "SensorSpec",
+    "ZoneGrid",
+    "default_auditorium",
+    "default_sensor_layout",
+    "FRONT_SENSOR_IDS",
+    "BACK_SENSOR_IDS",
+    "RELIABLE_GROUND_SENSOR_IDS",
+    "UNRELIABLE_GROUND_SENSOR_IDS",
+    "CEILING_SENSOR_IDS",
+    "THERMOSTAT_IDS",
+]

@@ -1,0 +1,182 @@
+"""Room envelope, seating and supply-air geometry of the auditorium.
+
+The coordinate system is right-handed with the origin at the front-left
+floor corner of the room: ``x`` runs along the front wall (width), ``y``
+runs from the front (podium/screens) toward the back of the room (depth)
+and ``z`` is height above the floor.  The HVAC supply diffusers are at
+the front half of the room, which is what produces the cool-front /
+warm-back spatial pattern reported in the paper (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 3-D point in room coordinates (metres)."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return (
+            (self.x - other.x) ** 2 + (self.y - other.y) ** 2 + (self.z - other.z) ** 2
+        ) ** 0.5
+
+    def floor_distance_to(self, other: "Point") -> float:
+        """Horizontal (floor-plane) distance to ``other`` in metres."""
+        return ((self.x - other.x) ** 2 + (self.y - other.y) ** 2) ** 0.5
+
+
+@dataclass(frozen=True)
+class Seat:
+    """A single audience seat."""
+
+    row: int
+    column: int
+    position: Point
+
+
+@dataclass(frozen=True)
+class Diffuser:
+    """A linear supply-air outlet spanning the room width at depth ``y``.
+
+    The paper notes the auditorium has four VAV boxes but only *two* air
+    outlets which span the entire auditorium; each diffuser is fed by the
+    VAV boxes listed in ``vav_ids``.
+    """
+
+    name: str
+    y: float
+    vav_ids: Tuple[int, ...]
+    #: e-folding length (metres) of the diffuser's influence along ``y``.
+    reach: float = 4.0
+
+    def influence_at(self, y: float) -> float:
+        """Unnormalized influence weight of this diffuser at depth ``y``.
+
+        Supply air mixes most strongly near the outlet and decays
+        exponentially with distance along the room depth.
+        """
+        return float(2.718281828459045 ** (-abs(y - self.y) / self.reach))
+
+
+@dataclass(frozen=True)
+class Auditorium:
+    """Geometry of the instrumented auditorium.
+
+    The default dimensions approximate a 90-seat basement auditorium
+    (Brauer Hall, Washington University in St. Louis): roughly 20 m wide,
+    16 m deep, 6 m high at the ceiling.
+    """
+
+    width: float = 20.0
+    depth: float = 16.0
+    height: float = 6.0
+    capacity: int = 90
+    seats: Tuple[Seat, ...] = field(default_factory=tuple)
+    diffusers: Tuple[Diffuser, ...] = field(default_factory=tuple)
+    #: Number of VAV boxes serving the room (paper: four).
+    n_vavs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth <= 0 or self.height <= 0:
+            raise GeometryError("auditorium dimensions must be positive")
+        if self.capacity < 0:
+            raise GeometryError("capacity must be non-negative")
+        for diffuser in self.diffusers:
+            if not 0.0 <= diffuser.y <= self.depth:
+                raise GeometryError(
+                    f"diffuser {diffuser.name!r} at y={diffuser.y} is outside the room"
+                )
+
+    @property
+    def floor_area(self) -> float:
+        """Floor area in square metres."""
+        return self.width * self.depth
+
+    @property
+    def volume(self) -> float:
+        """Air volume in cubic metres."""
+        return self.floor_area * self.height
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the room envelope (inclusive)."""
+        return (
+            0.0 <= point.x <= self.width
+            and 0.0 <= point.y <= self.depth
+            and 0.0 <= point.z <= self.height
+        )
+
+    def require_inside(self, point: Point, what: str = "point") -> None:
+        """Raise :class:`GeometryError` unless ``point`` is inside the room."""
+        if not self.contains(point):
+            raise GeometryError(f"{what} {point} is outside the auditorium envelope")
+
+    def diffuser_weights(self, y: float) -> List[float]:
+        """Normalized influence of each diffuser at room depth ``y``.
+
+        Weights sum to 1 when at least one diffuser exists; an empty
+        diffuser list yields an empty result.
+        """
+        raw = [d.influence_at(y) for d in self.diffusers]
+        total = sum(raw)
+        if not raw:
+            return []
+        if total <= 0.0:
+            return [1.0 / len(raw)] * len(raw)
+        return [w / total for w in raw]
+
+
+def _default_seats(
+    width: float,
+    depth: float,
+    rows: int = 9,
+    columns: int = 10,
+    first_row_y: float = 4.0,
+    last_row_y: float = 14.0,
+    aisle_margin: float = 2.0,
+) -> Tuple[Seat, ...]:
+    """Build the default 90-seat layout: ``rows`` straight rows of ``columns``."""
+    seats: List[Seat] = []
+    row_pitch = (last_row_y - first_row_y) / max(rows - 1, 1)
+    seat_pitch = (width - 2.0 * aisle_margin) / max(columns - 1, 1)
+    for row in range(rows):
+        y = first_row_y + row * row_pitch
+        # Seated occupants are a heat source roughly 0.6 m above the floor.
+        for column in range(columns):
+            x = aisle_margin + column * seat_pitch
+            seats.append(Seat(row=row, column=column, position=Point(x, y, 0.6)))
+    return tuple(seats)
+
+
+def default_auditorium() -> Auditorium:
+    """The canonical auditorium used throughout the reproduction.
+
+    Two linear diffusers span the room width: one immediately in front of
+    the seating area and one at roughly one-third depth, fed by VAV boxes
+    (1, 2) and (3, 4) respectively.  The back half of the room is far from
+    both outlets, which is what makes the back rows run warm when the
+    room is occupied.
+    """
+    width, depth = 20.0, 16.0
+    diffusers = (
+        Diffuser(name="front", y=1.0, vav_ids=(1, 2), reach=3.0),
+        Diffuser(name="mid", y=5.5, vav_ids=(3, 4), reach=3.0),
+    )
+    return Auditorium(
+        width=width,
+        depth=depth,
+        height=6.0,
+        capacity=90,
+        seats=_default_seats(width, depth),
+        diffusers=diffusers,
+        n_vavs=4,
+    )

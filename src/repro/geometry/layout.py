@@ -1,0 +1,141 @@
+"""The sensor deployment of the paper's testbed (Fig. 1).
+
+Thirty-nine wireless temperature/humidity sensors were deployed on
+walls, desks, the podium and the ceiling; two HVAC thermostats sit on
+the front side walls.  Only near-ground sensors are used in the paper's
+analysis, and a few of those are removed in pre-processing as
+unreliable, leaving the 25 sensors + 2 thermostats whose IDs appear in
+the paper's figures.  This module reproduces that deployment: the same
+usable IDs, a front group (strongly coupled to the supply diffusers,
+hence cool) and a back group (far from the outlets, hence warm), plus
+ceiling/upper-wall units and deliberately unreliable units that the
+screening stage must reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.auditorium import Auditorium, Point
+
+#: Near-ground sensors located toward the front of the room (cool zone in
+#: the paper's Fig. 6 correlation clustering).
+FRONT_SENSOR_IDS: Tuple[int, ...] = (3, 6, 7, 8, 13, 14, 17, 23, 28, 33, 38)
+
+#: Near-ground sensors located toward the back of the room (warm zone).
+BACK_SENSOR_IDS: Tuple[int, ...] = (1, 12, 15, 16, 18, 19, 20, 26, 27, 30, 31, 32, 34, 37)
+
+#: The 25 near-ground sensors that survive the paper's pre-processing.
+RELIABLE_GROUND_SENSOR_IDS: Tuple[int, ...] = tuple(
+    sorted(FRONT_SENSOR_IDS + BACK_SENSOR_IDS)
+)
+
+#: Near-ground sensors the screening stage must drop (unreliable units).
+UNRELIABLE_GROUND_SENSOR_IDS: Tuple[int, ...] = (2, 9, 29, 36)
+
+#: Units mounted on the ceiling or upper walls; excluded from the
+#: analysis because they do not represent occupant-level comfort.
+CEILING_SENSOR_IDS: Tuple[int, ...] = (4, 5, 10, 11, 21, 22, 24, 25, 35, 39)
+
+#: The two thermostats of the existing HVAC system (front side walls).
+THERMOSTAT_IDS: Tuple[int, ...] = (40, 41)
+
+#: Valid mounting descriptions.
+MOUNTS = ("desk", "wall", "podium", "ceiling", "upper_wall", "thermostat")
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one deployed sensing unit."""
+
+    sensor_id: int
+    position: Point
+    mount: str
+    #: Whether the unit is one of the HVAC system's own thermostats.
+    is_thermostat: bool = False
+    #: Fault mode injected for deliberately unreliable units
+    #: (``None``, ``"drift"``, ``"stuck"``, ``"noisy"``, ``"dropout"``).
+    fault: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mount not in MOUNTS:
+            raise GeometryError(f"unknown mount {self.mount!r} for sensor {self.sensor_id}")
+
+    @property
+    def near_ground(self) -> bool:
+        """Whether the unit measures occupant-level air (z within 1.5 m)."""
+        return self.position.z <= 1.5 and self.mount not in ("ceiling", "upper_wall")
+
+
+def _spread(ids: Tuple[int, ...], xs: List[float], ys: List[float], z: float, mount: str) -> List[SensorSpec]:
+    if not (len(ids) == len(xs) == len(ys)):
+        raise GeometryError("layout tables are inconsistent")
+    return [
+        SensorSpec(sensor_id=sid, position=Point(x, y, z), mount=mount)
+        for sid, x, y in zip(ids, xs, ys)
+    ]
+
+
+def default_sensor_layout(auditorium: Optional[Auditorium] = None) -> Dict[int, SensorSpec]:
+    """Return the full 39-sensor + 2-thermostat deployment keyed by ID.
+
+    The near-ground front group sits at room depths 1–5 m, the back group
+    at 8.5–14.5 m, matching the spatial split the paper's clustering
+    recovers.  Positions are deterministic so the whole reproduction is
+    seed-stable.
+    """
+    specs: List[SensorSpec] = []
+
+    # Front near-ground group: podium, front desks and front side walls.
+    front_xs = [1.2, 4.0, 6.8, 9.6, 12.4, 15.2, 18.0, 2.6, 8.2, 13.8, 17.4]
+    front_ys = [2.0, 1.4, 2.8, 1.8, 2.6, 1.6, 2.2, 4.6, 4.2, 4.8, 4.4]
+    specs += _spread(FRONT_SENSOR_IDS, front_xs, front_ys, z=0.9, mount="desk")
+
+    # Back near-ground group: rear desks and back/side walls.
+    back_xs = [1.6, 4.4, 7.2, 10.0, 12.8, 15.6, 18.4, 3.0, 6.0, 9.0, 12.0, 15.0, 18.0, 10.4]
+    back_ys = [9.0, 10.2, 9.4, 10.8, 9.8, 10.4, 9.2, 13.2, 14.0, 13.6, 14.4, 13.4, 14.2, 11.8]
+    specs += _spread(BACK_SENSOR_IDS, back_xs, back_ys, z=0.9, mount="desk")
+
+    # Unreliable near-ground units (screened out during pre-processing).
+    faults = ("drift", "stuck", "noisy", "dropout")
+    unreliable_xs = [5.4, 11.0, 6.6, 14.6]
+    unreliable_ys = [7.0, 6.6, 12.4, 7.4]
+    for sid, x, y, fault in zip(UNRELIABLE_GROUND_SENSOR_IDS, unreliable_xs, unreliable_ys, faults):
+        specs.append(
+            SensorSpec(sensor_id=sid, position=Point(x, y, 0.9), mount="desk", fault=fault)
+        )
+
+    # Ceiling / upper-wall units (excluded from the occupant-level analysis).
+    ceiling_xs = [2.0, 6.0, 10.0, 14.0, 18.0, 3.0, 8.0, 12.0, 16.0, 10.0]
+    ceiling_ys = [3.0, 6.0, 9.0, 12.0, 15.0, 12.5, 3.5, 14.5, 6.5, 0.8]
+    for i, (sid, x, y) in enumerate(zip(CEILING_SENSOR_IDS, ceiling_xs, ceiling_ys)):
+        mount = "ceiling" if i % 2 == 0 else "upper_wall"
+        z = 5.6 if mount == "ceiling" else 3.8
+        specs.append(SensorSpec(sensor_id=sid, position=Point(x, y, z), mount=mount))
+
+    # The HVAC system's two thermostats, on the front side walls — inside
+    # the cool zone, which is why they misrepresent the back of the room.
+    specs.append(
+        SensorSpec(sensor_id=40, position=Point(0.3, 2.4, 1.4), mount="thermostat", is_thermostat=True)
+    )
+    specs.append(
+        SensorSpec(sensor_id=41, position=Point(19.7, 2.4, 1.4), mount="thermostat", is_thermostat=True)
+    )
+
+    layout = {spec.sensor_id: spec for spec in specs}
+    if len(layout) != len(specs):
+        raise GeometryError("duplicate sensor IDs in layout")
+    if auditorium is not None:
+        for spec in specs:
+            auditorium.require_inside(spec.position, what=f"sensor {spec.sensor_id}")
+    return layout
+
+
+def analysis_sensor_ids(include_thermostats: bool = True) -> List[int]:
+    """Sensor IDs used in the paper's analysis (25 sensors + 2 thermostats)."""
+    ids = list(RELIABLE_GROUND_SENSOR_IDS)
+    if include_thermostats:
+        ids += list(THERMOSTAT_IDS)
+    return ids

@@ -1,0 +1,195 @@
+"""Zonal discretization of the auditorium floor area.
+
+The physics simulator represents the room air as a regular ``nx``-by-
+``ny`` grid of well-mixed zones (plus lumped envelope masses handled in
+:mod:`repro.simulation.rc_network`).  The paper argues that its room has
+no natural zone geometry; the grid here is purely a simulation substrate
+— the *modeling* code never sees it, only sensor readings interpolated
+from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.auditorium import Auditorium, Point
+
+
+@dataclass(frozen=True)
+class ZoneGrid:
+    """A regular grid of air zones covering the auditorium floor.
+
+    Zones are indexed row-major: zone ``k = iy * nx + ix`` where ``ix``
+    indexes the width direction and ``iy`` the depth direction (front row
+    of zones is ``iy = 0``).
+    """
+
+    auditorium: Auditorium
+    nx: int = 6
+    ny: int = 5
+
+    def __post_init__(self) -> None:
+        if self.nx < 1 or self.ny < 1:
+            raise GeometryError("zone grid must have at least one zone per axis")
+
+    @property
+    def n_zones(self) -> int:
+        """Total number of air zones."""
+        return self.nx * self.ny
+
+    @property
+    def cell_width(self) -> float:
+        """Zone extent along the room width (metres)."""
+        return self.auditorium.width / self.nx
+
+    @property
+    def cell_depth(self) -> float:
+        """Zone extent along the room depth (metres)."""
+        return self.auditorium.depth / self.ny
+
+    @property
+    def cell_volume(self) -> float:
+        """Air volume of one zone (cubic metres)."""
+        return self.cell_width * self.cell_depth * self.auditorium.height
+
+    def index_of(self, ix: int, iy: int) -> int:
+        """Flat zone index for grid coordinates ``(ix, iy)``."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise GeometryError(f"zone coordinates ({ix}, {iy}) out of range")
+        return iy * self.nx + ix
+
+    def coords_of(self, zone: int) -> Tuple[int, int]:
+        """Grid coordinates ``(ix, iy)`` of flat zone index ``zone``."""
+        if not 0 <= zone < self.n_zones:
+            raise GeometryError(f"zone index {zone} out of range")
+        return zone % self.nx, zone // self.nx
+
+    def center_of(self, zone: int) -> Point:
+        """Floor-plane centre of ``zone`` at mid occupant height (1.1 m)."""
+        ix, iy = self.coords_of(zone)
+        return Point(
+            (ix + 0.5) * self.cell_width,
+            (iy + 0.5) * self.cell_depth,
+            1.1,
+        )
+
+    def centers(self) -> np.ndarray:
+        """``(n_zones, 2)`` array of zone centre ``(x, y)`` coordinates."""
+        out = np.empty((self.n_zones, 2))
+        for zone in range(self.n_zones):
+            center = self.center_of(zone)
+            out[zone] = (center.x, center.y)
+        return out
+
+    def locate(self, point: Point) -> int:
+        """Flat index of the zone containing ``point`` (floor projection)."""
+        self.auditorium.require_inside(point)
+        ix = min(int(point.x / self.cell_width), self.nx - 1)
+        iy = min(int(point.y / self.cell_depth), self.ny - 1)
+        return self.index_of(ix, iy)
+
+    def neighbors(self, zone: int) -> List[int]:
+        """Flat indices of the 4-connected neighbours of ``zone``."""
+        ix, iy = self.coords_of(zone)
+        out: List[int] = []
+        if ix > 0:
+            out.append(self.index_of(ix - 1, iy))
+        if ix < self.nx - 1:
+            out.append(self.index_of(ix + 1, iy))
+        if iy > 0:
+            out.append(self.index_of(ix, iy - 1))
+        if iy < self.ny - 1:
+            out.append(self.index_of(ix, iy + 1))
+        return out
+
+    def adjacency(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over each undirected zone adjacency exactly once."""
+        for zone in range(self.n_zones):
+            for neighbor in self.neighbors(zone):
+                if neighbor > zone:
+                    yield zone, neighbor
+
+    def boundary_zones(self) -> List[int]:
+        """Zones adjacent to an exterior wall (grid border)."""
+        out = []
+        for zone in range(self.n_zones):
+            ix, iy = self.coords_of(zone)
+            if ix in (0, self.nx - 1) or iy in (0, self.ny - 1):
+                out.append(zone)
+        return out
+
+    def interpolation_weights(self, point: Point) -> List[Tuple[int, float]]:
+        """Bilinear interpolation weights of zone centres around ``point``.
+
+        Returns up to four ``(zone, weight)`` pairs with weights summing
+        to 1.  Points beyond the outermost zone centres clamp to the edge
+        zones, so the result is always a valid convex combination.
+        """
+        self.auditorium.require_inside(point)
+        # Continuous grid coordinates relative to zone centres.
+        gx = point.x / self.cell_width - 0.5
+        gy = point.y / self.cell_depth - 0.5
+        gx = min(max(gx, 0.0), self.nx - 1.0)
+        gy = min(max(gy, 0.0), self.ny - 1.0)
+        ix0 = min(int(gx), self.nx - 1)
+        iy0 = min(int(gy), self.ny - 1)
+        ix1 = min(ix0 + 1, self.nx - 1)
+        iy1 = min(iy0 + 1, self.ny - 1)
+        fx = gx - ix0
+        fy = gy - iy0
+        raw: dict = {}
+        corners = (
+            (self.index_of(ix0, iy0), (1 - fx) * (1 - fy)),
+            (self.index_of(ix1, iy0), fx * (1 - fy)),
+            (self.index_of(ix0, iy1), (1 - fx) * fy),
+            (self.index_of(ix1, iy1), fx * fy),
+        )
+        # Clamping at the room edge can merge corners onto the same zone;
+        # accumulate so merged corners add their weights.
+        for zone, w in corners:
+            raw[zone] = raw.get(zone, 0.0) + w
+        weights = [(zone, w) for zone, w in raw.items() if w > 0.0]
+        total = sum(w for _, w in weights)
+        if total <= 0.0:
+            raise GeometryError(f"degenerate interpolation weights at {point}")
+        return [(zone, w / total) for zone, w in weights]
+
+    def interpolate(self, field: Sequence[float], point: Point) -> float:
+        """Interpolate a per-zone scalar ``field`` at ``point``."""
+        values = np.asarray(field, dtype=float)
+        if values.shape != (self.n_zones,):
+            raise GeometryError(
+                f"field has shape {values.shape}, expected ({self.n_zones},)"
+            )
+        return float(sum(values[zone] * w for zone, w in self.interpolation_weights(point)))
+
+    def seat_counts(self) -> np.ndarray:
+        """Number of seats located in each zone."""
+        counts = np.zeros(self.n_zones, dtype=int)
+        for seat in self.auditorium.seats:
+            counts[self.locate(seat.position)] += 1
+        return counts
+
+    def diffuser_flow_fractions(self) -> np.ndarray:
+        """``(n_diffusers, n_zones)`` fraction of each diffuser's supply air
+        delivered to each zone.
+
+        Each diffuser spans the room width, so its air is spread uniformly
+        across ``x`` and decays exponentially with depth distance per
+        :meth:`repro.geometry.auditorium.Diffuser.influence_at`.  Rows sum
+        to 1.
+        """
+        diffusers = self.auditorium.diffusers
+        fractions = np.zeros((len(diffusers), self.n_zones))
+        for d_index, diffuser in enumerate(diffusers):
+            for zone in range(self.n_zones):
+                center = self.center_of(zone)
+                fractions[d_index, zone] = diffuser.influence_at(center.y)
+            row_sum = fractions[d_index].sum()
+            if row_sum > 0:
+                fractions[d_index] /= row_sum
+        return fractions

@@ -1,0 +1,49 @@
+"""Sensor selection (Section VI of the paper).
+
+Given sensor clusters, these strategies pick the small set of sensors a
+long-term deployment would keep:
+
+* **SMS** — stratified near-mean selection: per cluster, the sensor
+  whose training trace is closest to the cluster-mean trace.
+* **SRS** — stratified random selection: per cluster, a uniformly
+  random member.
+* **RS** — simple random selection: ignores clusters entirely.
+* **Thermostats** — the HVAC system's two wall thermostats.
+* **GP** — greedy mutual-information placement on a Gaussian-process
+  model of the sensor field (Krause, Singh & Guestrin [11]),
+  implemented from scratch.
+
+Plus the paper's evaluation: how well the selected sensors predict each
+cluster's mean temperature on held-out data (Table II, Figs. 9–10) and
+how well reduced thermal models built on them predict it (Fig. 11).
+"""
+
+from repro.selection.base import Assignment, SelectionResult
+from repro.selection.stratified import near_mean_selection, stratified_random_selection
+from repro.selection.random_sel import random_selection
+from repro.selection.gp import GaussianField, empirical_covariance, greedy_mutual_information
+from repro.selection.placement import gp_selection, thermostat_selection
+from repro.selection.reconstruction import ReconstructionResult, reconstruct_field
+from repro.selection.evaluate import (
+    cluster_mean_errors,
+    evaluate_selection,
+    reduced_model_errors,
+)
+
+__all__ = [
+    "Assignment",
+    "SelectionResult",
+    "near_mean_selection",
+    "stratified_random_selection",
+    "random_selection",
+    "GaussianField",
+    "empirical_covariance",
+    "greedy_mutual_information",
+    "gp_selection",
+    "thermostat_selection",
+    "cluster_mean_errors",
+    "evaluate_selection",
+    "reduced_model_errors",
+    "reconstruct_field",
+    "ReconstructionResult",
+]

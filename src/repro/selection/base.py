@@ -1,0 +1,42 @@
+"""Common types for sensor selection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SelectionError
+
+#: A cluster's selected representatives: cluster index -> sensor IDs.
+Assignment = Dict[int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a selection strategy."""
+
+    strategy: str
+    #: cluster index -> representative sensor IDs (usually one each).
+    assignment: Assignment = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for cluster, sensors in self.assignment.items():
+            if not sensors:
+                raise SelectionError(f"cluster {cluster} received no representative")
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.assignment)
+
+    def sensors(self) -> List[int]:
+        """All selected sensor IDs (deduplicated, sorted)."""
+        out = set()
+        for sensors in self.assignment.values():
+            out.update(sensors)
+        return sorted(out)
+
+    def representatives_of(self, cluster: int) -> Tuple[int, ...]:
+        try:
+            return self.assignment[cluster]
+        except KeyError:
+            raise SelectionError(f"no representatives for cluster {cluster}") from None

@@ -1,0 +1,112 @@
+"""Non-stratified selection baselines: the HVAC thermostats and GP placement."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.quality import cluster_mean_trace
+from repro.cluster.spectral import ClusteringResult
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import SelectionError
+from repro.geometry.layout import THERMOSTAT_IDS
+from repro.selection.base import SelectionResult
+from repro.selection.gp import GaussianField, empirical_covariance, greedy_mutual_information
+
+
+def _assign_by_correlation(
+    chosen: Sequence[int],
+    clustering: ClusteringResult,
+    train: AuditoriumDataset,
+    strategy: str,
+) -> SelectionResult:
+    """Assign externally chosen sensors to clusters.
+
+    Each cluster gets, among the chosen sensors, the one whose training
+    trace correlates best with the cluster's mean trace — the most
+    charitable assignment for a method that ignored the clustering.
+    Sensors may serve several clusters when there are fewer sensors
+    than clusters (e.g. two thermostats for three clusters).
+    """
+    if not chosen:
+        raise SelectionError("no sensors to assign")
+    # Score every (cluster, sensor) pair by the correlation between the
+    # sensor's trace and the cluster's mean trace on training data.
+    scores = np.full((clustering.k, len(chosen)), -np.inf)
+    for cluster in range(clustering.k):
+        mean_trace = cluster_mean_trace(train, clustering.members(cluster))
+        for s_index, sid in enumerate(chosen):
+            trace = train.temperature_of(sid)
+            finite = np.isfinite(trace) & np.isfinite(mean_trace)
+            if finite.sum() < 10:
+                continue
+            a, b = trace[finite], mean_trace[finite]
+            if a.std() <= 1e-12 or b.std() <= 1e-12:
+                continue
+            scores[cluster, s_index] = float(np.corrcoef(a, b)[0, 1])
+    # Greedy distinct matching first (each sensor serves one cluster),
+    # then let leftover clusters reuse the best sensor overall.
+    assignment: dict = {}
+    used: set = set()
+    pairs = sorted(
+        ((scores[c, s], c, s) for c in range(clustering.k) for s in range(len(chosen))),
+        reverse=True,
+    )
+    for score, cluster, s_index in pairs:
+        if not np.isfinite(score):
+            continue
+        if cluster in assignment or s_index in used:
+            continue
+        assignment[cluster] = (chosen[s_index],)
+        used.add(s_index)
+    for cluster in range(clustering.k):
+        if cluster in assignment:
+            continue
+        best = int(np.argmax(scores[cluster]))
+        if not np.isfinite(scores[cluster, best]):
+            raise SelectionError(f"no usable representative for cluster {cluster}")
+        assignment[cluster] = (chosen[best],)
+    return SelectionResult(strategy=strategy, assignment=assignment)
+
+
+def thermostat_selection(
+    clustering: ClusteringResult,
+    train: AuditoriumDataset,
+    thermostat_ids: Sequence[int] = THERMOSTAT_IDS,
+) -> SelectionResult:
+    """Use the HVAC system's own thermostats as the representatives.
+
+    The thermostats live on the front walls — inside the cool zone — so
+    whichever cluster maps to the warm zone is predicted by a sensor
+    that never sees it; Table II shows the resulting error.
+    """
+    available = [sid for sid in thermostat_ids if sid in train.sensor_ids]
+    if not available:
+        raise SelectionError("the training dataset does not include the thermostats")
+    return _assign_by_correlation(available, clustering, train, strategy="Thermostats")
+
+
+def gp_selection(
+    clustering: ClusteringResult,
+    train: AuditoriumDataset,
+    n_select: Optional[int] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> SelectionResult:
+    """Greedy mutual-information placement (Krause et al. [11]).
+
+    ``n_select`` defaults to the cluster count so the comparison with
+    the stratified strategies is one-sensor-per-cluster.  The GP is fit
+    on the training traces of the candidate sensors; the chosen sensors
+    are then assigned to clusters by best correlation.
+    """
+    if candidates is None:
+        candidates = list(clustering.sensor_ids)
+    candidates = [int(c) for c in candidates]
+    n_select = clustering.k if n_select is None else int(n_select)
+    sub = train.select_sensors(candidates)
+    covariance = empirical_covariance(sub.temperatures)
+    field = GaussianField(covariance)
+    picked_indices = greedy_mutual_information(field, n_select)
+    chosen = [candidates[i] for i in picked_indices]
+    return _assign_by_correlation(chosen, clustering, train, strategy="GP")

@@ -1,0 +1,105 @@
+"""Field reconstruction: estimating the removed sensors from the kept ones.
+
+After the training deployment is dismantled, only the selected sensors
+remain — but the operator may still want an estimate of the temperature
+at the *removed* locations.  The Gaussian-field machinery already fitted
+for GP placement answers this directly: condition the field on the kept
+sensors' readings and take the posterior mean at every removed location.
+
+This quantifies the end state of the paper's program: how much of the
+27-point spatial field do two well-chosen sensors actually retain?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import SelectionError
+from repro.selection.base import SelectionResult
+from repro.selection.gp import GaussianField, empirical_covariance
+
+
+@dataclass
+class ReconstructionResult:
+    """Posterior-mean reconstruction of the removed sensors."""
+
+    kept_ids: Tuple[int, ...]
+    removed_ids: Tuple[int, ...]
+    #: (N, n_removed) reconstructed temperatures (NaN where the kept
+    #: sensors had no data).
+    reconstructed: np.ndarray
+    #: (N, n_removed) actually measured temperatures (for scoring).
+    measured: np.ndarray
+
+    def rms_per_sensor(self) -> Dict[int, float]:
+        """Reconstruction RMS error per removed sensor, °C."""
+        out: Dict[int, float] = {}
+        for j, sid in enumerate(self.removed_ids):
+            err = self.reconstructed[:, j] - self.measured[:, j]
+            finite = err[np.isfinite(err)]
+            out[sid] = float(np.sqrt(np.mean(finite**2))) if finite.size else float("nan")
+        return out
+
+    def overall_rms(self) -> float:
+        """Pooled reconstruction RMS over all removed sensors, °C."""
+        err = self.reconstructed - self.measured
+        finite = err[np.isfinite(err)]
+        if finite.size == 0:
+            raise SelectionError("no finite reconstruction/measurement pairs")
+        return float(np.sqrt(np.mean(finite**2)))
+
+    def worst_sensor(self) -> int:
+        """Removed sensor whose reconstruction is poorest."""
+        per_sensor = self.rms_per_sensor()
+        return max(per_sensor, key=lambda sid: (per_sensor[sid], sid))
+
+
+def reconstruct_field(
+    selection: SelectionResult,
+    train: AuditoriumDataset,
+    validate: AuditoriumDataset,
+) -> ReconstructionResult:
+    """Reconstruct every non-selected sensor on validation data.
+
+    The Gaussian field (means + covariance) is estimated on the training
+    half; on the validation half, each tick's kept readings condition
+    the field and the posterior mean estimates the removed sensors.
+    """
+    kept = [sid for sid in selection.sensors() if sid in train.sensor_ids]
+    if not kept:
+        raise SelectionError("selection contains no sensors present in the dataset")
+    removed = [sid for sid in train.sensor_ids if sid not in kept]
+    if not removed:
+        raise SelectionError("nothing to reconstruct: every sensor was kept")
+    if tuple(train.sensor_ids) != tuple(validate.sensor_ids):
+        raise SelectionError("train and validate must cover the same sensors")
+
+    covariance = empirical_covariance(train.temperatures)
+    field = GaussianField(covariance)
+    means = np.array(
+        [np.nanmean(train.temperatures[:, j]) for j in range(train.n_sensors)]
+    )
+
+    index_of = {sid: j for j, sid in enumerate(train.sensor_ids)}
+    kept_cols = [index_of[sid] for sid in kept]
+    removed_cols = [index_of[sid] for sid in removed]
+
+    n = validate.n_samples
+    reconstructed = np.full((n, len(removed)), np.nan)
+    measured = validate.temperatures[:, removed_cols]
+    kept_matrix = validate.temperatures[:, kept_cols]
+    valid_rows = np.isfinite(kept_matrix).all(axis=1)
+    for k in np.flatnonzero(valid_rows):
+        deviations = kept_matrix[k] - means[kept_cols]
+        posterior = field.predict(removed_cols, kept_cols, deviations)
+        reconstructed[k] = means[removed_cols] + posterior
+    return ReconstructionResult(
+        kept_ids=tuple(kept),
+        removed_ids=tuple(removed),
+        reconstructed=reconstructed,
+        measured=measured,
+    )

@@ -1,0 +1,71 @@
+"""Stratified selection strategies: SMS and SRS.
+
+Both treat each cluster as a *stratum* (the spatial-statistics term the
+paper uses) and pick representatives per stratum; they differ in how.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.cluster.quality import cluster_mean_trace
+from repro.cluster.spectral import ClusteringResult
+from repro.data.dataset import AuditoriumDataset
+from repro.errors import SelectionError
+from repro.selection.base import SelectionResult
+
+
+def near_mean_selection(
+    clustering: ClusteringResult,
+    train: AuditoriumDataset,
+    n_per_cluster: int = 1,
+) -> SelectionResult:
+    """SMS: per cluster, the sensor(s) whose training trace is closest
+    (in RMS) to the cluster's mean trace.
+
+    The representative is expected to track the cluster's thermal mean,
+    so picking the member nearest that mean minimizes the stand-in
+    error by construction.
+    """
+    if n_per_cluster < 1:
+        raise SelectionError("n_per_cluster must be at least 1")
+    assignment = {}
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        mean_trace = cluster_mean_trace(train, members)
+        scores = []
+        for sid in members:
+            trace = train.temperature_of(sid)
+            diff = trace - mean_trace
+            finite = np.isfinite(diff)
+            if not finite.any():
+                scores.append((np.inf, sid))
+                continue
+            scores.append((float(np.sqrt(np.mean(diff[finite] ** 2))), sid))
+        scores.sort()
+        chosen = tuple(sid for _, sid in scores[: min(n_per_cluster, len(scores))])
+        if not chosen or scores[0][0] == np.inf:
+            raise SelectionError(f"cluster {cluster} has no usable member traces")
+        assignment[cluster] = chosen
+    return SelectionResult(strategy="SMS", assignment=assignment)
+
+
+def stratified_random_selection(
+    clustering: ClusteringResult,
+    seed: rng_mod.SeedLike = None,
+    n_per_cluster: int = 1,
+) -> SelectionResult:
+    """SRS: per cluster, ``n_per_cluster`` uniformly random members."""
+    if n_per_cluster < 1:
+        raise SelectionError("n_per_cluster must be at least 1")
+    gen = rng_mod.derive(seed, "srs")
+    assignment = {}
+    for cluster in range(clustering.k):
+        members = clustering.members(cluster)
+        if not members:
+            raise SelectionError(f"cluster {cluster} is empty")
+        count = min(n_per_cluster, len(members))
+        chosen = gen.choice(len(members), size=count, replace=False)
+        assignment[cluster] = tuple(members[int(i)] for i in chosen)
+    return SelectionResult(strategy="SRS", assignment=assignment)

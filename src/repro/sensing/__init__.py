@@ -1,0 +1,43 @@
+"""Instrumentation substrate: how the testbed observed the auditorium.
+
+The modeling pipeline never sees the simulator's ground truth — it sees
+what this layer reports, with all the imperfections of the real
+deployment the paper describes:
+
+* wireless temperature sensors (±0.5 °C accuracy, 0.1 °C
+  report-on-change transmission, per-unit calibration bias),
+* Bluetooth packet loss plus base-station and backend-server outages
+  that carve multi-hour/multi-day gaps into the trace,
+* deliberately unreliable units (drift / stuck / noisy / dropout) that
+  the screening stage must reject,
+* a webcam counting occupants every 15 minutes,
+* the HVAC portal logging VAV flow/temperature, ambient temperature and
+  CO₂ at irregular 10–30 minute intervals, and
+* the building automation system logging lighting state changes.
+"""
+
+from repro.sensing.faults import FaultModel, apply_fault
+from repro.sensing.sensor import SensorModel, SensorReadoutConfig
+from repro.sensing.network import NetworkConfig, OutageSchedule, WirelessNetwork
+from repro.sensing.camera import CameraConfig, OccupancyCamera
+from repro.sensing.hvac_logger import HVACLogger, HVACLoggerConfig
+from repro.sensing.raw import RawDataset
+from repro.sensing.deployment import Deployment, DeploymentConfig, observe
+
+__all__ = [
+    "FaultModel",
+    "apply_fault",
+    "SensorModel",
+    "SensorReadoutConfig",
+    "NetworkConfig",
+    "OutageSchedule",
+    "WirelessNetwork",
+    "CameraConfig",
+    "OccupancyCamera",
+    "HVACLogger",
+    "HVACLoggerConfig",
+    "RawDataset",
+    "Deployment",
+    "DeploymentConfig",
+    "observe",
+]

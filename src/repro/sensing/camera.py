@@ -1,0 +1,79 @@
+"""Occupancy webcam.
+
+A WiFi camera at the front of the room snaps a photo every 15 minutes
+(with an infrared source for lights-off presentations); occupants are
+counted from the photos.  Counting is imperfect: people are occluded by
+seat backs and each other, so the count errs slightly low and noisily
+for large audiences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.data.timeseries import EventSeries
+from repro.errors import SensingError
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Snapshot and counting characteristics."""
+
+    #: Seconds between snapshots (paper: every 15 minutes).
+    snapshot_period: float = 900.0
+    #: Mean fraction of occupants missed through occlusion.
+    occlusion_fraction: float = 0.04
+    #: Standard deviation of the counting error as a fraction of headcount.
+    count_noise_fraction: float = 0.05
+    #: Probability a snapshot is lost (WiFi hiccup) before any outage.
+    snapshot_loss: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.snapshot_period <= 0:
+            raise SensingError("snapshot_period must be positive")
+        if not 0.0 <= self.snapshot_loss < 1.0:
+            raise SensingError("snapshot_loss must be in [0, 1)")
+
+
+class OccupancyCamera:
+    """Turns the true headcount trajectory into counted snapshots."""
+
+    def __init__(self, config: Optional[CameraConfig] = None, seed: rng_mod.SeedLike = None) -> None:
+        self.config = config or CameraConfig()
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+
+    def observe(
+        self,
+        epoch: datetime,
+        seconds: np.ndarray,
+        true_occupancy: np.ndarray,
+    ) -> EventSeries:
+        """Counted occupancy snapshots as an :class:`EventSeries`.
+
+        ``seconds``/``true_occupancy`` are the simulator's dense trace;
+        snapshots sample it at the camera period.
+        """
+        seconds = np.asarray(seconds, dtype=float)
+        true_occupancy = np.asarray(true_occupancy, dtype=float)
+        if seconds.shape != true_occupancy.shape:
+            raise SensingError("seconds and true_occupancy must align")
+        if seconds.size == 0:
+            return EventSeries(epoch=epoch, times=np.empty(0), values=np.empty(0), name="occupancy")
+        period = self.config.snapshot_period
+        snap_times = np.arange(0.0, seconds[-1] + 1e-9, period)
+        indices = np.searchsorted(seconds, snap_times, side="right") - 1
+        indices = np.clip(indices, 0, seconds.size - 1)
+        truth = true_occupancy[indices]
+        gen = rng_mod.derive(self._seed, "camera-count")
+        counted = truth * (1.0 - self.config.occlusion_fraction)
+        counted += truth * self.config.count_noise_fraction * gen.standard_normal(truth.shape)
+        counted = np.clip(np.round(counted), 0, None)
+        keep = gen.random(snap_times.shape) >= self.config.snapshot_loss
+        return EventSeries(
+            epoch=epoch, times=snap_times[keep], values=counted[keep], name="occupancy"
+        )

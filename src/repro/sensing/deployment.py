@@ -1,0 +1,155 @@
+"""The full sensor deployment: wiring geometry, sensors and network together.
+
+:func:`observe` is the single entry point that turns a simulation run
+into the raw multi-modal dataset the paper's pipeline starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.data.timeseries import EventSeries
+from repro.geometry.layout import SensorSpec, default_sensor_layout
+from repro.sensing.camera import CameraConfig, OccupancyCamera
+from repro.sensing.faults import FaultModel, dropout_mask
+from repro.sensing.hvac_logger import HVACLogger, HVACLoggerConfig
+from repro.sensing.network import NetworkConfig, WirelessNetwork, draw_outages
+from repro.sensing.raw import RawDataset
+from repro.sensing.sensor import SensorModel, SensorReadoutConfig
+from repro.simulation.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Configuration of the whole instrumentation stack."""
+
+    readout: SensorReadoutConfig = field(default_factory=SensorReadoutConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    camera: CameraConfig = field(default_factory=CameraConfig)
+    logger: HVACLoggerConfig = field(default_factory=HVACLoggerConfig)
+    faults: FaultModel = field(default_factory=FaultModel)
+    #: Thermostats log on the wired building network at this period, s.
+    thermostat_period: float = 300.0
+
+
+class Deployment:
+    """The instrumented auditorium: every sensing device plus the network."""
+
+    def __init__(
+        self,
+        layout: Optional[Dict[int, SensorSpec]] = None,
+        config: Optional[DeploymentConfig] = None,
+        seed: rng_mod.SeedLike = None,
+    ) -> None:
+        self.layout = layout or default_sensor_layout()
+        self.config = config or DeploymentConfig()
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+        self.sensors = {
+            sid: SensorModel(spec, self.config.readout, seed=self._seed, fault_model=self.config.faults)
+            for sid, spec in self.layout.items()
+        }
+        self.camera = OccupancyCamera(self.config.camera, seed=rng_mod.derive(self._seed, "camera"))
+        self.logger = HVACLogger(self.config.logger, seed=rng_mod.derive(self._seed, "hvac-logger"))
+
+    def observe(self, result: SimulationResult) -> RawDataset:
+        """Observe a simulation run with every instrument.
+
+        Wireless sensors go through report-on-change transmission,
+        packet loss, base-station and server outages; thermostats log
+        periodically on the wired path (server outages only); the camera
+        and HVAC portal follow their own cadences.
+        """
+        epoch = result.axis.epoch
+        seconds = result.axis.seconds()
+        duration = float(seconds[-1]) if seconds.size else 0.0
+        outages = draw_outages(duration, self.config.network, seed=rng_mod.derive(self._seed, "outages"))
+        network = WirelessNetwork(self.config.network, outages, seed=rng_mod.derive(self._seed, "network"))
+
+        thermostat_order = sorted(
+            sid for sid, spec in self.layout.items() if spec.is_thermostat
+        )
+        temperature_streams: Dict[int, EventSeries] = {}
+        humidity_streams: Dict[int, EventSeries] = {}
+        for sid, sensor in sorted(self.sensors.items()):
+            if sensor.spec.is_thermostat and result.thermostat_true is not None:
+                # The thermostat units physically sense the plume-biased
+                # air the control loop sees, not the undisturbed field.
+                true_trace = result.thermostat_true[:, thermostat_order.index(sid)]
+            else:
+                true_trace = result.temperature_trace(sensor.spec.position)
+            readings = sensor.measure(true_trace, seconds)
+            if sensor.spec.is_thermostat:
+                # Wired path: fixed-period logging, immune to the
+                # wireless base station but not the backend server.
+                period = self.config.thermostat_period
+                stride = max(1, int(round(period / result.axis.period)))
+                times = seconds[::stride]
+                values = readings[::stride]
+                keep = outages.backend_keep_mask(times)
+                times, values = times[keep], values[keep]
+            else:
+                mask = sensor.report_mask(readings, seconds)
+                times, values = seconds[mask], readings[mask]
+                if sensor.spec.fault == "dropout":
+                    keep = dropout_mask(
+                        times.size, self.config.faults.dropout_probability, self._seed, sid
+                    )
+                    times, values = times[keep], values[keep]
+                times, values = network.deliver(sid, times, values)
+            temperature_streams[sid] = EventSeries(
+                epoch=epoch, times=times, values=values, name=f"t{sid}"
+            )
+
+            # The wireless units are combined temperature/humidity
+            # sensors: the humidity reading rides in the same packet, so
+            # it shares the delivered report times.
+            if not sensor.spec.is_thermostat and result.humidity_ratio is not None:
+                true_rh = result.relative_humidity_trace(sensor.spec.position)
+                indices = np.clip(
+                    np.round(times / result.axis.period).astype(int), 0, len(true_rh) - 1
+                )
+                rh_values = sensor.measure_humidity(true_rh[indices])
+                humidity_streams[sid] = EventSeries(
+                    epoch=epoch, times=times.copy(), values=rh_values, name=f"rh{sid}"
+                )
+
+        # Camera: WiFi to the backend — drops during server outages.
+        occupancy = self.camera.observe(epoch, seconds, result.occupancy)
+        keep = outages.backend_keep_mask(occupancy.times)
+        occupancy = EventSeries(
+            epoch=epoch, times=occupancy.times[keep], values=occupancy.values[keep], name="occupancy"
+        )
+
+        # HVAC portal: wired, server outages only.
+        portal = self.logger.observe(result)
+        filtered_portal: Dict[str, EventSeries] = {}
+        for name, stream in portal.items():
+            keep = outages.backend_keep_mask(stream.times)
+            filtered_portal[name] = EventSeries(
+                epoch=epoch, times=stream.times[keep], values=stream.values[keep], name=name
+            )
+
+        return RawDataset(
+            epoch=epoch,
+            duration_seconds=duration,
+            temperature_streams=temperature_streams,
+            humidity_streams=humidity_streams,
+            portal_streams=filtered_portal,
+            occupancy_stream=occupancy,
+            outages=outages,
+            layout=dict(self.layout),
+        )
+
+
+def observe(
+    result: SimulationResult,
+    config: Optional[DeploymentConfig] = None,
+    seed: rng_mod.SeedLike = None,
+) -> RawDataset:
+    """Convenience: observe ``result`` with a default deployment."""
+    deployment = Deployment(config=config, seed=seed)
+    return deployment.observe(result)

@@ -1,0 +1,79 @@
+"""Sensor fault injection.
+
+The paper's pre-processing removed "several sensors with unreliable
+results"; to exercise that code path the deployment includes units with
+injected faults.  Faults transform the *true* signal a unit would have
+measured into the corrupted signal it actually reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import SensingError
+
+FAULT_KINDS = ("drift", "stuck", "noisy", "dropout")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Parameters of the supported fault modes."""
+
+    #: Calibration drift rate, °C per day (``drift``).
+    drift_per_day: float = 0.2
+    #: Fraction of the trace after which a ``stuck`` unit freezes.
+    stuck_after_fraction: float = 0.25
+    #: Extra Gaussian noise of a ``noisy`` unit, °C RMS.
+    noisy_sigma: float = 0.6
+    #: Probability that a ``dropout`` unit loses any given report.
+    dropout_probability: float = 0.995
+
+
+def apply_fault(
+    kind: Optional[str],
+    values: np.ndarray,
+    seconds: np.ndarray,
+    seed: rng_mod.SeedLike,
+    sensor_id: int,
+    model: Optional[FaultModel] = None,
+) -> np.ndarray:
+    """Return the corrupted version of ``values`` for fault ``kind``.
+
+    ``dropout`` corrupts the *transmission* rather than the value, so it
+    returns the values unchanged here; the deployment applies its loss
+    probability at report time (see
+    :meth:`repro.sensing.deployment.Deployment`).
+    """
+    if kind is None:
+        return values
+    if kind not in FAULT_KINDS:
+        raise SensingError(f"unknown fault kind {kind!r}")
+    model = model or FaultModel()
+    values = np.array(values, dtype=float, copy=True)
+    if kind == "drift":
+        days = np.asarray(seconds, dtype=float) / 86400.0
+        return values + model.drift_per_day * days
+    if kind == "stuck":
+        cut = int(model.stuck_after_fraction * values.size)
+        if cut < values.size:
+            values[cut:] = values[cut] if cut > 0 else values[0]
+        return values
+    if kind == "noisy":
+        gen = rng_mod.derive(seed, "fault-noisy", index=sensor_id)
+        return values + model.noisy_sigma * gen.standard_normal(values.shape)
+    # dropout: handled at transmission time.
+    return values
+
+
+def dropout_mask(
+    n_reports: int, probability: float, seed: rng_mod.SeedLike, sensor_id: int
+) -> np.ndarray:
+    """Boolean keep-mask for a ``dropout`` unit's reports."""
+    if not 0.0 <= probability <= 1.0:
+        raise SensingError("dropout probability must be in [0, 1]")
+    gen = rng_mod.derive(seed, "fault-dropout", index=sensor_id)
+    return gen.random(n_reports) >= probability

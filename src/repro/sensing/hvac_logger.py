@@ -1,0 +1,106 @@
+"""HVAC portal logger.
+
+The building's HVAC monitoring system stores its operational variables
+(per-VAV air-flow rate and discharge temperature, ambient temperature,
+CO₂) in a portal server at irregular intervals between 10 and 30
+minutes — the paper's exact description.  Lighting state changes are
+logged by the building automation system on the same wired path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.data.timeseries import EventSeries
+from repro.errors import SensingError
+from repro.simulation.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class HVACLoggerConfig:
+    """Portal logging cadence."""
+
+    #: Minimum and maximum spacing between log records, seconds.
+    min_interval: float = 600.0
+    max_interval: float = 1800.0
+    #: Measurement noise on logged flows (fraction of reading).
+    flow_noise_fraction: float = 0.02
+    #: Measurement noise on logged temperatures, °C.
+    temp_noise: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_interval <= self.max_interval:
+            raise SensingError("need 0 < min_interval <= max_interval")
+
+
+class HVACLogger:
+    """Samples the plant's operational variables at irregular intervals."""
+
+    def __init__(self, config: Optional[HVACLoggerConfig] = None, seed: rng_mod.SeedLike = None) -> None:
+        self.config = config or HVACLoggerConfig()
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+
+    def log_times(self, duration_seconds: float) -> np.ndarray:
+        """Irregular portal logging timestamps over the trace."""
+        gen = rng_mod.derive(self._seed, "hvac-log-times")
+        times: List[float] = [0.0]
+        t = 0.0
+        while True:
+            t += float(gen.uniform(self.config.min_interval, self.config.max_interval))
+            if t >= duration_seconds:
+                break
+            times.append(t)
+        return np.asarray(times)
+
+    def observe(self, result: SimulationResult) -> Dict[str, EventSeries]:
+        """Portal streams from a simulation run.
+
+        Returns ``vav<i>_flow`` and ``vav<i>_temp`` per VAV plus
+        ``ambient``, ``co2`` and (event-driven, not portal-sampled)
+        ``lighting``.
+        """
+        epoch = result.axis.epoch
+        seconds = result.axis.seconds()
+        duration = float(seconds[-1]) if seconds.size else 0.0
+        log_times = self.log_times(duration)
+        indices = np.clip(np.searchsorted(seconds, log_times, side="right") - 1, 0, max(seconds.size - 1, 0))
+        gen = rng_mod.derive(self._seed, "hvac-log-noise")
+        cfg = self.config
+
+        streams: Dict[str, EventSeries] = {}
+        n_vavs = result.vav_flows.shape[1]
+        for v in range(n_vavs):
+            flow = result.vav_flows[indices, v]
+            flow = flow * (1.0 + cfg.flow_noise_fraction * gen.standard_normal(flow.shape))
+            streams[f"vav{v + 1}_flow"] = EventSeries(
+                epoch=epoch, times=log_times.copy(), values=np.clip(flow, 0.0, None), name=f"vav{v + 1}_flow"
+            )
+            temp = result.vav_temps[indices, v] + cfg.temp_noise * gen.standard_normal(log_times.shape)
+            streams[f"vav{v + 1}_temp"] = EventSeries(
+                epoch=epoch, times=log_times.copy(), values=temp, name=f"vav{v + 1}_temp"
+            )
+        ambient = result.ambient[indices] + cfg.temp_noise * gen.standard_normal(log_times.shape)
+        streams["ambient"] = EventSeries(epoch=epoch, times=log_times.copy(), values=ambient, name="ambient")
+        co2 = result.co2[indices] * (1.0 + 0.02 * gen.standard_normal(log_times.shape))
+        streams["co2"] = EventSeries(epoch=epoch, times=log_times.copy(), values=co2, name="co2")
+
+        # Lighting: the automation system records state *changes*.
+        light = result.lighting
+        if light.size:
+            changed = np.flatnonzero(np.diff(light) != 0) + 1
+            event_indices = np.concatenate([[0], changed])
+            streams["lighting"] = EventSeries(
+                epoch=epoch,
+                times=seconds[event_indices],
+                values=light[event_indices],
+                name="lighting",
+            )
+        else:
+            streams["lighting"] = EventSeries(
+                epoch=epoch, times=np.empty(0), values=np.empty(0), name="lighting"
+            )
+        return streams

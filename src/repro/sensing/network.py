@@ -1,0 +1,165 @@
+"""Wireless network and backend: packet loss and outages.
+
+Three failure processes carve gaps into the trace, mirroring the
+paper's experience (98 days collected, only 64 usable):
+
+* per-packet Bluetooth loss (a few percent, independent),
+* base-station outages: hours-long windows where *no* wireless sensor
+  reports (the thermostats and HVAC portal, on a separate wired path,
+  keep logging), and
+* backend-server outages: multi-hour-to-multi-day windows where
+  *everything* is lost.
+
+Outage windows are drawn from seeded renewal processes so a given seed
+always yields the same gap structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import SensingError
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Failure-process parameters."""
+
+    #: Independent per-packet loss probability.
+    packet_loss: float = 0.02
+    #: Mean spacing between base-station outages, days.
+    station_outage_every_days: float = 6.0
+    #: Base-station outage duration range, hours.
+    station_outage_hours: Tuple[float, float] = (0.5, 6.0)
+    #: Mean spacing between backend-server outages, days.
+    server_outage_every_days: float = 12.0
+    #: Server outage duration range, hours.
+    server_outage_hours: Tuple[float, float] = (6.0, 72.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.packet_loss < 1.0:
+            raise SensingError("packet_loss must be in [0, 1)")
+        for lo, hi in (self.station_outage_hours, self.server_outage_hours):
+            if not 0.0 < lo <= hi:
+                raise SensingError("outage duration ranges must satisfy 0 < lo <= hi")
+
+
+@dataclass
+class OutageSchedule:
+    """Concrete outage windows over one trace, in seconds from epoch."""
+
+    #: Windows where the wireless base station was down.
+    station_windows: List[Tuple[float, float]] = field(default_factory=list)
+    #: Windows where the backend server was down (kills everything).
+    server_windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    def wireless_down(self, t: float) -> bool:
+        """Whether wireless reports at time ``t`` are lost."""
+        return self._in_windows(t, self.station_windows) or self._in_windows(
+            t, self.server_windows
+        )
+
+    def backend_down(self, t: float) -> bool:
+        """Whether wired/portal logs at time ``t`` are lost."""
+        return self._in_windows(t, self.server_windows)
+
+    @staticmethod
+    def _in_windows(t: float, windows: Sequence[Tuple[float, float]]) -> bool:
+        return any(lo <= t < hi for lo, hi in windows)
+
+    def wireless_keep_mask(self, times: np.ndarray) -> np.ndarray:
+        """Keep-mask over event times for wireless streams."""
+        return ~self._window_mask(times, list(self.station_windows) + list(self.server_windows))
+
+    def backend_keep_mask(self, times: np.ndarray) -> np.ndarray:
+        """Keep-mask over event times for wired/portal streams."""
+        return ~self._window_mask(times, self.server_windows)
+
+    @staticmethod
+    def _window_mask(times: np.ndarray, windows: Sequence[Tuple[float, float]]) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        hit = np.zeros(times.shape, dtype=bool)
+        for lo, hi in windows:
+            hit |= (times >= lo) & (times < hi)
+        return hit
+
+    def total_downtime(self) -> float:
+        """Total seconds with anything down (windows may overlap)."""
+        windows = sorted(list(self.station_windows) + list(self.server_windows))
+        total, cursor = 0.0, -np.inf
+        for lo, hi in windows:
+            lo = max(lo, cursor)
+            if hi > lo:
+                total += hi - lo
+                cursor = hi
+        return total
+
+
+def draw_outages(
+    duration_seconds: float,
+    config: NetworkConfig,
+    seed: rng_mod.SeedLike = None,
+) -> OutageSchedule:
+    """Draw an outage schedule for a trace of the given duration.
+
+    Outage starts follow a Poisson renewal process (exponential
+    inter-arrival with the configured mean spacing); durations are
+    log-uniform in their range, which yields a realistic mix of short
+    blips and the occasional multi-day failure.
+    """
+    if duration_seconds <= 0:
+        raise SensingError("duration must be positive")
+
+    def _draw(label: str, every_days: float, hours: Tuple[float, float]) -> List[Tuple[float, float]]:
+        gen = rng_mod.derive(seed, f"outage-{label}")
+        windows: List[Tuple[float, float]] = []
+        t = 0.0
+        mean_gap = every_days * 86400.0
+        while True:
+            t += float(gen.exponential(mean_gap))
+            if t >= duration_seconds:
+                break
+            log_lo, log_hi = np.log(hours[0]), np.log(hours[1])
+            length = float(np.exp(gen.uniform(log_lo, log_hi))) * 3600.0
+            windows.append((t, min(t + length, duration_seconds)))
+            t += length
+        return windows
+
+    return OutageSchedule(
+        station_windows=_draw("station", config.station_outage_every_days, config.station_outage_hours),
+        server_windows=_draw("server", config.server_outage_every_days, config.server_outage_hours),
+    )
+
+
+class WirelessNetwork:
+    """Applies packet loss and outages to per-sensor report streams."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        schedule: OutageSchedule,
+        seed: rng_mod.SeedLike = None,
+    ) -> None:
+        self.config = config
+        self.schedule = schedule
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+
+    def deliver(
+        self, sensor_id: int, times: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter one sensor's reports through the network.
+
+        Returns the (times, values) that actually reached the database.
+        """
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape:
+            raise SensingError("times and values must align")
+        keep = self.schedule.wireless_keep_mask(times)
+        gen = rng_mod.derive(self._seed, "packet-loss", index=sensor_id)
+        keep &= gen.random(times.shape) >= self.config.packet_loss
+        return times[keep], values[keep]

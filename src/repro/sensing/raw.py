@@ -1,0 +1,72 @@
+"""The raw, irregular multi-modal dataset a deployment produces.
+
+This mirrors what landed in the paper's cloud database: per-sensor
+event streams, the HVAC portal's irregular logs, camera occupancy
+counts — before any resampling, alignment or screening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, Optional
+
+from repro.data.timeseries import EventSeries
+from repro.errors import SensingError
+from repro.geometry.layout import SensorSpec
+from repro.sensing.network import OutageSchedule
+
+
+@dataclass
+class RawDataset:
+    """Everything the monitoring system recorded for one trace."""
+
+    epoch: datetime
+    duration_seconds: float
+    #: Temperature report streams keyed by sensor ID (incl. thermostats).
+    temperature_streams: Dict[int, EventSeries] = field(default_factory=dict)
+    #: Relative-humidity report streams keyed by sensor ID (wireless
+    #: units only — the units are combined temperature/humidity sensors
+    #: and both channels ride in the same report packet).
+    humidity_streams: Dict[int, EventSeries] = field(default_factory=dict)
+    #: HVAC portal streams: ``vav<i>_flow``, ``vav<i>_temp``, ``ambient``,
+    #: ``co2`` and ``lighting``.
+    portal_streams: Dict[str, EventSeries] = field(default_factory=dict)
+    #: Camera occupancy counts.
+    occupancy_stream: Optional[EventSeries] = None
+    #: The outage schedule that shaped the gaps (ground truth, useful
+    #: for tests; the modeling pipeline does not use it).
+    outages: Optional[OutageSchedule] = None
+    #: Deployment layout keyed by sensor ID.
+    layout: Dict[int, SensorSpec] = field(default_factory=dict)
+
+    def sensor_ids(self) -> list:
+        """Sorted IDs of all temperature streams."""
+        return sorted(self.temperature_streams)
+
+    def stream_of(self, sensor_id: int) -> EventSeries:
+        """Temperature stream of one sensor."""
+        try:
+            return self.temperature_streams[int(sensor_id)]
+        except KeyError:
+            raise SensingError(f"no stream for sensor {sensor_id}") from None
+
+    def humidity_of(self, sensor_id: int) -> EventSeries:
+        """Humidity stream of one sensor."""
+        try:
+            return self.humidity_streams[int(sensor_id)]
+        except KeyError:
+            raise SensingError(f"no humidity stream for sensor {sensor_id}") from None
+
+    def portal(self, name: str) -> EventSeries:
+        """One portal stream by name."""
+        try:
+            return self.portal_streams[name]
+        except KeyError:
+            raise SensingError(
+                f"no portal stream {name!r}; have {sorted(self.portal_streams)}"
+            ) from None
+
+    def report_counts(self) -> Dict[int, int]:
+        """Number of delivered reports per temperature sensor."""
+        return {sid: len(stream) for sid, stream in self.temperature_streams.items()}

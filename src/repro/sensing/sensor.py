@@ -1,0 +1,140 @@
+"""Wireless temperature sensor model.
+
+Each unit is a modified Emerson wireless thermostat: ±0.5 °C accuracy
+(modeled as a fixed per-unit calibration bias plus small reading noise),
+0.1 °C display quantization, and report-on-change transmission — the
+unit transmits whenever its quantized reading moves, plus a periodic
+heartbeat so the base station can tell "no change" from "no sensor".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import SensingError
+from repro.geometry.layout import SensorSpec
+from repro.sensing.faults import FaultModel, apply_fault
+
+
+@dataclass(frozen=True)
+class SensorReadoutConfig:
+    """Electrical/firmware characteristics shared by all units."""
+
+    #: Standard deviation of the per-unit calibration bias, °C.  The
+    #: paper quotes ±0.5 °C accuracy; a 0.22 °C sigma keeps ~97 % of
+    #: units inside that band.
+    bias_sigma: float = 0.22
+    #: Per-sample reading noise, °C RMS.
+    noise_sigma: float = 0.06
+    #: Quantization step of the reported value, °C.
+    quantization: float = 0.1
+    #: Change threshold that triggers a transmission, °C.
+    report_threshold: float = 0.1
+    #: Heartbeat period, seconds: transmit at least this often.
+    heartbeat_period: float = 1800.0
+    #: Per-unit calibration bias of the humidity channel, % RH (sigma).
+    humidity_bias_sigma: float = 2.0
+    #: Per-sample humidity reading noise, % RH.
+    humidity_noise_sigma: float = 0.8
+    #: Quantization of the reported relative humidity, % RH.
+    humidity_quantization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.quantization <= 0 or self.report_threshold <= 0:
+            raise SensingError("quantization and report_threshold must be positive")
+        if self.heartbeat_period <= 0:
+            raise SensingError("heartbeat_period must be positive")
+
+
+class SensorModel:
+    """One deployed wireless unit: spec + readout behaviour + fault."""
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        config: Optional[SensorReadoutConfig] = None,
+        seed: rng_mod.SeedLike = None,
+        fault_model: Optional[FaultModel] = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or SensorReadoutConfig()
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+        self.fault_model = fault_model or FaultModel()
+        bias_gen = rng_mod.derive(self._seed, "sensor-bias", index=spec.sensor_id)
+        #: Fixed calibration offset of this unit, °C.
+        self.bias = float(self.config.bias_sigma * bias_gen.standard_normal())
+        humidity_gen = rng_mod.derive(self._seed, "sensor-humidity-bias", index=spec.sensor_id)
+        #: Fixed calibration offset of the humidity channel, % RH.
+        self.humidity_bias = float(
+            self.config.humidity_bias_sigma * humidity_gen.standard_normal()
+        )
+
+    @property
+    def sensor_id(self) -> int:
+        return self.spec.sensor_id
+
+    def measure(self, true_values: np.ndarray, seconds: np.ndarray) -> np.ndarray:
+        """Raw (pre-transmission) readings for a true temperature trace.
+
+        Applies calibration bias, reading noise, the unit's fault mode
+        and quantization, in that order.
+        """
+        true_values = np.asarray(true_values, dtype=float)
+        seconds = np.asarray(seconds, dtype=float)
+        if true_values.shape != seconds.shape:
+            raise SensingError("true_values and seconds must align")
+        noise_gen = rng_mod.derive(self._seed, "sensor-noise", index=self.sensor_id)
+        readings = true_values + self.bias + self.config.noise_sigma * noise_gen.standard_normal(
+            true_values.shape
+        )
+        readings = apply_fault(
+            self.spec.fault, readings, seconds, self._seed, self.sensor_id, self.fault_model
+        )
+        q = self.config.quantization
+        return np.round(readings / q) * q
+
+    def measure_humidity(self, true_rh: np.ndarray) -> np.ndarray:
+        """Raw humidity readings (% RH) for a true relative-humidity trace.
+
+        The units report temperature and humidity in the same packet, so
+        the humidity channel shares the temperature channel's report
+        times; this method only models the humidity measurement itself.
+        """
+        true_rh = np.asarray(true_rh, dtype=float)
+        gen = rng_mod.derive(self._seed, "sensor-humidity-noise", index=self.sensor_id)
+        readings = true_rh + self.humidity_bias + self.config.humidity_noise_sigma * gen.standard_normal(
+            true_rh.shape
+        )
+        q = self.config.humidity_quantization
+        return np.clip(np.round(readings / q) * q, 0.0, 100.0)
+
+    def report_mask(self, quantized: np.ndarray, seconds: np.ndarray) -> np.ndarray:
+        """Which samples the unit transmits.
+
+        A sample is transmitted when the quantized reading differs from
+        the previously *transmitted* reading (report-on-change with the
+        configured threshold) or when the heartbeat timer expires.
+        Vectorized via the quantized-change approximation: with the
+        threshold equal to the quantization step, "changed since last
+        transmission" equals "quantized value differs from previous
+        quantized value", plus heartbeats.
+        """
+        quantized = np.asarray(quantized, dtype=float)
+        seconds = np.asarray(seconds, dtype=float)
+        n = quantized.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.zeros(n, dtype=bool)
+        mask[0] = True
+        mask[1:] = np.abs(np.diff(quantized)) >= self.config.report_threshold - 1e-12
+        # Heartbeats: stagger units by ID so the base station isn't hit
+        # by synchronized bursts.
+        period = self.config.heartbeat_period
+        phase = (self.sensor_id * 137.0) % period
+        beat = np.floor((seconds - phase) / period)
+        mask[1:] |= np.diff(beat) > 0
+        return mask

@@ -1,0 +1,54 @@
+"""Physics substrate: a zonal thermal simulator of the auditorium.
+
+The paper's dataset came from a real instrumented room; reproduction band
+3/5 means the dataset must be synthesized.  This subpackage provides the
+synthetic equivalent: an RC-network zonal thermal model of the
+auditorium driven by a VAV HVAC plant with a supervisory schedule and
+thermostat feedback, occupant and lighting heat loads from an event
+calendar, and a St. Louis winter-to-spring ambient-weather generator.
+
+The *modeling* code (sysid / clustering / selection) never touches the
+simulator's internal state — it only sees what the sensing layer
+(:mod:`repro.sensing`) reports, exactly as in the testbed.
+"""
+
+from repro.simulation.weather import WeatherConfig, WeatherModel
+from repro.simulation.calendar import Event, EventCalendar, semester_calendar
+from repro.simulation.occupancy import OccupancyModel
+from repro.simulation.lighting import LightingModel
+from repro.simulation.vav import VAVBox, VAVConfig
+from repro.simulation.hvac import HVACConfig, HVACPlant, HVACSchedule
+from repro.simulation.rc_network import RCNetwork, RCNetworkConfig
+from repro.simulation.simulator import (
+    AuditoriumSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.simulation.humidity import MoistureBalance, MoistureConfig
+from repro.simulation.validation import EnergyAudit, energy_audit, steady_state, time_constants
+
+__all__ = [
+    "WeatherConfig",
+    "WeatherModel",
+    "Event",
+    "EventCalendar",
+    "semester_calendar",
+    "OccupancyModel",
+    "LightingModel",
+    "VAVBox",
+    "VAVConfig",
+    "HVACConfig",
+    "HVACPlant",
+    "HVACSchedule",
+    "RCNetwork",
+    "RCNetworkConfig",
+    "AuditoriumSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "MoistureBalance",
+    "MoistureConfig",
+    "EnergyAudit",
+    "energy_audit",
+    "steady_state",
+    "time_constants",
+]

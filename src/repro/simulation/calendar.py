@@ -1,0 +1,200 @@
+"""Semester event calendar for the auditorium.
+
+The instrumented room is a multifunction conference room hosting
+classes, seminars, group meetings and other events.  The calendar
+generator reproduces that usage pattern over the paper's Jan 31 – May 8
+window: a weekly teaching template (lectures on MWF and TuTh), a Friday
+noon seminar that regularly fills the room (the paper's Fig. 2 snapshot
+was taken during a fully-occupied Friday seminar), sporadic meetings and
+evening events, a spring-break lull, attendance jitter and occasional
+cancellations — all seed-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import List, Optional, Sequence, Tuple
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+
+EVENT_KINDS = ("lecture", "seminar", "meeting", "evening", "weekend")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled use of the auditorium."""
+
+    name: str
+    start: datetime
+    duration_minutes: float
+    attendance: int
+    kind: str = "lecture"
+    #: Whether lights are switched off for a projected presentation
+    #: during the middle of the event.
+    presentation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes <= 0:
+            raise ConfigurationError(f"event {self.name!r} has non-positive duration")
+        if self.attendance < 0:
+            raise ConfigurationError(f"event {self.name!r} has negative attendance")
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(f"unknown event kind {self.kind!r}")
+
+    @property
+    def end(self) -> datetime:
+        return self.start + timedelta(minutes=self.duration_minutes)
+
+    def overlaps(self, t_start: datetime, t_stop: datetime) -> bool:
+        """Whether the event intersects the half-open window [t_start, t_stop)."""
+        return self.start < t_stop and self.end > t_start
+
+
+@dataclass
+class EventCalendar:
+    """A chronologically sorted collection of events."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.start)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def between(self, t_start: datetime, t_stop: datetime) -> List[Event]:
+        """Events overlapping the half-open window [t_start, t_stop)."""
+        return [e for e in self.events if e.overlaps(t_start, t_stop)]
+
+    def active_at(self, when: datetime, margin_minutes: float = 0.0) -> List[Event]:
+        """Events active at ``when``, optionally widened by a margin."""
+        margin = timedelta(minutes=margin_minutes)
+        return [e for e in self.events if e.start - margin <= when < e.end + margin]
+
+    def on_day(self, day: datetime) -> List[Event]:
+        """Events starting on the calendar day of ``day``."""
+        return [
+            e
+            for e in self.events
+            if (e.start.year, e.start.month, e.start.day) == (day.year, day.month, day.day)
+        ]
+
+
+@dataclass(frozen=True)
+class _WeeklySlot:
+    """A recurring weekly template entry."""
+
+    name: str
+    weekday: int  # Monday = 0
+    hour: float
+    duration_minutes: float
+    attendance: int
+    kind: str
+    presentation: bool = False
+    cancel_probability: float = 0.05
+
+
+#: Weekly usage template of the auditorium (a busy teaching room).
+DEFAULT_WEEKLY_SLOTS: Tuple[_WeeklySlot, ...] = (
+    _WeeklySlot("CSE lecture", 0, 10.0, 80, 55, "lecture"),
+    _WeeklySlot("CSE lecture", 2, 10.0, 80, 55, "lecture"),
+    _WeeklySlot("CSE lecture", 4, 10.0, 80, 55, "lecture"),
+    _WeeklySlot("EECE lecture", 0, 14.0, 80, 40, "lecture"),
+    _WeeklySlot("EECE lecture", 2, 14.0, 80, 40, "lecture"),
+    _WeeklySlot("Energy lecture", 1, 13.0, 90, 45, "lecture"),
+    _WeeklySlot("Energy lecture", 3, 13.0, 90, 45, "lecture"),
+    _WeeklySlot("Morning lecture", 3, 9.0, 60, 35, "lecture"),
+    _WeeklySlot("Department seminar", 4, 12.0, 60, 85, "seminar", presentation=True),
+    _WeeklySlot("Group meeting", 1, 16.0, 60, 20, "meeting", cancel_probability=0.15),
+)
+
+
+def _spring_break_days(first_day: datetime) -> List[datetime]:
+    """The Monday–Friday spring-break week (2013-03-11 .. 2013-03-15 style):
+    the second full week of March of the semester year."""
+    year = first_day.year
+    march_first = datetime(year, 3, 1)
+    # First Monday of March, then one week later.
+    first_monday = march_first + timedelta(days=(7 - march_first.weekday()) % 7)
+    break_monday = first_monday + timedelta(days=7)
+    return [break_monday + timedelta(days=i) for i in range(5)]
+
+
+def semester_calendar(
+    first_day: datetime,
+    last_day: datetime,
+    seed: rng_mod.SeedLike = None,
+    capacity: int = 90,
+    weekly_slots: Optional[Sequence[_WeeklySlot]] = None,
+    evening_event_probability: float = 0.15,
+    weekend_event_probability: float = 0.10,
+) -> EventCalendar:
+    """Generate the semester's event calendar.
+
+    Attendance is jittered ±15 %, start times ±5 minutes; slots cancel
+    with their per-slot probability; the spring-break week drops all
+    teaching.  Evening and weekend events are added stochastically.
+    """
+    if last_day < first_day:
+        raise ConfigurationError("last_day precedes first_day")
+    slots = tuple(weekly_slots) if weekly_slots is not None else DEFAULT_WEEKLY_SLOTS
+    break_days = {d.date() for d in _spring_break_days(first_day)}
+    events: List[Event] = []
+    day = datetime(first_day.year, first_day.month, first_day.day)
+    day_index = 0
+    while day.date() <= last_day.date():
+        gen = rng_mod.derive(seed, "calendar", index=day.toordinal())
+        is_break = day.date() in break_days
+        if not is_break:
+            for slot in slots:
+                if day.weekday() != slot.weekday:
+                    continue
+                if gen.random() < slot.cancel_probability:
+                    continue
+                attendance = int(round(slot.attendance * (1.0 + 0.15 * gen.standard_normal())))
+                attendance = max(1, min(capacity, attendance))
+                start_jitter = float(gen.uniform(-5.0, 5.0))
+                start = day + timedelta(hours=slot.hour, minutes=start_jitter)
+                events.append(
+                    Event(
+                        name=slot.name,
+                        start=start,
+                        duration_minutes=slot.duration_minutes,
+                        attendance=attendance,
+                        kind=slot.kind,
+                        presentation=slot.presentation,
+                    )
+                )
+        # Sporadic evening events (weekdays only, also during break).
+        if day.weekday() < 5 and gen.random() < evening_event_probability:
+            attendance = max(1, min(capacity, int(gen.integers(15, 60))))
+            events.append(
+                Event(
+                    name="Evening event",
+                    start=day + timedelta(hours=18.5, minutes=float(gen.uniform(-15, 15))),
+                    duration_minutes=float(gen.uniform(60, 120)),
+                    attendance=attendance,
+                    kind="evening",
+                    presentation=bool(gen.random() < 0.5),
+                )
+            )
+        # Occasional weekend functions.
+        if day.weekday() >= 5 and gen.random() < weekend_event_probability:
+            attendance = max(1, min(capacity, int(gen.integers(30, capacity))))
+            events.append(
+                Event(
+                    name="Weekend function",
+                    start=day + timedelta(hours=float(gen.uniform(10, 14))),
+                    duration_minutes=float(gen.uniform(90, 180)),
+                    attendance=attendance,
+                    kind="weekend",
+                )
+            )
+        day += timedelta(days=1)
+        day_index += 1
+    return EventCalendar(events=events)

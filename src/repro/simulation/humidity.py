@@ -1,0 +1,130 @@
+"""Room moisture balance and psychrometric helpers.
+
+The testbed's wireless units measure temperature *and* relative
+humidity; this module provides the physics for the humidity channel: a
+well-mixed moisture balance driven by occupant latent load, fresh-air
+exchange and the cooling coil's dehumidification, plus the Magnus-form
+psychrometrics needed to convert between humidity ratio and relative
+humidity at each sensor's local temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Standard atmospheric pressure, Pa.
+ATMOSPHERIC_PRESSURE = 101325.0
+#: Ratio of molecular weights (water vapour / dry air).
+EPSILON = 0.62198
+
+
+def saturation_pressure(temp_c: float) -> float:
+    """Saturation water-vapour pressure (Pa), Magnus formula."""
+    return 610.94 * float(np.exp(17.625 * temp_c / (temp_c + 243.04)))
+
+
+def saturation_humidity_ratio(temp_c: float) -> float:
+    """Humidity ratio (kg water / kg dry air) of saturated air at ``temp_c``."""
+    psat = saturation_pressure(temp_c)
+    return EPSILON * psat / (ATMOSPHERIC_PRESSURE - psat)
+
+
+def relative_humidity(humidity_ratio: float, temp_c: float) -> float:
+    """Relative humidity (%) of air with the given ratio at ``temp_c``.
+
+    Clipped to [0, 100]; supersaturation (fog) reads as 100 %.
+    """
+    saturated = saturation_humidity_ratio(temp_c)
+    if saturated <= 0:
+        return 100.0
+    return float(np.clip(100.0 * humidity_ratio / saturated, 0.0, 100.0))
+
+
+def relative_humidity_array(humidity_ratio: np.ndarray, temps_c: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`relative_humidity` over aligned arrays."""
+    temps_c = np.asarray(temps_c, dtype=float)
+    psat = 610.94 * np.exp(17.625 * temps_c / (temps_c + 243.04))
+    saturated = EPSILON * psat / (ATMOSPHERIC_PRESSURE - psat)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rh = 100.0 * np.asarray(humidity_ratio, dtype=float) / saturated
+    return np.clip(rh, 0.0, 100.0)
+
+
+def humidity_ratio_from_rh(rh_percent: float, temp_c: float) -> float:
+    """Humidity ratio of air at ``rh_percent`` and ``temp_c``."""
+    if not 0.0 <= rh_percent <= 100.0:
+        raise ConfigurationError("relative humidity must be in [0, 100]")
+    return rh_percent / 100.0 * saturation_humidity_ratio(temp_c)
+
+
+@dataclass(frozen=True)
+class MoistureConfig:
+    """Parameters of the room's moisture balance."""
+
+    #: Latent moisture generation per seated occupant, kg/s (≈50 W latent).
+    occupant_moisture: float = 2.0e-5
+    #: Assumed outdoor relative humidity, % (St. Louis annual mean ≈ 70).
+    outdoor_rh: float = 70.0
+    #: Coil effectiveness: supply air leaves the coil at most this
+    #: fraction of saturation at the discharge temperature.
+    coil_saturation_fraction: float = 0.95
+    #: Initial room relative humidity, %.
+    initial_rh: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.occupant_moisture < 0:
+            raise ConfigurationError("occupant_moisture must be non-negative")
+        if not 0.0 <= self.outdoor_rh <= 100.0:
+            raise ConfigurationError("outdoor_rh must be in [0, 100]")
+        if not 0.0 < self.coil_saturation_fraction <= 1.0:
+            raise ConfigurationError("coil_saturation_fraction must be in (0, 1]")
+
+
+class MoistureBalance:
+    """Well-mixed humidity-ratio state of the room."""
+
+    def __init__(
+        self,
+        room_volume: float,
+        config: MoistureConfig = MoistureConfig(),
+        air_density: float = 1.2,
+        initial_temp: float = 20.0,
+    ) -> None:
+        if room_volume <= 0:
+            raise ConfigurationError("room_volume must be positive")
+        self.config = config
+        self.room_volume = room_volume
+        self.air_density = air_density
+        self.ratio = humidity_ratio_from_rh(config.initial_rh, initial_temp)
+
+    def step(
+        self,
+        dt: float,
+        occupants: float,
+        supply_flow: float,
+        fresh_fraction: float,
+        discharge_temp: float,
+        ambient_temp: float,
+    ) -> float:
+        """Advance the moisture state ``dt`` seconds; returns the new ratio.
+
+        The supply air is a mix of return air and fresh air, capped at
+        the coil's saturation limit when the coil is cold (cooling
+        dehumidifies); occupants add latent moisture continuously.
+        """
+        cfg = self.config
+        w_out = humidity_ratio_from_rh(cfg.outdoor_rh, ambient_temp)
+        w_mix = (1.0 - fresh_fraction) * self.ratio + fresh_fraction * w_out
+        w_coil_cap = cfg.coil_saturation_fraction * saturation_humidity_ratio(discharge_temp)
+        w_supply = min(w_mix, w_coil_cap)
+
+        air_mass = self.air_density * self.room_volume
+        exchange = supply_flow * self.air_density / air_mass  # 1/s
+        generation = occupants * cfg.occupant_moisture / air_mass  # (kg/kg)/s
+        self.ratio += dt * (exchange * (w_supply - self.ratio) + generation)
+        self.ratio = max(self.ratio, 0.0)
+        return self.ratio

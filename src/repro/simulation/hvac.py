@@ -1,0 +1,186 @@
+"""HVAC plant: supervisory schedule plus thermostat feedback control.
+
+The auditorium's HVAC switches from *off* (unoccupied, low standby flow,
+no conditioning) to *on* (occupied, active control) at 06:00 and back at
+21:00 — the paper splits its dataset on exactly this schedule.  During
+occupied hours each VAV box runs a PI loop against one (or a blend of)
+the room's two wall thermostats: cooling raises supply flow off the cold
+deck; heating raises discharge temperature through the reheat coil.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.simulation.vav import VAVBox, VAVConfig
+
+
+@dataclass(frozen=True)
+class HVACSchedule:
+    """Daily supervisory schedule: occupied between ``on_hour`` and ``off_hour``."""
+
+    on_hour: float = 6.0
+    off_hour: float = 21.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.on_hour < self.off_hour <= 24.0:
+            raise ConfigurationError("need 0 <= on_hour < off_hour <= 24")
+
+    def is_occupied(self, hour_of_day: float) -> bool:
+        """Whether the plant is in occupied (actively controlled) mode."""
+        return self.on_hour <= (hour_of_day % 24.0) < self.off_hour
+
+
+@dataclass(frozen=True)
+class HVACConfig:
+    """Plant-level parameters."""
+
+    setpoint: float = 21.0
+    #: Proportional gain, fraction of full demand per °C of error.
+    kp: float = 0.55
+    #: Integral gain, fraction of full demand per (°C·hour).
+    ki: float = 0.5
+    #: Standby flow fraction of max during unoccupied hours.
+    standby_flow_fraction: float = 0.08
+    schedule: HVACSchedule = field(default_factory=HVACSchedule)
+    vav: VAVConfig = field(default_factory=VAVConfig)
+    #: How each VAV's controlling temperature blends the two thermostats;
+    #: rows are VAVs, columns thermostats, rows sum to 1.
+    thermostat_blend: Tuple[Tuple[float, float], ...] = (
+        (1.0, 0.0),
+        (0.0, 1.0),
+        (0.5, 0.5),
+        (0.5, 0.5),
+    )
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0:
+            raise ConfigurationError("controller gains must be non-negative")
+        if not 0.0 <= self.standby_flow_fraction <= 1.0:
+            raise ConfigurationError("standby_flow_fraction must be in [0, 1]")
+        for row in self.thermostat_blend:
+            if len(row) != 2 or abs(sum(row) - 1.0) > 1e-9:
+                raise ConfigurationError("each thermostat_blend row must be a 2-blend summing to 1")
+
+    @property
+    def n_vavs(self) -> int:
+        return len(self.thermostat_blend)
+
+
+class HVACPlant:
+    """Four VAV boxes under a shared supervisory schedule and PI control."""
+
+    def __init__(self, config: Optional[HVACConfig] = None) -> None:
+        self.config = config or HVACConfig()
+        self.vavs: List[VAVBox] = [
+            VAVBox(vav_id=i + 1, config=self.config.vav) for i in range(self.config.n_vavs)
+        ]
+        self._integrators = np.zeros(self.config.n_vavs)
+
+    @property
+    def n_vavs(self) -> int:
+        return len(self.vavs)
+
+    def reset(self) -> None:
+        """Return the plant to its idle state."""
+        for vav in self.vavs:
+            vav.reset()
+        self._integrators[:] = 0.0
+
+    def flows(self) -> np.ndarray:
+        """Current supply flows of every VAV, m³/s."""
+        return np.array([vav.flow for vav in self.vavs])
+
+    def discharge_temps(self) -> np.ndarray:
+        """Current discharge temperatures of every VAV, °C."""
+        return np.array([vav.discharge_temp for vav in self.vavs])
+
+    def step(
+        self,
+        hour_of_day: float,
+        thermostat_temps: Sequence[float],
+        dt: float,
+        return_temp: Optional[float] = None,
+        flow_commands: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the plant ``dt`` seconds and return ``(flows, discharge_temps)``.
+
+        ``thermostat_temps`` are the two wall thermostats' current
+        readings — the plant only ever sees those two points, which is
+        exactly the limitation the paper's sensor-selection study
+        quantifies (Table II's "Thermostats" row).
+
+        ``flow_commands`` lets a supervisory controller (e.g. the MPC of
+        :mod:`repro.control`) override the PI loop during occupied hours:
+        the commanded flows are clipped into the VAV range and the
+        discharge stays on the cold deck.  Overnight setback behaviour is
+        never overridden.
+        """
+        temps = np.asarray(thermostat_temps, dtype=float)
+        if temps.shape != (2,):
+            raise ConfigurationError(f"expected 2 thermostat readings, got shape {temps.shape}")
+        cfg = self.config
+        vcfg = cfg.vav
+        occupied = cfg.schedule.is_occupied(hour_of_day)
+        blend = np.asarray(cfg.thermostat_blend, dtype=float)
+        controlling = blend @ temps
+        if return_temp is None:
+            return_temp = float(temps.mean())
+        overrides: Optional[np.ndarray] = None
+        if flow_commands is not None:
+            overrides = np.asarray(flow_commands, dtype=float)
+            if overrides.shape != (self.n_vavs,):
+                raise ConfigurationError(
+                    f"expected {self.n_vavs} flow commands, got shape {overrides.shape}"
+                )
+        flows = np.empty(self.n_vavs)
+        discharge = np.empty(self.n_vavs)
+        for i, vav in enumerate(self.vavs):
+            if occupied and overrides is not None:
+                self._integrators[i] = 0.0
+                flow_cmd = float(overrides[i])
+                temp_cmd = vcfg.cold_deck_temp
+                vav.command(flow_cmd, temp_cmd, dt)
+                flows[i] = vav.flow
+                discharge[i] = vav.discharge_temp
+                continue
+            if not occupied:
+                # Setback: low ventilation flow, the AHU recirculates
+                # without conditioning, so the discharge rides at the
+                # return-air temperature (thermally near-neutral).
+                self._integrators[i] = 0.0
+                flow_cmd = vcfg.min_flow + cfg.standby_flow_fraction * (vcfg.max_flow - vcfg.min_flow)
+                temp_cmd = return_temp
+            else:
+                error = controlling[i] - cfg.setpoint  # >0: too warm, cool harder
+                # Leaky, conditionally-integrating PI: the integrator
+                # forgets with a ~2 h time constant and stops charging
+                # while the actuator is saturated in the error's
+                # direction, so a long cool morning cannot wind it up and
+                # poison the afternoon's cooling response.
+                demand_now = cfg.kp * error + cfg.ki * self._integrators[i]
+                saturated_same_sign = (demand_now >= 1.0 and error > 0) or (
+                    demand_now <= 0.0 and error < 0
+                )
+                self._integrators[i] *= float(np.exp(-dt / 7200.0))
+                if not saturated_same_sign:
+                    self._integrators[i] += error * dt / 3600.0
+                limit = 0.7 / max(cfg.ki, 1e-9)
+                self._integrators[i] = float(np.clip(self._integrators[i], -limit, limit))
+                demand = cfg.kp * error + cfg.ki * self._integrators[i]
+                # Cooling-only VAV (interior zone): the discharge is
+                # always the cold deck, and the damper modulates flow.
+                # "Heating" demand just pins the damper at minimum — the
+                # paper's linear input h(k) (flow only) is then a
+                # faithful description of the plant's thermal action.
+                cooling = float(np.clip(demand, 0.0, 1.0))
+                flow_cmd = vcfg.min_flow + cooling * (vcfg.max_flow - vcfg.min_flow)
+                temp_cmd = vcfg.cold_deck_temp
+            vav.command(flow_cmd, temp_cmd, dt)
+            flows[i] = vav.flow
+            discharge[i] = vav.discharge_temp
+        return flows, discharge

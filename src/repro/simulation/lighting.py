@@ -1,0 +1,100 @@
+"""Lighting state of the auditorium.
+
+Lights switch on shortly before an event and off shortly after; during
+projected presentations (the Friday seminar, some evening talks) the
+room lights go dark mid-event — the paper's webcam has an infrared
+source precisely because of this.  Lighting enters the thermal model
+both as a heat load and as the binary input ``l(k)``.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.calendar import Event, EventCalendar
+
+#: Lights go on this many minutes before an event starts.
+PRE_EVENT_MINUTES = 15.0
+#: Lights stay on this many minutes after an event ends.
+POST_EVENT_MINUTES = 10.0
+#: During a presentation, lights go off this long after the start ...
+DARK_START_MINUTES = 10.0
+#: ... and come back this long before the end.
+DARK_END_MINUTES = 5.0
+
+
+class LightingModel:
+    """Binary lighting state derived from the event calendar."""
+
+    def __init__(self, calendar: EventCalendar, heat_watts: float = 2000.0) -> None:
+        if heat_watts < 0:
+            raise SimulationError("heat_watts must be non-negative")
+        self.calendar = calendar
+        self.heat_watts = heat_watts
+
+    def _event_window(self, event: Event):
+        on_start = event.start - timedelta(minutes=PRE_EVENT_MINUTES)
+        on_end = event.end + timedelta(minutes=POST_EVENT_MINUTES)
+        return on_start, on_end
+
+    def _dark_window(self, event: Event):
+        dark_start = event.start + timedelta(minutes=DARK_START_MINUTES)
+        dark_end = event.end - timedelta(minutes=DARK_END_MINUTES)
+        return dark_start, dark_end
+
+    def state_at(self, when: datetime) -> int:
+        """1 if the room lights are on at ``when`` else 0.
+
+        Lights are on whenever any event's on-window covers ``when`` and
+        no covering presentation event is in its dark phase.  If several
+        events overlap, a single lit event keeps the lights on.
+        """
+        lit = False
+        for event in self.calendar.events:
+            on_start, on_end = self._event_window(event)
+            if not on_start <= when < on_end:
+                continue
+            if event.presentation:
+                dark_start, dark_end = self._dark_window(event)
+                if dark_start <= when < dark_end:
+                    continue
+            lit = True
+            break
+        return int(lit)
+
+    def trajectory(self, epoch: datetime, seconds: np.ndarray) -> np.ndarray:
+        """Lighting state (0/1 floats) at each offset of ``seconds``.
+
+        Painted per event over only the ticks the event touches.
+        """
+        seconds = np.asarray(seconds, dtype=float)
+        n = seconds.size
+        on = np.zeros(n, dtype=bool)
+        dark = np.zeros(n, dtype=bool)
+        for event in self.calendar.events:
+            on_start, on_end = self._event_window(event)
+            t0 = (on_start - epoch).total_seconds()
+            t1 = (on_end - epoch).total_seconds()
+            lo = int(np.searchsorted(seconds, t0, side="left"))
+            hi = int(np.searchsorted(seconds, t1, side="left"))
+            if hi <= lo:
+                continue
+            if event.presentation:
+                dark_start, dark_end = self._dark_window(event)
+                d0 = (dark_start - epoch).total_seconds()
+                d1 = (dark_end - epoch).total_seconds()
+                dlo = int(np.searchsorted(seconds, d0, side="left"))
+                dhi = int(np.searchsorted(seconds, d1, side="left"))
+                on[lo:dlo] = True
+                on[dhi:hi] = True
+                dark[dlo:dhi] = True
+            else:
+                on[lo:hi] = True
+        # A lit (non-dark) event outranks an overlapping dark phase.
+        return on.astype(float)
+
+    def heat_at(self, state: float) -> float:
+        """Heat dissipated by the lighting system (W) given its state."""
+        return self.heat_watts * float(state)

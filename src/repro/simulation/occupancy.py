@@ -1,0 +1,140 @@
+"""Occupant presence and spatial distribution.
+
+Turns the event calendar into (a) the total headcount over time and (b)
+the spatial distribution of occupant heat over the simulator's zone
+grid.  Audience members arrive over the ten-or-so minutes before an
+event, a few leave early, and seating has a mild back-of-room bias, all
+of which shapes the warm-back / cool-front pattern in the data.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import SimulationError
+from repro.geometry import Auditorium, ZoneGrid
+from repro.simulation.calendar import Event, EventCalendar
+
+#: Minutes before the scheduled start at which arrivals begin.
+ARRIVAL_LEAD_MINUTES = 12.0
+#: Minutes after the start by which everyone has arrived.
+ARRIVAL_TAIL_MINUTES = 3.0
+#: Minutes before the end at which departures begin.
+DEPARTURE_LEAD_MINUTES = 5.0
+#: Minutes after the end by which the room is empty.
+DEPARTURE_TAIL_MINUTES = 2.0
+
+
+def presence_fraction(event: Event, when: datetime) -> float:
+    """Fraction of ``event.attendance`` present at ``when`` (0–1)."""
+    t = (when - event.start).total_seconds() / 60.0
+    duration = event.duration_minutes
+    arrive_start, arrive_end = -ARRIVAL_LEAD_MINUTES, ARRIVAL_TAIL_MINUTES
+    depart_start = duration - DEPARTURE_LEAD_MINUTES
+    depart_end = duration + DEPARTURE_TAIL_MINUTES
+    if t <= arrive_start or t >= depart_end:
+        return 0.0
+    if t < arrive_end:
+        return (t - arrive_start) / (arrive_end - arrive_start)
+    if t <= depart_start:
+        return 1.0
+    return max(0.0, (depart_end - t) / (depart_end - depart_start))
+
+
+class OccupancyModel:
+    """Headcount and per-zone occupant distribution over time."""
+
+    def __init__(
+        self,
+        calendar: EventCalendar,
+        auditorium: Auditorium,
+        grid: ZoneGrid,
+        seed: rng_mod.SeedLike = None,
+        back_bias: float = 0.8,
+    ) -> None:
+        if back_bias < 0:
+            raise SimulationError("back_bias must be non-negative")
+        self.calendar = calendar
+        self.auditorium = auditorium
+        self.grid = grid
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+        self.back_bias = back_bias
+        self._seat_counts = grid.seat_counts().astype(float)
+        self._event_weights: Dict[int, np.ndarray] = {}
+
+    def _zone_weights_for(self, event_index: int, event: Event) -> np.ndarray:
+        """Normalized occupant distribution over zones for one event.
+
+        Seating follows the physical seat map, biased toward the back of
+        the room and jittered per event (different audiences sit in
+        different places).
+        """
+        cached = self._event_weights.get(event_index)
+        if cached is not None:
+            return cached
+        gen = rng_mod.derive(self._seed, "occupancy-seating", index=event_index)
+        weights = self._seat_counts.copy()
+        if weights.sum() <= 0:
+            raise SimulationError("auditorium has no seats inside the zone grid")
+        depth = self.auditorium.depth
+        for zone in range(self.grid.n_zones):
+            y = self.grid.center_of(zone).y
+            weights[zone] *= 1.0 + self.back_bias * (y / depth)
+        jitter = np.exp(0.25 * gen.standard_normal(self.grid.n_zones))
+        weights = weights * jitter
+        weights /= weights.sum()
+        self._event_weights[event_index] = weights
+        return weights
+
+    def total_at(self, when: datetime) -> int:
+        """True headcount at ``when``."""
+        total = 0.0
+        for event in self.calendar.active_at(when, margin_minutes=ARRIVAL_LEAD_MINUTES + DEPARTURE_TAIL_MINUTES):
+            total += event.attendance * presence_fraction(event, when)
+        return int(round(total))
+
+    def zone_at(self, when: datetime) -> np.ndarray:
+        """Occupants per zone (float) at ``when``."""
+        out = np.zeros(self.grid.n_zones)
+        for index, event in enumerate(self.calendar.events):
+            frac = presence_fraction(event, when)
+            if frac > 0.0:
+                out += event.attendance * frac * self._zone_weights_for(index, event)
+        return out
+
+    def trajectory(self, epoch: datetime, seconds: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(totals, zone_occupancy)`` sampled at ``epoch + seconds``.
+
+        ``totals`` has shape ``(N,)`` (float headcount), ``zone_occupancy``
+        has shape ``(N, n_zones)``.  Computed per event over only the
+        ticks each event touches, so cost scales with room usage rather
+        than trace length times calendar size.
+        """
+        seconds = np.asarray(seconds, dtype=float)
+        n = seconds.size
+        totals = np.zeros(n)
+        zones = np.zeros((n, self.grid.n_zones))
+        if n == 0:
+            return totals, zones
+        step = float(seconds[1] - seconds[0]) if n > 1 else 60.0
+        for index, event in enumerate(self.calendar.events):
+            t0 = (event.start - epoch).total_seconds() - ARRIVAL_LEAD_MINUTES * 60.0
+            t1 = (event.end - epoch).total_seconds() + DEPARTURE_TAIL_MINUTES * 60.0
+            lo = int(np.searchsorted(seconds, t0, side="left"))
+            hi = int(np.searchsorted(seconds, t1, side="right"))
+            if hi <= lo:
+                continue
+            weights = self._zone_weights_for(index, event)
+            for i in range(lo, hi):
+                when = epoch + timedelta(seconds=float(seconds[i]))
+                frac = presence_fraction(event, when)
+                if frac <= 0.0:
+                    continue
+                contribution = event.attendance * frac
+                totals[i] += contribution
+                zones[i] += contribution * weights
+        return totals, zones

@@ -1,0 +1,381 @@
+"""End-to-end auditorium simulator.
+
+Orchestrates the weather model, event calendar, occupancy, lighting, the
+HVAC plant (with its closed thermostat feedback loop) and the RC zonal
+network into one fixed-step simulation producing ground-truth zone
+temperatures and every exogenous input at (by default) one-minute
+resolution.  This is the synthetic stand-in for the paper's physical
+auditorium; the sensing layer (:mod:`repro.sensing`) observes it the way
+the testbed's instruments observed the real room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.data.timeseries import TimeAxis
+from repro.errors import ConfigurationError, SimulationError
+from repro.geometry import Auditorium, Point, ZoneGrid, default_auditorium
+from repro.simulation.calendar import EventCalendar, semester_calendar
+from repro.simulation.hvac import HVACConfig, HVACPlant
+from repro.simulation.integrator import euler_step, substep_count
+from repro.simulation.lighting import LightingModel
+from repro.simulation.occupancy import OccupancyModel
+from repro.simulation.humidity import MoistureBalance, MoistureConfig
+from repro.simulation.rc_network import RCNetwork, RCNetworkConfig
+from repro.simulation.weather import WeatherConfig, WeatherModel
+
+#: CO₂ generation per seated adult, m³/s.
+CO2_PER_PERSON = 5.2e-6
+#: Outdoor CO₂ concentration, ppm.
+OUTDOOR_CO2_PPM = 420.0
+#: Fraction of supply air that is fresh outdoor air.
+FRESH_AIR_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to run one simulation."""
+
+    #: Simulation start (the paper's trace starts 2013-01-31).
+    start: datetime = field(default_factory=lambda: datetime(2013, 1, 31))
+    #: Length of the simulated trace in days (the paper spans 98).
+    days: float = 98.0
+    #: Outer time step, seconds (inputs/logging resolution).
+    dt: float = 60.0
+    #: Zone grid resolution.
+    grid_nx: int = 6
+    grid_ny: int = 5
+    rc: RCNetworkConfig = field(default_factory=RCNetworkConfig)
+    hvac: HVACConfig = field(default_factory=HVACConfig)
+    weather: WeatherConfig = field(default_factory=WeatherConfig)
+    #: Noise on the thermostat readings used by the control loop, °C.
+    thermostat_noise: float = 0.15
+    #: Supply-air draft bias on the wall thermostats: the fraction of
+    #: the reading contributed by the front diffuser's discharge air at
+    #: full flow.  The thermostats hang on the front walls inside the
+    #: cold plume, so they read low while the plant cools — which is why
+    #: the paper's Fig. 2 shows them as the coldest points in the room
+    #: and why they misrepresent the warm back (Table II).
+    thermostat_draft: float = 0.15
+    #: Initial uniform room temperature, °C.
+    initial_temp: float = 20.0
+    seed: int = rng_mod.DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ConfigurationError("days must be positive")
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+
+    @property
+    def n_steps(self) -> int:
+        return int(round(self.days * 86400.0 / self.dt))
+
+    @property
+    def end(self) -> datetime:
+        return self.start + timedelta(days=self.days)
+
+
+@dataclass
+class SimulationResult:
+    """Ground-truth trajectories produced by one simulation run.
+
+    All arrays are aligned to ``axis`` (one row per outer step).
+    """
+
+    axis: TimeAxis
+    #: (N, n_zones) true zone air temperatures, °C.
+    zone_temps: np.ndarray
+    #: (N, n_zones) envelope mass node temperatures, °C.
+    mass_temps: np.ndarray
+    #: (N, n_vavs) VAV supply flows, m³/s.
+    vav_flows: np.ndarray
+    #: (N, n_vavs) VAV discharge temperatures, °C.
+    vav_temps: np.ndarray
+    #: (N,) true total headcount.
+    occupancy: np.ndarray
+    #: (N, n_zones) per-zone headcount.
+    zone_occupancy: np.ndarray
+    #: (N,) lighting state (0/1).
+    lighting: np.ndarray
+    #: (N,) ambient temperature, °C.
+    ambient: np.ndarray
+    #: (N,) room CO₂ concentration, ppm.
+    co2: np.ndarray
+    #: (N,) well-mixed room humidity ratio, kg water / kg dry air.
+    humidity_ratio: np.ndarray
+    #: (N, 2) thermostat readings fed to the control loop, °C
+    #: (draft-biased and noisy).
+    thermostat_readings: np.ndarray
+    #: (N, 2) draft-biased thermostat air temperatures before
+    #: measurement noise — what the thermostat units physically sense.
+    thermostat_true: np.ndarray = None
+    #: The geometry the run used.
+    auditorium: Auditorium = field(repr=False, default=None)
+    grid: ZoneGrid = field(repr=False, default=None)
+    config: SimulationConfig = field(repr=False, default=None)
+    calendar: EventCalendar = field(repr=False, default=None)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.axis)
+
+    def temperature_at(self, point: Point, step: int) -> float:
+        """True air temperature at a 3-D point and time step.
+
+        Horizontal bilinear interpolation over zone centres, plus a mild
+        vertical stratification correction: air near the ceiling runs
+        warmer than the occupant layer the zones represent.
+        """
+        base = self.grid.interpolate(self.zone_temps[step], point)
+        reference_height = 1.1
+        stratification_per_meter = 0.25
+        return base + stratification_per_meter * (point.z - reference_height)
+
+    def temperature_trace(self, point: Point) -> np.ndarray:
+        """True air temperature at ``point`` for every step (vectorized)."""
+        weights = self.grid.interpolation_weights(point)
+        trace = np.zeros(self.n_steps)
+        for zone, w in weights:
+            trace += w * self.zone_temps[:, zone]
+        reference_height = 1.1
+        stratification_per_meter = 0.25
+        return trace + stratification_per_meter * (point.z - reference_height)
+
+    def relative_humidity_trace(self, point: Point) -> np.ndarray:
+        """Relative humidity (%) at ``point`` over the whole run.
+
+        The moisture is well mixed, but relative humidity varies
+        spatially because it depends on the *local* temperature: the
+        cool front reads higher RH than the warm back.
+        """
+        from repro.simulation.humidity import relative_humidity_array
+
+        temps = self.temperature_trace(point)
+        return relative_humidity_array(self.humidity_ratio, temps)
+
+
+class AuditoriumSimulator:
+    """Runs the closed-loop thermal simulation of the auditorium."""
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        auditorium: Optional[Auditorium] = None,
+        calendar: Optional[EventCalendar] = None,
+        thermostat_positions: Optional[Dict[int, Point]] = None,
+        supervisory_controller=None,
+    ) -> None:
+        """``supervisory_controller`` (optional) overrides the plant's PI
+        loop during occupied hours.  It must provide ``positions()`` — the
+        sensor points it reads — and
+        ``decide(step, hour_of_day, readings, dt) -> flows | None``;
+        returning ``None`` falls back to the built-in PI for that step.
+        """
+        self.config = config or SimulationConfig()
+        self.auditorium = auditorium or default_auditorium()
+        self.grid = ZoneGrid(self.auditorium, nx=self.config.grid_nx, ny=self.config.grid_ny)
+        self.network = RCNetwork(self.auditorium, self.grid, self.config.rc)
+        self.plant = HVACPlant(self.config.hvac)
+        self.weather = WeatherModel(self.config.weather, seed=rng_mod.derive(self.config.seed, "weather"))
+        self.calendar = calendar or semester_calendar(
+            self.config.start,
+            self.config.end,
+            seed=rng_mod.derive(self.config.seed, "calendar"),
+            capacity=self.auditorium.capacity,
+        )
+        self.occupancy = OccupancyModel(
+            self.calendar, self.auditorium, self.grid, seed=rng_mod.derive(self.config.seed, "occupancy")
+        )
+        self.lighting = LightingModel(self.calendar)
+        if thermostat_positions is None:
+            from repro.geometry.layout import default_sensor_layout
+
+            layout = default_sensor_layout(self.auditorium)
+            thermostat_positions = {
+                sid: spec.position for sid, spec in layout.items() if spec.is_thermostat
+            }
+        if len(thermostat_positions) != 2:
+            raise ConfigurationError("the plant expects exactly two thermostats")
+        self._thermostat_positions = dict(sorted(thermostat_positions.items()))
+        self.supervisory_controller = supervisory_controller
+
+    def run(self) -> SimulationResult:
+        """Execute the full simulation and return its trajectories."""
+        cfg = self.config
+        n = cfg.n_steps
+        axis = TimeAxis(epoch=cfg.start, period=cfg.dt, count=n)
+        seconds = axis.seconds()
+        hours = axis.hours_of_day()
+
+        # Exogenous trajectories (precomputed, vectorized per event/day).
+        ambient = self.weather.trajectory(cfg.start, seconds)
+        occupancy_total, zone_occupancy = self.occupancy.trajectory(cfg.start, seconds)
+        lighting = self.lighting.trajectory(cfg.start, seconds)
+
+        # Thermostat measurement noise for the control loop.
+        noise_gen = rng_mod.derive(cfg.seed, "thermostat-control-noise")
+        tstat_noise = cfg.thermostat_noise * noise_gen.standard_normal((n, 2))
+        tstat_weights = [
+            self.grid.interpolation_weights(pos) for pos in self._thermostat_positions.values()
+        ]
+
+        # Supervisory-controller sensor taps (if any): interpolation
+        # weights for its sensor positions plus independent reading noise.
+        controller_weights = []
+        controller_noise = np.zeros((n, 0))
+        if self.supervisory_controller is not None:
+            positions = list(self.supervisory_controller.positions())
+            controller_weights = [self.grid.interpolation_weights(p) for p in positions]
+            ctrl_gen = rng_mod.derive(cfg.seed, "controller-sensor-noise")
+            controller_noise = cfg.thermostat_noise * ctrl_gen.standard_normal(
+                (n, len(positions))
+            )
+
+        # Diffuser wiring: which VAVs feed each outlet.
+        diffusers = self.auditorium.diffusers
+        if not diffusers:
+            raise SimulationError("auditorium has no supply diffusers")
+
+        self.plant.reset()
+        zone_temps, mass_temps = self.network.initial_state(cfg.initial_temp)
+        substeps = substep_count(cfg.dt, self.network.max_stable_dt())
+
+        out_zone = np.empty((n, self.grid.n_zones))
+        out_mass = np.empty((n, self.grid.n_zones))
+        out_flows = np.empty((n, self.plant.n_vavs))
+        out_vav_temps = np.empty((n, self.plant.n_vavs))
+        out_co2 = np.empty(n)
+        out_humidity = np.empty(n)
+        out_tstat = np.empty((n, 2))
+        out_tstat_true = np.empty((n, 2))
+
+        moisture = MoistureBalance(
+            self.auditorium.volume, MoistureConfig(), initial_temp=cfg.initial_temp
+        )
+        co2 = OUTDOOR_CO2_PPM
+        room_volume = self.auditorium.volume
+        front_diffuser = diffusers[0]
+        vav_max_flow = self.plant.config.vav.max_flow
+        front_full_flow = vav_max_flow * len(front_diffuser.vav_ids)
+
+        for k in range(n):
+            # 1. Thermostats sample the true field.  They hang inside
+            # the front diffuser's plume, so their reading mixes in a
+            # flow-proportional share of the discharge air.
+            tstat = np.array(
+                [
+                    sum(zone_temps[zone] * w for zone, w in weights)
+                    for weights in tstat_weights
+                ]
+            )
+            front_flow = float(
+                sum(self.plant.vavs[v - 1].flow for v in front_diffuser.vav_ids)
+            )
+            front_discharge = float(
+                np.mean([self.plant.vavs[v - 1].discharge_temp for v in front_diffuser.vav_ids])
+            )
+            plume = cfg.thermostat_draft * min(front_flow / front_full_flow, 1.0)
+            tstat = (1.0 - plume) * tstat + plume * front_discharge
+            out_tstat_true[k] = tstat
+            tstat = tstat + tstat_noise[k]
+            out_tstat[k] = tstat
+
+            # 2. Plant reacts and the VAV boxes evolve over this step.
+            # The return duct draws well-mixed room air, so the
+            # unconditioned overnight discharge rides the zone mean.
+            flow_commands = None
+            if self.supervisory_controller is not None:
+                readings = np.array(
+                    [
+                        sum(zone_temps[zone] * w for zone, w in weights)
+                        for weights in controller_weights
+                    ]
+                )
+                readings += controller_noise[k]
+                flow_commands = self.supervisory_controller.decide(
+                    k, float(hours[k]), readings, cfg.dt
+                )
+            flows, discharge = self.plant.step(
+                hours[k],
+                tstat,
+                cfg.dt,
+                return_temp=float(zone_temps.mean()),
+                flow_commands=flow_commands,
+            )
+            out_flows[k] = flows
+            out_vav_temps[k] = discharge
+
+            # 3. Aggregate VAVs onto their diffusers.
+            diffuser_flows = np.zeros(len(diffusers))
+            diffuser_temps = np.zeros(len(diffusers))
+            for d, diffuser in enumerate(diffusers):
+                ids = [v - 1 for v in diffuser.vav_ids]
+                f = flows[ids].sum()
+                diffuser_flows[d] = f
+                diffuser_temps[d] = (
+                    float(np.dot(flows[ids], discharge[ids]) / f) if f > 1e-12 else discharge[ids].mean()
+                )
+
+            zone_flow, zone_supply_temp = self.network.supply_to_zones(diffuser_flows, diffuser_temps)
+            zone_heat = self.network.occupant_zone_heat(zone_occupancy[k])
+            zone_heat += self.network.lighting_zone_heat(lighting[k], self.lighting.heat_watts)
+
+            # 4. Integrate the thermal network over the step.
+            ambient_k = float(ambient[k])
+
+            def derivative(z, m, _flow=zone_flow, _st=zone_supply_temp, _q=zone_heat, _amb=ambient_k):
+                return self.network.derivatives(z, m, _flow, _st, _q, _amb)
+
+            out_zone[k] = zone_temps
+            out_mass[k] = mass_temps
+            zone_temps, mass_temps = euler_step(derivative, zone_temps, mass_temps, cfg.dt, substeps)
+
+            # 5. Well-mixed CO₂ balance (fresh-air fraction of supply flow).
+            fresh_flow = FRESH_AIR_FRACTION * diffuser_flows.sum()
+            generation_ppm = occupancy_total[k] * CO2_PER_PERSON / room_volume * 1e6
+            exchange = fresh_flow / room_volume
+            co2 += cfg.dt * (generation_ppm - exchange * (co2 - OUTDOOR_CO2_PPM))
+            out_co2[k] = co2
+
+            # 6. Moisture balance (cooling coil dehumidifies).
+            total_flow = float(diffuser_flows.sum())
+            mean_discharge = (
+                float(np.dot(diffuser_flows, diffuser_temps) / total_flow)
+                if total_flow > 1e-12
+                else float(diffuser_temps.mean())
+            )
+            out_humidity[k] = moisture.step(
+                cfg.dt,
+                occupants=float(occupancy_total[k]),
+                supply_flow=total_flow,
+                fresh_fraction=FRESH_AIR_FRACTION,
+                discharge_temp=mean_discharge,
+                ambient_temp=ambient_k,
+            )
+
+        return SimulationResult(
+            axis=axis,
+            zone_temps=out_zone,
+            mass_temps=out_mass,
+            vav_flows=out_flows,
+            vav_temps=out_vav_temps,
+            occupancy=occupancy_total,
+            zone_occupancy=zone_occupancy,
+            lighting=lighting,
+            ambient=ambient,
+            co2=out_co2,
+            humidity_ratio=out_humidity,
+            thermostat_readings=out_tstat,
+            thermostat_true=out_tstat_true,
+            auditorium=self.auditorium,
+            grid=self.grid,
+            config=cfg,
+            calendar=self.calendar,
+        )

@@ -1,0 +1,159 @@
+"""Physics validation utilities for the simulation substrate.
+
+Tools to audit the zonal RC network independently of any experiment:
+
+* :func:`steady_state` — the exact equilibrium temperature field for
+  constant inputs (a linear solve), useful for sizing checks;
+* :func:`time_constants` — the open-loop time constants of the coupled
+  air/mass system, confirming the two-time-scale structure the
+  second-order models exploit;
+* :func:`energy_audit` — a first-law bookkeeping pass over a completed
+  run: stored-energy change vs net heat delivered, with the residual
+  quantifying integrator error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.rc_network import AIR_CP, RCNetwork
+from repro.simulation.simulator import SimulationResult
+
+
+def _system_matrices(
+    network: RCNetwork, zone_mass_flow: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Continuous-time ``(A, offset-map)`` of the coupled air+mass system.
+
+    State ``x = [T_zones; T_masses]``; the returned function of
+    (supply temps, zone heat, ambient) is applied separately.
+    """
+    cfg = network.config
+    n = network.n_zones
+    a = np.zeros((2 * n, 2 * n))
+    # Air block.
+    a[:n, :n] = network._mixing.copy()
+    a[:n, :n] -= np.diag(cfg.mass_coupling + network._infiltration + zone_mass_flow * AIR_CP)
+    a[:n, n:] = cfg.mass_coupling * np.eye(n)
+    a[:n] /= cfg.zone_capacitance
+    # Mass block.
+    a[n:, :n] = cfg.mass_coupling * np.eye(n)
+    a[n:, n:] = -np.diag(cfg.mass_coupling + network._exterior + cfg.ground_conductance)
+    a[n:] /= cfg.mass_capacitance
+    return a, None
+
+
+def steady_state(
+    network: RCNetwork,
+    zone_mass_flow: np.ndarray,
+    zone_supply_temp: np.ndarray,
+    zone_heat: np.ndarray,
+    ambient_temp: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact equilibrium ``(zone_temps, mass_temps)`` for constant inputs."""
+    cfg = network.config
+    n = network.n_zones
+    a, _ = _system_matrices(network, np.asarray(zone_mass_flow, dtype=float))
+    forcing = np.zeros(2 * n)
+    forcing[:n] = (
+        np.asarray(zone_mass_flow) * AIR_CP * np.asarray(zone_supply_temp)
+        + network._infiltration * ambient_temp
+        + np.asarray(zone_heat)
+    ) / cfg.zone_capacitance
+    forcing[n:] = (
+        network._exterior * ambient_temp + cfg.ground_conductance * cfg.ground_temp
+    ) / cfg.mass_capacitance
+    try:
+        x = np.linalg.solve(a, -forcing)
+    except np.linalg.LinAlgError as exc:
+        raise SimulationError("RC network has no unique steady state") from exc
+    return x[:n], x[n:]
+
+
+def time_constants(
+    network: RCNetwork, zone_mass_flow: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Open-loop time constants (seconds, ascending) of the RC system."""
+    if zone_mass_flow is None:
+        zone_mass_flow = np.zeros(network.n_zones)
+    a, _ = _system_matrices(network, np.asarray(zone_mass_flow, dtype=float))
+    eigenvalues = np.linalg.eigvals(a)
+    real = np.real(eigenvalues)
+    if np.any(real >= 0):
+        raise SimulationError("RC network is not asymptotically stable")
+    return np.sort(-1.0 / real)
+
+
+@dataclass(frozen=True)
+class EnergyAudit:
+    """First-law bookkeeping over one simulation run."""
+
+    #: Change in stored energy (air + masses), J.
+    stored_delta: float
+    #: Net heat delivered by every modelled path, J.
+    net_heat: float
+
+    @property
+    def residual(self) -> float:
+        """Absolute bookkeeping error, J."""
+        return abs(self.stored_delta - self.net_heat)
+
+    @property
+    def relative_residual(self) -> float:
+        """Residual relative to the gross energy moved."""
+        scale = max(abs(self.stored_delta), abs(self.net_heat), 1.0)
+        return self.residual / scale
+
+
+def energy_audit(result: SimulationResult, network: RCNetwork) -> EnergyAudit:
+    """First-law audit of a completed run.
+
+    Recomputes, step by step, the heat the network model would have
+    delivered for the recorded states and inputs and compares its
+    integral with the stored-energy change.  A small relative residual
+    (the explicit-Euler discretization error) validates the integrator.
+    """
+    cfg = network.config
+    dt = result.axis.period
+    n_steps = result.n_steps
+    if n_steps < 2:
+        raise SimulationError("run too short to audit")
+
+    stored_start = (
+        cfg.zone_capacitance * result.zone_temps[0].sum()
+        + cfg.mass_capacitance * result.mass_temps[0].sum()
+    )
+    stored_end = (
+        cfg.zone_capacitance * result.zone_temps[-1].sum()
+        + cfg.mass_capacitance * result.mass_temps[-1].sum()
+    )
+
+    net = 0.0
+    diffusers = result.auditorium.diffusers
+    for k in range(n_steps - 1):
+        zone_temps = result.zone_temps[k]
+        mass_temps = result.mass_temps[k]
+        flows = result.vav_flows[k]
+        temps = result.vav_temps[k]
+        diffuser_flows = np.zeros(len(diffusers))
+        diffuser_temps = np.zeros(len(diffusers))
+        for d, diffuser in enumerate(diffusers):
+            ids = [v - 1 for v in diffuser.vav_ids]
+            f = flows[ids].sum()
+            diffuser_flows[d] = f
+            diffuser_temps[d] = (
+                float(np.dot(flows[ids], temps[ids]) / f) if f > 1e-12 else temps[ids].mean()
+            )
+        zone_flow, zone_supply = network.supply_to_zones(diffuser_flows, diffuser_temps)
+        zone_heat = network.occupant_zone_heat(result.zone_occupancy[k])
+        zone_heat = zone_heat + network.lighting_zone_heat(result.lighting[k], 2000.0)
+        dz, dm = network.derivatives(
+            zone_temps, mass_temps, zone_flow, zone_supply, zone_heat, float(result.ambient[k])
+        )
+        net += dt * (cfg.zone_capacitance * dz.sum() + cfg.mass_capacitance * dm.sum())
+
+    return EnergyAudit(stored_delta=stored_end - stored_start, net_heat=net)

@@ -1,0 +1,95 @@
+"""Variable-air-volume (VAV) box model.
+
+Each of the auditorium's four VAV boxes receives cold-deck air from the
+air handler, modulates its damper to set the supply flow, and can reheat
+the discharge air.  Both the damper and the discharge temperature
+respond with first-order lags (actuator travel and duct thermal mass).
+The duct lag is the physical origin of the paper's observation that "the
+delay in mixing air from the HVAC" makes room dynamics second-order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VAVConfig:
+    """Static parameters of one VAV box."""
+
+    #: Minimum (ventilation) supply flow, m³/s.
+    min_flow: float = 0.03
+    #: Maximum supply flow, m³/s.
+    max_flow: float = 0.80
+    #: Cold-deck (no reheat) discharge temperature, °C.
+    cold_deck_temp: float = 13.0
+    #: Maximum discharge temperature with full reheat, °C.
+    reheat_max_temp: float = 35.0
+    #: Discharge temperature when the plant idles overnight, °C.
+    neutral_temp: float = 20.5
+    #: Damper/actuator time constant, seconds.
+    flow_time_constant: float = 90.0
+    #: Duct/discharge-air time constant, seconds.
+    discharge_time_constant: float = 480.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_flow <= self.max_flow:
+            raise ConfigurationError("need 0 <= min_flow <= max_flow")
+        if self.cold_deck_temp >= self.reheat_max_temp:
+            raise ConfigurationError("cold deck must be colder than full reheat")
+        if self.flow_time_constant <= 0 or self.discharge_time_constant <= 0:
+            raise ConfigurationError("time constants must be positive")
+
+
+class VAVBox:
+    """One VAV box with lagged flow and discharge-temperature states."""
+
+    def __init__(self, vav_id: int, config: VAVConfig) -> None:
+        self.vav_id = vav_id
+        self.config = config
+        self._flow = config.min_flow
+        self._discharge_temp = config.neutral_temp
+
+    @property
+    def flow(self) -> float:
+        """Current supply air flow, m³/s."""
+        return self._flow
+
+    @property
+    def discharge_temp(self) -> float:
+        """Current discharge air temperature, °C."""
+        return self._discharge_temp
+
+    def reset(self) -> None:
+        """Return the box to its idle state."""
+        self._flow = self.config.min_flow
+        self._discharge_temp = self.config.neutral_temp
+
+    def command(self, flow_setpoint: float, temp_setpoint: float, dt: float) -> None:
+        """Advance the box ``dt`` seconds toward the commanded setpoints.
+
+        Setpoints are clipped into the box's physical range; the states
+        relax toward them with their respective first-order lags using
+        the exact discrete update ``x += (1 - exp(-dt/tau)) (sp - x)``,
+        which is unconditionally stable for any ``dt``.
+        """
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        cfg = self.config
+        flow_setpoint = float(np.clip(flow_setpoint, cfg.min_flow, cfg.max_flow))
+        temp_setpoint = float(np.clip(temp_setpoint, cfg.cold_deck_temp, cfg.reheat_max_temp))
+        alpha_flow = 1.0 - np.exp(-dt / cfg.flow_time_constant)
+        alpha_temp = 1.0 - np.exp(-dt / cfg.discharge_time_constant)
+        self._flow += alpha_flow * (flow_setpoint - self._flow)
+        self._discharge_temp += alpha_temp * (temp_setpoint - self._discharge_temp)
+
+    def heat_rate_into(self, zone_temp: float, air_density: float = 1.2, cp: float = 1005.0) -> float:
+        """Heat delivered to air at ``zone_temp`` by this box's full flow, W.
+
+        Negative when the discharge is colder than the zone (cooling).
+        """
+        return self._flow * air_density * cp * (self._discharge_temp - zone_temp)

@@ -1,0 +1,159 @@
+"""Ambient (outdoor) temperature generator for St. Louis, Jan–May.
+
+The paper's trace runs January 31 – May 8, 2013: late winter through
+spring in St. Louis.  The generator combines
+
+* a seasonal trend (day-of-year sinusoid, ≈0 °C late January rising to
+  ≈19 °C by early May),
+* a diurnal cycle peaking mid-afternoon,
+* slow synoptic variability (an AR(1) process at daily resolution that
+  models passing fronts), and
+* small minute-scale noise.
+
+Everything is a pure function of the seed and the wall-clock time, so
+simulated datasets are exactly reproducible and query order never
+matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+
+_MINUTES_PER_DAY = 1440
+_SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Parameters of the synthetic St. Louis weather model."""
+
+    #: Annual mean temperature (°C).
+    annual_mean: float = 13.0
+    #: Amplitude of the seasonal sinusoid (°C).
+    seasonal_amplitude: float = 13.5
+    #: Day of year of the seasonal minimum (mid January).
+    coldest_day_of_year: int = 15
+    #: Peak-to-mean amplitude of the diurnal cycle (°C).
+    diurnal_amplitude: float = 5.0
+    #: Clock hour of the diurnal maximum.
+    warmest_hour: float = 15.0
+    #: One-day-lag autocorrelation of synoptic variability.
+    synoptic_rho: float = 0.75
+    #: Standard deviation of the synoptic process (°C).
+    synoptic_sigma: float = 4.5
+    #: Standard deviation of minute-scale noise (°C).
+    noise_sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.synoptic_rho < 1.0:
+            raise ConfigurationError("synoptic_rho must be in [0, 1)")
+        if self.synoptic_sigma < 0 or self.noise_sigma < 0:
+            raise ConfigurationError("noise magnitudes must be non-negative")
+
+
+class WeatherModel:
+    """Deterministic, seed-stable ambient temperature as a function of time."""
+
+    def __init__(
+        self,
+        config: Optional[WeatherConfig] = None,
+        seed: rng_mod.SeedLike = None,
+    ) -> None:
+        self.config = config or WeatherConfig()
+        self._seed = rng_mod.DEFAULT_SEED if seed is None else seed
+        self._synoptic_cache: Dict[int, float] = {}
+        self._noise_cache: Dict[int, np.ndarray] = {}
+
+    # -- stochastic components -------------------------------------------
+
+    def _synoptic_offset(self, day_ordinal: int) -> float:
+        """Synoptic anomaly (°C) for a proleptic-Gregorian day ordinal.
+
+        The AR(1) recursion is unrolled over a 30-day burn-in with
+        per-day innovations derived from the seed, so any day's value is
+        independent of query order.
+        """
+        cached = self._synoptic_cache.get(day_ordinal)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        innovation_sigma = cfg.synoptic_sigma * np.sqrt(1.0 - cfg.synoptic_rho**2)
+        value = 0.0
+        for day in range(day_ordinal - 30, day_ordinal + 1):
+            gen = rng_mod.derive(self._seed, "weather-synoptic", index=day)
+            value = cfg.synoptic_rho * value + innovation_sigma * float(gen.standard_normal())
+        self._synoptic_cache[day_ordinal] = value
+        return value
+
+    def _day_noise(self, day_ordinal: int) -> np.ndarray:
+        """Cached minute-resolution noise for one calendar day (1440 values)."""
+        cached = self._noise_cache.get(day_ordinal)
+        if cached is not None:
+            return cached
+        gen = rng_mod.derive(self._seed, "weather-noise", index=day_ordinal)
+        noise = self.config.noise_sigma * gen.standard_normal(_MINUTES_PER_DAY)
+        self._noise_cache[day_ordinal] = noise
+        return noise
+
+    # -- deterministic components ----------------------------------------
+
+    def _seasonal(self, day_of_year: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        return cfg.annual_mean - cfg.seasonal_amplitude * np.cos(
+            2.0 * np.pi * (day_of_year - cfg.coldest_day_of_year) / 365.25
+        )
+
+    def _diurnal(self, hour: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        return cfg.diurnal_amplitude * np.cos(2.0 * np.pi * (hour - cfg.warmest_hour) / 24.0)
+
+    # -- public API --------------------------------------------------------
+
+    def temperature_at(self, when: datetime) -> float:
+        """Ambient temperature (°C) at wall-clock time ``when``."""
+        day_ordinal = when.toordinal()
+        day_of_year = when.timetuple().tm_yday
+        hour = when.hour + when.minute / 60.0 + when.second / 3600.0
+        minute = when.hour * 60 + when.minute
+        return float(
+            self._seasonal(np.asarray(float(day_of_year)))
+            + self._diurnal(np.asarray(hour))
+            + self._synoptic_offset(day_ordinal)
+            + self._day_noise(day_ordinal)[minute]
+        )
+
+    def trajectory(self, epoch: datetime, seconds: np.ndarray) -> np.ndarray:
+        """Ambient temperature at each offset of ``seconds`` from ``epoch``.
+
+        Vectorized, and exactly consistent with :meth:`temperature_at`.
+        """
+        seconds = np.asarray(seconds, dtype=float)
+        if seconds.size == 0:
+            return np.empty(0)
+        midnight = datetime(epoch.year, epoch.month, epoch.day)
+        base = (epoch - midnight).total_seconds()
+        absolute = base + seconds
+        day_offsets = np.floor(absolute / _SECONDS_PER_DAY).astype(int)
+        seconds_in_day = absolute - day_offsets * _SECONDS_PER_DAY
+        minutes = np.clip((seconds_in_day // 60).astype(int), 0, _MINUTES_PER_DAY - 1)
+        hours = seconds_in_day / 3600.0
+
+        epoch_ordinal = midnight.toordinal()
+        ordinals = epoch_ordinal + day_offsets
+        out = self._diurnal(hours)
+        for ordinal in np.unique(ordinals):
+            mask = ordinals == ordinal
+            day_of_year = float(date.fromordinal(int(ordinal)).timetuple().tm_yday)
+            out[mask] += (
+                self._seasonal(np.asarray(day_of_year))
+                + self._synoptic_offset(int(ordinal))
+                + self._day_noise(int(ordinal))[minutes[mask]]
+            )
+        return out

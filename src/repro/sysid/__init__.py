@@ -1,0 +1,58 @@
+"""System identification of the auditorium's thermal dynamics.
+
+Implements the paper's Section IV: first-order (Eq. 1) and second-order
+(Eq. 2) multi-sensor linear thermal models, identified by piecewise
+least squares over the gap-segmented trace (Eqs. 3–4), plus the
+evaluation protocol (per-day free-run prediction, RMS error CDFs,
+training/prediction-horizon sweeps) behind Table I and Figs. 3–5.
+"""
+
+from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
+from repro.sysid.arx import ARXModel, identify_arx
+from repro.sysid.identify import IdentificationOptions, build_regression, identify
+from repro.sysid.metrics import (
+    empirical_cdf,
+    percentile,
+    pooled_rms,
+    rms,
+)
+from repro.sysid.evaluation import (
+    PredictionEvaluation,
+    evaluate_model,
+    fit_and_evaluate,
+)
+from repro.sysid.sweeps import prediction_length_sweep, training_horizon_sweep
+from repro.sysid.residuals import (
+    LjungBoxResult,
+    ResidualReport,
+    input_contributions,
+    ljung_box,
+    one_step_residuals,
+    residual_report,
+)
+
+__all__ = [
+    "ThermalModel",
+    "FirstOrderModel",
+    "SecondOrderModel",
+    "ARXModel",
+    "identify_arx",
+    "IdentificationOptions",
+    "build_regression",
+    "identify",
+    "rms",
+    "pooled_rms",
+    "percentile",
+    "empirical_cdf",
+    "PredictionEvaluation",
+    "evaluate_model",
+    "fit_and_evaluate",
+    "training_horizon_sweep",
+    "prediction_length_sweep",
+    "one_step_residuals",
+    "residual_report",
+    "ResidualReport",
+    "ljung_box",
+    "LjungBoxResult",
+    "input_contributions",
+]

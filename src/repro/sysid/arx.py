@@ -1,0 +1,150 @@
+"""General n-th-order ARX thermal models (the paper's unexplored future).
+
+The paper stops at second order "because of significant computational
+complexity for estimating the model parameters".  With the piecewise
+least squares already in place, higher orders are just more lag columns:
+
+    T(k+1) = A_1 T(k) + A_2 T(k−1) + ... + A_n T(k−n+1) + B u(k) (+ c)
+
+:func:`identify_arx` fits any order with the same gap-segmented
+machinery, and the ``bench_ablations`` order sweep quantifies whether a
+third or fourth order would actually have paid off.  (For n = 1 this is
+exactly Eq. 1; for n = 2 it spans the same model class as Eq. 2 — the
+(T, ΔT) form is a linear reparametrization of two raw lags.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset
+from repro.data.gaps import Segment
+from repro.data.modes import Mode
+from repro.errors import IdentificationError
+from repro.sysid.identify import solve_least_squares
+from repro.sysid.models import ThermalModel, _as_matrix
+
+
+@dataclass(frozen=True)
+class ARXModel(ThermalModel):
+    """``T(k+1) = Σ_i A_i T(k−i+1) + B u(k) + c`` with ``i = 1..order``.
+
+    ``lag_matrices[0]`` multiplies the newest lag ``T(k)``.
+    """
+
+    lag_matrices: Tuple[np.ndarray, ...]
+    B: np.ndarray
+    c: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if not self.lag_matrices:
+            raise IdentificationError("ARX model needs at least one lag matrix")
+        p = np.asarray(self.lag_matrices[0]).shape[0]
+        checked = tuple(
+            _as_matrix(f"A_{i + 1}", a, (p, p)) for i, a in enumerate(self.lag_matrices)
+        )
+        object.__setattr__(self, "lag_matrices", checked)
+        m = np.asarray(self.B).shape[1] if np.asarray(self.B).ndim == 2 else -1
+        object.__setattr__(self, "B", _as_matrix("B", self.B, (p, m)))
+        c = np.zeros(p) if self.c is None else np.asarray(self.c, dtype=float)
+        if c.shape != (p,) or not np.all(np.isfinite(c)):
+            raise IdentificationError(f"c must be a finite vector of length {p}")
+        object.__setattr__(self, "c", c)
+        object.__setattr__(self, "order", len(checked))
+
+    @property
+    def n_sensors(self) -> int:
+        return self.lag_matrices[0].shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
+        out = self.B @ u + self.c
+        # history rows are oldest-first; lag_matrices[0] is the newest lag.
+        for i, a in enumerate(self.lag_matrices):
+            out = out + a @ history[-(i + 1)]
+        return out
+
+    def companion_matrix(self) -> np.ndarray:
+        """Block-companion transition matrix of the stacked lag state."""
+        p = self.n_sensors
+        n = self.order
+        top = np.hstack(list(self.lag_matrices))
+        lower = np.hstack([np.eye(p * (n - 1)), np.zeros((p * (n - 1), p))]) if n > 1 else None
+        if lower is None:
+            return top
+        return np.vstack([top, lower])
+
+    def spectral_radius(self) -> float:
+        """Largest |eigenvalue| of the companion matrix."""
+        return float(np.max(np.abs(np.linalg.eigvals(self.companion_matrix()))))
+
+
+def build_arx_regression(
+    temperatures: np.ndarray,
+    inputs: np.ndarray,
+    segments: Sequence[Segment],
+    order: int,
+    fit_intercept: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked lag regression over gap-free segments.
+
+    Row at time ``k``: ``[T(k), T(k−1), ..., T(k−order+1), u(k) (,1)]``
+    with target ``T(k+1)``.
+    """
+    if order < 1:
+        raise IdentificationError("order must be at least 1")
+    temps = np.asarray(temperatures, dtype=float)
+    u = np.asarray(inputs, dtype=float)
+    phi_rows: List[np.ndarray] = []
+    y_rows: List[np.ndarray] = []
+    for segment in segments:
+        if len(segment) < order + 1:
+            continue
+        t_seg = temps[segment.start : segment.stop]
+        u_seg = u[segment.start : segment.stop]
+        if not (np.all(np.isfinite(t_seg)) and np.all(np.isfinite(u_seg))):
+            raise IdentificationError(
+                f"segment [{segment.start}, {segment.stop}) contains non-finite samples"
+            )
+        length = t_seg.shape[0]
+        ks = np.arange(order - 1, length - 1)
+        lags = [t_seg[ks - i] for i in range(order)]
+        phi = np.hstack(lags + [u_seg[ks]])
+        phi_rows.append(phi)
+        y_rows.append(t_seg[ks + 1])
+    if not phi_rows:
+        raise IdentificationError("no segment long enough for this order")
+    phi_all = np.vstack(phi_rows)
+    y_all = np.vstack(y_rows)
+    if fit_intercept:
+        phi_all = np.hstack([phi_all, np.ones((phi_all.shape[0], 1))])
+    return phi_all, y_all
+
+
+def identify_arx(
+    dataset: AuditoriumDataset,
+    order: int,
+    mode: Optional[Mode] = None,
+    ridge: float = 0.0,
+    fit_intercept: bool = False,
+    segments: Optional[Sequence[Segment]] = None,
+) -> ARXModel:
+    """Identify an n-th-order ARX model from a dataset."""
+    if segments is None:
+        segments = dataset.segments(mode=mode, min_length=order + 1)
+    phi, y = build_arx_regression(
+        dataset.temperatures, dataset.inputs, segments, order, fit_intercept=fit_intercept
+    )
+    w = solve_least_squares(phi, y, ridge=ridge)
+    p = dataset.n_sensors
+    m = dataset.channels.n_channels
+    lags = tuple(w[i * p : (i + 1) * p].T for i in range(order))
+    b = w[order * p : order * p + m].T
+    c = w[-1] if fit_intercept else None
+    return ARXModel(lag_matrices=lags, B=b, c=c)

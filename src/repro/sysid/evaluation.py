@@ -1,0 +1,150 @@
+"""The paper's prediction-evaluation protocol (Table I, Figs. 3–4).
+
+For every validation day, the identified model free-runs over that
+day's mode window: it is seeded with the first measured sample(s) of
+the window and driven only by the measured inputs, and its prediction
+is compared with the measured temperatures over the horizon (13.5 hours
+in the occupied mode by default).  Days interrupted by outages inside
+the horizon are skipped, mirroring the paper's exclusion of failure
+days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset
+from repro.data.modes import Mode, OCCUPIED, daily_windows
+from repro.errors import IdentificationError
+from repro.sysid.identify import IdentificationOptions, identify
+from repro.sysid.metrics import per_sensor_rms, percentile, rms
+from repro.sysid.models import ThermalModel
+
+
+@dataclass(frozen=True)
+class EvaluationOptions:
+    """Prediction-evaluation knobs."""
+
+    #: Hours into the mode window at which the free run starts (the
+    #: occupied window opens at 06:00; starting 1.5 h in and running
+    #: 13.5 h reaches 21:00 — the paper's 13.5-hour windows).
+    start_offset_hours: float = 1.5
+    #: Prediction horizon, hours.
+    horizon_hours: float = 13.5
+    #: Minimum fraction of finite measured temperatures inside the
+    #: horizon for a day to count.
+    min_measured_fraction: float = 0.5
+
+
+@dataclass
+class PredictionEvaluation:
+    """Per-day, per-sensor free-run prediction errors."""
+
+    sensor_ids: Tuple[int, ...]
+    #: day ordinal -> per-sensor RMS over that day's horizon, shape (p,).
+    per_day_rms: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: day ordinal -> (first_predicted_tick, predicted, measured), kept
+    #: only when requested (Fig. 4 and the reduced-model evaluation
+    #: need the traces and their alignment on the dataset axis).
+    traces: Dict[int, Tuple[int, np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def n_days(self) -> int:
+        return len(self.per_day_rms)
+
+    def rms_matrix(self) -> np.ndarray:
+        """``(n_days, p)`` matrix of daily per-sensor RMS errors."""
+        if not self.per_day_rms:
+            raise IdentificationError("no evaluated days")
+        return np.vstack([self.per_day_rms[d] for d in sorted(self.per_day_rms)])
+
+    def sensor_rms(self) -> np.ndarray:
+        """Per-sensor RMS pooled over all evaluated days, shape (p,)."""
+        matrix = self.rms_matrix()
+        return rms(matrix, axis=0)
+
+    def sensor_percentile(self, q: float = 90.0) -> np.ndarray:
+        """Per-sensor ``q``-th percentile of daily RMS errors, shape (p,)."""
+        matrix = self.rms_matrix()
+        out = np.full(matrix.shape[1], np.nan)
+        for j in range(matrix.shape[1]):
+            column = matrix[:, j]
+            finite = column[np.isfinite(column)]
+            if finite.size:
+                out[j] = np.percentile(finite, q)
+        return out
+
+    def overall_percentile(self, q: float = 90.0) -> float:
+        """``q``-th percentile of all per-day per-sensor RMS errors.
+
+        This is the paper's headline "RMS of prediction error ... at
+        90th percentile" (Table I).
+        """
+        return percentile(self.rms_matrix().ravel(), q)
+
+    def overall_rms(self) -> float:
+        """RMS over all per-day per-sensor RMS errors."""
+        return float(rms(self.rms_matrix().ravel()))
+
+
+def evaluate_model(
+    model: ThermalModel,
+    dataset: AuditoriumDataset,
+    mode: Mode = OCCUPIED,
+    options: Optional[EvaluationOptions] = None,
+    keep_traces: bool = False,
+) -> PredictionEvaluation:
+    """Free-run ``model`` over every usable day window of ``dataset``."""
+    options = options or EvaluationOptions()
+    period = dataset.axis.period
+    offset_ticks = int(round(options.start_offset_hours * 3600.0 / period))
+    horizon_ticks = int(round(options.horizon_hours * 3600.0 / period))
+    if horizon_ticks < 1:
+        raise IdentificationError("horizon shorter than one sampling period")
+    order = model.order
+
+    result = PredictionEvaluation(sensor_ids=dataset.sensor_ids)
+    for day, (w_start, w_stop) in sorted(daily_windows(dataset.axis, mode).items()):
+        seed_start = w_start + offset_ticks - order
+        run_stop = w_start + offset_ticks + horizon_ticks
+        if seed_start < w_start - order or run_stop > w_stop:
+            continue  # window too short for this horizon
+        if seed_start < 0 or run_stop > dataset.n_samples:
+            continue
+        seed = dataset.temperatures[seed_start : seed_start + order]
+        # Inputs drive steps k -> k+1 for k from the last seed row on.
+        u = dataset.inputs[seed_start + order - 1 : run_stop - 1]
+        measured = dataset.temperatures[seed_start + order : run_stop]
+        if not np.all(np.isfinite(seed)):
+            continue
+        if not np.all(np.isfinite(u)):
+            continue  # an input outage inside the horizon: skip the day
+        finite_fraction = float(np.isfinite(measured).mean())
+        if finite_fraction < options.min_measured_fraction:
+            continue
+        predicted = model.simulate(seed, u)
+        result.per_day_rms[day] = per_sensor_rms(predicted, measured)
+        if keep_traces:
+            result.traces[day] = (seed_start + order, predicted, measured)
+    if not result.per_day_rms:
+        raise IdentificationError(
+            "no day offered a clean seed + input trajectory for evaluation"
+        )
+    return result
+
+
+def fit_and_evaluate(
+    train: AuditoriumDataset,
+    validate: AuditoriumDataset,
+    order: int,
+    mode: Mode = OCCUPIED,
+    ridge: float = 0.0,
+    evaluation: Optional[EvaluationOptions] = None,
+    keep_traces: bool = False,
+) -> Tuple[ThermalModel, PredictionEvaluation]:
+    """Identify on ``train`` and evaluate free-run prediction on ``validate``."""
+    model = identify(train, IdentificationOptions(order=order, ridge=ridge), mode=mode)
+    return model, evaluate_model(model, validate, mode=mode, options=evaluation, keep_traces=keep_traces)

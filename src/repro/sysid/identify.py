@@ -1,0 +1,175 @@
+"""Piecewise least-squares identification (Eqs. 3–4 of the paper).
+
+Because the trace has gaps (network and server outages), the regression
+is assembled *per continuous segment* and the squared errors summed
+across segments — the paper's Eq. 4.  The objective is an ordinary
+unconstrained linear least-squares problem, so the CVX/SeDuMi toolchain
+the paper used is replaced by a direct solve; the optimum is identical.
+
+An optional ridge penalty is exposed because a 27-sensor ``A`` matrix
+has ~760 free parameters and short training horizons overfit — exactly
+the effect the paper observes in Fig. 5 (more training data is not
+always better).  The paper's plain-LSQ behaviour is ``ridge=0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset
+from repro.data.gaps import Segment
+from repro.data.modes import Mode
+from repro.errors import IdentificationError
+from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
+
+
+@dataclass(frozen=True)
+class IdentificationOptions:
+    """Knobs of the identification solve."""
+
+    #: Model order: 1 (Eq. 1) or 2 (Eq. 2).
+    order: int = 2
+    #: Ridge (L2) penalty on all coefficients; 0 reproduces the paper.
+    ridge: float = 0.0
+    #: Also fit a constant offset per sensor.  The paper's models have
+    #: none (ambient w(k) plays that role); kept for ablations.
+    fit_intercept: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order not in (1, 2):
+            raise IdentificationError("order must be 1 or 2")
+        if self.ridge < 0:
+            raise IdentificationError("ridge must be non-negative")
+
+
+def build_regression(
+    temperatures: np.ndarray,
+    inputs: np.ndarray,
+    segments: Sequence[Segment],
+    options: IdentificationOptions,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack the piecewise one-step regression.
+
+    For each segment and each admissible ``k`` inside it, one row maps
+    the regressors at ``k`` to the target ``T(k+1)``:
+
+    * order 1:  ``[T(k), u(k)] -> T(k+1)``
+    * order 2:  ``[T(k), ΔT(k), u(k)] -> T(k+1)``
+
+    Returns ``(Phi, Y)`` with ``Phi`` of shape ``(n_rows, q)`` and ``Y``
+    of shape ``(n_rows, p)``.
+    """
+    temps = np.asarray(temperatures, dtype=float)
+    u = np.asarray(inputs, dtype=float)
+    if temps.ndim != 2 or u.ndim != 2 or temps.shape[0] != u.shape[0]:
+        raise IdentificationError("temperatures and inputs must be aligned 2-D arrays")
+    order = options.order
+    phi_rows: List[np.ndarray] = []
+    y_rows: List[np.ndarray] = []
+    for segment in segments:
+        if len(segment) < order + 1:
+            continue
+        sl = slice(segment.start, segment.stop)
+        t_seg = temps[sl]
+        u_seg = u[sl]
+        if not (np.all(np.isfinite(t_seg)) and np.all(np.isfinite(u_seg))):
+            raise IdentificationError(
+                f"segment [{segment.start}, {segment.stop}) contains non-finite samples; "
+                "segments must come from gap detection on the same matrix"
+            )
+        # k runs over segment-local indices with full history and a target.
+        if order == 1:
+            phi = np.hstack([t_seg[:-1], u_seg[:-1]])
+            y = t_seg[1:]
+        else:
+            t_k = t_seg[1:-1]
+            delta = t_seg[1:-1] - t_seg[:-2]
+            phi = np.hstack([t_k, delta, u_seg[1:-1]])
+            y = t_seg[2:]
+        phi_rows.append(phi)
+        y_rows.append(y)
+    if not phi_rows:
+        raise IdentificationError("no segment long enough to form a regression row")
+    phi_all = np.vstack(phi_rows)
+    y_all = np.vstack(y_rows)
+    if options.fit_intercept:
+        phi_all = np.hstack([phi_all, np.ones((phi_all.shape[0], 1))])
+    return phi_all, y_all
+
+
+def solve_least_squares(
+    phi: np.ndarray, y: np.ndarray, ridge: float = 0.0
+) -> np.ndarray:
+    """Solve ``min ||Phi W - Y||² (+ ridge ||W||²)`` for ``W``.
+
+    Uses the economy SVD solve of :func:`numpy.linalg.lstsq` when
+    unregularized, and the normal equations otherwise (the Gram matrix
+    is well conditioned once the ridge is added).
+    """
+    phi = np.asarray(phi, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if phi.shape[0] != y.shape[0]:
+        raise IdentificationError("Phi and Y row counts differ")
+    if phi.shape[0] < phi.shape[1]:
+        raise IdentificationError(
+            f"underdetermined problem: {phi.shape[0]} rows for {phi.shape[1]} regressors"
+        )
+    if ridge > 0.0:
+        gram = phi.T @ phi + ridge * np.eye(phi.shape[1])
+        return np.linalg.solve(gram, phi.T @ y)
+    solution, _, rank, _ = np.linalg.lstsq(phi, y, rcond=None)
+    if rank < phi.shape[1]:
+        # Rank-deficient plain LSQ still returns the minimum-norm
+        # solution; surface the deficiency for the caller's awareness.
+        import warnings
+
+        warnings.warn(
+            f"regression is rank-deficient ({rank}/{phi.shape[1]}); "
+            "consider a ridge penalty",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return solution
+
+
+def identify(
+    dataset: AuditoriumDataset,
+    options: Optional[IdentificationOptions] = None,
+    mode: Optional[Mode] = None,
+    segments: Optional[Sequence[Segment]] = None,
+) -> ThermalModel:
+    """Identify a thermal model from a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Aligned temperatures + inputs.
+    options:
+        Order / ridge / intercept.
+    mode:
+        Restrict training rows to one HVAC mode (the paper fits occupied
+        and unoccupied models separately).
+    segments:
+        Pre-computed segments; default: gap segmentation of ``dataset``
+        confined to ``mode``.
+    """
+    options = options or IdentificationOptions()
+    if segments is None:
+        segments = dataset.segments(mode=mode, min_length=options.order + 1)
+    phi, y = build_regression(dataset.temperatures, dataset.inputs, segments, options)
+    w = solve_least_squares(phi, y, ridge=options.ridge)
+
+    p = dataset.n_sensors
+    m = dataset.channels.n_channels
+    c = w[-1] if options.fit_intercept else None
+    if options.order == 1:
+        a = w[:p].T
+        b = w[p : p + m].T
+        return FirstOrderModel(A=a, B=b, c=c)
+    a1 = w[:p].T
+    a2 = w[p : 2 * p].T
+    b = w[2 * p : 2 * p + m].T
+    return SecondOrderModel(A1=a1, A2=a2, B=b, c=c)

@@ -1,0 +1,87 @@
+"""Error metrics used by the paper's evaluation.
+
+The paper reports root-mean-square (RMS) prediction errors per sensor,
+their empirical CDF across sensors (Fig. 3), and percentile summaries
+(Table I at the 90th percentile, Table II and Figs. 9–11 at the 99th).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def rms(errors: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+    """Root mean square over ``axis``, ignoring NaN entries."""
+    errors = np.asarray(errors, dtype=float)
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(np.nanmean(np.square(errors), axis=axis))
+
+
+def pooled_rms(predicted: np.ndarray, measured: np.ndarray) -> float:
+    """Single RMS over every finite (prediction, measurement) pair."""
+    predicted = np.asarray(predicted, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if predicted.shape != measured.shape:
+        raise DataError(f"shape mismatch {predicted.shape} vs {measured.shape}")
+    err = predicted - measured
+    finite = np.isfinite(err)
+    if not finite.any():
+        raise DataError("no finite prediction/measurement pairs")
+    return float(np.sqrt(np.mean(np.square(err[finite]))))
+
+
+def per_sensor_rms(predicted: np.ndarray, measured: np.ndarray) -> np.ndarray:
+    """RMS per column over finite pairs; NaN for all-missing columns."""
+    predicted = np.asarray(predicted, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if predicted.shape != measured.shape:
+        raise DataError(f"shape mismatch {predicted.shape} vs {measured.shape}")
+    err = predicted - measured
+    return rms(err, axis=0)
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """``q``-th percentile of the finite entries of ``values``."""
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        raise DataError("no finite values for percentile")
+    return float(np.percentile(finite, q))
+
+
+def empirical_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(sorted_values, F)`` of the finite entries — the paper's CDFs.
+
+    ``F[i]`` is the fraction of values ≤ ``sorted_values[i]``.
+    """
+    values = np.asarray(values, dtype=float)
+    finite = np.sort(values[np.isfinite(values)])
+    if finite.size == 0:
+        raise DataError("no finite values for CDF")
+    f = np.arange(1, finite.size + 1) / finite.size
+    return finite, f
+
+
+def max_pairwise_difference(columns: np.ndarray) -> np.ndarray:
+    """For each pair of columns, the maximum |difference| over rows.
+
+    Rows where either column is NaN are ignored per pair.  Returns the
+    condensed upper-triangle vector (same ordering as
+    ``scipy.spatial.distance.pdist``).  Used for the cluster-quality
+    CDFs of Figs. 7–8.
+    """
+    columns = np.asarray(columns, dtype=float)
+    if columns.ndim != 2:
+        raise DataError("expected a 2-D matrix")
+    n = columns.shape[1]
+    out = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            diff = np.abs(columns[:, i] - columns[:, j])
+            finite = diff[np.isfinite(diff)]
+            out.append(float(finite.max()) if finite.size else np.nan)
+    return np.asarray(out)

@@ -1,0 +1,197 @@
+"""Linear thermal models of the auditorium.
+
+Both models take the paper's input vector
+``u(k) = [h_1..h_m, o(k), l(k), w(k)]`` (VAV flows, occupancy, lighting,
+ambient).
+
+* :class:`FirstOrderModel` — Eq. 1:  ``T(k+1) = A T(k) + B u(k)``.
+* :class:`SecondOrderModel` — Eq. 2 in its consistent parametrization
+  ``T(k+1) = A1 T(k) + A2 ΔT(k) + B u(k)`` with
+  ``ΔT(k) = T(k) − T(k−1)``; the paper's block form
+  ``[T(k+1); ΔT(k+1)] = A' [T(k); ΔT(k)] + B' U(k)`` is recovered by
+  :meth:`SecondOrderModel.block_form`, with the ``ΔT`` rows implied by
+  the identity ``ΔT(k+1) = T(k+1) − T(k)`` so the two blocks can never
+  disagree.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IdentificationError
+
+
+def _as_matrix(name: str, value: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    out = np.asarray(value, dtype=float)
+    if out.shape != shape:
+        raise IdentificationError(f"{name} has shape {out.shape}, expected {shape}")
+    if not np.all(np.isfinite(out)):
+        raise IdentificationError(f"{name} contains non-finite entries")
+    return out
+
+
+class ThermalModel(abc.ABC):
+    """Common interface of the identified thermal models."""
+
+    #: Number of past temperature samples needed to start a simulation.
+    order: int
+
+    @property
+    @abc.abstractmethod
+    def n_sensors(self) -> int:
+        """Number of modeled temperature outputs."""
+
+    @property
+    @abc.abstractmethod
+    def n_inputs(self) -> int:
+        """Number of exogenous input channels."""
+
+    @abc.abstractmethod
+    def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """One-step prediction ``T(k+1)`` from the trailing ``order``
+        temperature rows (``history``, shape ``(order, p)``, oldest
+        first) and the current input ``u(k)``."""
+
+    def simulate(
+        self,
+        initial: np.ndarray,
+        inputs: np.ndarray,
+    ) -> np.ndarray:
+        """Free-run simulation.
+
+        Parameters
+        ----------
+        initial:
+            ``(order, p)`` measured temperatures that seed the run
+            (oldest first).
+        inputs:
+            ``(N, m)`` inputs ``u(k)`` for ``k = 0 .. N-1``, where
+            ``k = 0`` is the step taken *from* the last initial row.
+
+        Returns
+        -------
+        ``(N, p)`` predicted temperatures ``T̂(1) .. T̂(N)`` — i.e. the
+        prediction horizon has ``N`` steps beyond the seed.
+        """
+        initial = np.asarray(initial, dtype=float)
+        inputs = np.asarray(inputs, dtype=float)
+        if initial.shape != (self.order, self.n_sensors):
+            raise IdentificationError(
+                f"initial has shape {initial.shape}, expected ({self.order}, {self.n_sensors})"
+            )
+        if inputs.ndim != 2 or inputs.shape[1] != self.n_inputs:
+            raise IdentificationError(
+                f"inputs have shape {inputs.shape}, expected (N, {self.n_inputs})"
+            )
+        if not np.all(np.isfinite(initial)):
+            raise IdentificationError("initial temperatures contain non-finite entries")
+        if not np.all(np.isfinite(inputs)):
+            raise IdentificationError("inputs contain non-finite entries")
+        history = initial.copy()
+        out = np.empty((inputs.shape[0], self.n_sensors))
+        for k in range(inputs.shape[0]):
+            nxt = self.step(history, inputs[k])
+            out[k] = nxt
+            if self.order > 1:
+                history[:-1] = history[1:]
+            history[-1] = nxt
+        return out
+
+
+@dataclass(frozen=True)
+class FirstOrderModel(ThermalModel):
+    """Eq. 1: ``T(k+1) = A T(k) + B u(k) (+ c)``.
+
+    ``c`` is an optional per-sensor constant used only by the
+    intercept ablation; the paper's model has ``c = 0``.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    c: Optional[np.ndarray] = None
+
+    order = 1
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.A).shape[0]
+        object.__setattr__(self, "A", _as_matrix("A", self.A, (p, p)))
+        m = np.asarray(self.B).shape[1] if np.asarray(self.B).ndim == 2 else -1
+        object.__setattr__(self, "B", _as_matrix("B", self.B, (p, m)))
+        c = np.zeros(p) if self.c is None else np.asarray(self.c, dtype=float)
+        if c.shape != (p,) or not np.all(np.isfinite(c)):
+            raise IdentificationError(f"c must be a finite vector of length {p}")
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_sensors(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return self.A @ history[-1] + self.B @ u + self.c
+
+    def interaction_matrix(self) -> np.ndarray:
+        """Off-diagonal part of ``A``: thermal interaction between the
+        locations of different sensors (paper, Section IV-A)."""
+        out = self.A.copy()
+        np.fill_diagonal(out, 0.0)
+        return out
+
+    def spectral_radius(self) -> float:
+        """Largest |eigenvalue| of ``A`` — < 1 means a stable model."""
+        return float(np.max(np.abs(np.linalg.eigvals(self.A))))
+
+
+@dataclass(frozen=True)
+class SecondOrderModel(ThermalModel):
+    """Eq. 2 in consistent form: ``T(k+1) = A1 T(k) + A2 ΔT(k) + B u(k) (+ c)``."""
+
+    A1: np.ndarray
+    A2: np.ndarray
+    B: np.ndarray
+    c: Optional[np.ndarray] = None
+
+    order = 2
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.A1).shape[0]
+        object.__setattr__(self, "A1", _as_matrix("A1", self.A1, (p, p)))
+        object.__setattr__(self, "A2", _as_matrix("A2", self.A2, (p, p)))
+        m = np.asarray(self.B).shape[1] if np.asarray(self.B).ndim == 2 else -1
+        object.__setattr__(self, "B", _as_matrix("B", self.B, (p, m)))
+        c = np.zeros(p) if self.c is None else np.asarray(self.c, dtype=float)
+        if c.shape != (p,) or not np.all(np.isfinite(c)):
+            raise IdentificationError(f"c must be a finite vector of length {p}")
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_sensors(self) -> int:
+        return self.A1.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
+        delta = history[-1] - history[-2]
+        return self.A1 @ history[-1] + self.A2 @ delta + self.B @ u + self.c
+
+    def block_form(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The paper's ``(A', B')`` over the stacked state ``[T; ΔT]``."""
+        p = self.n_sensors
+        eye = np.eye(p)
+        a_prime = np.block([[self.A1, self.A2], [self.A1 - eye, self.A2]])
+        b_prime = np.vstack([self.B, self.B])
+        return a_prime, b_prime
+
+    def spectral_radius(self) -> float:
+        """Largest |eigenvalue| of the stacked-state transition matrix."""
+        a_prime, _ = self.block_form()
+        return float(np.max(np.abs(np.linalg.eigvals(a_prime))))

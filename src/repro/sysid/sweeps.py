@@ -1,0 +1,104 @@
+"""Training-horizon and prediction-length sweeps (Fig. 5 of the paper).
+
+The top panel of Fig. 5 varies how many days of training data the model
+sees (13, 27, 34, 44, 58) and evaluates one-day-ahead prediction; the
+paper's striking observation is that *more training data does not
+necessarily help* (plain least squares overfits the 27-state model).
+The bottom panel varies the prediction horizon (2.5–13.5 h) and shows
+error growing monotonically, with the second-order model dominating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.dataset import AuditoriumDataset
+from repro.data.modes import Mode, OCCUPIED
+from repro.errors import IdentificationError
+from repro.sysid.evaluation import EvaluationOptions, evaluate_model
+from repro.sysid.identify import IdentificationOptions, identify
+
+
+@dataclass
+class SweepResult:
+    """One sweep: x values and the error they produced, per model order."""
+
+    x_values: List[float]
+    #: order -> list of overall 90th-percentile RMS errors, one per x.
+    errors: Dict[int, List[float]]
+
+    def as_rows(self) -> List[Tuple[float, float, float]]:
+        """Rows of ``(x, first_order_error, second_order_error)``."""
+        return [
+            (x, self.errors[1][i], self.errors[2][i])
+            for i, x in enumerate(self.x_values)
+        ]
+
+
+def training_horizon_sweep(
+    dataset: AuditoriumDataset,
+    training_days_options: Sequence[int] = (13, 27, 34, 44, 58),
+    orders: Sequence[int] = (1, 2),
+    mode: Mode = OCCUPIED,
+    ridge: float = 0.0,
+    evaluation: Optional[EvaluationOptions] = None,
+    percentile_q: float = 90.0,
+    validation_days: int = 6,
+    min_coverage: float = 0.7,
+) -> SweepResult:
+    """Fig. 5 (top): error as a function of the training-data horizon.
+
+    The *last* ``validation_days`` usable days are held out; each sweep
+    point trains on the ``n`` usable days immediately preceding them, so
+    larger horizons extend further into the past while predicting the
+    same days.
+    """
+    usable = dataset.usable_days(mode, min_coverage=min_coverage)
+    if len(usable) < validation_days + min(training_days_options):
+        raise IdentificationError(
+            f"only {len(usable)} usable days; cannot run the requested sweep"
+        )
+    valid_days = usable[-validation_days:]
+    validate = dataset.restrict_days(valid_days, mode=mode)
+    result = SweepResult(x_values=[], errors={order: [] for order in orders})
+    for n_days in training_days_options:
+        train_pool = usable[:-validation_days]
+        if n_days > len(train_pool):
+            continue
+        train = dataset.restrict_days(train_pool[-n_days:], mode=mode)
+        result.x_values.append(float(n_days))
+        for order in orders:
+            model = identify(train, IdentificationOptions(order=order, ridge=ridge), mode=mode)
+            evaluation_result = evaluate_model(model, validate, mode=mode, options=evaluation)
+            result.errors[order].append(evaluation_result.overall_percentile(percentile_q))
+    if not result.x_values:
+        raise IdentificationError("no training-horizon option fit in the usable days")
+    return result
+
+
+def prediction_length_sweep(
+    train: AuditoriumDataset,
+    validate: AuditoriumDataset,
+    horizons_hours: Sequence[float] = (2.5, 5.0, 7.5, 10.0, 13.5),
+    orders: Sequence[int] = (1, 2),
+    mode: Mode = OCCUPIED,
+    ridge: float = 0.0,
+    percentile_q: float = 90.0,
+    start_offset_hours: float = 1.5,
+) -> SweepResult:
+    """Fig. 5 (bottom): error as a function of the prediction horizon."""
+    models = {
+        order: identify(train, IdentificationOptions(order=order, ridge=ridge), mode=mode)
+        for order in orders
+    }
+    result = SweepResult(x_values=[], errors={order: [] for order in orders})
+    for horizon in horizons_hours:
+        options = EvaluationOptions(
+            start_offset_hours=start_offset_hours, horizon_hours=float(horizon)
+        )
+        result.x_values.append(float(horizon))
+        for order in orders:
+            evaluation_result = evaluate_model(models[order], validate, mode=mode, options=options)
+            result.errors[order].append(evaluation_result.overall_percentile(percentile_q))
+    return result

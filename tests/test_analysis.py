@@ -1,0 +1,50 @@
+"""Tests for CO₂-based occupancy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CO2EstimatorConfig, estimate_occupancy_from_co2
+from repro.errors import DataError
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            CO2EstimatorConfig(room_volume=0.0)
+        with pytest.raises(DataError):
+            CO2EstimatorConfig(fresh_air_fraction=0.0)
+        with pytest.raises(DataError):
+            CO2EstimatorConfig(smoothing_ticks=0)
+
+
+class TestEstimation:
+    def test_tracks_camera_counts(self, week_output):
+        estimate = estimate_occupancy_from_co2(week_output.raw)
+        assert estimate.correlation() > 0.7
+        assert estimate.mean_absolute_error() < 8.0
+
+    def test_estimate_non_negative(self, week_output):
+        estimate = estimate_occupancy_from_co2(week_output.raw)
+        finite = estimate.estimate[np.isfinite(estimate.estimate)]
+        assert (finite >= 0.0).all()
+
+    def test_empty_room_estimated_near_zero(self, week_output):
+        estimate = estimate_occupancy_from_co2(week_output.raw)
+        empty = np.isfinite(estimate.camera) & (estimate.camera == 0)
+        empty &= np.isfinite(estimate.estimate)
+        assert empty.any()
+        assert np.median(estimate.estimate[empty]) < 5.0
+
+    def test_busy_room_detected(self, week_output):
+        estimate = estimate_occupancy_from_co2(week_output.raw)
+        busy = np.isfinite(estimate.camera) & (estimate.camera > 60)
+        busy &= np.isfinite(estimate.estimate)
+        if not busy.any():
+            pytest.skip("no busy tick in the week trace")
+        assert estimate.estimate[busy].mean() > 20.0
+
+    def test_metrics_require_overlap(self, week_output):
+        estimate = estimate_occupancy_from_co2(week_output.raw)
+        estimate.camera = np.full_like(estimate.camera, np.nan)
+        with pytest.raises(DataError):
+            estimate.mean_absolute_error()

@@ -1,0 +1,114 @@
+"""Tests for the general n-th-order ARX models."""
+
+import numpy as np
+import pytest
+
+from repro.data.modes import OCCUPIED
+from repro.errors import IdentificationError
+from repro.sysid.arx import ARXModel, build_arx_regression, identify_arx
+from repro.sysid.evaluation import EvaluationOptions, evaluate_model
+from repro.sysid.identify import IdentificationOptions, identify
+from tests.conftest import make_linear_dataset
+
+
+class TestARXModel:
+    def test_order_from_lags(self):
+        p = 2
+        lags = tuple(0.2 * np.eye(p) for _ in range(3))
+        model = ARXModel(lag_matrices=lags, B=np.zeros((p, 7)))
+        assert model.order == 3
+        assert model.n_sensors == 2
+        assert model.n_inputs == 7
+
+    def test_step_weights_lags(self):
+        a1 = np.array([[0.5]])
+        a2 = np.array([[0.25]])
+        model = ARXModel(lag_matrices=(a1, a2), B=np.zeros((1, 1)))
+        history = np.array([[4.0], [2.0]])  # oldest first: T(k-1)=4, T(k)=2
+        out = model.step(history, np.zeros(1))
+        assert out[0] == pytest.approx(0.5 * 2.0 + 0.25 * 4.0)
+
+    def test_companion_spectral_radius_matches_simulation_stability(self):
+        stable = ARXModel(
+            lag_matrices=(0.5 * np.eye(1), 0.2 * np.eye(1)), B=np.zeros((1, 1))
+        )
+        assert stable.spectral_radius() < 1.0
+        unstable = ARXModel(
+            lag_matrices=(1.2 * np.eye(1), 0.3 * np.eye(1)), B=np.zeros((1, 1))
+        )
+        assert unstable.spectral_radius() > 1.0
+
+    def test_empty_lags_rejected(self):
+        with pytest.raises(IdentificationError):
+            ARXModel(lag_matrices=(), B=np.zeros((1, 1)))
+
+    def test_simulate_uses_full_history(self):
+        model = ARXModel(
+            lag_matrices=(0.5 * np.eye(1), 0.4 * np.eye(1)), B=np.zeros((1, 2))
+        )
+        out = model.simulate(np.array([[1.0], [2.0]]), np.zeros((3, 2)))
+        # T(1) = .5*2 + .4*1 = 1.4; T(2) = .5*1.4 + .4*2 = 1.5; ...
+        assert out[0, 0] == pytest.approx(1.4)
+        assert out[1, 0] == pytest.approx(1.5)
+
+
+class TestIdentifyARX:
+    def test_order1_matches_first_order_identify(self):
+        dataset = make_linear_dataset(noise=0.0)
+        arx = identify_arx(dataset, order=1)
+        classic = identify(dataset, IdentificationOptions(order=1))
+        np.testing.assert_allclose(arx.lag_matrices[0], classic.A, atol=1e-8)
+        np.testing.assert_allclose(arx.B, classic.B, atol=1e-8)
+
+    def test_order2_spans_delta_form(self):
+        """ARX(2) and the (T, ΔT) second-order form are the same model
+        class, so on noiseless data their free runs coincide."""
+        dataset = make_linear_dataset(noise=0.0)
+        arx = identify_arx(dataset, order=2)
+        delta_form = identify(dataset, IdentificationOptions(order=2))
+        seed = dataset.temperatures[:2]
+        u = dataset.inputs[1:50]
+        np.testing.assert_allclose(
+            arx.simulate(seed, u), delta_form.simulate(seed, u), atol=1e-6
+        )
+
+    def test_recovers_true_system_with_superfluous_lags(self):
+        """Fitting order 3 to a first-order plant: extra lags ~ 0."""
+        dataset = make_linear_dataset(noise=0.0, n_days=8)
+        arx = identify_arx(dataset, order=3)
+        seed = dataset.temperatures[:3]
+        u = dataset.inputs[2:100]
+        np.testing.assert_allclose(
+            arx.simulate(seed, u), dataset.temperatures[3:101], atol=1e-5
+        )
+
+    def test_respects_gaps(self):
+        dataset = make_linear_dataset(noise=0.0, gap_ticks=[60, 61])
+        arx = identify_arx(dataset, order=2)
+        assert np.all(np.isfinite(arx.lag_matrices[0]))
+
+    def test_higher_order_on_real_data_evaluates(self, month_dataset):
+        train, valid = month_dataset.split_half_days(OCCUPIED)
+        model = identify_arx(train, order=3, mode=OCCUPIED, ridge=1e-6)
+        evaluation = evaluate_model(
+            model,
+            valid,
+            mode=OCCUPIED,
+            options=EvaluationOptions(start_offset_hours=1.5, horizon_hours=13.5),
+        )
+        assert 0.0 < evaluation.overall_percentile(90) < 3.0
+
+    def test_regression_shapes(self):
+        dataset = make_linear_dataset()
+        segments = dataset.segments(min_length=4)
+        phi, y = build_arx_regression(
+            dataset.temperatures, dataset.inputs, segments, order=3
+        )
+        p, m = dataset.n_sensors, dataset.channels.n_channels
+        assert phi.shape[1] == 3 * p + m
+        assert y.shape[1] == p
+
+    def test_order_validation(self):
+        dataset = make_linear_dataset()
+        with pytest.raises(IdentificationError):
+            identify_arx(dataset, order=0)

@@ -1,0 +1,108 @@
+"""Tests for dataset assembly and the synthetic data path."""
+
+import numpy as np
+import pytest
+
+from repro.data.assemble import AssemblyConfig, assemble_dataset
+from repro.data.modes import OCCUPIED
+from repro.data.synth import SynthConfig, clear_cache, generate
+from repro.errors import DataError
+from repro.geometry.layout import (
+    CEILING_SENSOR_IDS,
+    RELIABLE_GROUND_SENSOR_IDS,
+    THERMOSTAT_IDS,
+    UNRELIABLE_GROUND_SENSOR_IDS,
+)
+from repro.simulation.simulator import SimulationConfig
+
+
+class TestAssemble:
+    def test_axis_and_shapes(self, week_output):
+        full = assemble_dataset(week_output.raw)
+        assert full.axis.period == 900.0
+        assert full.n_sensors == 41
+        assert full.inputs.shape[1] == 7
+
+    def test_sensor_subset(self, week_output):
+        sub = assemble_dataset(week_output.raw, sensor_ids=[1, 3, 40])
+        assert sub.sensor_ids == (1, 3, 40)
+
+    def test_positions_attached(self, week_output):
+        full = assemble_dataset(week_output.raw)
+        assert 1 in full.sensor_positions
+        assert full.sensor_positions[1].y > 5.0  # sensor 1 is in the back
+
+    def test_temperatures_track_ground_truth(self, week_output):
+        """Resampled sensor readings stay within sensor accuracy + noise
+        of the true temperature at their location."""
+        full = assemble_dataset(week_output.raw)
+        sim = week_output.simulation
+        for sid in (1, 13, 27):
+            column = full.temperature_of(sid)
+            spec = week_output.raw.layout[sid]
+            truth = sim.temperature_trace(spec.position)
+            # Compare on the assembled grid (15 min = every 15th step).
+            stride = int(round(full.axis.period / sim.axis.period))
+            truth_grid = truth[:: stride][: full.n_samples]
+            finite = np.isfinite(column[: truth_grid.size])
+            err = column[: truth_grid.size][finite] - truth_grid[finite]
+            assert np.abs(np.mean(err)) < 1.0  # bias bounded
+            assert np.percentile(np.abs(err - np.mean(err)), 95) < 0.4
+
+    def test_gaps_present(self, week_output):
+        full = assemble_dataset(week_output.raw)
+        assert full.coverage() < 1.0
+
+    def test_custom_period(self, week_output):
+        config = AssemblyConfig(period=1800.0)
+        ds = assemble_dataset(week_output.raw, config=config)
+        assert ds.axis.period == 1800.0
+
+
+class TestSynth:
+    def test_screening_matches_paper_set(self, month_output):
+        ids = set(month_output.analysis_dataset.sensor_ids)
+        assert ids == set(RELIABLE_GROUND_SENSOR_IDS) | set(THERMOSTAT_IDS)
+        assert not ids & set(UNRELIABLE_GROUND_SENSOR_IDS)
+        assert not ids & set(CEILING_SENSOR_IDS)
+
+    def test_cache_returns_same_object(self):
+        config = SynthConfig(simulation=SimulationConfig(days=7.0))
+        a = generate(config)
+        b = generate(config)
+        assert a is b
+
+    def test_cache_distinguishes_seeds(self):
+        a = generate(SynthConfig(simulation=SimulationConfig(days=7.0), seed=1))
+        b = generate(SynthConfig(simulation=SimulationConfig(days=7.0), seed=2))
+        assert a is not b
+        assert not np.array_equal(
+            a.analysis_dataset.temperatures, b.analysis_dataset.temperatures
+        )
+
+    def test_clear_cache(self):
+        config = SynthConfig(simulation=SimulationConfig(days=7.0), seed=123)
+        a = generate(config)
+        clear_cache()
+        b = generate(config)
+        assert a is not b
+        np.testing.assert_array_equal(
+            a.analysis_dataset.temperatures, b.analysis_dataset.temperatures
+        )
+
+    def test_usable_days_fewer_than_calendar_days(self, month_output):
+        """Outages cost usable days, as in the paper (98 -> 64)."""
+        ds = month_output.analysis_dataset
+        usable = ds.usable_days(OCCUPIED)
+        assert 14 <= len(usable) <= 28
+
+    def test_inputs_cover_expected_ranges(self, month_output):
+        ds = month_output.analysis_dataset
+        flows = ds.vav_flows()
+        finite = np.isfinite(flows)
+        assert flows[finite].min() >= 0.0
+        assert flows[finite].max() < 1.0
+        occupancy = ds.input_channel("occupancy")
+        assert np.nanmax(occupancy) > 50
+        lighting = ds.input_channel("lighting")
+        assert set(np.unique(lighting[np.isfinite(lighting)])) <= {0.0, 1.0}

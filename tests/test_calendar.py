@@ -1,0 +1,97 @@
+"""Tests for the semester event calendar."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.calendar import (
+    Event,
+    EventCalendar,
+    semester_calendar,
+)
+
+
+class TestEvent:
+    def test_end_time(self):
+        event = Event(name="x", start=datetime(2013, 2, 1, 10), duration_minutes=80, attendance=50)
+        assert event.end == datetime(2013, 2, 1, 11, 20)
+
+    def test_overlaps(self):
+        event = Event(name="x", start=datetime(2013, 2, 1, 10), duration_minutes=60, attendance=5)
+        assert event.overlaps(datetime(2013, 2, 1, 10, 30), datetime(2013, 2, 1, 12))
+        assert not event.overlaps(datetime(2013, 2, 1, 11), datetime(2013, 2, 1, 12))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Event(name="x", start=datetime(2013, 2, 1), duration_minutes=0, attendance=1)
+        with pytest.raises(ConfigurationError):
+            Event(name="x", start=datetime(2013, 2, 1), duration_minutes=10, attendance=-1)
+        with pytest.raises(ConfigurationError):
+            Event(name="x", start=datetime(2013, 2, 1), duration_minutes=10, attendance=1, kind="party")
+
+
+class TestEventCalendar:
+    def test_sorted_on_construction(self):
+        e1 = Event(name="late", start=datetime(2013, 2, 2, 10), duration_minutes=60, attendance=5)
+        e2 = Event(name="early", start=datetime(2013, 2, 1, 10), duration_minutes=60, attendance=5)
+        calendar = EventCalendar(events=[e1, e2])
+        assert calendar.events[0].name == "early"
+
+    def test_active_at_with_margin(self):
+        event = Event(name="x", start=datetime(2013, 2, 1, 10), duration_minutes=60, attendance=5)
+        calendar = EventCalendar(events=[event])
+        assert not calendar.active_at(datetime(2013, 2, 1, 9, 50))
+        assert calendar.active_at(datetime(2013, 2, 1, 9, 50), margin_minutes=15)
+        assert calendar.active_at(datetime(2013, 2, 1, 10, 30))
+
+    def test_on_day(self):
+        event = Event(name="x", start=datetime(2013, 2, 1, 10), duration_minutes=60, attendance=5)
+        calendar = EventCalendar(events=[event])
+        assert len(calendar.on_day(datetime(2013, 2, 1, 23))) == 1
+        assert calendar.on_day(datetime(2013, 2, 2)) == []
+
+
+class TestSemesterCalendar:
+    @pytest.fixture(scope="class")
+    def calendar(self):
+        return semester_calendar(datetime(2013, 1, 31), datetime(2013, 5, 8), seed=11)
+
+    def test_deterministic(self):
+        a = semester_calendar(datetime(2013, 2, 1), datetime(2013, 2, 28), seed=1)
+        b = semester_calendar(datetime(2013, 2, 1), datetime(2013, 2, 28), seed=1)
+        assert [(e.name, e.start, e.attendance) for e in a] == [
+            (e.name, e.start, e.attendance) for e in b
+        ]
+
+    def test_seed_changes_calendar(self):
+        a = semester_calendar(datetime(2013, 2, 1), datetime(2013, 2, 28), seed=1)
+        b = semester_calendar(datetime(2013, 2, 1), datetime(2013, 2, 28), seed=2)
+        assert [(e.start, e.attendance) for e in a] != [(e.start, e.attendance) for e in b]
+
+    def test_busy_semester(self, calendar):
+        # ~10 weekly slots over 14 weeks, minus cancellations/breaks.
+        assert len(calendar) > 80
+
+    def test_friday_seminar_fills_room(self, calendar):
+        seminars = [e for e in calendar if e.kind == "seminar"]
+        assert seminars
+        for seminar in seminars:
+            assert seminar.start.weekday() == 4
+            assert seminar.presentation
+            assert seminar.attendance >= 50
+
+    def test_attendance_capped_at_capacity(self, calendar):
+        assert all(1 <= e.attendance <= 90 for e in calendar)
+
+    def test_spring_break_has_no_lectures(self, calendar):
+        march = [e for e in calendar if e.kind == "lecture" and e.start.month == 3]
+        # Find the second full week of March (the break).
+        march_first = datetime(2013, 3, 1)
+        first_monday = march_first + timedelta(days=(7 - march_first.weekday()) % 7)
+        break_days = {(first_monday + timedelta(days=7 + i)).date() for i in range(5)}
+        assert not [e for e in march if e.start.date() in break_days]
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            semester_calendar(datetime(2013, 5, 1), datetime(2013, 4, 1))

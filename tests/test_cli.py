@@ -1,0 +1,96 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _warm_cache(week_output):
+    """CLI tests run on the cached 7-day trace."""
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestInfo:
+    def test_synthetic_info(self, capsys):
+        code, out, _ = run_cli(capsys, "info", "--days", "7")
+        assert code == 0
+        assert "sensors (27)" in out
+        assert "usable occupied days" in out
+
+    def test_loaded_info(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--days", "7", "--output", str(tmp_path / "trace")
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "info", "--input", str(tmp_path / "trace"))
+        assert code == 0
+        assert "sensors (27)" in out
+
+
+class TestSimulate:
+    def test_writes_csv(self, capsys, tmp_path):
+        code, out, _ = run_cli(
+            capsys, "simulate", "--days", "7", "--output", str(tmp_path / "t"), "--full"
+        )
+        assert code == 0
+        assert (tmp_path / "t.csv").exists()
+        assert (tmp_path / "t.meta.json").exists()
+        assert "41 sensors" in out
+
+
+class TestFitClusterSelect:
+    def test_fit(self, capsys):
+        code, out, _ = run_cli(capsys, "fit", "--days", "7", "--order", "2")
+        assert code == 0
+        assert "90th-percentile RMS error" in out
+
+    def test_cluster(self, capsys):
+        code, out, _ = run_cli(capsys, "cluster", "--days", "7")
+        assert code == 0
+        assert "cluster 0" in out and "cluster 1" in out
+
+    def test_select(self, capsys):
+        code, out, _ = run_cli(capsys, "select", "--days", "7", "--strategy", "sms")
+        assert code == 0
+        assert "99th-percentile cluster-mean error" in out
+
+
+class TestSnapshot:
+    def test_renders_floorplan(self, capsys):
+        code, out, _ = run_cli(capsys, "snapshot", "--days", "7")
+        assert code == 0
+        assert "FRONT" in out and "BACK" in out
+        assert "occupancy at snapshot" in out
+
+    def test_explicit_tick(self, capsys):
+        code, out, _ = run_cli(capsys, "snapshot", "--days", "7", "--tick", "100")
+        assert code == 0
+        assert "snapshot 2013-02-01" in out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "experiment", "fig2", "--days", "7")
+        assert code == 0
+        assert "== fig2" in out
+
+    def test_unknown_experiment(self, capsys):
+        code, _, err = run_cli(capsys, "experiment", "fig99", "--days", "7")
+        assert code == 2
+        assert "unknown experiment" in err
+
+
+class TestReport:
+    def test_report_to_file(self, capsys, tmp_path, month_output):
+        target = tmp_path / "report.txt"
+        code, out, _ = run_cli(capsys, "report", "--days", "28", "--output", str(target))
+        assert code == 0
+        text = target.read_text()
+        assert "== table1" in text
+        assert "== fig11" in text

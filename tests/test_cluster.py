@@ -1,0 +1,205 @@
+"""Tests for similarity graphs, Laplacians, eigengap and spectral clustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.eigengap import choose_k_by_eigengap, log_eigenvalues
+from repro.cluster.kmeans import kmeans
+from repro.cluster.laplacian import (
+    graph_laplacian,
+    laplacian_eigensystem,
+    n_connected_components,
+)
+from repro.cluster.similarity import (
+    SimilarityOptions,
+    correlation_matrix,
+    correlation_similarity,
+    euclidean_similarity,
+    pairwise_euclidean,
+    remove_network_mean,
+)
+from repro.cluster.spectral import spectral_clustering
+from repro.errors import ClusteringError
+
+
+def two_group_traces(n_ticks=400, n_per_group=5, gap=3.0, seed=0):
+    """Two groups of traces: shared diurnal + opposite-phase residuals."""
+    gen = np.random.default_rng(seed)
+    t = np.arange(n_ticks)
+    common = 20.0 + np.sin(2 * np.pi * t / 96)
+    residual = 0.6 * np.sin(2 * np.pi * t / 60)
+    group_a = common[:, None] + residual[:, None] + 0.05 * gen.standard_normal((n_ticks, n_per_group))
+    group_b = common[:, None] - residual[:, None] + gap + 0.05 * gen.standard_normal((n_ticks, n_per_group))
+    return np.hstack([group_a, group_b])
+
+
+class TestPairwiseEuclidean:
+    def test_symmetric_zero_diagonal(self):
+        traces = two_group_traces()
+        d = pairwise_euclidean(traces)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_group_structure(self):
+        traces = two_group_traces()
+        d = pairwise_euclidean(traces)
+        within = d[0, 1]
+        across = d[0, 5]
+        assert across > 2 * within
+
+    def test_insufficient_overlap_is_nan(self):
+        traces = two_group_traces()
+        traces[:, 0] = np.nan
+        d = pairwise_euclidean(traces)
+        assert np.isnan(d[0, 1])
+
+
+class TestCorrelationMatrix:
+    def test_self_correlation_is_one(self):
+        corr = correlation_matrix(two_group_traces())
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_common_mode_removal_exposes_structure(self):
+        traces = two_group_traces()
+        raw = correlation_matrix(traces)
+        residual = correlation_matrix(traces, remove_common_mode=True)
+        # Raw: the shared diurnal cycle keeps cross-group correlation positive.
+        assert raw[0, 5] > 0.2
+        # Residual: opposite-phase groups anticorrelate.
+        assert residual[0, 5] < -0.3
+        assert residual[0, 1] > 0.3
+
+    def test_constant_column_zero_correlation(self):
+        traces = two_group_traces()
+        traces[:, 0] = 20.0
+        corr = correlation_matrix(traces)
+        assert corr[0, 1] == 0.0
+
+    def test_remove_network_mean_centres(self):
+        traces = two_group_traces()
+        residual = remove_network_mean(traces)
+        np.testing.assert_allclose(np.nanmean(residual, axis=1), 0.0, atol=1e-9)
+
+
+class TestSimilarities:
+    def test_euclidean_similarity_in_unit_range(self):
+        weights = euclidean_similarity(two_group_traces())
+        assert weights.min() >= 0.0 and weights.max() <= 1.0
+        np.testing.assert_allclose(np.diag(weights), 0.0)
+
+    def test_correlation_similarity_clips_negative(self):
+        weights = correlation_similarity(two_group_traces())
+        assert weights.min() >= 0.0
+
+    def test_edge_threshold(self):
+        options = SimilarityOptions(edge_threshold=0.9)
+        weights = euclidean_similarity(two_group_traces(), options)
+        assert ((weights == 0.0) | (weights >= 0.9)).all()
+
+    def test_options_validation(self):
+        with pytest.raises(ClusteringError):
+            SimilarityOptions(sigma=-1.0)
+        with pytest.raises(ClusteringError):
+            SimilarityOptions(min_common_samples=1)
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self):
+        weights = euclidean_similarity(two_group_traces())
+        lap = graph_laplacian(weights)
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_psd(self):
+        weights = euclidean_similarity(two_group_traces())
+        eigenvalues, _ = laplacian_eigensystem(weights)
+        assert eigenvalues.min() >= 0.0
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_connected_components(self):
+        block = np.array(
+            [
+                [0, 1, 0, 0],
+                [1, 0, 0, 0],
+                [0, 0, 0, 1],
+                [0, 0, 1, 0],
+            ],
+            dtype=float,
+        )
+        assert n_connected_components(block) == 2
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            graph_laplacian(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        with pytest.raises(ClusteringError):
+            graph_laplacian(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+
+class TestEigengap:
+    def test_two_block_graph_picks_two(self):
+        weights = correlation_similarity(two_group_traces())
+        eigenvalues, _ = laplacian_eigensystem(weights)
+        k, _ = choose_k_by_eigengap(eigenvalues)
+        assert k == 2
+
+    def test_log_eigenvalues_floor(self):
+        logs = log_eigenvalues(np.array([0.0, 1.0]))
+        assert np.isfinite(logs).all()
+        assert logs[0] < logs[1]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ClusteringError):
+            log_eigenvalues(np.array([-1.0]))
+
+    def test_range_validation(self):
+        with pytest.raises(ClusteringError):
+            choose_k_by_eigengap(np.array([0.0, 1.0]))
+
+
+class TestKMeans:
+    def test_separated_blobs(self):
+        gen = np.random.default_rng(1)
+        a = gen.normal(0.0, 0.1, size=(20, 2))
+        b = gen.normal(5.0, 0.1, size=(20, 2))
+        result = kmeans(np.vstack([a, b]), 2, seed=0)
+        labels_a = set(result.labels[:20])
+        labels_b = set(result.labels[20:])
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+
+    def test_deterministic_given_seed(self):
+        points = np.random.default_rng(2).random((30, 3))
+        r1 = kmeans(points, 3, seed=7)
+        r2 = kmeans(points, 3, seed=7)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+    def test_inertia_decreases_with_k(self):
+        points = np.random.default_rng(3).random((40, 2))
+        inertias = [kmeans(points, k, seed=0).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_every_cluster_nonempty(self):
+        points = np.random.default_rng(4).random((15, 2))
+        result = kmeans(points, 5, seed=0)
+        assert set(result.labels) == set(range(5))
+
+    def test_validation(self):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 4)
+        with pytest.raises(ClusteringError):
+            kmeans(np.array([[np.nan, 0.0]]), 1)
+
+
+class TestSpectralClustering:
+    def test_recovers_groups(self):
+        traces = two_group_traces()
+        weights = correlation_similarity(traces)
+        labels, k, eigenvalues, gaps = spectral_clustering(weights, seed=0)
+        assert k == 2
+        assert len(set(labels[:5])) == 1
+        assert len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_forced_k(self):
+        weights = correlation_similarity(two_group_traces())
+        labels, k, _, _ = spectral_clustering(weights, k=3, seed=0)
+        assert k == 3
+        assert set(labels) == {0, 1, 2}

@@ -1,0 +1,145 @@
+"""Tests for baseline clusterers and cluster-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.baselines import kmeans_traces, single_linkage
+from repro.cluster.quality import cluster_mean_trace, cluster_quality, cluster_mean_temperatures
+from repro.cluster.spectral import ClusteringResult
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.data.timeseries import TimeAxis
+from repro.errors import ClusteringError
+from tests.test_cluster import two_group_traces
+from tests.conftest import TEST_EPOCH
+
+
+def traces_dataset(traces):
+    count = traces.shape[0]
+    axis = TimeAxis(epoch=TEST_EPOCH, period=900.0, count=count)
+    channels = InputChannels()
+    return AuditoriumDataset(
+        axis=axis,
+        sensor_ids=tuple(range(1, traces.shape[1] + 1)),
+        temperatures=traces,
+        inputs=np.ones((count, channels.n_channels)),
+        channels=channels,
+    )
+
+
+def make_clustering(dataset, labels, k):
+    return ClusteringResult(
+        sensor_ids=dataset.sensor_ids,
+        labels=np.asarray(labels),
+        k=k,
+        method="correlation",
+        eigenvalues=np.arange(float(len(dataset.sensor_ids))),
+        eigengaps=np.ones(len(dataset.sensor_ids) - 1),
+        weights=np.zeros((len(dataset.sensor_ids),) * 2),
+    )
+
+
+class TestBaselines:
+    def test_kmeans_traces_separates_levels(self):
+        traces = two_group_traces(gap=5.0)
+        labels = kmeans_traces(traces, 2, seed=0)
+        assert len(set(labels[:5])) == 1 and len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_kmeans_traces_handles_nans(self):
+        traces = two_group_traces(gap=5.0)
+        traces[::7, 0] = np.nan
+        labels = kmeans_traces(traces, 2, seed=0)
+        assert labels.shape == (10,)
+
+    def test_kmeans_traces_all_nan_column_rejected(self):
+        traces = two_group_traces()
+        traces[:, 0] = np.nan
+        with pytest.raises(ClusteringError):
+            kmeans_traces(traces, 2, seed=0)
+
+    def test_single_linkage_separates_levels(self):
+        traces = two_group_traces(gap=5.0)
+        labels = single_linkage(traces, 2)
+        assert len(set(labels[:5])) == 1 and len(set(labels[5:])) == 1
+        assert labels[0] != labels[5]
+
+    def test_single_linkage_k_equals_n(self):
+        traces = two_group_traces()
+        labels = single_linkage(traces, traces.shape[1])
+        assert len(set(labels)) == traces.shape[1]
+
+    def test_single_linkage_k_validation(self):
+        with pytest.raises(ClusteringError):
+            single_linkage(two_group_traces(), 0)
+
+
+class TestClusteringResult:
+    def test_members_and_lookup(self):
+        dataset = traces_dataset(two_group_traces())
+        clustering = make_clustering(dataset, [0] * 5 + [1] * 5, 2)
+        assert clustering.members(0) == [1, 2, 3, 4, 5]
+        assert clustering.label_of(7) == 1
+        assert clustering.sizes() == [5, 5]
+        with pytest.raises(ClusteringError):
+            clustering.members(5)
+        with pytest.raises(ClusteringError):
+            clustering.label_of(99)
+
+
+class TestClusterQuality:
+    def test_good_vs_bad_clustering(self):
+        traces = two_group_traces(gap=3.0)
+        dataset = traces_dataset(traces)
+        good = make_clustering(dataset, [0] * 5 + [1] * 5, 2)
+        bad = make_clustering(dataset, [0, 1] * 5, 2)
+        q_good = cluster_quality(good, dataset)
+        q_bad = cluster_quality(bad, dataset)
+        good_p95 = np.percentile(q_good.max_differences[0], 95)
+        bad_p95 = np.percentile(q_bad.max_differences[0], 95)
+        assert good_p95 < bad_p95
+        assert q_good.mean_within_correlation[0] > q_bad.mean_within_correlation[0]
+
+    def test_singleton_cluster(self):
+        traces = two_group_traces()
+        dataset = traces_dataset(traces)
+        clustering = make_clustering(dataset, [0] + [1] * 9, 2)
+        quality = cluster_quality(clustering, dataset)
+        assert quality.mean_within_correlation[0] == 1.0
+
+    def test_fraction_below(self):
+        traces = two_group_traces(gap=3.0)
+        dataset = traces_dataset(traces)
+        clustering = make_clustering(dataset, [0] * 5 + [1] * 5, 2)
+        quality = cluster_quality(clustering, dataset)
+        assert 0.0 <= quality.fraction_below(1.0, 0) <= 1.0
+
+    def test_difference_cdf(self):
+        traces = two_group_traces()
+        dataset = traces_dataset(traces)
+        clustering = make_clustering(dataset, [0] * 5 + [1] * 5, 2)
+        quality = cluster_quality(clustering, dataset)
+        values, f = quality.difference_cdf(0)
+        assert (np.diff(f) > 0).all()
+        overall_values, _ = quality.difference_cdf(None)
+        assert overall_values.max() >= values.max()
+
+
+class TestClusterMeans:
+    def test_mean_temperatures_reflect_gap(self):
+        traces = two_group_traces(gap=3.0)
+        dataset = traces_dataset(traces)
+        clustering = make_clustering(dataset, [0] * 5 + [1] * 5, 2)
+        means = cluster_mean_temperatures(clustering, dataset)
+        assert means[1] - means[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_mean_trace_nan_aware(self):
+        traces = two_group_traces()
+        traces[0, 0] = np.nan
+        dataset = traces_dataset(traces)
+        trace = cluster_mean_trace(dataset, [1, 2])
+        assert np.isfinite(trace[0])  # sensor 2 still has data
+
+    def test_mean_trace_empty_members(self):
+        dataset = traces_dataset(two_group_traces())
+        with pytest.raises(ClusteringError):
+            cluster_mean_trace(dataset, [])

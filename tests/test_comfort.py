@@ -1,0 +1,76 @@
+"""Tests for the Fanger PMV/PPD model against ISO 7730 reference points."""
+
+import pytest
+
+from repro.comfort import ComfortConditions, pmv, pmv_ppd, ppd_from_pmv
+from repro.comfort.pmv import pmv_at_temperature
+from repro.errors import ConfigurationError
+
+
+class TestIsoReferencePoints:
+    """Validation cases from ISO 7730 Annex D (tolerance 0.05 PMV)."""
+
+    CASES = [
+        # (ta, tr, vel, rh, met, clo, expected_pmv)
+        (22.0, 22.0, 0.10, 60.0, 1.2, 0.5, -0.75),
+        (27.0, 27.0, 0.10, 60.0, 1.2, 0.5, 0.77),
+        (23.5, 25.5, 0.10, 60.0, 1.2, 0.5, -0.01),
+        (19.0, 19.0, 0.10, 40.0, 1.2, 1.0, -0.60),
+        (27.0, 27.0, 0.30, 60.0, 1.2, 0.5, 0.44),
+    ]
+
+    @pytest.mark.parametrize("ta,tr,vel,rh,met,clo,expected", CASES)
+    def test_reference_point(self, ta, tr, vel, rh, met, clo, expected):
+        conditions = ComfortConditions(
+            air_temp=ta,
+            radiant_temp=tr,
+            air_speed=vel,
+            relative_humidity=rh,
+            metabolic_rate=met,
+            clothing=clo,
+        )
+        assert pmv(conditions) == pytest.approx(expected, abs=0.05)
+
+
+class TestPPD:
+    def test_minimum_at_neutral(self):
+        assert ppd_from_pmv(0.0) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        assert ppd_from_pmv(1.0) == pytest.approx(ppd_from_pmv(-1.0))
+
+    def test_increases_away_from_neutral(self):
+        assert ppd_from_pmv(2.0) > ppd_from_pmv(1.0) > ppd_from_pmv(0.5)
+
+    def test_pmv_ppd_pair(self):
+        value, dissatisfied = pmv_ppd(ComfortConditions())
+        assert dissatisfied == pytest.approx(ppd_from_pmv(value))
+
+
+class TestBehaviour:
+    def test_pmv_monotone_in_temperature(self):
+        votes = [pmv_at_temperature(t) for t in (18.0, 20.0, 22.0, 24.0, 26.0)]
+        assert all(b > a for a, b in zip(votes, votes[1:]))
+
+    def test_paper_claim_half_vote_per_two_degrees(self):
+        """The paper: a 2 degC spread moves PMV by ~0.5."""
+        delta = pmv_at_temperature(22.0) - pmv_at_temperature(20.0)
+        assert 0.3 < delta < 0.8
+
+    def test_more_clothing_warmer(self):
+        light = ComfortConditions(air_temp=20.0, radiant_temp=20.0, clothing=0.4)
+        heavy = ComfortConditions(air_temp=20.0, radiant_temp=20.0, clothing=1.2)
+        assert pmv(heavy) > pmv(light)
+
+    def test_air_speed_cools(self):
+        still = ComfortConditions(air_temp=26.0, radiant_temp=26.0, air_speed=0.05)
+        breezy = ComfortConditions(air_temp=26.0, radiant_temp=26.0, air_speed=0.5)
+        assert pmv(breezy) < pmv(still)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComfortConditions(air_speed=-0.1)
+        with pytest.raises(ConfigurationError):
+            ComfortConditions(relative_humidity=150.0)
+        with pytest.raises(ConfigurationError):
+            ComfortConditions(metabolic_rate=0.0)

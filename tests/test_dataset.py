@@ -1,0 +1,158 @@
+"""Tests for the AuditoriumDataset container."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.data.modes import OCCUPIED, UNOCCUPIED
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+
+EPOCH = datetime(2013, 1, 31)
+
+
+def make_dataset(n_days=2, period=900.0, n_sensors=4, fill=20.0):
+    count = int(n_days * 86400 / period)
+    axis = TimeAxis(epoch=EPOCH, period=period, count=count)
+    channels = InputChannels()
+    temps = np.full((count, n_sensors), fill)
+    temps += np.arange(n_sensors)[None, :] * 0.1
+    inputs = np.ones((count, channels.n_channels))
+    return AuditoriumDataset(
+        axis=axis,
+        sensor_ids=tuple(range(10, 10 + n_sensors)),
+        temperatures=temps,
+        inputs=inputs,
+        channels=channels,
+    )
+
+
+class TestInputChannels:
+    def test_names_layout(self):
+        channels = InputChannels(n_vavs=4)
+        assert channels.names == (
+            "vav1_flow", "vav2_flow", "vav3_flow", "vav4_flow",
+            "occupancy", "lighting", "ambient",
+        )
+        assert channels.n_channels == 7
+        assert channels.index_of("occupancy") == 4
+        with pytest.raises(DataError):
+            channels.index_of("nope")
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        dataset = make_dataset()
+        with pytest.raises(DataError):
+            AuditoriumDataset(
+                axis=dataset.axis,
+                sensor_ids=dataset.sensor_ids,
+                temperatures=dataset.temperatures[:, :2],
+                inputs=dataset.inputs,
+            )
+
+    def test_duplicate_ids_rejected(self):
+        dataset = make_dataset()
+        with pytest.raises(DataError):
+            AuditoriumDataset(
+                axis=dataset.axis,
+                sensor_ids=(1, 1, 2, 3),
+                temperatures=dataset.temperatures,
+                inputs=dataset.inputs,
+            )
+
+
+class TestAccessors:
+    def test_column_of_and_temperature_of(self):
+        dataset = make_dataset()
+        assert dataset.column_of(11) == 1
+        np.testing.assert_allclose(dataset.temperature_of(11), 20.1)
+        with pytest.raises(DataError):
+            dataset.column_of(999)
+
+    def test_input_channel_and_vav_flows(self):
+        dataset = make_dataset()
+        assert dataset.input_channel("ambient").shape == (dataset.n_samples,)
+        assert dataset.vav_flows().shape == (dataset.n_samples, 4)
+
+
+class TestTransforms:
+    def test_select_sensors_preserves_order(self):
+        dataset = make_dataset()
+        sub = dataset.select_sensors([12, 10])
+        assert sub.sensor_ids == (12, 10)
+        np.testing.assert_allclose(sub.temperature_of(12), 20.2)
+
+    def test_window(self):
+        dataset = make_dataset()
+        sub = dataset.window(10, 20)
+        assert sub.n_samples == 10
+        assert sub.axis.epoch == dataset.axis.datetime_at(10)
+
+    def test_masked_outside(self):
+        dataset = make_dataset()
+        mask = np.zeros(dataset.n_samples, dtype=bool)
+        mask[:5] = True
+        masked = dataset.masked_outside(mask)
+        assert np.isfinite(masked.temperatures[:5]).all()
+        assert np.isnan(masked.temperatures[5:]).all()
+        # Original untouched.
+        assert np.isfinite(dataset.temperatures).all()
+
+
+class TestDaysAndModes:
+    def test_usable_days_full_coverage(self):
+        dataset = make_dataset(n_days=3)
+        assert dataset.usable_days(OCCUPIED) == [0, 1, 2]
+
+    def test_usable_days_drops_broken_day(self):
+        dataset = make_dataset(n_days=3)
+        day_of_row = dataset.axis.day_indices()
+        temps = dataset.temperatures.copy()
+        temps[day_of_row == 1] = np.nan
+        broken = AuditoriumDataset(
+            axis=dataset.axis,
+            sensor_ids=dataset.sensor_ids,
+            temperatures=temps,
+            inputs=dataset.inputs,
+        )
+        assert broken.usable_days(OCCUPIED) == [0, 2]
+
+    def test_restrict_days_with_mode(self):
+        dataset = make_dataset(n_days=3)
+        restricted = dataset.restrict_days([1], mode=OCCUPIED)
+        finite_rows = np.isfinite(restricted.temperatures).all(axis=1)
+        hours = dataset.axis.hours_of_day()
+        days = dataset.axis.day_indices()
+        expected = (days == 1) & (hours >= 6.0) & (hours < 21.0)
+        np.testing.assert_array_equal(finite_rows, expected)
+
+    def test_split_half_days(self):
+        dataset = make_dataset(n_days=4)
+        train, valid = dataset.split_half_days(OCCUPIED)
+        train_days = {d for d in train.usable_days(OCCUPIED)}
+        valid_days = {d for d in valid.usable_days(OCCUPIED)}
+        assert train_days == {0, 1}
+        assert valid_days == {2, 3}
+
+    def test_split_requires_two_days(self):
+        dataset = make_dataset(n_days=1)
+        with pytest.raises(DataError):
+            dataset.split_half_days(OCCUPIED)
+
+
+class TestSegments:
+    def test_segments_respect_mode(self):
+        dataset = make_dataset(n_days=2)
+        segments = dataset.segments(mode=UNOCCUPIED)
+        hours = dataset.axis.hours_of_day()
+        for segment in segments:
+            assert all(UNOCCUPIED.contains_hour(h) for h in hours[segment.indices()])
+
+    def test_coverage(self):
+        dataset = make_dataset()
+        assert dataset.coverage() == pytest.approx(1.0)
+        mask = np.zeros(dataset.n_samples, dtype=bool)
+        assert dataset.masked_outside(mask).coverage() == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the full deployment observing a simulation (and the HVAC logger)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.layout import (
+    RELIABLE_GROUND_SENSOR_IDS,
+    THERMOSTAT_IDS,
+    UNRELIABLE_GROUND_SENSOR_IDS,
+)
+from repro.sensing.hvac_logger import HVACLogger, HVACLoggerConfig
+
+
+class TestHVACLogger:
+    def test_log_intervals_in_range(self):
+        logger = HVACLogger(HVACLoggerConfig(), seed=1)
+        times = logger.log_times(5 * 86400.0)
+        gaps = np.diff(times)
+        assert gaps.min() >= 600.0 - 1e-9
+        assert gaps.max() <= 1800.0 + 1e-9
+
+    def test_streams_cover_all_channels(self, week_output):
+        streams = HVACLogger(seed=2).observe(week_output.simulation)
+        expected = {f"vav{i}_flow" for i in range(1, 5)}
+        expected |= {f"vav{i}_temp" for i in range(1, 5)}
+        expected |= {"ambient", "co2", "lighting"}
+        assert set(streams) == expected
+
+    def test_lighting_records_state_changes(self, week_output):
+        streams = HVACLogger(seed=2).observe(week_output.simulation)
+        lighting = streams["lighting"]
+        assert set(np.unique(lighting.values)) <= {0.0, 1.0}
+        # Consecutive records differ (change-driven), except the initial one.
+        assert (np.diff(lighting.values) != 0).all()
+
+
+class TestDeployment:
+    def test_all_units_produce_streams(self, week_output):
+        raw = week_output.raw
+        assert len(raw.temperature_streams) == 41
+
+    def test_report_on_change_compresses(self, week_output):
+        """A wireless sensor reports far fewer samples than the 1-minute
+        simulation resolution."""
+        raw = week_output.raw
+        n_steps = week_output.simulation.n_steps
+        for sid in RELIABLE_GROUND_SENSOR_IDS[:5]:
+            assert 0 < len(raw.stream_of(sid)) < 0.6 * n_steps
+
+    def test_dropout_unit_reports_sparsely(self, week_output):
+        raw = week_output.raw
+        dropout_id = 36  # configured with the dropout fault in the layout
+        healthy = np.median([len(raw.stream_of(s)) for s in RELIABLE_GROUND_SENSOR_IDS])
+        assert len(raw.stream_of(dropout_id)) < 0.15 * healthy
+
+    def test_thermostats_log_periodically(self, week_output):
+        raw = week_output.raw
+        for sid in THERMOSTAT_IDS:
+            stream = raw.stream_of(sid)
+            gaps = np.diff(stream.times)
+            # Wired 5-minute cadence, except across server outages.
+            assert np.median(gaps) == pytest.approx(300.0)
+
+    def test_stream_values_are_plausible_temperatures(self, week_output):
+        raw = week_output.raw
+        for sid in RELIABLE_GROUND_SENSOR_IDS:
+            values = raw.stream_of(sid).values
+            assert values.min() > 12.0 and values.max() < 30.0
+
+    def test_outages_kill_wireless_reports(self, week_output):
+        raw = week_output.raw
+        outages = raw.outages
+        windows = outages.station_windows + outages.server_windows
+        if not windows:
+            pytest.skip("this seed drew no outage in one week")
+        lo, hi = windows[0]
+        for sid in RELIABLE_GROUND_SENSOR_IDS[:3]:
+            times = raw.stream_of(sid).times
+            assert not ((times >= lo) & (times < hi)).any()
+
+    def test_occupancy_stream_exists(self, week_output):
+        assert week_output.raw.occupancy_stream is not None
+        assert len(week_output.raw.occupancy_stream) > 100

@@ -1,0 +1,181 @@
+"""Targeted edge-case tests across modules.
+
+These cover failure paths and secondary behaviours that the main suites
+don't reach: sweep validation, context caching, experiment parameter
+overrides, closed-loop scoring corner cases, GP prediction shapes.
+"""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.data.modes import OCCUPIED
+from repro.errors import ConfigurationError, IdentificationError, SelectionError
+from tests.conftest import make_linear_dataset
+
+
+class TestSweepValidation:
+    def test_training_sweep_needs_enough_days(self):
+        from repro.sysid.sweeps import training_horizon_sweep
+
+        dataset = make_linear_dataset(n_days=4)
+        with pytest.raises(IdentificationError):
+            training_horizon_sweep(dataset, training_days_options=(13,), validation_days=6)
+
+    def test_prediction_sweep_result_rows(self, month_dataset):
+        from repro.sysid.sweeps import prediction_length_sweep
+
+        train, valid = month_dataset.split_half_days(OCCUPIED)
+        sweep = prediction_length_sweep(train, valid, horizons_hours=(2.5, 5.0))
+        rows = sweep.as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 2.5
+        assert all(len(row) == 3 for row in rows)
+
+
+class TestExperimentContext:
+    def test_cache_by_days_and_seed(self, month_output):
+        from repro.experiments.context import get_context
+
+        a = get_context(days=28.0)
+        b = get_context(days=28.0)
+        assert a is b
+
+    def test_resolve_defaults(self):
+        from repro.experiments.context import resolve_context
+
+        sentinel = object()
+        assert resolve_context(sentinel) is sentinel
+
+    def test_context_views_consistent(self, month_output):
+        from repro.experiments.context import get_context
+        from repro.geometry.layout import THERMOSTAT_IDS
+
+        ctx = get_context(days=28.0)
+        assert set(ctx.wireless.sensor_ids).isdisjoint(THERMOSTAT_IDS)
+        assert len(ctx.analysis.sensor_ids) == len(ctx.wireless.sensor_ids) + 2
+
+
+class TestExperimentParameterOverrides:
+    def test_fig9_custom_counts(self, month_output):
+        from repro.experiments import fig9
+        from repro.experiments.context import get_context
+
+        result = fig9.run(context=get_context(days=28.0), sensor_counts=(1, 3), n_random_draws=3)
+        assert [row[0] for row in result.rows] == [1, 3]
+
+    def test_fig7_custom_ks(self, month_output):
+        from repro.experiments import fig7
+        from repro.experiments.context import get_context
+
+        result = fig7.run(context=get_context(days=28.0), ks=(2,))
+        assert {row[0] for row in result.rows} == {2}
+
+    def test_fig4_different_sensor(self, month_output):
+        from repro.experiments import fig4
+        from repro.experiments.context import get_context
+
+        result = fig4.run(context=get_context(days=28.0), sensor_id=27)
+        assert "Sensor 27" in result.title
+
+
+class TestClosedLoopScoring:
+    def test_empty_room_rejected(self, week_output):
+        import dataclasses
+
+        from repro.control import score_closed_loop
+
+        silent = dataclasses.replace(
+            week_output.simulation,
+            zone_occupancy=np.zeros_like(week_output.simulation.zone_occupancy),
+        )
+        with pytest.raises(ConfigurationError):
+            score_closed_loop(silent)
+
+    def test_setpoint_shifts_comfort(self, week_output):
+        from repro.control import score_closed_loop
+
+        at21 = score_closed_loop(week_output.simulation, setpoint=21.0)
+        at25 = score_closed_loop(week_output.simulation, setpoint=25.0)
+        # The room runs near 21 when occupied, so a 25 degC target looks bad.
+        assert at25.comfort_rms > at21.comfort_rms + 1.0
+
+
+class TestGaussianFieldShapes:
+    def test_predict_validates_alignment(self):
+        from repro.selection.gp import GaussianField
+
+        field = GaussianField(np.eye(3))
+        with pytest.raises(SelectionError):
+            field.predict([0], [1, 2], np.array([1.0]))
+
+    def test_conditional_variance_ignores_self(self):
+        from repro.selection.gp import GaussianField
+
+        field = GaussianField(np.eye(3))
+        assert field.conditional_variance(0, [0]) == pytest.approx(1.0)
+
+
+class TestRenderTableEdgeCases:
+    def test_empty_rows(self):
+        from repro.experiments.base import render_table
+
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        from repro.experiments.base import render_table
+
+        text = render_table(["x"], [["label"], [1], [2.34567]])
+        assert "2.346" in text
+
+
+class TestVAVExtremes:
+    def test_zero_flow_heat_rate(self):
+        from repro.simulation.vav import VAVBox, VAVConfig
+
+        box = VAVBox(1, VAVConfig(min_flow=0.0))
+        box._flow = 0.0
+        assert box.heat_rate_into(22.0) == 0.0
+
+    def test_reset_restores_idle(self):
+        from repro.simulation.vav import VAVBox, VAVConfig
+
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        box.command(config.max_flow, config.cold_deck_temp, dt=3600.0)
+        box.reset()
+        assert box.flow == config.min_flow
+        assert box.discharge_temp == config.neutral_temp
+
+
+class TestDatasetWindowingChain:
+    def test_window_then_segments(self, week_dataset):
+        sub = week_dataset.window(0, 96)
+        segments = sub.segments(min_length=2)
+        for segment in segments:
+            block = sub.temperatures[segment.start : segment.stop]
+            assert np.isfinite(block).all()
+
+    def test_select_then_restrict_days(self, week_dataset):
+        ids = list(week_dataset.sensor_ids[:5])
+        sub = week_dataset.select_sensors(ids).restrict_days([1], mode=OCCUPIED)
+        day_rows = sub.axis.day_indices() == 1
+        assert np.isnan(sub.temperatures[~day_rows]).all()
+
+
+class TestCLIArgumentErrors:
+    def test_missing_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        from repro.cli import main
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert __version__ in capsys.readouterr().out

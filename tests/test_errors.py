@@ -1,0 +1,28 @@
+"""The exception hierarchy is catchable at one base class."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.GeometryError,
+    errors.SimulationError,
+    errors.SensingError,
+    errors.DataError,
+    errors.IdentificationError,
+    errors.ClusteringError,
+    errors.SelectionError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_base_is_exception():
+    assert issubclass(errors.ReproError, Exception)

@@ -1,0 +1,109 @@
+"""Tests for the free-run prediction-evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.modes import OCCUPIED
+from repro.errors import IdentificationError
+from repro.sysid.evaluation import (
+    EvaluationOptions,
+    PredictionEvaluation,
+    evaluate_model,
+    fit_and_evaluate,
+)
+from repro.sysid.identify import IdentificationOptions, identify
+from tests.conftest import make_linear_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_linear_dataset(n_days=6, noise=0.0)
+
+
+class TestEvaluateModel:
+    def test_perfect_model_zero_error(self, dataset):
+        model = identify(dataset, IdentificationOptions(order=1))
+        result = evaluate_model(
+            model,
+            dataset,
+            mode=OCCUPIED,
+            options=EvaluationOptions(start_offset_hours=1.0, horizon_hours=10.0),
+        )
+        assert result.n_days == 6
+        assert result.overall_percentile(90) < 1e-6
+
+    def test_wrong_model_nonzero_error(self, dataset):
+        model = identify(dataset, IdentificationOptions(order=1))
+        wrong = type(model)(A=model.A * 0.95, B=model.B)
+        result = evaluate_model(
+            wrong,
+            dataset,
+            mode=OCCUPIED,
+            options=EvaluationOptions(start_offset_hours=1.0, horizon_hours=10.0),
+        )
+        assert result.overall_percentile(90) > 0.1
+
+    def test_days_with_input_gaps_skipped(self, dataset):
+        model = identify(dataset, IdentificationOptions(order=1))
+        # Poison day 2's inputs inside the horizon.
+        day_of_row = dataset.axis.day_indices()
+        hours = dataset.axis.hours_of_day()
+        poison = (day_of_row == 2) & (hours > 10) & (hours < 11)
+        dataset.inputs[poison] = np.nan
+        result = evaluate_model(
+            model,
+            dataset,
+            mode=OCCUPIED,
+            options=EvaluationOptions(start_offset_hours=1.0, horizon_hours=10.0),
+        )
+        assert 2 not in result.per_day_rms
+        assert result.n_days == 5
+
+    def test_horizon_longer_than_window_yields_no_days(self, dataset):
+        model = identify(dataset, IdentificationOptions(order=1))
+        with pytest.raises(IdentificationError):
+            evaluate_model(
+                model,
+                dataset,
+                mode=OCCUPIED,
+                options=EvaluationOptions(start_offset_hours=1.0, horizon_hours=48.0),
+            )
+
+    def test_keep_traces_alignment(self, dataset):
+        model = identify(dataset, IdentificationOptions(order=2))
+        options = EvaluationOptions(start_offset_hours=1.0, horizon_hours=8.0)
+        result = evaluate_model(model, dataset, mode=OCCUPIED, options=options, keep_traces=True)
+        for day, (start, predicted, measured) in result.traces.items():
+            np.testing.assert_array_equal(
+                measured, dataset.temperatures[start : start + len(measured)]
+            )
+
+
+class TestPredictionEvaluation:
+    def test_aggregations(self):
+        evaluation = PredictionEvaluation(sensor_ids=(1, 2))
+        evaluation.per_day_rms[0] = np.array([1.0, 2.0])
+        evaluation.per_day_rms[1] = np.array([3.0, 4.0])
+        matrix = evaluation.rms_matrix()
+        assert matrix.shape == (2, 2)
+        np.testing.assert_allclose(evaluation.sensor_rms(), [np.sqrt(5), np.sqrt(10)])
+        assert evaluation.overall_percentile(100) == pytest.approx(4.0)
+        per_sensor_90 = evaluation.sensor_percentile(100)
+        np.testing.assert_allclose(per_sensor_90, [3.0, 4.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(IdentificationError):
+            PredictionEvaluation(sensor_ids=(1,)).rms_matrix()
+
+
+class TestFitAndEvaluate:
+    def test_end_to_end_on_known_system(self, dataset):
+        model, result = fit_and_evaluate(
+            dataset,
+            dataset,
+            order=1,
+            mode=OCCUPIED,
+            evaluation=EvaluationOptions(start_offset_hours=1.0, horizon_hours=10.0),
+        )
+        assert result.overall_percentile(90) < 1e-6
+        assert model.n_sensors == dataset.n_sensors

@@ -1,0 +1,188 @@
+"""Tests for the per-table/figure experiment runners.
+
+Each runner executes on a shared 28-day context and is checked for the
+paper's *shape* claims (who wins, which direction curves move), not its
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult, render_table
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx(month_output):
+    return ExperimentContext.create(days=28.0)
+
+
+class TestBase:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=["h"], rows=[[1]], notes=["n"]
+        )
+        rendered = result.render()
+        assert "== x: t ==" in rendered
+        assert "note: n" in rendered
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        paper = {
+            "table1", "table2",
+            "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+        extensions = {"ext-control", "ext-occupancy", "ext-order", "ext-stability"}
+        assert set(EXPERIMENTS) == paper | extensions
+
+    def test_every_paper_runner_returns_result(self, ctx):
+        for experiment_id, module in EXPERIMENTS.items():
+            if experiment_id.startswith("ext-"):
+                continue  # extensions covered below (some are slow)
+            result = module.run(context=ctx)
+            assert isinstance(result, ExperimentResult)
+            assert result.experiment_id == experiment_id
+            assert result.rows
+            assert result.render()
+
+    def test_extension_runners(self, ctx):
+        occupancy = EXPERIMENTS["ext-occupancy"].run(context=ctx)
+        assert occupancy.rows
+        order = EXPERIMENTS["ext-order"].run(context=ctx, orders=(1, 2))
+        assert [row[0] for row in order.rows] == [1, 2]
+        stability = EXPERIMENTS["ext-stability"].run(context=ctx, n_bootstrap=3)
+        methods = {row[0] for row in stability.rows}
+        assert methods == {"correlation", "euclidean"}
+
+    def test_extension_control_runner(self, ctx):
+        result = EXPERIMENTS["ext-control"].run(context=ctx, control_days=1.0)
+        names = [row[0] for row in result.rows]
+        assert "PI on thermostats" in names
+        assert any("calendar" in n for n in names)
+
+
+class TestTable1Shape:
+    def test_orderings(self, ctx):
+        result = EXPERIMENTS["table1"].run(context=ctx)
+        values = {(row[0], row[1]): row[2] for row in result.rows}
+        assert values[("occupied", 2)] < values[("occupied", 1)]
+        assert values[("unoccupied", 2)] <= values[("unoccupied", 1)]
+        assert values[("unoccupied", 2)] < values[("occupied", 2)]
+        assert values[("unoccupied", 1)] < values[("occupied", 1)]
+
+
+class TestTable2Shape:
+    def test_orderings(self, ctx):
+        result = EXPERIMENTS["table2"].run(context=ctx, n_random_draws=10)
+        values = {row[0]: row[1] for row in result.rows}
+        assert values["SMS"] < values["SRS"] < values["RS"]
+        assert values["Thermostats"] > values["SRS"]
+
+
+class TestFig2Shape:
+    def test_spread_and_zone_ordering(self, ctx):
+        result = EXPERIMENTS["fig2"].run(context=ctx)
+        assert 1.0 < result.extras["spread"] < 4.0
+        temps = {row[0]: row[4] for row in result.rows}
+        zones = {row[0]: row[1] for row in result.rows}
+        front = np.mean([t for s, t in temps.items() if zones[s] == "front"])
+        back = np.mean([t for s, t in temps.items() if zones[s] == "back"])
+        tstat = np.mean([t for s, t in temps.items() if zones[s] == "thermostat"])
+        assert tstat <= front + 0.2
+        assert back > front + 0.3
+
+
+class TestFig3Shape:
+    def test_second_order_dominates(self, ctx):
+        result = EXPERIMENTS["fig3"].run(context=ctx)
+        firsts = np.array([row[1] for row in result.rows])
+        seconds = np.array([row[2] for row in result.rows])
+        assert (seconds <= firsts).mean() > 0.9
+
+
+class TestFig4Shape:
+    def test_traces_finite_and_better_second_order(self, ctx):
+        result = EXPERIMENTS["fig4"].run(context=ctx)
+        measured = result.extras["measured"]
+        p1 = result.extras["first_order"]
+        p2 = result.extras["second_order"]
+        assert np.isfinite(p1).all() and np.isfinite(p2).all()
+        rms1 = np.sqrt(np.nanmean((p1 - measured) ** 2))
+        rms2 = np.sqrt(np.nanmean((p2 - measured) ** 2))
+        assert rms2 <= rms1
+
+
+class TestFig5Shape:
+    def test_horizon_errors_grow(self, ctx):
+        result = EXPERIMENTS["fig5"].run(context=ctx)
+        horizon_rows = [row for row in result.rows if row[0] == "horizon_hours"]
+        errors2 = [row[3] for row in horizon_rows]
+        assert errors2[-1] > errors2[0]
+        # Second order below first order at the longest horizon.
+        assert horizon_rows[-1][3] <= horizon_rows[-1][2]
+
+
+class TestFig6Shape:
+    def test_correlation_clustering_is_pure(self, ctx):
+        result = EXPERIMENTS["fig6"].run(context=ctx)
+        correlation_rows = [row for row in result.rows if row[0] == "correlation"]
+        assert all(row[4] == 1.0 for row in correlation_rows)
+
+    def test_euclidean_less_pure_than_correlation(self, ctx):
+        result = EXPERIMENTS["fig6"].run(context=ctx)
+        by_method = {}
+        for row in result.rows:
+            by_method.setdefault(row[0], []).append(row[4])
+        assert np.mean(by_method["euclidean"]) <= np.mean(by_method["correlation"])
+
+
+class TestFig78Shape:
+    def test_correlation_clusters_tighter_than_euclidean(self, ctx):
+        euclidean = EXPERIMENTS["fig7"].run(context=ctx, ks=(3,))
+        correlation = EXPERIMENTS["fig8"].run(context=ctx, ks=(2,))
+        # Worst per-cluster p95 diff: Euclidean's worst cluster is close
+        # to the overall spread, correlation's stays below it.
+        euclidean_worst = max(row[3] for row in euclidean.rows)
+        correlation_worst = max(row[3] for row in correlation.rows)
+        overall = euclidean.rows[0][4]
+        assert correlation_worst < overall
+        assert euclidean_worst >= correlation_worst - 0.2
+
+    def test_within_correlation_higher_for_correlation_method(self, ctx):
+        euclidean = EXPERIMENTS["fig7"].run(context=ctx, ks=(3,))
+        correlation = EXPERIMENTS["fig8"].run(context=ctx, ks=(2,))
+        assert min(r[5] for r in correlation.rows) > min(r[5] for r in euclidean.rows)
+
+
+class TestFig9Shape:
+    def test_error_decreases(self, ctx):
+        result = EXPERIMENTS["fig9"].run(context=ctx, n_random_draws=10)
+        errors = [row[1] for row in result.rows]
+        assert errors[-1] < errors[0]
+
+
+class TestFig10Shape:
+    def test_stratified_beats_random(self, ctx):
+        result = EXPERIMENTS["fig10"].run(context=ctx, n_random_draws=5)
+        for row in result.rows:
+            _, sms, srs, rs = row
+            assert sms <= rs
+            assert srs <= rs
+
+
+class TestFig11Shape:
+    def test_sms_beats_rs_mostly(self, ctx):
+        result = EXPERIMENTS["fig11"].run(
+            context=ctx, cluster_counts=(2, 4, 6), n_random_draws=3
+        )
+        wins = sum(1 for row in result.rows if row[1] <= row[3])
+        assert wins >= 2

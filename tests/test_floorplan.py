@@ -1,0 +1,47 @@
+"""Tests for the ASCII floor-plan renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.experiments.floorplan import busiest_tick, render_floorplan
+
+
+class TestBusiestTick:
+    def test_picks_high_occupancy(self, week_dataset):
+        tick = busiest_tick(week_dataset)
+        occupancy = week_dataset.input_channel("occupancy")
+        assert occupancy[tick] > 50
+
+    def test_requires_valid_data(self, week_dataset):
+        broken = week_dataset.masked_outside(np.zeros(week_dataset.n_samples, bool))
+        with pytest.raises(DataError):
+            busiest_tick(broken)
+
+
+class TestRender:
+    def test_renders_all_sensors(self, week_dataset):
+        tick = busiest_tick(week_dataset)
+        text = render_floorplan(week_dataset, tick)
+        for sid in week_dataset.sensor_ids:
+            assert str(sid) in text
+        assert "FRONT" in text and "BACK" in text
+        assert "degC" in text
+
+    def test_canvas_dimensions(self, week_dataset):
+        tick = busiest_tick(week_dataset)
+        text = render_floorplan(week_dataset, tick, width=40, height=10)
+        lines = text.splitlines()
+        # border + FRONT + 10 rows + BACK + border + legend
+        assert len(lines) == 15
+        assert all(len(line) == 42 for line in lines[:-1])
+
+    def test_tick_range_checked(self, week_dataset):
+        with pytest.raises(DataError):
+            render_floorplan(week_dataset, -1)
+        with pytest.raises(DataError):
+            render_floorplan(week_dataset, week_dataset.n_samples)
+
+    def test_canvas_size_checked(self, week_dataset):
+        with pytest.raises(DataError):
+            render_floorplan(week_dataset, 0, width=5, height=5)

@@ -1,0 +1,105 @@
+"""Tests for the calendar-based disturbance forecaster."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.control import CalendarForecaster, ForecastingController, MPCConfig, ReducedModelMPC
+from repro.errors import ConfigurationError
+from repro.geometry.auditorium import Point
+from repro.simulation import AuditoriumSimulator, SimulationConfig
+from repro.simulation.calendar import Event, EventCalendar
+from repro.simulation.lighting import LightingModel
+from repro.simulation.weather import WeatherModel
+from tests.test_control import cooling_model
+
+EPOCH = datetime(2013, 3, 18)
+
+
+@pytest.fixture
+def forecaster():
+    event = Event(
+        name="seminar",
+        start=EPOCH + timedelta(hours=12),
+        duration_minutes=60,
+        attendance=85,
+        kind="seminar",
+        presentation=True,
+    )
+    calendar = EventCalendar(events=[event])
+    return CalendarForecaster(
+        calendar=calendar,
+        lighting=LightingModel(calendar),
+        weather=WeatherModel(seed=1),
+        epoch=EPOCH,
+        step_seconds=60.0,
+    )
+
+
+class TestCalendarForecaster:
+    def test_occupancy_follows_schedule(self, forecaster):
+        before = forecaster.occupancy_at(EPOCH + timedelta(hours=11))
+        during = forecaster.occupancy_at(EPOCH + timedelta(hours=12, minutes=30))
+        after = forecaster.occupancy_at(EPOCH + timedelta(hours=14))
+        assert before == 0.0
+        assert during == pytest.approx(85.0)
+        assert after == 0.0
+
+    def test_horizon_sees_upcoming_event(self, forecaster):
+        # Plan starting 11:00 with a 2 h horizon at 15-min periods: the
+        # seminar (12:00) appears in the later rows.
+        step = int(11 * 3600 / 60)
+        forecast = forecaster.horizon(step, horizon_steps=8, model_period=900.0)
+        assert forecast.shape == (8, 3)
+        assert forecast[0, 0] == 0.0  # 11:07 - nobody yet
+        assert forecast[-1, 0] > 50.0  # 12:52 - seminar in session
+
+    def test_lighting_and_ambient_channels(self, forecaster):
+        occupancy, lighting, ambient = forecaster.at(EPOCH + timedelta(hours=12, minutes=5))
+        assert lighting == 1.0
+        assert -30.0 < ambient < 45.0
+
+    def test_as_source(self, forecaster):
+        source = forecaster.as_source()
+        step = int(12.5 * 3600 / 60)
+        occupancy, lighting, ambient = source(step)
+        assert occupancy == pytest.approx(85.0)
+
+    def test_step_seconds_validated(self, forecaster):
+        with pytest.raises(ConfigurationError):
+            CalendarForecaster(
+                calendar=forecaster.calendar,
+                lighting=forecaster.lighting,
+                weather=forecaster.weather,
+                epoch=EPOCH,
+                step_seconds=0.0,
+            )
+
+
+class TestForecastingController:
+    def test_precools_before_scheduled_event(self, forecaster):
+        """With the seminar on the horizon, the plan schedules far more
+        cooling than a no-event plan, even though current occupancy is
+        zero — the receding horizon sees the arrivals coming."""
+        model = cooling_model()
+        mpc = ReducedModelMPC(model, n_flows=4, config=MPCConfig(move_weight=0.0))
+        step = int(11.25 * 3600 / 60)
+        history = np.array([[21.0, 21.0]])
+        with_event = mpc.plan(
+            history, forecaster.horizon(step, mpc.config.horizon, mpc.config.model_period)
+        )
+        no_event = mpc.plan(history, np.zeros((mpc.config.horizon, 3)))
+        assert with_event.sum() > no_event.sum() + 0.5
+        # The extra flow lands on the event periods, not uniformly.
+        assert with_event[2:].sum() > with_event[:2].sum()
+
+    def test_plan_log_and_positions_exposed(self, forecaster):
+        model = cooling_model()
+        mpc = ReducedModelMPC(model, n_flows=4)
+        controller = ForecastingController(
+            mpc, [Point(5, 2, 1), Point(5, 12, 1)], forecaster
+        )
+        controller.decide(0, 6.0, np.array([22.0, 22.0]), dt=60.0)
+        assert len(controller.positions()) == 2
+        assert len(controller.plan_log) >= 1

@@ -1,0 +1,82 @@
+"""Tests for gap detection and segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.gaps import Segment, coverage, find_segments, mask_gaps, valid_mask
+from repro.errors import DataError
+
+
+class TestSegment:
+    def test_length_and_indices(self):
+        segment = Segment(3, 7)
+        assert len(segment) == 4
+        np.testing.assert_array_equal(segment.indices(), [3, 4, 5, 6])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Segment(5, 5)
+
+    def test_intersect(self):
+        segment = Segment(3, 9)
+        assert segment.intersect(5, 20) == Segment(5, 9)
+        assert segment.intersect(0, 3) is None
+        assert segment.intersect(9, 12) is None
+
+
+class TestValidMask:
+    def test_all_columns_must_be_finite(self):
+        matrix = np.array([[1.0, 2.0], [np.nan, 2.0], [1.0, np.nan], [3.0, 4.0]])
+        np.testing.assert_array_equal(valid_mask(matrix), [True, False, False, True])
+
+    def test_one_dimensional(self):
+        np.testing.assert_array_equal(valid_mask(np.array([1.0, np.nan])), [True, False])
+
+    def test_rejects_3d(self):
+        with pytest.raises(DataError):
+            valid_mask(np.zeros((2, 2, 2)))
+
+
+class TestFindSegments:
+    def test_splits_on_nan(self):
+        data = np.array([1, 2, np.nan, 4, 5, 6.0])
+        segments = find_segments(data, min_length=2)
+        assert segments == [Segment(0, 2), Segment(3, 6)]
+
+    def test_min_length_filters(self):
+        data = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        assert find_segments(data, min_length=3) == [Segment(2, 5)]
+
+    def test_extra_mask_respected(self):
+        data = np.ones(6)
+        mask = np.array([True, True, False, True, True, True])
+        assert find_segments(data, min_length=2, mask=mask) == [Segment(0, 2), Segment(3, 6)]
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(DataError):
+            find_segments(np.ones(4), mask=np.ones(3, dtype=bool))
+
+    def test_all_invalid(self):
+        assert find_segments(np.full(5, np.nan)) == []
+
+    def test_min_length_validation(self):
+        with pytest.raises(DataError):
+            find_segments(np.ones(3), min_length=0)
+
+
+class TestMaskGapsAndCoverage:
+    def test_mask_gaps(self):
+        data = np.arange(6.0)
+        masked = mask_gaps(data, [Segment(1, 3)])
+        assert np.isnan(masked[0]) and np.isnan(masked[3:]).all()
+        np.testing.assert_array_equal(masked[1:3], [1, 2])
+
+    def test_mask_gaps_does_not_mutate(self):
+        data = np.arange(4.0)
+        mask_gaps(data, [])
+        np.testing.assert_array_equal(data, [0, 1, 2, 3])
+
+    def test_coverage(self):
+        assert coverage([Segment(0, 5), Segment(10, 15)], 20) == pytest.approx(0.5)
+        assert coverage([], 10) == 0.0
+        assert coverage([Segment(0, 1)], 0) == 0.0

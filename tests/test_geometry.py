@@ -1,0 +1,211 @@
+"""Tests for the auditorium geometry, sensor layout and zone grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Auditorium,
+    Point,
+    ZoneGrid,
+    default_auditorium,
+    default_sensor_layout,
+)
+from repro.geometry.auditorium import Diffuser
+from repro.geometry.layout import (
+    BACK_SENSOR_IDS,
+    CEILING_SENSOR_IDS,
+    FRONT_SENSOR_IDS,
+    RELIABLE_GROUND_SENSOR_IDS,
+    THERMOSTAT_IDS,
+    UNRELIABLE_GROUND_SENSOR_IDS,
+    analysis_sensor_ids,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0, 0).distance_to(Point(3, 4, 0)) == pytest.approx(5.0)
+        assert Point(0, 0, 0).distance_to(Point(0, 0, 2)) == pytest.approx(2.0)
+
+    def test_floor_distance_ignores_height(self):
+        assert Point(0, 0, 0).floor_distance_to(Point(3, 4, 9)) == pytest.approx(5.0)
+
+
+class TestAuditorium:
+    def test_default_dimensions(self):
+        aud = default_auditorium()
+        assert aud.capacity == 90
+        assert len(aud.seats) == 90
+        assert aud.floor_area == pytest.approx(320.0)
+        assert aud.volume == pytest.approx(1920.0)
+
+    def test_two_diffusers_four_vavs(self):
+        aud = default_auditorium()
+        assert len(aud.diffusers) == 2
+        vav_ids = sorted(v for d in aud.diffusers for v in d.vav_ids)
+        assert vav_ids == [1, 2, 3, 4]
+
+    def test_contains(self):
+        aud = default_auditorium()
+        assert aud.contains(Point(1, 1, 1))
+        assert not aud.contains(Point(-0.1, 1, 1))
+        assert not aud.contains(Point(1, 1, 99))
+
+    def test_require_inside_raises(self):
+        with pytest.raises(GeometryError):
+            default_auditorium().require_inside(Point(999, 0, 0))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(GeometryError):
+            Auditorium(width=-1)
+
+    def test_diffuser_outside_room_rejected(self):
+        with pytest.raises(GeometryError):
+            Auditorium(diffusers=(Diffuser(name="bad", y=99.0, vav_ids=(1,)),))
+
+    def test_diffuser_weights_normalized(self):
+        aud = default_auditorium()
+        for y in (0.0, 5.0, 15.9):
+            weights = aud.diffuser_weights(y)
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_diffuser_influence_decays(self):
+        diffuser = Diffuser(name="d", y=1.0, vav_ids=(1,), reach=3.0)
+        assert diffuser.influence_at(1.0) > diffuser.influence_at(5.0) > diffuser.influence_at(12.0)
+
+
+class TestLayout:
+    def test_id_partitions_are_disjoint_and_complete(self):
+        groups = [
+            set(RELIABLE_GROUND_SENSOR_IDS),
+            set(UNRELIABLE_GROUND_SENSOR_IDS),
+            set(CEILING_SENSOR_IDS),
+            set(THERMOSTAT_IDS),
+        ]
+        union = set().union(*groups)
+        assert sum(len(g) for g in groups) == len(union)
+        # 39 wireless units + 2 thermostats.
+        assert len(union) == 41
+
+    def test_paper_analysis_set(self):
+        assert len(RELIABLE_GROUND_SENSOR_IDS) == 25
+        assert analysis_sensor_ids() == sorted(RELIABLE_GROUND_SENSOR_IDS + THERMOSTAT_IDS)
+        assert analysis_sensor_ids(include_thermostats=False) == list(RELIABLE_GROUND_SENSOR_IDS)
+
+    def test_front_back_partition(self):
+        assert set(FRONT_SENSOR_IDS).isdisjoint(BACK_SENSOR_IDS)
+        assert set(FRONT_SENSOR_IDS) | set(BACK_SENSOR_IDS) == set(RELIABLE_GROUND_SENSOR_IDS)
+
+    def test_layout_positions_inside_room(self):
+        aud = default_auditorium()
+        layout = default_sensor_layout(aud)  # raises if any outside
+        assert len(layout) == 41
+
+    def test_front_sensors_in_front(self):
+        layout = default_sensor_layout()
+        for sid in FRONT_SENSOR_IDS:
+            assert layout[sid].position.y < 6.0
+        for sid in BACK_SENSOR_IDS:
+            assert layout[sid].position.y > 8.0
+
+    def test_near_ground_flags(self):
+        layout = default_sensor_layout()
+        for sid in RELIABLE_GROUND_SENSOR_IDS + UNRELIABLE_GROUND_SENSOR_IDS:
+            assert layout[sid].near_ground
+        for sid in CEILING_SENSOR_IDS:
+            assert not layout[sid].near_ground
+
+    def test_unreliable_units_have_faults(self):
+        layout = default_sensor_layout()
+        for sid in UNRELIABLE_GROUND_SENSOR_IDS:
+            assert layout[sid].fault is not None
+        for sid in RELIABLE_GROUND_SENSOR_IDS:
+            assert layout[sid].fault is None
+
+    def test_thermostats(self):
+        layout = default_sensor_layout()
+        for sid in THERMOSTAT_IDS:
+            assert layout[sid].is_thermostat
+            assert layout[sid].position.y < 4.0  # front walls
+
+
+class TestZoneGrid:
+    @pytest.fixture
+    def grid(self):
+        return ZoneGrid(default_auditorium(), nx=6, ny=5)
+
+    def test_basic_shape(self, grid):
+        assert grid.n_zones == 30
+        assert grid.cell_width == pytest.approx(20.0 / 6)
+        assert grid.cell_depth == pytest.approx(16.0 / 5)
+
+    def test_index_roundtrip(self, grid):
+        for zone in range(grid.n_zones):
+            ix, iy = grid.coords_of(zone)
+            assert grid.index_of(ix, iy) == zone
+
+    def test_locate_matches_center(self, grid):
+        for zone in range(grid.n_zones):
+            assert grid.locate(grid.center_of(zone)) == zone
+
+    def test_locate_room_edges(self, grid):
+        aud = grid.auditorium
+        assert grid.locate(Point(0, 0, 0)) == 0
+        assert grid.locate(Point(aud.width, aud.depth, 0)) == grid.n_zones - 1
+
+    def test_neighbors_symmetric_and_bounded(self, grid):
+        for zone in range(grid.n_zones):
+            neighbors = grid.neighbors(zone)
+            assert 2 <= len(neighbors) <= 4
+            for n in neighbors:
+                assert zone in grid.neighbors(n)
+
+    def test_adjacency_count(self, grid):
+        # nx*(ny-1) vertical + (nx-1)*ny horizontal edges
+        expected = 6 * 4 + 5 * 5
+        assert len(list(grid.adjacency())) == expected
+
+    def test_boundary_zones(self, grid):
+        boundary = grid.boundary_zones()
+        assert len(boundary) == 2 * 6 + 2 * 5 - 4
+
+    def test_interpolation_weights_sum_to_one(self, grid):
+        for point in (Point(0.1, 0.1, 1), Point(19.9, 15.9, 1), Point(10, 8, 1), Point(19.7, 2.4, 1.4)):
+            weights = grid.interpolation_weights(point)
+            assert sum(w for _, w in weights) == pytest.approx(1.0)
+            assert all(w > 0 for _, w in weights)
+
+    def test_interpolate_constant_field(self, grid):
+        field = np.full(grid.n_zones, 21.5)
+        for point in (Point(0.05, 0.05, 1), Point(13, 9, 1), Point(19.95, 15.95, 1)):
+            assert grid.interpolate(field, point) == pytest.approx(21.5)
+
+    def test_interpolate_linear_field_between_centers(self, grid):
+        centers = grid.centers()
+        field = 0.1 * centers[:, 0] + 0.2 * centers[:, 1]
+        point = Point(10.0, 8.0, 1.0)
+        expected = 0.1 * point.x + 0.2 * point.y
+        assert grid.interpolate(field, point) == pytest.approx(expected, abs=1e-9)
+
+    def test_interpolate_shape_mismatch(self, grid):
+        with pytest.raises(GeometryError):
+            grid.interpolate(np.zeros(5), Point(1, 1, 1))
+
+    def test_seat_counts_total(self, grid):
+        assert grid.seat_counts().sum() == 90
+
+    def test_diffuser_fractions_rows_sum_to_one(self, grid):
+        fractions = grid.diffuser_flow_fractions()
+        assert fractions.shape == (2, grid.n_zones)
+        np.testing.assert_allclose(fractions.sum(axis=1), 1.0)
+
+    def test_front_diffuser_favours_front_rows(self, grid):
+        fractions = grid.diffuser_flow_fractions()
+        front_row = fractions[0, :6].sum()
+        back_row = fractions[0, -6:].sum()
+        assert front_row > 3 * back_row
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(GeometryError):
+            ZoneGrid(default_auditorium(), nx=0, ny=5)

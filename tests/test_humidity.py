@@ -1,0 +1,123 @@
+"""Tests for psychrometrics, the moisture balance and humidity sensing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SensingError
+from repro.simulation.humidity import (
+    MoistureBalance,
+    MoistureConfig,
+    humidity_ratio_from_rh,
+    relative_humidity,
+    relative_humidity_array,
+    saturation_humidity_ratio,
+    saturation_pressure,
+)
+
+
+class TestPsychrometrics:
+    def test_saturation_pressure_reference_points(self):
+        # Magnus formula: ~2339 Pa at 20 degC, ~4246 Pa at 30 degC.
+        assert saturation_pressure(20.0) == pytest.approx(2339.0, rel=0.02)
+        assert saturation_pressure(30.0) == pytest.approx(4246.0, rel=0.02)
+
+    def test_saturation_ratio_increases_with_temperature(self):
+        ratios = [saturation_humidity_ratio(t) for t in (5.0, 15.0, 25.0)]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_rh_roundtrip(self):
+        ratio = humidity_ratio_from_rh(45.0, 21.0)
+        assert relative_humidity(ratio, 21.0) == pytest.approx(45.0, abs=1e-9)
+
+    def test_rh_falls_as_air_warms(self):
+        ratio = humidity_ratio_from_rh(50.0, 20.0)
+        assert relative_humidity(ratio, 25.0) < 50.0
+
+    def test_supersaturation_clips(self):
+        ratio = humidity_ratio_from_rh(100.0, 25.0)
+        assert relative_humidity(ratio, 15.0) == 100.0
+
+    def test_vectorized_matches_scalar(self):
+        ratios = np.array([0.004, 0.008, 0.012])
+        temps = np.array([18.0, 21.0, 24.0])
+        vector = relative_humidity_array(ratios, temps)
+        scalar = [relative_humidity(r, t) for r, t in zip(ratios, temps)]
+        np.testing.assert_allclose(vector, scalar)
+
+    def test_rh_input_validated(self):
+        with pytest.raises(ConfigurationError):
+            humidity_ratio_from_rh(150.0, 20.0)
+
+
+class TestMoistureBalance:
+    def test_occupants_raise_humidity(self):
+        balance = MoistureBalance(room_volume=1920.0)
+        start = balance.ratio
+        for _ in range(60):
+            balance.step(60.0, occupants=90.0, supply_flow=0.0, fresh_fraction=0.3,
+                         discharge_temp=20.0, ambient_temp=10.0)
+        assert balance.ratio > start
+
+    def test_cold_coil_dehumidifies(self):
+        config = MoistureConfig(initial_rh=70.0)
+        balance = MoistureBalance(room_volume=1920.0, config=config, initial_temp=22.0)
+        start = balance.ratio
+        for _ in range(600):
+            balance.step(60.0, occupants=0.0, supply_flow=2.0, fresh_fraction=0.3,
+                         discharge_temp=13.0, ambient_temp=20.0)
+        assert balance.ratio < start
+        # Equilibrium at (or below) the coil's saturation cap.
+        cap = config.coil_saturation_fraction * saturation_humidity_ratio(13.0)
+        assert balance.ratio <= cap * 1.05
+
+    def test_ratio_never_negative(self):
+        balance = MoistureBalance(room_volume=100.0, initial_temp=20.0)
+        for _ in range(1000):
+            balance.step(600.0, occupants=0.0, supply_flow=5.0, fresh_fraction=1.0,
+                         discharge_temp=0.0, ambient_temp=-20.0)
+        assert balance.ratio >= 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MoistureBalance(room_volume=0.0)
+        with pytest.raises(ConfigurationError):
+            MoistureConfig(outdoor_rh=120.0)
+        with pytest.raises(ConfigurationError):
+            MoistureConfig(coil_saturation_fraction=0.0)
+
+
+class TestHumiditySensing:
+    def test_streams_for_wireless_units_only(self, week_output):
+        raw = week_output.raw
+        assert len(raw.humidity_streams) == 39  # all wireless, no thermostats
+        assert 40 not in raw.humidity_streams
+        with pytest.raises(SensingError):
+            raw.humidity_of(40)
+
+    def test_humidity_shares_temperature_report_times(self, week_output):
+        raw = week_output.raw
+        for sid in (1, 13, 27):
+            np.testing.assert_array_equal(
+                raw.humidity_of(sid).times, raw.stream_of(sid).times
+            )
+
+    def test_values_are_percentages(self, week_output):
+        values = week_output.raw.humidity_of(13).values
+        assert values.min() >= 0.0 and values.max() <= 100.0
+        assert values.std() > 0.5  # actually varies
+
+    def test_cool_front_reads_higher_rh_than_warm_back(self, week_output):
+        """Same moisture, lower temperature => higher relative humidity."""
+        raw = week_output.raw
+        sim = week_output.simulation
+        k = int(np.argmax(sim.occupancy))
+        front = raw.layout[13].position
+        back = raw.layout[27].position
+        rh_front = sim.relative_humidity_trace(front)[k]
+        rh_back = sim.relative_humidity_trace(back)[k]
+        assert rh_front > rh_back
+
+    def test_simulation_humidity_trajectory(self, week_output):
+        ratio = week_output.simulation.humidity_ratio
+        assert ratio.shape == (week_output.simulation.n_steps,)
+        assert (ratio >= 0).all() and ratio.max() < 0.03

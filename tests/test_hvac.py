@@ -1,0 +1,147 @@
+"""Tests for the VAV boxes and the HVAC plant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.hvac import HVACConfig, HVACPlant, HVACSchedule
+from repro.simulation.vav import VAVBox, VAVConfig
+
+
+class TestVAVConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VAVConfig(min_flow=0.5, max_flow=0.1)
+        with pytest.raises(ConfigurationError):
+            VAVConfig(cold_deck_temp=30.0, reheat_max_temp=20.0)
+        with pytest.raises(ConfigurationError):
+            VAVConfig(flow_time_constant=0.0)
+
+
+class TestVAVBox:
+    def test_starts_idle(self):
+        box = VAVBox(1, VAVConfig())
+        assert box.flow == VAVConfig().min_flow
+        assert box.discharge_temp == VAVConfig().neutral_temp
+
+    def test_relaxes_toward_setpoint(self):
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        for _ in range(100):
+            box.command(config.max_flow, config.cold_deck_temp, dt=60.0)
+        assert box.flow == pytest.approx(config.max_flow, rel=1e-3)
+        assert box.discharge_temp == pytest.approx(config.cold_deck_temp, rel=1e-2)
+
+    def test_lag_orders(self):
+        """The damper responds faster than the discharge temperature."""
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        box.command(config.max_flow, config.cold_deck_temp, dt=120.0)
+        flow_progress = (box.flow - config.min_flow) / (config.max_flow - config.min_flow)
+        temp_progress = (config.neutral_temp - box.discharge_temp) / (
+            config.neutral_temp - config.cold_deck_temp
+        )
+        assert flow_progress > temp_progress
+
+    def test_setpoints_clipped(self):
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        for _ in range(200):
+            box.command(99.0, -50.0, dt=600.0)
+        assert box.flow <= config.max_flow + 1e-9
+        assert box.discharge_temp >= config.cold_deck_temp - 1e-9
+
+    def test_unconditionally_stable_for_huge_dt(self):
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        box.command(config.max_flow, config.reheat_max_temp, dt=1e6)
+        assert config.min_flow <= box.flow <= config.max_flow
+
+    def test_dt_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            VAVBox(1, VAVConfig()).command(0.1, 15.0, dt=0.0)
+
+    def test_heat_rate_sign(self):
+        config = VAVConfig()
+        box = VAVBox(1, config)
+        for _ in range(100):
+            box.command(config.max_flow, config.cold_deck_temp, dt=60.0)
+        assert box.heat_rate_into(zone_temp=22.0) < 0  # cooling
+
+
+class TestHVACSchedule:
+    def test_window(self):
+        schedule = HVACSchedule()
+        assert schedule.is_occupied(6.0)
+        assert schedule.is_occupied(20.99)
+        assert not schedule.is_occupied(21.0)
+        assert not schedule.is_occupied(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HVACSchedule(on_hour=10.0, off_hour=9.0)
+
+
+class TestHVACConfig:
+    def test_blend_rows_validated(self):
+        with pytest.raises(ConfigurationError):
+            HVACConfig(thermostat_blend=((0.5, 0.6),))
+        with pytest.raises(ConfigurationError):
+            HVACConfig(kp=-1.0)
+
+
+class TestHVACPlant:
+    def test_cooling_when_warm(self):
+        plant = HVACPlant()
+        config = plant.config
+        for _ in range(60):
+            flows, temps = plant.step(12.0, [24.0, 24.0], dt=60.0)
+        assert flows.min() > 0.5 * config.vav.max_flow
+        assert temps.max() == pytest.approx(config.vav.cold_deck_temp, abs=0.5)
+
+    def test_min_flow_when_cold(self):
+        plant = HVACPlant()
+        config = plant.config
+        for _ in range(60):
+            flows, _ = plant.step(12.0, [18.0, 18.0], dt=60.0)
+        assert flows.max() == pytest.approx(config.vav.min_flow, abs=0.01)
+
+    def test_unoccupied_standby(self):
+        plant = HVACPlant()
+        config = plant.config
+        for _ in range(60):
+            flows, temps = plant.step(2.0, [19.0, 19.0], dt=60.0, return_temp=19.5)
+        expected = config.vav.min_flow + config.standby_flow_fraction * (
+            config.vav.max_flow - config.vav.min_flow
+        )
+        np.testing.assert_allclose(flows, expected, rtol=1e-2)
+        # Discharge rides the return temperature (no conditioning).
+        np.testing.assert_allclose(temps, 19.5, atol=0.5)
+
+    def test_per_vav_thermostat_wiring(self):
+        plant = HVACPlant()
+        for _ in range(60):
+            flows, _ = plant.step(12.0, [24.0, 19.0], dt=60.0)
+        # VAV 1 follows the warm thermostat, VAV 2 the cool one.
+        assert flows[0] > flows[1]
+
+    def test_integrator_no_windup_after_cold_morning(self):
+        """After hours of cold-morning error, a warm room still triggers
+        cooling within ~30 minutes (the leaky conditional integrator)."""
+        plant = HVACPlant()
+        for _ in range(240):  # 4 h of 'too cold'
+            plant.step(8.0, [19.0, 19.0], dt=60.0)
+        for _ in range(30):  # room becomes warm
+            flows, _ = plant.step(12.0, [22.5, 22.5], dt=60.0)
+        assert flows.min() > 0.3 * plant.config.vav.max_flow
+
+    def test_reset(self):
+        plant = HVACPlant()
+        plant.step(12.0, [25.0, 25.0], dt=600.0)
+        plant.reset()
+        assert plant.flows().max() == pytest.approx(plant.config.vav.min_flow)
+        np.testing.assert_array_equal(plant._integrators, 0.0)
+
+    def test_requires_two_thermostats(self):
+        with pytest.raises(ConfigurationError):
+            HVACPlant().step(12.0, [21.0], dt=60.0)

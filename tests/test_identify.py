@@ -1,0 +1,151 @@
+"""Tests for piecewise least-squares identification."""
+
+import numpy as np
+import pytest
+
+from repro.data.gaps import Segment
+from repro.errors import IdentificationError
+from repro.sysid.identify import (
+    IdentificationOptions,
+    build_regression,
+    identify,
+    solve_least_squares,
+)
+from repro.sysid.models import FirstOrderModel, SecondOrderModel
+from tests.conftest import make_linear_dataset
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(IdentificationError):
+            IdentificationOptions(order=3)
+        with pytest.raises(IdentificationError):
+            IdentificationOptions(ridge=-1.0)
+
+
+class TestBuildRegression:
+    def test_first_order_shapes(self, linear_dataset):
+        options = IdentificationOptions(order=1)
+        segments = [Segment(0, 50)]
+        phi, y = build_regression(
+            linear_dataset.temperatures, linear_dataset.inputs, segments, options
+        )
+        p, m = linear_dataset.n_sensors, linear_dataset.channels.n_channels
+        assert phi.shape == (49, p + m)
+        assert y.shape == (49, p)
+
+    def test_second_order_shapes(self, linear_dataset):
+        options = IdentificationOptions(order=2)
+        phi, y = build_regression(
+            linear_dataset.temperatures, linear_dataset.inputs, [Segment(0, 50)], options
+        )
+        p, m = linear_dataset.n_sensors, linear_dataset.channels.n_channels
+        assert phi.shape == (48, 2 * p + m)
+        assert y.shape == (48, p)
+
+    def test_segments_never_cross_gaps(self):
+        dataset = make_linear_dataset(gap_ticks=[100])
+        segments = dataset.segments(min_length=2)
+        options = IdentificationOptions(order=1)
+        phi, y = build_regression(dataset.temperatures, dataset.inputs, segments, options)
+        assert np.all(np.isfinite(phi)) and np.all(np.isfinite(y))
+        # Rows: (100) - 1 from the first segment + (N-101) - 1 from the second.
+        n = dataset.n_samples
+        assert phi.shape[0] == (100 - 1) + (n - 101 - 1)
+
+    def test_segment_with_nan_rejected(self, linear_dataset):
+        temps = linear_dataset.temperatures.copy()
+        temps[10] = np.nan
+        with pytest.raises(IdentificationError):
+            build_regression(
+                temps, linear_dataset.inputs, [Segment(0, 50)], IdentificationOptions(order=1)
+            )
+
+    def test_short_segments_skipped(self, linear_dataset):
+        options = IdentificationOptions(order=2)
+        with pytest.raises(IdentificationError):
+            build_regression(
+                linear_dataset.temperatures, linear_dataset.inputs, [Segment(0, 2)], options
+            )
+
+    def test_intercept_column(self, linear_dataset):
+        options = IdentificationOptions(order=1, fit_intercept=True)
+        phi, _ = build_regression(
+            linear_dataset.temperatures, linear_dataset.inputs, [Segment(0, 50)], options
+        )
+        np.testing.assert_array_equal(phi[:, -1], 1.0)
+
+
+class TestSolve:
+    def test_exact_solution(self):
+        gen = np.random.default_rng(1)
+        phi = gen.random((100, 5))
+        w_true = gen.random((5, 2))
+        y = phi @ w_true
+        w = solve_least_squares(phi, y)
+        np.testing.assert_allclose(w, w_true, rtol=1e-8)
+
+    def test_ridge_shrinks(self):
+        gen = np.random.default_rng(2)
+        phi = gen.random((50, 3))
+        y = gen.random((50, 1))
+        w0 = solve_least_squares(phi, y, ridge=0.0)
+        w_big = solve_least_squares(phi, y, ridge=1e4)
+        assert np.linalg.norm(w_big) < np.linalg.norm(w0)
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(IdentificationError):
+            solve_least_squares(np.ones((2, 5)), np.ones((2, 1)))
+
+    def test_rank_deficiency_warns(self):
+        phi = np.ones((50, 3))  # all columns identical
+        y = np.ones((50, 1))
+        with pytest.warns(RuntimeWarning, match="rank-deficient"):
+            solve_least_squares(phi, y)
+
+
+class TestIdentify:
+    def test_recovers_true_first_order_model(self):
+        dataset = make_linear_dataset(noise=0.0)
+        model = identify(dataset, IdentificationOptions(order=1))
+        assert isinstance(model, FirstOrderModel)
+        np.testing.assert_allclose(model.A, dataset.true_A, atol=1e-6)
+        np.testing.assert_allclose(model.B, dataset.true_B, atol=1e-6)
+
+    def test_recovery_robust_to_small_noise(self):
+        dataset = make_linear_dataset(noise=0.01, n_days=8)
+        model = identify(dataset, IdentificationOptions(order=1))
+        np.testing.assert_allclose(model.A, dataset.true_A, atol=0.1)
+
+    def test_second_order_nests_first_order_system(self):
+        """On data from a first-order plant, the fitted second-order
+        model predicts at least as well in one step."""
+        dataset = make_linear_dataset(noise=0.0)
+        model = identify(dataset, IdentificationOptions(order=2))
+        assert isinstance(model, SecondOrderModel)
+        # A2 should be ~0: the delta carries no extra information.
+        seed = dataset.temperatures[:2]
+        prediction = model.simulate(seed, dataset.inputs[1:-1])
+        np.testing.assert_allclose(prediction, dataset.temperatures[2:], atol=1e-5)
+
+    def test_identify_with_gaps(self):
+        dataset = make_linear_dataset(noise=0.0, gap_ticks=[50, 51, 150])
+        model = identify(dataset, IdentificationOptions(order=1))
+        np.testing.assert_allclose(model.A, dataset.true_A, atol=1e-6)
+
+    def test_intercept_recovered(self):
+        dataset = make_linear_dataset(noise=0.0)
+        # Shift all temperatures by a constant offset c through the
+        # dynamics: T'(k) = T(k) + d  =>  T'(k+1) = A T'(k) + Bu + (I-A)d.
+        d = np.array([1.0, 2.0, 3.0])
+        shifted = dataset.temperatures + d
+        dataset.temperatures[:] = shifted
+        model = identify(dataset, IdentificationOptions(order=1, fit_intercept=True))
+        expected_c = (np.eye(3) - dataset.true_A) @ d
+        np.testing.assert_allclose(model.c, expected_c, atol=1e-5)
+
+    def test_no_usable_segments(self):
+        dataset = make_linear_dataset()
+        dataset.temperatures[:] = np.nan
+        with pytest.raises(IdentificationError):
+            identify(dataset, IdentificationOptions(order=1))

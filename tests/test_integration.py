@@ -1,0 +1,130 @@
+"""End-to-end integration tests across all subsystems.
+
+These cover the paths a user exercises: synthetic trace → preprocessing
+→ splits → full-model identification → clustering → selection → reduced
+model, and the invariants that must hold across that whole chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    OCCUPIED,
+    PipelineConfig,
+    ThermalModelingPipeline,
+    cluster_sensors,
+    fit_and_evaluate,
+)
+from repro.data.io import load_dataset_csv, save_dataset_csv
+from repro.data.modes import UNOCCUPIED
+from repro.geometry.layout import BACK_SENSOR_IDS, FRONT_SENSOR_IDS, THERMOSTAT_IDS
+from repro.sysid.evaluation import EvaluationOptions
+
+
+class TestDataChain:
+    def test_sensing_preserves_spatial_pattern(self, month_output):
+        """The cool-front / warm-back structure survives sensing noise,
+        quantization and resampling into the assembled dataset."""
+        ds = month_output.analysis_dataset
+        occupancy = ds.input_channel("occupancy")
+        busy = np.isfinite(occupancy) & (occupancy > 50)
+        busy &= np.isfinite(ds.temperatures).all(axis=1)
+        assert busy.any()
+        front = np.mean(
+            [ds.temperature_of(s)[busy].mean() for s in FRONT_SENSOR_IDS]
+        )
+        back = np.mean([ds.temperature_of(s)[busy].mean() for s in BACK_SENSOR_IDS])
+        assert back > front + 0.3
+
+    def test_csv_roundtrip_preserves_analysis(self, week_output, tmp_path):
+        ds = week_output.analysis_dataset
+        save_dataset_csv(ds, tmp_path / "week")
+        loaded = load_dataset_csv(tmp_path / "week")
+        assert loaded.usable_days(OCCUPIED) == ds.usable_days(OCCUPIED)
+        assert len(loaded.segments(mode=OCCUPIED)) == len(ds.segments(mode=OCCUPIED))
+
+
+class TestModelingChain:
+    def test_paper_protocol_table1_shape(self, month_dataset):
+        """Second order beats first order; occupied is harder than
+        unoccupied — the paper's Table I ordering end to end."""
+        results = {}
+        for mode, options in (
+            (OCCUPIED, EvaluationOptions(start_offset_hours=1.5, horizon_hours=13.5)),
+            (UNOCCUPIED, EvaluationOptions(start_offset_hours=0.5, horizon_hours=7.5)),
+        ):
+            train, valid = month_dataset.split_half_days(mode)
+            for order in (1, 2):
+                _, ev = fit_and_evaluate(
+                    train, valid, order=order, mode=mode, evaluation=options
+                )
+                results[(mode.name, order)] = ev.overall_percentile(90)
+        assert results[("occupied", 2)] < results[("occupied", 1)]
+        assert results[("unoccupied", 2)] <= results[("unoccupied", 1)] + 0.05
+        assert results[("unoccupied", 2)] < results[("occupied", 2)]
+
+    def test_clustering_recovers_physical_zones(self, month_dataset):
+        wireless = month_dataset.select_sensors(
+            [s for s in month_dataset.sensor_ids if s not in THERMOSTAT_IDS]
+        )
+        train, _ = wireless.split_half_days(OCCUPIED)
+        clustering = cluster_sensors(train, method="correlation")
+        assert clustering.k == 2
+        groups = [set(clustering.members(c)) for c in range(2)]
+        assert set(FRONT_SENSOR_IDS) in groups
+        assert set(BACK_SENSOR_IDS) in groups
+
+    def test_full_pipeline_beats_thermostats(self, month_dataset):
+        """The headline claim: two well-chosen sensors track the room's
+        thermal zones far better than the HVAC's own two thermostats."""
+        train, valid = month_dataset.split_half_days(OCCUPIED)
+        sms = ThermalModelingPipeline(
+            PipelineConfig(n_clusters=2, selection_strategy="sms")
+        )
+        wireless_train = train.select_sensors(
+            [s for s in train.sensor_ids if s not in THERMOSTAT_IDS]
+        )
+        wireless_valid = valid.select_sensors(
+            [s for s in valid.sensor_ids if s not in THERMOSTAT_IDS]
+        )
+        sms.fit(wireless_train)
+        sms_error = sms.evaluate(wireless_valid).selection_percentile()
+
+        thermostats = ThermalModelingPipeline(
+            PipelineConfig(n_clusters=2, selection_strategy="thermostats")
+        )
+        thermostats.fit(train)
+        thermostat_error = thermostats.evaluate(valid).selection_percentile()
+        assert sms_error < 0.6 * thermostat_error
+
+    def test_reduced_model_is_much_smaller(self, month_dataset):
+        """Model simplification: 2 sensors instead of 27 shrinks the
+        parameter count by two orders of magnitude."""
+        train, _ = month_dataset.split_half_days(OCCUPIED)
+        full = ThermalModelingPipeline(PipelineConfig(n_clusters=2))
+        result = full.fit(
+            train.select_sensors(
+                [s for s in train.sensor_ids if s not in THERMOSTAT_IDS]
+            )
+        )
+        p_small = result.model.n_sensors
+        p_full = train.n_sensors
+        small_params = p_small * (2 * p_small + 7)
+        full_params = p_full * (2 * p_full + 7)
+        assert small_params < full_params / 50
+
+
+class TestDeterminism:
+    def test_whole_chain_is_seed_deterministic(self, week_output):
+        from repro.data.synth import SynthConfig, clear_cache, generate
+        from repro.simulation.simulator import SimulationConfig
+
+        clear_cache()
+        again = generate(SynthConfig(simulation=SimulationConfig(days=7.0)), use_cache=False)
+        np.testing.assert_array_equal(
+            again.analysis_dataset.temperatures,
+            week_output.analysis_dataset.temperatures,
+        )
+        np.testing.assert_array_equal(
+            again.analysis_dataset.inputs, week_output.analysis_dataset.inputs
+        )

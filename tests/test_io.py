@@ -1,0 +1,64 @@
+"""Tests for CSV dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_dataset_csv, save_dataset_csv
+from repro.errors import DataError
+from repro.geometry.auditorium import Point
+from tests.test_dataset import make_dataset
+
+
+class TestRoundTrip:
+    def test_values_survive(self, tmp_path):
+        dataset = make_dataset(n_days=1)
+        stem = tmp_path / "trace"
+        save_dataset_csv(dataset, stem)
+        loaded = load_dataset_csv(stem)
+        assert loaded.sensor_ids == dataset.sensor_ids
+        np.testing.assert_allclose(loaded.temperatures, dataset.temperatures, atol=1e-4)
+        np.testing.assert_allclose(loaded.inputs, dataset.inputs, rtol=1e-5)
+        assert loaded.axis.epoch == dataset.axis.epoch
+        assert loaded.axis.period == dataset.axis.period
+
+    def test_nans_survive(self, tmp_path):
+        dataset = make_dataset(n_days=1)
+        dataset.temperatures[3, 1] = np.nan
+        dataset.inputs[5, 0] = np.nan
+        stem = tmp_path / "gappy"
+        save_dataset_csv(dataset, stem)
+        loaded = load_dataset_csv(stem)
+        assert np.isnan(loaded.temperatures[3, 1])
+        assert np.isnan(loaded.inputs[5, 0])
+        assert np.isfinite(loaded.temperatures[3, 0])
+
+    def test_positions_survive(self, tmp_path):
+        dataset = make_dataset(n_days=1)
+        dataset.sensor_positions[10] = Point(1.5, 2.5, 0.9)
+        stem = tmp_path / "pos"
+        save_dataset_csv(dataset, stem)
+        loaded = load_dataset_csv(stem)
+        assert loaded.sensor_positions[10] == Point(1.5, 2.5, 0.9)
+
+    def test_csv_suffix_normalized(self, tmp_path):
+        dataset = make_dataset(n_days=1)
+        path = save_dataset_csv(dataset, tmp_path / "trace.csv")
+        assert path.name == "trace.csv"
+        loaded = load_dataset_csv(tmp_path / "trace.csv")
+        assert loaded.n_samples == dataset.n_samples
+
+
+class TestErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(DataError):
+            load_dataset_csv(tmp_path / "missing")
+
+    def test_column_count_checked(self, tmp_path):
+        dataset = make_dataset(n_days=1)
+        stem = tmp_path / "bad"
+        csv_path = save_dataset_csv(dataset, stem)
+        content = csv_path.read_text().splitlines()
+        content[0] = content[0] + ",extra"
+        csv_path.write_text("\n".join(content))
+        with pytest.raises(DataError):
+            load_dataset_csv(stem)

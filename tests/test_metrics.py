@@ -1,0 +1,92 @@
+"""Tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.sysid.metrics import (
+    empirical_cdf,
+    max_pairwise_difference,
+    per_sensor_rms,
+    percentile,
+    pooled_rms,
+    rms,
+)
+
+
+class TestRMS:
+    def test_scalar(self):
+        assert rms(np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_ignores_nan(self):
+        assert rms(np.array([3.0, np.nan])) == pytest.approx(3.0)
+
+    def test_axis(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(rms(matrix, axis=0), [np.sqrt(5), np.sqrt(10)])
+
+
+class TestPooledAndPerSensor:
+    def test_pooled(self):
+        predicted = np.array([[1.0, 2.0], [3.0, 4.0]])
+        measured = np.zeros((2, 2))
+        assert pooled_rms(predicted, measured) == pytest.approx(np.sqrt(30 / 4))
+
+    def test_pooled_skips_nan_pairs(self):
+        predicted = np.array([1.0, np.nan])
+        measured = np.array([0.0, 0.0])
+        assert pooled_rms(predicted, measured) == pytest.approx(1.0)
+
+    def test_pooled_all_nan_raises(self):
+        with pytest.raises(DataError):
+            pooled_rms(np.array([np.nan]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            pooled_rms(np.zeros(3), np.zeros(4))
+
+    def test_per_sensor(self):
+        predicted = np.array([[1.0, 0.0], [1.0, 0.0]])
+        measured = np.zeros((2, 2))
+        np.testing.assert_allclose(per_sensor_rms(predicted, measured), [1.0, 0.0])
+
+
+class TestPercentileAndCDF:
+    def test_percentile(self):
+        values = np.arange(101.0)
+        assert percentile(values, 90.0) == pytest.approx(90.0)
+
+    def test_percentile_ignores_nan(self):
+        values = np.array([1.0, np.nan, 3.0])
+        assert percentile(values, 50.0) == pytest.approx(2.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(DataError):
+            percentile(np.array([np.nan]), 50.0)
+
+    def test_empirical_cdf(self):
+        values, f = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(values, [1, 2, 3])
+        np.testing.assert_allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_is_monotone(self):
+        values, f = empirical_cdf(np.random.default_rng(0).random(100))
+        assert (np.diff(values) >= 0).all()
+        assert (np.diff(f) > 0).all()
+
+
+class TestMaxPairwiseDifference:
+    def test_pairs(self):
+        columns = np.array([[20.0, 21.0, 20.0], [20.0, 23.0, 20.5]])
+        out = max_pairwise_difference(columns)
+        # pairs: (0,1), (0,2), (1,2)
+        np.testing.assert_allclose(out, [3.0, 0.5, 2.5])
+
+    def test_nan_rows_ignored_per_pair(self):
+        columns = np.array([[20.0, 21.0], [np.nan, 25.0], [20.0, 20.5]])
+        out = max_pairwise_difference(columns)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError):
+            max_pairwise_difference(np.zeros(5))

@@ -1,0 +1,86 @@
+"""Tests for occupied/unoccupied mode handling."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.data.modes import (
+    Mode,
+    OCCUPIED,
+    UNOCCUPIED,
+    daily_windows,
+    mode_mask,
+    split_by_day,
+)
+from repro.data.timeseries import TimeAxis
+from repro.errors import DataError
+
+
+class TestMode:
+    def test_occupied_window(self):
+        assert OCCUPIED.contains_hour(6.0)
+        assert OCCUPIED.contains_hour(20.99)
+        assert not OCCUPIED.contains_hour(21.0)
+        assert not OCCUPIED.contains_hour(5.99)
+        assert OCCUPIED.duration_hours == pytest.approx(15.0)
+
+    def test_unoccupied_wraps_midnight(self):
+        assert UNOCCUPIED.wraps_midnight
+        assert UNOCCUPIED.contains_hour(23.0)
+        assert UNOCCUPIED.contains_hour(0.0)
+        assert UNOCCUPIED.contains_hour(5.99)
+        assert not UNOCCUPIED.contains_hour(6.0)
+        assert UNOCCUPIED.duration_hours == pytest.approx(9.0)
+
+    def test_invalid_hours(self):
+        with pytest.raises(DataError):
+            Mode(name="bad", start_hour=-1.0, end_hour=5.0)
+
+    def test_modes_partition_the_day(self):
+        for hour in np.arange(0, 24, 0.25):
+            assert OCCUPIED.contains_hour(hour) != UNOCCUPIED.contains_hour(hour)
+
+
+class TestModeMask:
+    def test_matches_contains_hour(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31), period=3600.0, count=48)
+        mask = mode_mask(axis, OCCUPIED)
+        hours = axis.hours_of_day()
+        for i in range(48):
+            assert mask[i] == OCCUPIED.contains_hour(hours[i])
+
+
+class TestSplitByDay:
+    def test_occupied_one_segment_per_day(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31), period=900.0, count=96 * 3)
+        segments = split_by_day(axis, OCCUPIED)
+        assert len(segments) == 3
+        for segment in segments:
+            hours = axis.hours_of_day()[segment.indices()]
+            assert hours.min() >= 6.0
+            assert hours.max() < 21.0
+            # 15 h at 15-min ticks.
+            assert len(segment) == 60
+
+    def test_unoccupied_attributed_to_start_day(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31), period=900.0, count=96 * 2)
+        windows = daily_windows(axis, UNOCCUPIED)
+        # Day 0's unoccupied window runs 21:00 Jan 31 -> 06:00 Feb 1.
+        assert 0 in windows
+        start, stop = windows[0]
+        assert axis.datetime_at(start).hour == 21
+        assert axis.datetime_at(stop - 1).hour == 5
+
+    def test_partial_leading_window(self):
+        # Axis starts at 03:00: the first ticks belong to the *previous*
+        # day's unoccupied window, clipped.
+        axis = TimeAxis(epoch=datetime(2013, 1, 31, 3, 0), period=900.0, count=96)
+        windows = daily_windows(axis, UNOCCUPIED)
+        assert -1 in windows
+        start, stop = windows[-1]
+        assert start == 0
+
+    def test_empty_axis(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31), period=900.0, count=0)
+        assert split_by_day(axis, OCCUPIED) == []

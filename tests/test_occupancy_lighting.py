@@ -1,0 +1,128 @@
+"""Tests for occupancy and lighting models."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.geometry import ZoneGrid, default_auditorium
+from repro.simulation.calendar import Event, EventCalendar
+from repro.simulation.lighting import LightingModel
+from repro.simulation.occupancy import OccupancyModel, presence_fraction
+
+
+@pytest.fixture
+def setup():
+    auditorium = default_auditorium()
+    grid = ZoneGrid(auditorium, nx=6, ny=5)
+    event = Event(
+        name="lecture",
+        start=datetime(2013, 2, 1, 10, 0),
+        duration_minutes=80,
+        attendance=60,
+        kind="lecture",
+    )
+    calendar = EventCalendar(events=[event])
+    return auditorium, grid, calendar, event
+
+
+class TestPresenceFraction:
+    def test_profile(self, setup):
+        _, _, _, event = setup
+        start = event.start
+        assert presence_fraction(event, start - timedelta(minutes=20)) == 0.0
+        assert 0.0 < presence_fraction(event, start - timedelta(minutes=5)) < 1.0
+        assert presence_fraction(event, start + timedelta(minutes=30)) == 1.0
+        assert presence_fraction(event, event.end + timedelta(minutes=5)) == 0.0
+
+    def test_monotone_arrival(self, setup):
+        _, _, _, event = setup
+        times = [event.start + timedelta(minutes=m) for m in range(-12, 4)]
+        fractions = [presence_fraction(event, t) for t in times]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+
+class TestOccupancyModel:
+    def test_total_matches_attendance_mid_event(self, setup):
+        auditorium, grid, calendar, event = setup
+        model = OccupancyModel(calendar, auditorium, grid, seed=1)
+        assert model.total_at(event.start + timedelta(minutes=30)) == 60
+        assert model.total_at(event.start - timedelta(hours=2)) == 0
+
+    def test_zone_distribution_sums_to_total(self, setup):
+        auditorium, grid, calendar, event = setup
+        model = OccupancyModel(calendar, auditorium, grid, seed=1)
+        when = event.start + timedelta(minutes=30)
+        zones = model.zone_at(when)
+        assert zones.sum() == pytest.approx(60.0)
+        assert (zones >= 0).all()
+
+    def test_back_bias(self, setup):
+        auditorium, grid, calendar, event = setup
+        model = OccupancyModel(calendar, auditorium, grid, seed=1, back_bias=1.0)
+        zones = model.zone_at(event.start + timedelta(minutes=30)).reshape(5, 6)
+        # Seats span rows 1-4 of the grid; the back rows hold more people.
+        assert zones[3:].sum() > zones[:3].sum()
+
+    def test_trajectory_matches_pointwise(self, setup):
+        auditorium, grid, calendar, event = setup
+        model = OccupancyModel(calendar, auditorium, grid, seed=1)
+        epoch = datetime(2013, 2, 1)
+        seconds = np.arange(0, 86400, 300.0)
+        totals, zones = model.trajectory(epoch, seconds)
+        for i in (0, 120, 125, 130, 287):
+            when = epoch + timedelta(seconds=float(seconds[i]))
+            assert totals[i] == pytest.approx(
+                sum(
+                    e.attendance * presence_fraction(e, when)
+                    for e in calendar.events
+                )
+            )
+            assert zones[i].sum() == pytest.approx(totals[i])
+
+    def test_trajectory_empty(self, setup):
+        auditorium, grid, calendar, _ = setup
+        model = OccupancyModel(calendar, auditorium, grid, seed=1)
+        totals, zones = model.trajectory(datetime(2013, 2, 1), np.empty(0))
+        assert totals.size == 0 and zones.shape == (0, grid.n_zones)
+
+
+class TestLightingModel:
+    def test_on_around_event(self, setup):
+        _, _, calendar, event = setup
+        model = LightingModel(calendar)
+        assert model.state_at(event.start - timedelta(minutes=10)) == 1
+        assert model.state_at(event.start + timedelta(minutes=40)) == 1
+        assert model.state_at(event.end + timedelta(minutes=5)) == 1
+        assert model.state_at(event.end + timedelta(minutes=20)) == 0
+        assert model.state_at(event.start - timedelta(hours=3)) == 0
+
+    def test_presentation_goes_dark(self):
+        seminar = Event(
+            name="seminar",
+            start=datetime(2013, 2, 1, 12, 0),
+            duration_minutes=60,
+            attendance=85,
+            kind="seminar",
+            presentation=True,
+        )
+        model = LightingModel(EventCalendar(events=[seminar]))
+        assert model.state_at(seminar.start + timedelta(minutes=5)) == 1
+        assert model.state_at(seminar.start + timedelta(minutes=30)) == 0
+        assert model.state_at(seminar.end - timedelta(minutes=2)) == 1
+
+    def test_trajectory_matches_pointwise(self, setup):
+        _, _, calendar, _ = setup
+        model = LightingModel(calendar)
+        epoch = datetime(2013, 2, 1)
+        seconds = np.arange(0, 86400, 300.0)
+        trajectory = model.trajectory(epoch, seconds)
+        for i in range(0, len(seconds), 7):
+            when = epoch + timedelta(seconds=float(seconds[i]))
+            assert trajectory[i] == model.state_at(when)
+
+    def test_heat(self, setup):
+        _, _, calendar, _ = setup
+        model = LightingModel(calendar, heat_watts=2000.0)
+        assert model.heat_at(1.0) == 2000.0
+        assert model.heat_at(0.0) == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end ThermalModelingPipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, ThermalModelingPipeline, reduce_dataset, reduced_model
+from repro.data.modes import OCCUPIED
+from repro.errors import ConfigurationError
+from repro.sysid.models import FirstOrderModel, SecondOrderModel
+
+
+@pytest.fixture(scope="module")
+def splits(month_dataset):
+    from repro.geometry.layout import THERMOSTAT_IDS
+
+    wireless = month_dataset.select_sensors(
+        [s for s in month_dataset.sensor_ids if s not in THERMOSTAT_IDS]
+    )
+    return wireless.split_half_days(OCCUPIED)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(cluster_method="magic")
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(selection_strategy="magic")
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(model_order=3)
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(n_clusters=0)
+
+
+class TestFit:
+    def test_fit_produces_all_artifacts(self, splits):
+        train, _ = splits
+        pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=2))
+        result = pipeline.fit(train)
+        assert result.clustering.k == 2
+        assert len(result.selected_sensor_ids) == 2
+        assert isinstance(result.model, SecondOrderModel)
+        assert result.model.n_sensors == 2
+
+    def test_first_order_option(self, splits):
+        train, _ = splits
+        pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=2, model_order=1))
+        result = pipeline.fit(train)
+        assert isinstance(result.model, FirstOrderModel)
+
+    def test_unfitted_access_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModelingPipeline().result
+
+    def test_every_strategy_fits(self, splits, month_dataset):
+        train_w, _ = splits
+        train_full, _ = month_dataset.split_half_days(OCCUPIED)
+        for strategy in ("sms", "srs", "rs", "gp"):
+            pipeline = ThermalModelingPipeline(
+                PipelineConfig(n_clusters=2, selection_strategy=strategy)
+            )
+            result = pipeline.fit(train_w)
+            assert result.selection.n_clusters == 2
+        thermostats = ThermalModelingPipeline(
+            PipelineConfig(n_clusters=2, selection_strategy="thermostats")
+        )
+        result = thermostats.fit(train_full)
+        assert set(result.selected_sensor_ids) <= {40, 41}
+
+
+class TestEvaluate:
+    def test_report_metrics_sane(self, splits):
+        train, valid = splits
+        pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=2))
+        pipeline.fit(train)
+        report = pipeline.evaluate(valid)
+        assert 0.0 < report.selection_percentile() < 2.0
+        assert 0.0 < report.model_percentile() < 5.0
+        assert "p99" in report.summary()
+
+    def test_sms_beats_rs_through_pipeline(self, splits):
+        train, valid = splits
+        sms = ThermalModelingPipeline(PipelineConfig(n_clusters=2, selection_strategy="sms"))
+        sms.fit(train)
+        sms_error = sms.evaluate(valid).selection_percentile()
+        rs_errors = []
+        for seed in range(5):
+            rs = ThermalModelingPipeline(
+                PipelineConfig(n_clusters=2, selection_strategy="rs", seed=seed)
+            )
+            rs.fit(train)
+            rs_errors.append(rs.evaluate(valid).selection_percentile())
+        assert sms_error < np.mean(rs_errors)
+
+    def test_reduced_dataset(self, splits):
+        train, valid = splits
+        pipeline = ThermalModelingPipeline(PipelineConfig(n_clusters=3))
+        pipeline.fit(train)
+        reduced = pipeline.reduced_dataset(valid)
+        assert reduced.n_sensors == len(pipeline.result.selected_sensor_ids)
+
+
+class TestReductionHelpers:
+    def test_reduce_dataset(self, splits):
+        train, _ = splits
+        from repro.selection.base import SelectionResult
+
+        selection = SelectionResult(strategy="x", assignment={0: (1,), 1: (13,)})
+        reduced = reduce_dataset(train, selection)
+        assert reduced.sensor_ids == (1, 13)
+
+    def test_reduced_model_shape(self, splits):
+        train, _ = splits
+        from repro.selection.base import SelectionResult
+
+        selection = SelectionResult(strategy="x", assignment={0: (1,), 1: (13,)})
+        model = reduced_model(train, selection, order=2, mode=OCCUPIED, ridge=1.0)
+        assert model.n_sensors == 2

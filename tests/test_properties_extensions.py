@@ -1,0 +1,111 @@
+"""Property-based tests for the extension components."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.stability import adjusted_rand_index
+from repro.simulation.humidity import (
+    MoistureBalance,
+    humidity_ratio_from_rh,
+    relative_humidity,
+)
+from repro.sysid.arx import ARXModel
+
+small_floats = st.floats(min_value=-0.4, max_value=0.4, allow_nan=False)
+
+
+class TestARXProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        order=st.integers(min_value=1, max_value=4),
+        steps=st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_matches_companion_recursion(self, seed, order, steps):
+        """Simulating the ARX model equals iterating its block-companion
+        matrix on the stacked lag state."""
+        gen = np.random.default_rng(seed)
+        p = 2
+        lags = tuple(0.3 / order * gen.uniform(-1, 1, size=(p, p)) for _ in range(order))
+        model = ARXModel(lag_matrices=lags, B=np.zeros((p, 1)))
+        history = gen.uniform(18, 24, size=(order, p))
+        out = model.simulate(history, np.zeros((steps, 1)))
+
+        companion = model.companion_matrix()
+        # Stacked state: [T(k), T(k-1), ..., T(k-order+1)].
+        state = np.concatenate([history[-(i + 1)] for i in range(order)])
+        for k in range(steps):
+            state = companion @ state
+            np.testing.assert_allclose(state[:p], out[k], atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30)
+    def test_stable_companion_decays(self, seed):
+        gen = np.random.default_rng(seed)
+        p = 2
+        lags = (0.3 * gen.uniform(-1, 1, (p, p)), 0.2 * gen.uniform(-1, 1, (p, p)))
+        model = ARXModel(lag_matrices=lags, B=np.zeros((p, 1)))
+        assume(model.spectral_radius() < 0.95)
+        out = model.simulate(np.full((2, p), 5.0), np.zeros((200, 1)))
+        assert np.abs(out[-1]).max() < 1.0
+
+
+class TestMoistureProperties:
+    @given(
+        occupants=st.floats(min_value=0.0, max_value=90.0),
+        flow=st.floats(min_value=0.0, max_value=3.2),
+        discharge=st.floats(min_value=5.0, max_value=30.0),
+        ambient=st.floats(min_value=-20.0, max_value=35.0),
+        steps=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_stays_physical(self, occupants, flow, discharge, ambient, steps):
+        balance = MoistureBalance(room_volume=1920.0)
+        for _ in range(steps):
+            ratio = balance.step(
+                60.0,
+                occupants=occupants,
+                supply_flow=flow,
+                fresh_fraction=0.3,
+                discharge_temp=discharge,
+                ambient_temp=ambient,
+            )
+        assert 0.0 <= ratio < 0.05  # well below liquid water
+
+    @given(
+        rh=st.floats(min_value=0.0, max_value=100.0),
+        temp=st.floats(min_value=0.0, max_value=35.0),
+    )
+    def test_rh_roundtrip_property(self, rh, temp):
+        ratio = humidity_ratio_from_rh(rh, temp)
+        assert relative_humidity(ratio, temp) == pytest.approx(rh, abs=1e-6)
+
+
+class TestARIProperties:
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=60)
+    )
+    def test_self_agreement_is_one(self, labels):
+        assume(len(set(labels)) >= 1)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=60),
+        permutation_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_invariant_to_label_renaming(self, labels, permutation_seed):
+        gen = np.random.default_rng(permutation_seed)
+        mapping = gen.permutation(5)
+        renamed = [int(mapping[v]) for v in labels]
+        assert adjusted_rand_index(labels, renamed) == pytest.approx(1.0)
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=3), min_size=6, max_size=40),
+        b=st.lists(st.integers(min_value=0, max_value=3), min_size=6, max_size=40),
+    )
+    def test_bounded_above_by_one(self, a, b):
+        n = min(len(a), len(b))
+        score = adjusted_rand_index(a[:n], b[:n])
+        assert score <= 1.0 + 1e-12

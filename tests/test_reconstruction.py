@@ -1,0 +1,82 @@
+"""Tests for Gaussian-field reconstruction of the removed sensors."""
+
+import numpy as np
+import pytest
+
+from repro.data.modes import OCCUPIED
+from repro.errors import SelectionError
+from repro.selection import near_mean_selection, reconstruct_field
+from repro.selection.base import SelectionResult
+from tests.test_cluster import two_group_traces
+from tests.test_cluster_baselines_quality import make_clustering, traces_dataset
+
+
+@pytest.fixture
+def grouped_split():
+    """Two-zone synthetic data split in half along time."""
+    traces = two_group_traces(gap=3.0, n_ticks=1600, seed=4)
+    train = traces_dataset(traces[:800])
+    validate = traces_dataset(traces[800:])
+    clustering = make_clustering(train, [0] * 5 + [1] * 5, 2)
+    return train, validate, clustering
+
+
+class TestReconstruction:
+    def test_reconstructs_within_noise(self, grouped_split):
+        train, validate, clustering = grouped_split
+        selection = near_mean_selection(clustering, train)
+        result = reconstruct_field(selection, train, validate)
+        assert len(result.kept_ids) == 2
+        assert len(result.removed_ids) == 8
+        # Each group's sensors are (shared signal + small noise), so one
+        # kept sensor per group reconstructs the rest well.
+        assert result.overall_rms() < 0.3
+
+    def test_cross_zone_selection_reconstructs_worse(self, grouped_split):
+        train, validate, clustering = grouped_split
+        good = SelectionResult(strategy="x", assignment={0: (1,), 1: (6,)})
+        bad = SelectionResult(strategy="x", assignment={0: (1,), 1: (2,)})  # both in zone A
+        good_rms = reconstruct_field(good, train, validate).overall_rms()
+        bad_rms = reconstruct_field(bad, train, validate).overall_rms()
+        assert good_rms < bad_rms
+
+    def test_per_sensor_and_worst(self, grouped_split):
+        train, validate, clustering = grouped_split
+        selection = near_mean_selection(clustering, train)
+        result = reconstruct_field(selection, train, validate)
+        per_sensor = result.rms_per_sensor()
+        assert set(per_sensor) == set(result.removed_ids)
+        assert result.worst_sensor() in result.removed_ids
+
+    def test_kept_rows_with_gaps_skipped(self, grouped_split):
+        train, validate, clustering = grouped_split
+        selection = near_mean_selection(clustering, train)
+        kept = selection.sensors()[0]
+        col = validate.column_of(kept)
+        validate.temperatures[:50, col] = np.nan
+        result = reconstruct_field(selection, train, validate)
+        assert np.isnan(result.reconstructed[:50]).all()
+        assert np.isfinite(result.reconstructed[50:]).all()
+
+    def test_everything_kept_rejected(self, grouped_split):
+        train, validate, _ = grouped_split
+        selection = SelectionResult(
+            strategy="x", assignment={0: tuple(train.sensor_ids)}
+        )
+        with pytest.raises(SelectionError):
+            reconstruct_field(selection, train, validate)
+
+    def test_real_dataset_reconstruction(self, month_dataset):
+        """Two SMS sensors retain most of the 27-point field."""
+        from repro.cluster import cluster_sensors
+        from repro.geometry.layout import THERMOSTAT_IDS
+
+        wireless = month_dataset.select_sensors(
+            [s for s in month_dataset.sensor_ids if s not in THERMOSTAT_IDS]
+        )
+        train, validate = wireless.split_half_days(OCCUPIED)
+        clustering = cluster_sensors(train, method="correlation", k=2)
+        selection = near_mean_selection(clustering, train)
+        result = reconstruct_field(selection, train, validate)
+        assert len(result.removed_ids) == 23
+        assert result.overall_rms() < 0.6

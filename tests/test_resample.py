@@ -1,0 +1,93 @@
+"""Tests for event-stream resampling."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.data.resample import resample_last_value, resample_many, resample_mean
+from repro.data.timeseries import EventSeries, TimeAxis
+from repro.errors import DataError
+
+EPOCH = datetime(2013, 1, 31)
+
+
+def make_series(times, values, epoch=EPOCH, name="s"):
+    return EventSeries(epoch=epoch, times=np.asarray(times, float), values=np.asarray(values, float), name=name)
+
+
+class TestResampleLastValue:
+    def test_holds_last_value(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=5)
+        series = make_series([0.0, 25.0], [1.0, 2.0])
+        out = resample_last_value(series, axis)
+        np.testing.assert_array_equal(out, [1, 1, 1, 2, 2])
+
+    def test_nan_before_first_event(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=3)
+        out = resample_last_value(make_series([15.0], [9.0]), axis)
+        assert np.isnan(out[0]) and np.isnan(out[1]) and out[2] == 9.0
+
+    def test_staleness_bound(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=6)
+        out = resample_last_value(make_series([0.0], [1.0]), axis, max_staleness=25.0)
+        np.testing.assert_array_equal(np.isnan(out), [False, False, False, True, True, True])
+
+    def test_staleness_must_be_positive(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        with pytest.raises(DataError):
+            resample_last_value(make_series([0.0], [1.0]), axis, max_staleness=0.0)
+
+    def test_empty_series_all_nan(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=4)
+        out = resample_last_value(make_series([], []), axis)
+        assert np.isnan(out).all()
+
+    def test_epoch_shift_respected(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=3)
+        shifted = make_series([10.0], [7.0], epoch=EPOCH - timedelta(seconds=10))
+        out = resample_last_value(shifted, axis)
+        np.testing.assert_array_equal(out, [7, 7, 7])
+
+
+class TestResampleMean:
+    def test_window_means(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=3)
+        series = make_series([0.0, 5.0, 12.0], [1.0, 3.0, 10.0])
+        out = resample_mean(series, axis)
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(10.0)
+        assert np.isnan(out[2])
+
+    def test_min_events(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        series = make_series([0.0, 2.0, 11.0], [1.0, 3.0, 5.0])
+        out = resample_mean(series, axis, min_events=2)
+        assert out[0] == pytest.approx(2.0)
+        assert np.isnan(out[1])
+
+    def test_min_events_validation(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        with pytest.raises(DataError):
+            resample_mean(make_series([0.0], [1.0]), axis, min_events=0)
+
+    def test_events_before_axis_ignored(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        series = make_series([-5.0, 1.0], [100.0, 2.0], epoch=EPOCH)
+        out = resample_mean(series, axis)
+        assert out[0] == pytest.approx(2.0)
+
+
+class TestResampleMany:
+    def test_stacks_channels(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        a = make_series([0.0], [1.0], name="a")
+        b = make_series([0.0], [2.0], name="b")
+        out = resample_many([a, b], axis)
+        assert out.names == ("a", "b")
+        np.testing.assert_array_equal(out.values, [[1, 2], [1, 2]])
+
+    def test_empty_list_rejected(self):
+        axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
+        with pytest.raises(DataError):
+            resample_many([], axis)

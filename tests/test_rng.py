@@ -1,0 +1,66 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+
+
+class TestAsGenerator:
+    def test_none_uses_default_seed(self):
+        a = rng_mod.as_generator(None).integers(0, 2**31)
+        b = rng_mod.as_generator(rng_mod.DEFAULT_SEED).integers(0, 2**31)
+        assert a == b
+
+    def test_int_seed_reproducible(self):
+        assert rng_mod.as_generator(42).random() == rng_mod.as_generator(42).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert rng_mod.as_generator(gen) is gen
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            rng_mod.as_generator("not-a-seed")
+
+
+class TestDerive:
+    def test_same_label_same_stream(self):
+        a = rng_mod.derive(1, "weather").random(5)
+        b = rng_mod.derive(1, "weather").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = rng_mod.derive(1, "weather").random(5)
+        b = rng_mod.derive(1, "occupancy").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_mod.derive(1, "weather").random(5)
+        b = rng_mod.derive(2, "weather").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_index_discriminates(self):
+        a = rng_mod.derive(1, "sensor", index=3).random(5)
+        b = rng_mod.derive(1, "sensor", index=4).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_index_none_vs_zero_differ(self):
+        a = rng_mod.derive(1, "sensor").random()
+        b = rng_mod.derive(1, "sensor", index=0).random()
+        assert a != b
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds = rng_mod.spawn_seeds(5, "fleet", 10)
+        assert len(seeds) == 10
+        assert seeds == rng_mod.spawn_seeds(5, "fleet", 10)
+
+    def test_all_distinct(self):
+        seeds = rng_mod.spawn_seeds(5, "fleet", 64)
+        assert len(set(seeds)) == 64
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            rng_mod.spawn_seeds(5, "fleet", -1)

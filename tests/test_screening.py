@@ -1,0 +1,99 @@
+"""Tests for unreliable-sensor screening."""
+
+import numpy as np
+import pytest
+
+from repro.data.screening import (
+    ScreeningThresholds,
+    screen_sensors,
+    sensor_health,
+)
+from repro.errors import DataError
+
+
+def make_matrix(n_ticks=960, n_sensors=5, seed=3):
+    """Healthy sensors: a shared diurnal cycle plus small noise."""
+    gen = np.random.default_rng(seed)
+    t = np.arange(n_ticks)
+    base = 20.0 + np.sin(2 * np.pi * t / 96.0)
+    temps = base[:, None] + 0.05 * gen.standard_normal((n_ticks, n_sensors))
+    day = (t // 96).astype(int)
+    return temps, day
+
+
+class TestSensorHealth:
+    def test_healthy_sensor(self):
+        temps, day = make_matrix()
+        median = np.median(temps, axis=1)
+        health = sensor_health(1, temps[:, 0], median, day)
+        assert health.missing_fraction < 0.01
+        assert health.longest_stuck_fraction < 0.2
+        assert health.noise_level < 0.2
+        assert health.consensus_deviation < 0.5
+
+    def test_missing_fraction(self):
+        temps, day = make_matrix()
+        column = temps[:, 0].copy()
+        column[: len(column) // 2] = np.nan
+        health = sensor_health(1, column, np.median(temps, axis=1), day)
+        assert health.missing_fraction == pytest.approx(0.5)
+
+    def test_stuck_detection(self):
+        temps, day = make_matrix()
+        column = temps[:, 0].copy()
+        column[200:] = 21.0
+        health = sensor_health(1, column, np.median(temps, axis=1), day)
+        assert health.longest_stuck_fraction > 0.7
+
+    def test_drift_detection(self):
+        temps, day = make_matrix()
+        column = temps[:, 0] + np.linspace(0, 5, temps.shape[0])
+        health = sensor_health(1, column, np.median(temps, axis=1), day)
+        assert health.consensus_deviation > 2.0
+
+
+class TestScreenSensors:
+    def test_keeps_healthy_network(self):
+        temps, day = make_matrix()
+        report = screen_sensors(temps, [1, 2, 3, 4, 5], day)
+        assert report.kept_ids == (1, 2, 3, 4, 5)
+        assert not report.dropped
+
+    def test_drops_each_fault_kind(self):
+        temps, day = make_matrix(n_sensors=6)
+        temps = temps.copy()
+        gen = np.random.default_rng(0)
+        temps[:, 1] += np.linspace(0, 6, temps.shape[0])  # drift
+        temps[300:, 2] = 22.0  # stuck
+        temps[:, 3] += 1.5 * gen.standard_normal(temps.shape[0])  # noisy
+        temps[: int(0.8 * temps.shape[0]), 4] = np.nan  # missing
+        report = screen_sensors(temps, [1, 2, 3, 4, 5, 6], day)
+        assert set(report.dropped) == {2, 3, 4, 5}
+        assert 1 in report.kept_ids and 6 in report.kept_ids
+
+    def test_protected_ids_survive(self):
+        temps, day = make_matrix()
+        temps = temps.copy()
+        temps[:, 0] = np.nan
+        report = screen_sensors(temps, [1, 2, 3, 4, 5], day, protected_ids=[1])
+        assert 1 in report.kept_ids
+
+    def test_summary_mentions_drops(self):
+        temps, day = make_matrix()
+        temps = temps.copy()
+        temps[:, 0] = np.nan
+        report = screen_sensors(temps, [1, 2, 3, 4, 5], day)
+        assert "dropped 1" in report.summary()
+
+    def test_shape_validation(self):
+        temps, day = make_matrix()
+        with pytest.raises(DataError):
+            screen_sensors(temps, [1, 2], day)
+        with pytest.raises(DataError):
+            screen_sensors(temps, [1, 2, 3, 4, 5], day[:-1])
+
+    def test_custom_thresholds(self):
+        temps, day = make_matrix()
+        strict = ScreeningThresholds(max_noise_level=1e-9)
+        report = screen_sensors(temps, [1, 2, 3, 4, 5], day, thresholds=strict)
+        assert len(report.dropped) == 5

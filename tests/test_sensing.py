@@ -1,0 +1,172 @@
+"""Tests for the sensing substrate: faults, sensors, network, camera, logger."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import SensingError
+from repro.geometry.auditorium import Point
+from repro.geometry.layout import SensorSpec
+from repro.sensing.camera import CameraConfig, OccupancyCamera
+from repro.sensing.faults import FaultModel, apply_fault, dropout_mask
+from repro.sensing.network import (
+    NetworkConfig,
+    OutageSchedule,
+    WirelessNetwork,
+    draw_outages,
+)
+from repro.sensing.sensor import SensorModel, SensorReadoutConfig
+
+EPOCH = datetime(2013, 1, 31)
+
+
+def make_spec(sensor_id=1, fault=None):
+    return SensorSpec(sensor_id=sensor_id, position=Point(5, 5, 0.9), mount="desk", fault=fault)
+
+
+class TestFaults:
+    def test_none_passthrough(self):
+        values = np.arange(5.0)
+        out = apply_fault(None, values, np.arange(5.0), 1, 1)
+        np.testing.assert_array_equal(out, values)
+
+    def test_drift_grows_with_time(self):
+        seconds = np.array([0.0, 86400.0, 2 * 86400.0])
+        out = apply_fault("drift", np.zeros(3), seconds, 1, 1, FaultModel(drift_per_day=0.5))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_stuck_freezes_tail(self):
+        values = np.arange(10.0)
+        out = apply_fault("stuck", values, np.arange(10.0), 1, 1, FaultModel(stuck_after_fraction=0.5))
+        assert (out[5:] == out[5]).all()
+        np.testing.assert_array_equal(out[:5], values[:5])
+
+    def test_noisy_adds_noise(self):
+        out = apply_fault("noisy", np.zeros(1000), np.arange(1000.0), 1, 1)
+        assert 0.3 < out.std() < 1.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SensingError):
+            apply_fault("gremlins", np.zeros(3), np.zeros(3), 1, 1)
+
+    def test_dropout_mask_rate(self):
+        keep = dropout_mask(10000, 0.9, seed=1, sensor_id=1)
+        assert 0.05 < keep.mean() < 0.15
+
+    def test_dropout_mask_validation(self):
+        with pytest.raises(SensingError):
+            dropout_mask(10, 1.5, seed=1, sensor_id=1)
+
+
+class TestSensorModel:
+    def test_bias_is_per_unit_and_deterministic(self):
+        a = SensorModel(make_spec(1), seed=5)
+        b = SensorModel(make_spec(2), seed=5)
+        assert a.bias != b.bias
+        assert SensorModel(make_spec(1), seed=5).bias == a.bias
+
+    def test_bias_within_accuracy_band(self):
+        biases = [SensorModel(make_spec(i), seed=5).bias for i in range(1, 42)]
+        assert max(abs(b) for b in biases) < 0.8  # ±0.5 degC spec, some slack
+
+    def test_measure_quantizes(self):
+        sensor = SensorModel(make_spec(), seed=5)
+        seconds = np.arange(0.0, 600.0, 60.0)
+        readings = sensor.measure(np.full(10, 21.234), seconds)
+        remainder = np.abs(readings / 0.1 - np.round(readings / 0.1))
+        assert remainder.max() < 1e-9
+
+    def test_report_mask_fires_on_change(self):
+        # Sensor 2's heartbeat phase (274 s) falls outside this window,
+        # so the mask reflects pure report-on-change behaviour.
+        sensor = SensorModel(make_spec(2), seed=5, config=SensorReadoutConfig(noise_sigma=0.0))
+        seconds = np.arange(0.0, 300.0, 60.0)
+        quantized = np.array([20.0, 20.0, 20.1, 20.1, 20.3])
+        mask = sensor.report_mask(quantized, seconds)
+        np.testing.assert_array_equal(mask, [True, False, True, False, True])
+
+    def test_heartbeat_keeps_quiet_sensor_alive(self):
+        config = SensorReadoutConfig(noise_sigma=0.0, heartbeat_period=1800.0)
+        sensor = SensorModel(make_spec(), seed=5, config=config)
+        seconds = np.arange(0.0, 4 * 3600.0, 60.0)
+        quantized = np.full(seconds.size, 20.0)
+        mask = sensor.report_mask(quantized, seconds)
+        report_times = seconds[mask]
+        assert np.diff(report_times).max() <= 1800.0 + 60.0
+
+    def test_measure_alignment_checked(self):
+        sensor = SensorModel(make_spec(), seed=5)
+        with pytest.raises(SensingError):
+            sensor.measure(np.zeros(3), np.zeros(4))
+
+
+class TestOutages:
+    def test_draw_outages_deterministic(self):
+        config = NetworkConfig()
+        a = draw_outages(86400.0 * 30, config, seed=1)
+        b = draw_outages(86400.0 * 30, config, seed=1)
+        assert a.station_windows == b.station_windows
+        assert a.server_windows == b.server_windows
+
+    def test_windows_inside_duration(self):
+        schedule = draw_outages(86400.0 * 30, NetworkConfig(), seed=2)
+        for lo, hi in schedule.station_windows + schedule.server_windows:
+            assert 0.0 <= lo < hi <= 86400.0 * 30
+
+    def test_wireless_down_includes_server_windows(self):
+        schedule = OutageSchedule(station_windows=[(0.0, 10.0)], server_windows=[(20.0, 30.0)])
+        assert schedule.wireless_down(5.0)
+        assert schedule.wireless_down(25.0)
+        assert not schedule.backend_down(5.0)
+        assert schedule.backend_down(25.0)
+
+    def test_keep_masks(self):
+        schedule = OutageSchedule(station_windows=[(10.0, 20.0)])
+        times = np.array([5.0, 15.0, 25.0])
+        np.testing.assert_array_equal(schedule.wireless_keep_mask(times), [True, False, True])
+        np.testing.assert_array_equal(schedule.backend_keep_mask(times), [True, True, True])
+
+    def test_total_downtime_merges_overlaps(self):
+        schedule = OutageSchedule(
+            station_windows=[(0.0, 10.0)], server_windows=[(5.0, 15.0)]
+        )
+        assert schedule.total_downtime() == pytest.approx(15.0)
+
+
+class TestWirelessNetwork:
+    def test_packet_loss_rate(self):
+        network = WirelessNetwork(NetworkConfig(packet_loss=0.3), OutageSchedule(), seed=1)
+        times = np.arange(10000.0)
+        kept, _ = network.deliver(1, times, times)
+        assert 0.65 < kept.size / times.size < 0.75
+
+    def test_outage_drops_everything_inside(self):
+        schedule = OutageSchedule(station_windows=[(100.0, 200.0)])
+        network = WirelessNetwork(NetworkConfig(packet_loss=0.0), schedule, seed=1)
+        times = np.arange(0.0, 300.0, 10.0)
+        kept, _ = network.deliver(1, times, times)
+        assert not ((kept >= 100.0) & (kept < 200.0)).any()
+
+
+class TestCamera:
+    def test_snapshot_cadence(self):
+        camera = OccupancyCamera(CameraConfig(snapshot_loss=0.0), seed=1)
+        seconds = np.arange(0.0, 86400.0, 60.0)
+        stream = camera.observe(EPOCH, seconds, np.zeros(seconds.size))
+        assert np.diff(stream.times).min() == pytest.approx(900.0)
+
+    def test_counts_track_truth(self):
+        camera = OccupancyCamera(CameraConfig(snapshot_loss=0.0), seed=1)
+        seconds = np.arange(0.0, 7200.0, 60.0)
+        truth = np.full(seconds.size, 80.0)
+        stream = camera.observe(EPOCH, seconds, truth)
+        assert 65.0 < stream.values.mean() < 85.0
+        assert (stream.values >= 0).all()
+        assert np.allclose(stream.values, np.round(stream.values))
+
+    def test_empty_room_counts_zero(self):
+        camera = OccupancyCamera(CameraConfig(snapshot_loss=0.0), seed=1)
+        seconds = np.arange(0.0, 7200.0, 60.0)
+        stream = camera.observe(EPOCH, seconds, np.zeros(seconds.size))
+        assert (stream.values == 0).all()

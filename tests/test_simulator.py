@@ -1,0 +1,107 @@
+"""Tests for the end-to-end auditorium simulator.
+
+These are behaviour-level checks on short runs: schedules respected,
+realistic temperature levels, the paper's cool-front / warm-back
+pattern, determinism.
+"""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.simulation import AuditoriumSimulator, SimulationConfig, SimulationResult
+
+
+@pytest.fixture(scope="module")
+def result() -> SimulationResult:
+    # 2013-02-01 is a Friday: the seminar fills the room at noon.
+    return AuditoriumSimulator(SimulationConfig(days=2.0)).run()
+
+
+class TestBasics:
+    def test_shapes(self, result):
+        n = result.n_steps
+        assert n == 2 * 1440
+        assert result.zone_temps.shape == (n, 30)
+        assert result.vav_flows.shape == (n, 4)
+        assert result.thermostat_readings.shape == (n, 2)
+        assert result.thermostat_true.shape == (n, 2)
+
+    def test_deterministic(self, result):
+        again = AuditoriumSimulator(SimulationConfig(days=2.0)).run()
+        np.testing.assert_array_equal(result.zone_temps, again.zone_temps)
+        np.testing.assert_array_equal(result.vav_flows, again.vav_flows)
+
+    def test_seed_changes_trace(self, result):
+        other = AuditoriumSimulator(SimulationConfig(days=2.0, seed=99)).run()
+        assert not np.array_equal(result.zone_temps, other.zone_temps)
+
+    def test_temperatures_realistic(self, result):
+        assert result.zone_temps.min() > 14.0
+        assert result.zone_temps.max() < 27.0
+
+    def test_co2_bounded_and_above_outdoor(self, result):
+        assert result.co2.min() >= 420.0 - 1e-9
+        assert result.co2.max() < 3000.0
+
+    def test_occupancy_capped(self, result):
+        assert result.occupancy.max() <= 90.0 + 1e-9
+        assert result.occupancy.min() >= 0.0
+
+
+class TestSchedule:
+    def test_standby_flow_overnight(self, result):
+        config = AuditoriumSimulator(SimulationConfig(days=2.0)).plant.config
+        night = result.axis.index_of(datetime(2013, 2, 1, 3, 0))
+        standby = config.vav.min_flow + config.standby_flow_fraction * (
+            config.vav.max_flow - config.vav.min_flow
+        )
+        np.testing.assert_allclose(result.vav_flows[night], standby, rtol=0.05)
+
+    def test_occupied_mode_conditions(self, result):
+        """During the Friday seminar the plant actively cools."""
+        seminar = result.axis.index_of(datetime(2013, 2, 1, 12, 45))
+        assert result.occupancy[seminar] > 60
+        assert result.vav_temps[seminar].max() < 16.0  # cold deck air
+        config = AuditoriumSimulator(SimulationConfig(days=2.0)).plant.config
+        assert result.vav_flows[seminar].max() > config.vav.min_flow * 1.5
+
+
+class TestSpatialPattern:
+    def test_cool_front_warm_back_when_occupied(self, result):
+        seminar = result.axis.index_of(datetime(2013, 2, 1, 12, 45))
+        rows = result.zone_temps[seminar].reshape(5, 6).mean(axis=1)
+        assert rows[0] < rows[2]  # front cooler than middle
+        assert rows[0] < rows[3]
+
+    def test_meaningful_spread_when_occupied(self, result):
+        seminar = result.axis.index_of(datetime(2013, 2, 1, 12, 45))
+        zone = result.zone_temps[seminar]
+        assert 0.8 < zone.max() - zone.min() < 4.0
+
+    def test_small_spread_overnight(self, result):
+        night = result.axis.index_of(datetime(2013, 2, 1, 3, 0))
+        zone = result.zone_temps[night]
+        assert zone.max() - zone.min() < 1.0
+
+    def test_thermostats_read_cool_while_cooling(self, result):
+        """The plume bias keeps the thermostat readings at or below the
+        front-row zone mean during active cooling."""
+        seminar = result.axis.index_of(datetime(2013, 2, 1, 12, 45))
+        front_mean = result.zone_temps[seminar].reshape(5, 6)[0].mean()
+        assert result.thermostat_true[seminar].mean() <= front_mean + 0.1
+
+
+class TestTraces:
+    def test_temperature_trace_matches_pointwise(self, result):
+        point = Point(10.0, 8.0, 0.9)
+        trace = result.temperature_trace(point)
+        for step in (0, 700, 2000):
+            assert trace[step] == pytest.approx(result.temperature_at(point, step))
+
+    def test_stratification(self, result):
+        low = result.temperature_trace(Point(10.0, 8.0, 0.5))
+        high = result.temperature_trace(Point(10.0, 8.0, 5.5))
+        assert np.all(high > low)

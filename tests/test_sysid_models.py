@@ -1,0 +1,113 @@
+"""Tests for the thermal model classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IdentificationError
+from repro.sysid.models import FirstOrderModel, SecondOrderModel
+
+
+@pytest.fixture
+def first_order():
+    a = np.array([[0.9, 0.05], [0.05, 0.9]])
+    b = np.array([[0.1, 0.0], [0.0, 0.1]])
+    return FirstOrderModel(A=a, B=b)
+
+
+@pytest.fixture
+def second_order():
+    a1 = np.array([[0.9, 0.05], [0.05, 0.9]])
+    a2 = np.array([[0.3, 0.0], [0.0, 0.3]])
+    b = np.array([[0.1, 0.0], [0.0, 0.1]])
+    return SecondOrderModel(A1=a1, A2=a2, B=b)
+
+
+class TestFirstOrder:
+    def test_shapes_and_properties(self, first_order):
+        assert first_order.n_sensors == 2
+        assert first_order.n_inputs == 2
+        assert first_order.order == 1
+
+    def test_step(self, first_order):
+        history = np.array([[20.0, 22.0]])
+        out = first_order.step(history, np.array([1.0, 0.0]))
+        expected = first_order.A @ history[0] + first_order.B @ [1.0, 0.0]
+        np.testing.assert_allclose(out, expected)
+
+    def test_intercept(self):
+        model = FirstOrderModel(A=np.zeros((1, 1)), B=np.zeros((1, 1)), c=np.array([2.0]))
+        out = model.step(np.array([[0.0]]), np.array([0.0]))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_simulate_fixed_point(self, first_order):
+        """Simulation from a fixed point with constant input stays put."""
+        u = np.array([1.0, 1.0])
+        # Fixed point: T* = (I - A)^-1 B u
+        t_star = np.linalg.solve(np.eye(2) - first_order.A, first_order.B @ u)
+        predicted = first_order.simulate(t_star[None, :], np.tile(u, (50, 1)))
+        np.testing.assert_allclose(predicted[-1], t_star, rtol=1e-10)
+
+    def test_simulate_shape(self, first_order):
+        out = first_order.simulate(np.zeros((1, 2)), np.zeros((7, 2)))
+        assert out.shape == (7, 2)
+
+    def test_simulate_validation(self, first_order):
+        with pytest.raises(IdentificationError):
+            first_order.simulate(np.zeros((2, 2)), np.zeros((5, 2)))  # wrong order
+        with pytest.raises(IdentificationError):
+            first_order.simulate(np.zeros((1, 2)), np.zeros((5, 3)))  # wrong inputs
+        bad = np.zeros((5, 2))
+        bad[2, 0] = np.nan
+        with pytest.raises(IdentificationError):
+            first_order.simulate(np.zeros((1, 2)), bad)
+
+    def test_matrix_validation(self):
+        with pytest.raises(IdentificationError):
+            FirstOrderModel(A=np.zeros((2, 3)), B=np.zeros((2, 2)))
+        with pytest.raises(IdentificationError):
+            FirstOrderModel(A=np.full((2, 2), np.nan), B=np.zeros((2, 2)))
+
+    def test_interaction_matrix(self, first_order):
+        interaction = first_order.interaction_matrix()
+        assert np.diag(interaction).max() == 0.0
+        assert interaction[0, 1] == pytest.approx(0.05)
+
+    def test_spectral_radius(self, first_order):
+        assert first_order.spectral_radius() == pytest.approx(0.95)
+
+
+class TestSecondOrder:
+    def test_step_uses_delta(self, second_order):
+        history = np.array([[20.0, 20.0], [21.0, 20.0]])
+        out = second_order.step(history, np.zeros(2))
+        delta = history[1] - history[0]
+        expected = second_order.A1 @ history[1] + second_order.A2 @ delta
+        np.testing.assert_allclose(out, expected)
+
+    def test_block_form_consistency(self, second_order):
+        """The paper's stacked form produces the same trajectory as the
+        consistent parametrization."""
+        a_prime, b_prime = second_order.block_form()
+        initial = np.array([[20.0, 21.0], [20.5, 21.2]])
+        inputs = np.random.default_rng(0).random((20, 2))
+        simulated = second_order.simulate(initial, inputs)
+        # Stacked-state recursion.
+        state = np.concatenate([initial[1], initial[1] - initial[0]])
+        for k, u in enumerate(inputs):
+            state = a_prime @ state + b_prime @ u
+            np.testing.assert_allclose(state[:2], simulated[k], rtol=1e-10)
+            # The Delta block equals T(k+1) - T(k) by construction.
+
+    def test_simulate_needs_two_rows(self, second_order):
+        with pytest.raises(IdentificationError):
+            second_order.simulate(np.zeros((1, 2)), np.zeros((5, 2)))
+
+    def test_stationary_when_stable(self, second_order):
+        initial = np.array([[20.0, 20.0], [20.0, 20.0]])
+        out = second_order.simulate(initial, np.zeros((100, 2)))
+        # Stable dynamics with zero input decay toward zero.
+        assert np.abs(out[-1]).max() < np.abs(out[0]).max() + 1e-9
+
+    def test_spectral_radius_on_stacked_state(self, second_order):
+        rho = second_order.spectral_radius()
+        assert 0.0 < rho < 1.2

@@ -1,0 +1,148 @@
+"""Tests for time axes and series containers."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import EventSeries, TimeAxis, UniformSeries, iter_days
+from repro.errors import DataError
+
+EPOCH = datetime(2013, 1, 31, 0, 0, 0)
+
+
+class TestTimeAxis:
+    def test_basic_properties(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=96)
+        assert len(axis) == 96
+        assert axis.duration == pytest.approx(95 * 900.0)
+        assert axis.seconds()[0] == 0.0
+        assert axis.seconds()[-1] == pytest.approx(95 * 900.0)
+
+    def test_datetime_at(self):
+        axis = TimeAxis(epoch=EPOCH, period=3600.0, count=30)
+        assert axis.datetime_at(0) == EPOCH
+        assert axis.datetime_at(25) == EPOCH + timedelta(hours=25)
+        with pytest.raises(DataError):
+            axis.datetime_at(30)
+
+    def test_index_of_roundtrip(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=200)
+        for index in (0, 7, 199):
+            assert axis.index_of(axis.datetime_at(index)) == index
+
+    def test_index_of_between_ticks_floors(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=10)
+        assert axis.index_of(EPOCH + timedelta(seconds=1000)) == 1
+
+    def test_index_of_outside_raises(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=10)
+        with pytest.raises(DataError):
+            axis.index_of(EPOCH - timedelta(seconds=1))
+
+    def test_hours_of_day_wraps(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31, 23, 0), period=3600.0, count=3)
+        np.testing.assert_allclose(axis.hours_of_day(), [23.0, 0.0, 1.0])
+
+    def test_day_indices_respect_midnight(self):
+        axis = TimeAxis(epoch=datetime(2013, 1, 31, 23, 30), period=3600.0, count=3)
+        np.testing.assert_array_equal(axis.day_indices(), [0, 1, 1])
+
+    def test_weekdays(self):
+        # 2013-01-31 is a Thursday (weekday 3).
+        axis = TimeAxis(epoch=EPOCH, period=86400.0, count=4)
+        np.testing.assert_array_equal(axis.weekdays(), [3, 4, 5, 6])
+
+    def test_subaxis(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=100)
+        sub = axis.subaxis(10, 20)
+        assert len(sub) == 10
+        assert sub.epoch == EPOCH + timedelta(seconds=10 * 900)
+        with pytest.raises(DataError):
+            axis.subaxis(20, 10)
+
+    def test_spanning(self):
+        axis = TimeAxis.spanning(EPOCH, EPOCH + timedelta(hours=1), 900.0)
+        assert len(axis) == 5  # 0, 15, 30, 45, 60 minutes
+        with pytest.raises(DataError):
+            TimeAxis.spanning(EPOCH, EPOCH - timedelta(hours=1), 900.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(DataError):
+            TimeAxis(epoch=EPOCH, period=0.0, count=5)
+        with pytest.raises(DataError):
+            TimeAxis(epoch=EPOCH, period=1.0, count=-1)
+
+
+class TestEventSeries:
+    def test_requires_increasing_times(self):
+        with pytest.raises(DataError):
+            EventSeries(epoch=EPOCH, times=np.array([1.0, 1.0]), values=np.array([2.0, 3.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            EventSeries(epoch=EPOCH, times=np.array([1.0]), values=np.array([1.0, 2.0]))
+
+    def test_last_value_before(self):
+        series = EventSeries(epoch=EPOCH, times=np.array([10.0, 20.0]), values=np.array([1.0, 2.0]))
+        assert series.last_value_before(5.0) == (None, None)
+        value, age = series.last_value_before(15.0)
+        assert value == 1.0 and age == pytest.approx(5.0)
+        value, age = series.last_value_before(20.0)
+        assert value == 2.0 and age == pytest.approx(0.0)
+
+    def test_between_is_half_open(self):
+        series = EventSeries(epoch=EPOCH, times=np.array([1.0, 2.0, 3.0]), values=np.array([1, 2, 3.0]))
+        sub = series.between(1.0, 3.0)
+        np.testing.assert_array_equal(sub.times, [1.0, 2.0])
+
+    def test_shifted_to(self):
+        series = EventSeries(epoch=EPOCH, times=np.array([60.0]), values=np.array([5.0]))
+        shifted = series.shifted_to(EPOCH - timedelta(seconds=60))
+        np.testing.assert_allclose(shifted.times, [120.0])
+
+    def test_merge_interleaves(self):
+        a = EventSeries(epoch=EPOCH, times=np.array([1.0, 3.0]), values=np.array([1, 3.0]))
+        b = EventSeries(epoch=EPOCH, times=np.array([2.0]), values=np.array([2.0]))
+        merged = a.merge(b)
+        np.testing.assert_array_equal(merged.values, [1, 2, 3])
+
+    def test_merge_duplicate_times_rejected(self):
+        a = EventSeries(epoch=EPOCH, times=np.array([1.0]), values=np.array([1.0]))
+        b = EventSeries(epoch=EPOCH, times=np.array([1.0]), values=np.array([2.0]))
+        with pytest.raises(DataError):
+            a.merge(b)
+
+
+class TestUniformSeries:
+    def test_length_mismatch(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=4)
+        with pytest.raises(DataError):
+            UniformSeries(axis=axis, values=np.zeros(5))
+
+    def test_channel_access(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=3)
+        series = UniformSeries(axis=axis, values=np.arange(6.0).reshape(3, 2), names=("a", "b"))
+        np.testing.assert_array_equal(series.channel("b"), [1, 3, 5])
+        with pytest.raises(DataError):
+            series.channel("zz")
+
+    def test_missing_fraction(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=4)
+        values = np.array([1.0, np.nan, 3.0, np.nan])
+        assert UniformSeries(axis=axis, values=values).missing_fraction() == pytest.approx(0.5)
+
+    def test_window(self):
+        axis = TimeAxis(epoch=EPOCH, period=900.0, count=10)
+        series = UniformSeries(axis=axis, values=np.arange(10.0))
+        window = series.window(2, 5)
+        np.testing.assert_array_equal(window.values, [2, 3, 4])
+        assert len(window.axis) == 3
+
+
+def test_iter_days():
+    axis = TimeAxis(epoch=datetime(2013, 1, 31, 22, 0), period=3600.0, count=5)
+    days = dict(iter_days(axis))
+    assert sorted(days) == [0, 1]
+    assert days[0].tolist() == [0, 1]
+    assert days[1].tolist() == [2, 3, 4]

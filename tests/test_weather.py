@@ -1,0 +1,75 @@
+"""Tests for the synthetic St. Louis weather model."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.weather import WeatherConfig, WeatherModel
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeatherConfig(synoptic_rho=1.0)
+        with pytest.raises(ConfigurationError):
+            WeatherConfig(noise_sigma=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_value(self):
+        when = datetime(2013, 3, 15, 14, 30)
+        assert WeatherModel(seed=1).temperature_at(when) == WeatherModel(seed=1).temperature_at(when)
+
+    def test_different_seed_differs(self):
+        when = datetime(2013, 3, 15, 14, 30)
+        assert WeatherModel(seed=1).temperature_at(when) != WeatherModel(seed=2).temperature_at(when)
+
+    def test_query_order_independent(self):
+        a = WeatherModel(seed=3)
+        b = WeatherModel(seed=3)
+        t1 = datetime(2013, 2, 1, 8, 0)
+        t2 = datetime(2013, 4, 1, 8, 0)
+        forward = (a.temperature_at(t1), a.temperature_at(t2))
+        backward = (b.temperature_at(t2), b.temperature_at(t1))
+        assert forward == (backward[1], backward[0])
+
+    def test_trajectory_matches_pointwise(self):
+        model = WeatherModel(seed=4)
+        epoch = datetime(2013, 1, 31, 6, 0)
+        seconds = np.array([0.0, 600.0, 3600.0, 90000.0])
+        trajectory = model.trajectory(epoch, seconds)
+        pointwise = [
+            WeatherModel(seed=4).temperature_at(epoch + timedelta(seconds=float(s)))
+            for s in seconds
+        ]
+        np.testing.assert_allclose(trajectory, pointwise)
+
+
+class TestClimate:
+    def test_spring_warms_up(self):
+        """Mean temperature rises substantially from Feb to May."""
+        model = WeatherModel(seed=5, config=WeatherConfig(synoptic_sigma=0.0, noise_sigma=0.0))
+        feb = np.mean([model.temperature_at(datetime(2013, 2, d, 12)) for d in range(1, 28)])
+        may = np.mean([model.temperature_at(datetime(2013, 5, d, 12)) for d in range(1, 28)])
+        assert may - feb > 8.0
+
+    def test_diurnal_peak_afternoon(self):
+        config = WeatherConfig(synoptic_sigma=0.0, noise_sigma=0.0)
+        model = WeatherModel(seed=6, config=config)
+        day = datetime(2013, 3, 10)
+        temps = {h: model.temperature_at(day + timedelta(hours=h)) for h in range(24)}
+        warmest = max(temps, key=temps.get)
+        assert 13 <= warmest <= 17
+        coldest = min(temps, key=temps.get)
+        assert coldest <= 5 or coldest >= 23
+
+    def test_synoptic_variability_day_to_day(self):
+        config = WeatherConfig(noise_sigma=0.0)
+        model = WeatherModel(seed=7, config=config)
+        noons = [model.temperature_at(datetime(2013, 3, d, 12)) for d in range(1, 29)]
+        assert np.std(noons) > 1.0
+
+    def test_trajectory_empty(self):
+        assert WeatherModel(seed=1).trajectory(datetime(2013, 1, 1), np.empty(0)).size == 0
