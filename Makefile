@@ -1,12 +1,21 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test bench bench-quick report examples clean
+.PHONY: install test lint bench bench-quick report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Static analysis: the in-repo lint pack always runs; ruff and mypy run
+# when installed (they are optional dev tools, not runtime deps).
+lint:
+	python -m repro_lint src/ tests/ benchmarks/
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tools tests benchmarks; \
+	else echo "ruff not installed; skipping"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipping"; fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,35 @@
+"""Repo-root shim so ``python -m repro_lint src/ tests/ benchmarks/`` works
+without installing anything.
+
+The real package lives in ``tools/repro_lint``.  Run as ``__main__`` (by
+``python -m``), this shim puts ``tools/`` first on ``sys.path`` and
+dispatches to the package CLI.  Imported as ``repro_lint`` (which happens
+whenever the repo root precedes ``tools/`` on ``sys.path``, e.g. under
+pytest), it replaces itself in ``sys.modules`` with the real package —
+the self-replacement idiom the import system explicitly supports — so
+``import repro_lint`` always yields the package either way.
+"""
+
+import importlib.util
+import os
+import sys
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
+_PKG = os.path.join(_TOOLS, "repro_lint")
+
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+if __name__ == "__main__":
+    from repro_lint.cli import main
+
+    sys.exit(main())
+else:
+    _spec = importlib.util.spec_from_file_location(
+        "repro_lint",
+        os.path.join(_PKG, "__init__.py"),
+        submodule_search_locations=[_PKG],
+    )
+    _module = importlib.util.module_from_spec(_spec)
+    sys.modules["repro_lint"] = _module
+    _spec.loader.exec_module(_module)

@@ -24,6 +24,7 @@ from repro.version import __version__
 from repro.errors import (
     ClusteringError,
     ConfigurationError,
+    ContractError,
     DataError,
     GeometryError,
     IdentificationError,
@@ -58,6 +59,7 @@ __all__ = [
     "IdentificationError",
     "ClusteringError",
     "SelectionError",
+    "ContractError",
     # data
     "AuditoriumDataset",
     "InputChannels",

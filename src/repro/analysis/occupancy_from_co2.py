@@ -30,6 +30,12 @@ from repro.errors import DataError
 from repro.sensing.raw import RawDataset
 from repro.simulation.simulator import CO2_PER_PERSON, FRESH_AIR_FRACTION, OUTDOOR_CO2_PPM
 
+__all__ = [
+    "CO2EstimatorConfig",
+    "OccupancyEstimate",
+    "estimate_occupancy_from_co2",
+]
+
 
 @dataclass(frozen=True)
 class CO2EstimatorConfig:
@@ -103,12 +109,12 @@ def estimate_occupancy_from_co2(
     count = int(np.floor(raw.duration_seconds / config.period)) + 1
     axis = TimeAxis(epoch=raw.epoch, period=config.period, count=count)
 
-    co2 = resample_last_value(raw.portal("co2"), axis, max_staleness=config.staleness)
+    co2 = resample_last_value(raw.portal("co2"), axis, max_staleness_s=config.staleness)
     n_vavs = sum(1 for name in raw.portal_streams if name.endswith("_flow"))
     flows = np.zeros(count)
     for v in range(n_vavs):
         flows = flows + resample_last_value(
-            raw.portal(f"vav{v + 1}_flow"), axis, max_staleness=config.staleness
+            raw.portal(f"vav{v + 1}_flow"), axis, max_staleness_s=config.staleness
         )
 
     # Central-difference derivative, ppm/s.
@@ -125,6 +131,6 @@ def estimate_occupancy_from_co2(
         camera = np.full(count, np.nan)
     else:
         camera = resample_last_value(
-            raw.occupancy_stream, axis, max_staleness=config.staleness
+            raw.occupancy_stream, axis, max_staleness_s=config.staleness
         )
     return OccupancyEstimate(axis=axis, estimate=estimate, camera=camera)

@@ -24,6 +24,10 @@ from typing import List, Optional
 from repro import rng as rng_mod
 from repro.version import __version__
 
+__all__ = [
+    "main",
+]
+
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(

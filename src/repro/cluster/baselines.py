@@ -14,6 +14,11 @@ from repro.cluster.kmeans import kmeans
 from repro.cluster.similarity import pairwise_euclidean
 from repro.errors import ClusteringError
 
+__all__ = [
+    "kmeans_traces",
+    "single_linkage",
+]
+
 
 def _impute_traces(traces: np.ndarray) -> np.ndarray:
     """Column-mean imputation so vector-space methods can run on gappy data."""

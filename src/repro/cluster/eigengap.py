@@ -14,6 +14,11 @@ import numpy as np
 
 from repro.errors import ClusteringError
 
+__all__ = [
+    "log_eigenvalues",
+    "choose_k_by_eigengap",
+]
+
 #: Eigenvalues below this are treated as numerically zero before logs.
 EIGENVALUE_FLOOR = 1e-9
 

@@ -14,6 +14,11 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.errors import ClusteringError
 
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+]
+
 
 @dataclass(frozen=True)
 class KMeansResult:

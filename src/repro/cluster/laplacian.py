@@ -12,7 +12,14 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.errors import ClusteringError
+
+__all__ = [
+    "graph_laplacian",
+    "laplacian_eigensystem",
+    "n_connected_components",
+]
 
 
 def _check_weights(weights: np.ndarray) -> np.ndarray:
@@ -28,6 +35,7 @@ def _check_weights(weights: np.ndarray) -> np.ndarray:
     return w
 
 
+@check_shapes(weights="n n", ret="n n")
 def graph_laplacian(weights: np.ndarray, normalized: bool = False) -> np.ndarray:
     """``L = D − W`` or the symmetric normalized Laplacian.
 

@@ -25,6 +25,14 @@ from repro.data.dataset import AuditoriumDataset
 from repro.errors import ClusteringError
 from repro.sysid.metrics import empirical_cdf
 
+__all__ = [
+    "ClusterQuality",
+    "cluster_quality",
+    "cluster_mean_temperatures",
+    "within_cluster_correlation",
+    "cluster_mean_trace",
+]
+
 
 @dataclass
 class ClusterQuality:

@@ -23,7 +23,17 @@ from typing import Optional
 
 import numpy as np
 
+from repro.contracts import check_shapes, ensure_unit_range
 from repro.errors import ClusteringError
+
+__all__ = [
+    "SimilarityOptions",
+    "pairwise_euclidean",
+    "remove_network_mean",
+    "correlation_matrix",
+    "euclidean_similarity",
+    "correlation_similarity",
+]
 
 
 @dataclass(frozen=True)
@@ -144,6 +154,7 @@ def _apply_threshold(weights: np.ndarray, threshold: float) -> np.ndarray:
     return weights
 
 
+@check_shapes(traces="n p", ret="p p")
 def euclidean_similarity(
     traces: np.ndarray, options: Optional[SimilarityOptions] = None
 ) -> np.ndarray:
@@ -169,6 +180,7 @@ def euclidean_similarity(
     return _apply_threshold(weights, options.edge_threshold)
 
 
+@check_shapes(traces="n p", ret="p p")
 def correlation_similarity(
     traces: np.ndarray, options: Optional[SimilarityOptions] = None
 ) -> np.ndarray:
@@ -186,4 +198,5 @@ def correlation_similarity(
     )
     weights = np.where(np.isfinite(corr), np.clip(corr, 0.0, 1.0), 0.0)
     np.fill_diagonal(weights, 0.0)
+    ensure_unit_range(weights, 0.0, 1.0, "correlation similarity weights")
     return _apply_threshold(weights, options.edge_threshold)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import rng as rng_mod
+from repro.contracts import check_shapes
 from repro.cluster.eigengap import choose_k_by_eigengap, log_eigenvalues
 from repro.cluster.kmeans import kmeans
 from repro.cluster.laplacian import laplacian_eigensystem
@@ -24,6 +25,13 @@ from repro.cluster.similarity import (
 )
 from repro.data.dataset import AuditoriumDataset
 from repro.errors import ClusteringError
+
+__all__ = [
+    "ClusteringResult",
+    "similarity_from_traces",
+    "spectral_clustering",
+    "cluster_sensors",
+]
 
 SIMILARITY_METHODS = ("euclidean", "correlation")
 
@@ -86,6 +94,7 @@ def similarity_from_traces(
     raise ClusteringError(f"unknown similarity method {method!r}; use one of {SIMILARITY_METHODS}")
 
 
+@check_shapes(weights="n n")
 def spectral_clustering(
     weights: np.ndarray,
     k: Optional[int] = None,

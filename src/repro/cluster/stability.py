@@ -22,6 +22,12 @@ from repro.data.dataset import AuditoriumDataset
 from repro.data.modes import Mode, OCCUPIED
 from repro.errors import ClusteringError
 
+__all__ = [
+    "adjusted_rand_index",
+    "StabilityResult",
+    "bootstrap_stability",
+]
+
 
 def adjusted_rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
     """Adjusted Rand Index between two partitions of the same items.

@@ -18,6 +18,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "ComfortConditions",
+    "pmv",
+    "ppd_from_pmv",
+    "pmv_ppd",
+    "pmv_at_temperature",
+]
+
 
 @dataclass(frozen=True)
 class ComfortConditions:
@@ -122,7 +130,7 @@ def pmv_ppd(conditions: ComfortConditions) -> Tuple[float, float]:
     return value, ppd_from_pmv(value)
 
 
-def pmv_at_temperature(air_temp: float, base: ComfortConditions = ComfortConditions()) -> float:
+def pmv_at_temperature(air_temp_c: float, base: ComfortConditions = ComfortConditions()) -> float:
     """PMV with only the air (and radiant) temperature changed.
 
     Convenience used to evaluate how the auditorium's spatial spread
@@ -130,4 +138,4 @@ def pmv_at_temperature(air_temp: float, base: ComfortConditions = ComfortConditi
     """
     from dataclasses import replace
 
-    return pmv(replace(base, air_temp=float(air_temp), radiant_temp=float(air_temp)))
+    return pmv(replace(base, air_temp=float(air_temp_c), radiant_temp=float(air_temp_c)))

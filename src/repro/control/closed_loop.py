@@ -18,6 +18,15 @@ from repro.geometry.auditorium import Point
 from repro.simulation.rc_network import AIR_CP, AIR_DENSITY
 from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig, SimulationResult
 
+__all__ = [
+    "SensorFeedbackController",
+    "ClosedLoopMetrics",
+    "ClosedLoopResult",
+    "score_closed_loop",
+    "make_disturbance_source",
+    "run_closed_loop",
+]
+
 
 class SensorFeedbackController:
     """Adapts :class:`~repro.control.mpc.ReducedModelMPC` to the simulator.

@@ -24,6 +24,11 @@ from repro.simulation.lighting import LightingModel
 from repro.simulation.occupancy import presence_fraction
 from repro.simulation.weather import WeatherModel
 
+__all__ = [
+    "CalendarForecaster",
+    "ForecastingController",
+]
+
 
 @dataclass
 class CalendarForecaster:
@@ -70,7 +75,7 @@ class CalendarForecaster:
         )
 
     def horizon(
-        self, step: int, horizon_steps: int, model_period: float
+        self, step: int, horizon_steps: int, model_period_s: float
     ) -> np.ndarray:
         """``(horizon_steps, 3)`` forecast starting at plant step ``step``.
 
@@ -81,7 +86,7 @@ class CalendarForecaster:
         start = self.epoch + timedelta(seconds=step * self.step_seconds)
         rows = []
         for k in range(horizon_steps):
-            when = start + timedelta(seconds=(k + 0.5) * model_period)
+            when = start + timedelta(seconds=(k + 0.5) * model_period_s)
             rows.append(self.at(when))
         return np.asarray(rows)
 

@@ -30,6 +30,11 @@ from scipy.optimize import lsq_linear
 from repro.errors import ConfigurationError
 from repro.sysid.models import ThermalModel
 
+__all__ = [
+    "MPCConfig",
+    "ReducedModelMPC",
+]
+
 
 @dataclass(frozen=True)
 class MPCConfig:

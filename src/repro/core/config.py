@@ -10,6 +10,10 @@ from repro.data.modes import Mode, OCCUPIED
 from repro.errors import ConfigurationError
 from repro.sysid.evaluation import EvaluationOptions
 
+__all__ = [
+    "PipelineConfig",
+]
+
 CLUSTER_METHODS = ("euclidean", "correlation")
 SELECTION_STRATEGIES = ("sms", "srs", "rs", "thermostats", "gp")
 

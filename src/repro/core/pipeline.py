@@ -28,6 +28,12 @@ from repro.selection.stratified import near_mean_selection, stratified_random_se
 from repro.sysid.metrics import percentile
 from repro.sysid.models import ThermalModel
 
+__all__ = [
+    "PipelineResult",
+    "PipelineReport",
+    "ThermalModelingPipeline",
+]
+
 
 @dataclass
 class PipelineResult:

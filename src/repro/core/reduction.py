@@ -8,6 +8,11 @@ from repro.selection.base import SelectionResult
 from repro.sysid.identify import IdentificationOptions, identify
 from repro.sysid.models import ThermalModel
 
+__all__ = [
+    "reduce_dataset",
+    "reduced_model",
+]
+
 
 def reduce_dataset(dataset: AuditoriumDataset, selection: SelectionResult) -> AuditoriumDataset:
     """Restrict ``dataset`` to the selected sensors (sorted, deduplicated)."""

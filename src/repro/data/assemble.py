@@ -15,11 +15,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.contracts import ensure_unit_range
 from repro.data.dataset import AuditoriumDataset, InputChannels
 from repro.data.resample import resample_last_value
 from repro.data.timeseries import TimeAxis
 from repro.errors import DataError
 from repro.sensing.raw import RawDataset
+
+__all__ = [
+    "AssemblyConfig",
+    "assemble_dataset",
+]
 
 
 @dataclass(frozen=True)
@@ -71,7 +77,7 @@ def assemble_dataset(
     ids = list(sensor_ids) if sensor_ids is not None else raw.sensor_ids()
     temps = np.column_stack(
         [
-            resample_last_value(raw.stream_of(sid), axis, max_staleness=config.temperature_staleness)
+            resample_last_value(raw.stream_of(sid), axis, max_staleness_s=config.temperature_staleness)
             for sid in ids
         ]
     )
@@ -85,21 +91,28 @@ def assemble_dataset(
     for v in range(n_vavs):
         columns.append(
             resample_last_value(
-                raw.portal(f"vav{v + 1}_flow"), axis, max_staleness=config.portal_staleness
+                raw.portal(f"vav{v + 1}_flow"), axis, max_staleness_s=config.portal_staleness
             )
         )
     if raw.occupancy_stream is None:
         raise DataError("raw dataset has no occupancy stream")
     columns.append(
-        resample_last_value(raw.occupancy_stream, axis, max_staleness=config.occupancy_staleness)
+        resample_last_value(raw.occupancy_stream, axis, max_staleness_s=config.occupancy_staleness)
     )
     columns.append(
-        resample_last_value(raw.portal("lighting"), axis, max_staleness=config.lighting_staleness)
+        resample_last_value(raw.portal("lighting"), axis, max_staleness_s=config.lighting_staleness)
     )
     columns.append(
-        resample_last_value(raw.portal("ambient"), axis, max_staleness=config.portal_staleness)
+        resample_last_value(raw.portal("ambient"), axis, max_staleness_s=config.portal_staleness)
     )
     inputs = np.column_stack(columns)
+    # Physical-plausibility contracts on the assembled input block: VAV
+    # flows and occupancy counts are clipped non-negative at the source,
+    # and lighting is a 0/1 state log; anything else means the portal
+    # streams were wired to the wrong columns.
+    ensure_unit_range(inputs[:, :n_vavs], 0.0, float("inf"), "assembled VAV flows")
+    ensure_unit_range(inputs[:, n_vavs], 0.0, float("inf"), "assembled occupancy")
+    ensure_unit_range(inputs[:, n_vavs + 1], 0.0, 1.0, "assembled lighting state")
 
     positions = {
         sid: spec.position for sid, spec in raw.layout.items() if sid in set(ids)

@@ -26,6 +26,11 @@ from repro.data.timeseries import TimeAxis
 from repro.errors import DataError
 from repro.geometry.auditorium import Point
 
+__all__ = [
+    "InputChannels",
+    "AuditoriumDataset",
+]
+
 
 @dataclass(frozen=True)
 class InputChannels:

@@ -17,6 +17,14 @@ import numpy as np
 
 from repro.errors import DataError
 
+__all__ = [
+    "Segment",
+    "valid_mask",
+    "find_segments",
+    "mask_gaps",
+    "coverage",
+]
+
 
 @dataclass(frozen=True)
 class Segment:

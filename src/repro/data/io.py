@@ -27,6 +27,11 @@ from repro.data.timeseries import TimeAxis
 from repro.errors import DataError
 from repro.geometry.auditorium import Point
 
+__all__ = [
+    "save_dataset_csv",
+    "load_dataset_csv",
+]
+
 _TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
 
 

@@ -17,6 +17,13 @@ from repro.data.gaps import Segment
 from repro.data.timeseries import TimeAxis
 from repro.errors import DataError
 
+__all__ = [
+    "Mode",
+    "mode_mask",
+    "split_by_day",
+    "daily_windows",
+]
+
 
 @dataclass(frozen=True)
 class Mode:

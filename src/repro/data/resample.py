@@ -17,19 +17,25 @@ import numpy as np
 from repro.data.timeseries import EventSeries, TimeAxis, UniformSeries
 from repro.errors import DataError
 
+__all__ = [
+    "resample_last_value",
+    "resample_mean",
+    "resample_many",
+]
+
 
 def resample_last_value(
     series: EventSeries,
     axis: TimeAxis,
-    max_staleness: Optional[float] = None,
+    max_staleness_s: Optional[float] = None,
 ) -> np.ndarray:
     """Sample-and-hold resampling of ``series`` onto ``axis``.
 
     For each tick the most recent event at or before that tick is used.
-    Ticks whose freshest event is older than ``max_staleness`` seconds
+    Ticks whose freshest event is older than ``max_staleness_s`` seconds
     (or that have no preceding event at all) become NaN.
 
-    A sensible ``max_staleness`` for report-on-change sensors is several
+    A sensible ``max_staleness_s`` for report-on-change sensors is several
     times the resampling period: a healthy sensor that simply saw no
     temperature change stays valid, while a sensor knocked out by a
     network outage goes NaN once the outage exceeds the bound.
@@ -44,10 +50,10 @@ def resample_last_value(
     safe = np.clip(indices, 0, None)
     values = shifted.values[safe]
     ages = ticks - shifted.times[safe]
-    if max_staleness is not None:
-        if max_staleness <= 0:
-            raise DataError("max_staleness must be positive")
-        valid &= ages <= max_staleness
+    if max_staleness_s is not None:
+        if max_staleness_s <= 0:
+            raise DataError("max_staleness_s must be positive")
+        valid &= ages <= max_staleness_s
     out[valid] = values[valid]
     return out
 
@@ -84,11 +90,11 @@ def resample_mean(
 def resample_many(
     streams: Sequence[EventSeries],
     axis: TimeAxis,
-    max_staleness: Optional[float] = None,
+    max_staleness_s: Optional[float] = None,
 ) -> UniformSeries:
     """Stack several event streams into one multi-channel uniform series."""
     if not streams:
         raise DataError("no streams to resample")
-    columns = [resample_last_value(s, axis, max_staleness=max_staleness) for s in streams]
+    columns = [resample_last_value(s, axis, max_staleness_s=max_staleness_s) for s in streams]
     names = tuple(s.name or f"ch{i}" for i, s in enumerate(streams))
     return UniformSeries(axis=axis, values=np.column_stack(columns), names=names)

@@ -17,6 +17,14 @@ import numpy as np
 
 from repro.errors import DataError
 
+__all__ = [
+    "SensorHealth",
+    "ScreeningThresholds",
+    "ScreeningReport",
+    "sensor_health",
+    "screen_sensors",
+]
+
 
 @dataclass(frozen=True)
 class SensorHealth:

@@ -25,6 +25,16 @@ from repro.sensing.deployment import Deployment, DeploymentConfig
 from repro.sensing.raw import RawDataset
 from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig, SimulationResult
 
+__all__ = [
+    "SynthConfig",
+    "SynthOutput",
+    "generate",
+    "preprocess",
+    "default_output",
+    "default_dataset",
+    "clear_cache",
+]
+
 
 @dataclass(frozen=True)
 class SynthConfig:

@@ -24,6 +24,13 @@ import numpy as np
 
 from repro.errors import DataError
 
+__all__ = [
+    "TimeAxis",
+    "EventSeries",
+    "UniformSeries",
+    "iter_days",
+]
+
 SECONDS_PER_DAY = 86400.0
 
 
@@ -104,13 +111,13 @@ class TimeAxis:
         )
 
     @staticmethod
-    def spanning(start: datetime, end: datetime, period: float) -> "TimeAxis":
+    def spanning(start: datetime, end: datetime, period_s: float) -> "TimeAxis":
         """Axis from ``start`` to at most ``end`` with the given period."""
         if end < start:
             raise DataError("end precedes start")
         total = (end - start).total_seconds()
-        count = int(np.floor(total / period)) + 1
-        return TimeAxis(epoch=start, period=period, count=count)
+        count = int(np.floor(total / period_s)) + 1
+        return TimeAxis(epoch=start, period=period_s, count=count)
 
 
 @dataclass

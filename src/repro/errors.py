@@ -7,6 +7,19 @@ boundaries while still being able to discriminate failure modes.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "SimulationError",
+    "SensingError",
+    "DataError",
+    "IdentificationError",
+    "ClusteringError",
+    "SelectionError",
+    "ContractError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
@@ -42,3 +55,8 @@ class ClusteringError(ReproError):
 
 class SelectionError(ReproError):
     """Sensor selection failed (empty cluster, unknown strategy, ...)."""
+
+
+class ContractError(ReproError):
+    """A runtime contract was violated (shape mismatch, non-finite value,
+    out-of-range physical quantity) — see :mod:`repro.contracts`."""

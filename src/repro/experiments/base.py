@@ -5,6 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Sequence
 
+__all__ = [
+    "render_table",
+    "ExperimentResult",
+]
+
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """Render an aligned plain-text table."""

@@ -18,6 +18,12 @@ from repro.data.modes import OCCUPIED, UNOCCUPIED
 from repro.data.synth import SynthOutput, default_output
 from repro.geometry.layout import THERMOSTAT_IDS
 
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "resolve_context",
+]
+
 #: Trace length used by default for experiments; the paper's is 98 days.
 DEFAULT_DAYS = 98.0
 

@@ -22,6 +22,12 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.experiments.table1 import OCCUPIED_EVAL
 
+__all__ = [
+    "run_occupancy",
+    "run_order_sweep",
+    "run_stability",
+]
+
 
 def run_occupancy(context: Optional[ExperimentContext] = None) -> ExperimentResult:
     """CO₂-based occupancy estimation vs the camera."""

@@ -16,6 +16,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.simulation import AuditoriumSimulator, SimulationConfig
 
+__all__ = [
+    "run",
+]
+
 
 def run(
     context: Optional[ExperimentContext] = None,

@@ -24,6 +24,11 @@ from repro.selection import (
     stratified_random_selection,
 )
 
+__all__ = [
+    "sweep_cluster_counts",
+    "run",
+]
+
 
 def sweep_cluster_counts(
     ctx: ExperimentContext,

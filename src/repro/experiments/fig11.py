@@ -21,6 +21,10 @@ from repro.selection import reduced_model_errors
 from repro.sysid.evaluation import EvaluationOptions
 from repro.sysid.metrics import percentile
 
+__all__ = [
+    "run",
+]
+
 
 def run(
     context: Optional[ExperimentContext] = None,

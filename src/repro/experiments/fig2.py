@@ -17,6 +17,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.geometry.layout import FRONT_SENSOR_IDS, THERMOSTAT_IDS
 
+__all__ = [
+    "run",
+]
+
 
 def _find_snapshot_tick(ctx: ExperimentContext) -> int:
     """Tick of the best-attended weekday-noon instant with full data."""

@@ -19,6 +19,10 @@ from repro.experiments.table1 import OCCUPIED_EVAL
 from repro.sysid.evaluation import fit_and_evaluate
 from repro.sysid.metrics import empirical_cdf
 
+__all__ = [
+    "run",
+]
+
 
 def run(context: Optional[ExperimentContext] = None, ridge: float = 0.0) -> ExperimentResult:
     """Reproduce Fig. 3's per-sensor RMS CDFs."""

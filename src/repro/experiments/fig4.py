@@ -20,6 +20,10 @@ from repro.experiments.table1 import OCCUPIED_EVAL
 from repro.sysid.evaluation import fit_and_evaluate
 from repro.sysid.metrics import per_sensor_rms
 
+__all__ = [
+    "run",
+]
+
 
 def run(
     context: Optional[ExperimentContext] = None,

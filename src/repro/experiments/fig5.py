@@ -17,6 +17,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.sysid.sweeps import prediction_length_sweep, training_horizon_sweep
 
+__all__ = [
+    "run",
+]
+
 
 def run(
     context: Optional[ExperimentContext] = None,

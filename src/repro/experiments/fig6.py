@@ -18,6 +18,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.geometry.layout import BACK_SENSOR_IDS, FRONT_SENSOR_IDS
 
+__all__ = [
+    "run",
+]
+
 
 def _zone_purity(members) -> float:
     """Fraction of a cluster's members from its majority physical zone."""

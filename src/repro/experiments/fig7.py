@@ -18,6 +18,11 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.sysid.metrics import percentile
 
+__all__ = [
+    "run_method",
+    "run",
+]
+
 
 def run_method(
     ctx: ExperimentContext,

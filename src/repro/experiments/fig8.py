@@ -12,6 +12,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.experiments.fig7 import run_method
 
+__all__ = [
+    "run",
+]
+
 
 def run(
     context: Optional[ExperimentContext] = None, ks: Sequence[int] = (2, 3, 4, 5)

@@ -15,6 +15,11 @@ import numpy as np
 from repro.data.dataset import AuditoriumDataset
 from repro.errors import DataError
 
+__all__ = [
+    "render_floorplan",
+    "busiest_tick",
+]
+
 #: Shading ramp from coolest to warmest band.
 SHADES = " .:-=+*#%@"
 

@@ -14,6 +14,10 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.sysid.evaluation import EvaluationOptions, fit_and_evaluate
 
+__all__ = [
+    "run",
+]
+
 PAPER_VALUES = {
     ("occupied", 1): 0.68,
     ("occupied", 2): 0.48,

@@ -22,6 +22,10 @@ from repro.selection import (
     thermostat_selection,
 )
 
+__all__ = [
+    "run",
+]
+
 PAPER_VALUES = {"SMS": 0.38, "SRS": 0.73, "RS": 1.07, "Thermostats": 1.89, "GP": 1.53}
 
 

@@ -15,6 +15,14 @@ from typing import List, Tuple
 
 from repro.errors import GeometryError
 
+__all__ = [
+    "Point",
+    "Seat",
+    "Diffuser",
+    "Auditorium",
+    "default_auditorium",
+]
+
 
 @dataclass(frozen=True)
 class Point:

@@ -20,6 +20,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import GeometryError
 from repro.geometry.auditorium import Auditorium, Point
 
+__all__ = [
+    "SensorSpec",
+    "default_sensor_layout",
+    "analysis_sensor_ids",
+]
+
 #: Near-ground sensors located toward the front of the room (cool zone in
 #: the paper's Fig. 6 correlation clustering).
 FRONT_SENSOR_IDS: Tuple[int, ...] = (3, 6, 7, 8, 13, 14, 17, 23, 28, 33, 38)

@@ -18,6 +18,10 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.geometry.auditorium import Auditorium, Point
 
+__all__ = [
+    "ZoneGrid",
+]
+
 
 @dataclass(frozen=True)
 class ZoneGrid:

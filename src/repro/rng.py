@@ -16,6 +16,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+__all__ = [
+    "as_generator",
+    "derive",
+    "spawn_seeds",
+]
+
 SeedLike = Union[int, np.random.Generator, None]
 
 #: Default root seed used across the library when the caller passes ``None``.

@@ -7,6 +7,10 @@ from typing import Dict, List, Tuple
 
 from repro.errors import SelectionError
 
+__all__ = [
+    "SelectionResult",
+]
+
 #: A cluster's selected representatives: cluster index -> sensor IDs.
 Assignment = Dict[int, Tuple[int, ...]]
 

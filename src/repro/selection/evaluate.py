@@ -27,6 +27,12 @@ from repro.sysid.evaluation import EvaluationOptions, evaluate_model
 from repro.sysid.identify import IdentificationOptions, identify
 from repro.sysid.metrics import percentile
 
+__all__ = [
+    "cluster_mean_errors",
+    "evaluate_selection",
+    "reduced_model_errors",
+]
+
 
 def cluster_mean_errors(
     selection: SelectionResult,

@@ -22,6 +22,12 @@ import numpy as np
 
 from repro.errors import SelectionError
 
+__all__ = [
+    "empirical_covariance",
+    "GaussianField",
+    "greedy_mutual_information",
+]
+
 
 def empirical_covariance(
     traces: np.ndarray, min_common_samples: int = 10, jitter: float = 1e-6

@@ -14,6 +14,11 @@ from repro.geometry.layout import THERMOSTAT_IDS
 from repro.selection.base import SelectionResult
 from repro.selection.gp import GaussianField, empirical_covariance, greedy_mutual_information
 
+__all__ = [
+    "thermostat_selection",
+    "gp_selection",
+]
+
 
 def _assign_by_correlation(
     chosen: Sequence[int],

@@ -22,6 +22,11 @@ from repro.errors import SelectionError
 from repro.selection.base import SelectionResult
 from repro.selection.gp import GaussianField, empirical_covariance
 
+__all__ = [
+    "ReconstructionResult",
+    "reconstruct_field",
+]
+
 
 @dataclass
 class ReconstructionResult:

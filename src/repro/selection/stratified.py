@@ -15,6 +15,11 @@ from repro.data.dataset import AuditoriumDataset
 from repro.errors import SelectionError
 from repro.selection.base import SelectionResult
 
+__all__ = [
+    "near_mean_selection",
+    "stratified_random_selection",
+]
+
 
 def near_mean_selection(
     clustering: ClusteringResult,

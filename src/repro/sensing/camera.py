@@ -19,6 +19,11 @@ from repro import rng as rng_mod
 from repro.data.timeseries import EventSeries
 from repro.errors import SensingError
 
+__all__ = [
+    "CameraConfig",
+    "OccupancyCamera",
+]
+
 
 @dataclass(frozen=True)
 class CameraConfig:

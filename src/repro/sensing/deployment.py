@@ -22,6 +22,12 @@ from repro.sensing.raw import RawDataset
 from repro.sensing.sensor import SensorModel, SensorReadoutConfig
 from repro.simulation.simulator import SimulationResult
 
+__all__ = [
+    "DeploymentConfig",
+    "Deployment",
+    "observe",
+]
+
 
 @dataclass(frozen=True)
 class DeploymentConfig:

@@ -16,6 +16,12 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.errors import SensingError
 
+__all__ = [
+    "FaultModel",
+    "apply_fault",
+    "dropout_mask",
+]
+
 FAULT_KINDS = ("drift", "stuck", "noisy", "dropout")
 
 

@@ -19,6 +19,11 @@ from repro.data.timeseries import EventSeries
 from repro.errors import SensingError
 from repro.simulation.simulator import SimulationResult
 
+__all__ = [
+    "HVACLoggerConfig",
+    "HVACLogger",
+]
+
 
 @dataclass(frozen=True)
 class HVACLoggerConfig:

@@ -24,6 +24,13 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.errors import SensingError
 
+__all__ = [
+    "NetworkConfig",
+    "OutageSchedule",
+    "draw_outages",
+    "WirelessNetwork",
+]
+
 
 @dataclass(frozen=True)
 class NetworkConfig:

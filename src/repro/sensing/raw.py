@@ -16,6 +16,10 @@ from repro.errors import SensingError
 from repro.geometry.layout import SensorSpec
 from repro.sensing.network import OutageSchedule
 
+__all__ = [
+    "RawDataset",
+]
+
 
 @dataclass
 class RawDataset:

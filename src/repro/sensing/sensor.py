@@ -19,6 +19,11 @@ from repro.errors import SensingError
 from repro.geometry.layout import SensorSpec
 from repro.sensing.faults import FaultModel, apply_fault
 
+__all__ = [
+    "SensorReadoutConfig",
+    "SensorModel",
+]
+
 
 @dataclass(frozen=True)
 class SensorReadoutConfig:

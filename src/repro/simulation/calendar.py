@@ -19,6 +19,12 @@ from typing import List, Optional, Sequence, Tuple
 from repro import rng as rng_mod
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "Event",
+    "EventCalendar",
+    "semester_calendar",
+]
+
 EVENT_KINDS = ("lecture", "seminar", "meeting", "evening", "weekend")
 
 

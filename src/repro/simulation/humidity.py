@@ -16,6 +16,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "saturation_pressure",
+    "saturation_humidity_ratio",
+    "relative_humidity",
+    "relative_humidity_array",
+    "humidity_ratio_from_rh",
+    "MoistureConfig",
+    "MoistureBalance",
+]
+
 #: Standard atmospheric pressure, Pa.
 ATMOSPHERIC_PRESSURE = 101325.0
 #: Ratio of molecular weights (water vapour / dry air).
@@ -92,23 +102,23 @@ class MoistureBalance:
         room_volume: float,
         config: MoistureConfig = MoistureConfig(),
         air_density: float = 1.2,
-        initial_temp: float = 20.0,
+        initial_temp_c: float = 20.0,
     ) -> None:
         if room_volume <= 0:
             raise ConfigurationError("room_volume must be positive")
         self.config = config
         self.room_volume = room_volume
         self.air_density = air_density
-        self.ratio = humidity_ratio_from_rh(config.initial_rh, initial_temp)
+        self.ratio = humidity_ratio_from_rh(config.initial_rh, initial_temp_c)
 
     def step(
         self,
         dt: float,
         occupants: float,
-        supply_flow: float,
+        supply_flow_m3s: float,
         fresh_fraction: float,
-        discharge_temp: float,
-        ambient_temp: float,
+        discharge_temp_c: float,
+        ambient_temp_c: float,
     ) -> float:
         """Advance the moisture state ``dt`` seconds; returns the new ratio.
 
@@ -117,13 +127,13 @@ class MoistureBalance:
         dehumidifies); occupants add latent moisture continuously.
         """
         cfg = self.config
-        w_out = humidity_ratio_from_rh(cfg.outdoor_rh, ambient_temp)
+        w_out = humidity_ratio_from_rh(cfg.outdoor_rh, ambient_temp_c)
         w_mix = (1.0 - fresh_fraction) * self.ratio + fresh_fraction * w_out
-        w_coil_cap = cfg.coil_saturation_fraction * saturation_humidity_ratio(discharge_temp)
+        w_coil_cap = cfg.coil_saturation_fraction * saturation_humidity_ratio(discharge_temp_c)
         w_supply = min(w_mix, w_coil_cap)
 
         air_mass = self.air_density * self.room_volume
-        exchange = supply_flow * self.air_density / air_mass  # 1/s
+        exchange = supply_flow_m3s * self.air_density / air_mass  # 1/s
         generation = occupants * cfg.occupant_moisture / air_mass  # (kg/kg)/s
         self.ratio += dt * (exchange * (w_supply - self.ratio) + generation)
         self.ratio = max(self.ratio, 0.0)

@@ -18,6 +18,12 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.simulation.vav import VAVBox, VAVConfig
 
+__all__ = [
+    "HVACSchedule",
+    "HVACConfig",
+    "HVACPlant",
+]
+
 
 @dataclass(frozen=True)
 class HVACSchedule:
@@ -104,7 +110,7 @@ class HVACPlant:
         hour_of_day: float,
         thermostat_temps: Sequence[float],
         dt: float,
-        return_temp: Optional[float] = None,
+        return_temp_c: Optional[float] = None,
         flow_commands: Optional[Sequence[float]] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance the plant ``dt`` seconds and return ``(flows, discharge_temps)``.
@@ -128,8 +134,8 @@ class HVACPlant:
         occupied = cfg.schedule.is_occupied(hour_of_day)
         blend = np.asarray(cfg.thermostat_blend, dtype=float)
         controlling = blend @ temps
-        if return_temp is None:
-            return_temp = float(temps.mean())
+        if return_temp_c is None:
+            return_temp_c = float(temps.mean())
         overrides: Optional[np.ndarray] = None
         if flow_commands is not None:
             overrides = np.asarray(flow_commands, dtype=float)
@@ -154,7 +160,7 @@ class HVACPlant:
                 # return-air temperature (thermally near-neutral).
                 self._integrators[i] = 0.0
                 flow_cmd = vcfg.min_flow + cfg.standby_flow_fraction * (vcfg.max_flow - vcfg.min_flow)
-                temp_cmd = return_temp
+                temp_cmd = return_temp_c
             else:
                 error = controlling[i] - cfg.setpoint  # >0: too warm, cool harder
                 # Leaky, conditionally-integrating PI: the integrator

@@ -14,6 +14,11 @@ import numpy as np
 
 from repro.errors import SimulationError
 
+__all__ = [
+    "substep_count",
+    "euler_step",
+]
+
 DerivativeFn = Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
 

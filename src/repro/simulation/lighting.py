@@ -15,6 +15,10 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.simulation.calendar import Event, EventCalendar
 
+__all__ = [
+    "LightingModel",
+]
+
 #: Lights go on this many minutes before an event starts.
 PRE_EVENT_MINUTES = 15.0
 #: Lights stay on this many minutes after an event ends.

@@ -19,6 +19,11 @@ from repro.errors import SimulationError
 from repro.geometry import Auditorium, ZoneGrid
 from repro.simulation.calendar import Event, EventCalendar
 
+__all__ = [
+    "presence_fraction",
+    "OccupancyModel",
+]
+
 #: Minutes before the scheduled start at which arrivals begin.
 ARRIVAL_LEAD_MINUTES = 12.0
 #: Minutes after the start by which everyone has arrived.

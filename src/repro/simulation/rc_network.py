@@ -26,8 +26,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.errors import ConfigurationError, SimulationError
 from repro.geometry import Auditorium, ZoneGrid
+
+__all__ = [
+    "RCNetworkConfig",
+    "RCNetwork",
+]
 
 AIR_DENSITY = 1.2  # kg/m³
 AIR_CP = 1005.0  # J/(kg·K)
@@ -120,17 +126,18 @@ class RCNetwork:
         """Air nodes plus mass nodes."""
         return 2 * self.grid.n_zones
 
-    def initial_state(self, temp: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
-        """Uniform initial ``(zone_temps, mass_temps)`` at ``temp`` °C."""
+    def initial_state(self, temp_c: float = 20.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform initial ``(zone_temps, mass_temps)`` at ``temp_c`` °C."""
         n = self.n_zones
-        return np.full(n, float(temp)), np.full(n, float(temp))
+        return np.full(n, float(temp_c)), np.full(n, float(temp_c))
 
+    @check_shapes(diffuser_flows="d", diffuser_temps="d")
     def supply_to_zones(
         self, diffuser_flows: np.ndarray, diffuser_temps: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Distribute diffuser supply onto zones.
 
-        Returns ``(zone_mass_flow, zone_supply_temp)``: kg/s of supply
+        Returns ``(zone_mass_flow_kgs, zone_supply_temp_c)``: kg/s of supply
         air into each zone and the flow-weighted supply temperature seen
         by each zone (zones receiving no air get the mean supply temp,
         irrelevant since their flow is 0).
@@ -154,29 +161,29 @@ class RCNetwork:
         self,
         zone_temps: np.ndarray,
         mass_temps: np.ndarray,
-        zone_mass_flow: np.ndarray,
-        zone_supply_temp: np.ndarray,
-        zone_heat: np.ndarray,
-        ambient_temp: float,
+        zone_mass_flow_kgs: np.ndarray,
+        zone_supply_temp_c: np.ndarray,
+        zone_heat_w: np.ndarray,
+        ambient_temp_c: float,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Time derivatives of ``(zone_temps, mass_temps)`` in K/s."""
         cfg = self.config
-        supply = zone_mass_flow * AIR_CP * (zone_supply_temp - zone_temps)
+        supply = zone_mass_flow_kgs * AIR_CP * (zone_supply_temp_c - zone_temps)
         q_air = (
             self._mixing @ zone_temps
             + cfg.mass_coupling * (mass_temps - zone_temps)
-            + self._infiltration * (ambient_temp - zone_temps)
+            + self._infiltration * (ambient_temp_c - zone_temps)
             + supply
-            + zone_heat
+            + zone_heat_w
         )
         q_mass = (
             cfg.mass_coupling * (zone_temps - mass_temps)
-            + self._exterior * (ambient_temp - mass_temps)
+            + self._exterior * (ambient_temp_c - mass_temps)
             + cfg.ground_conductance * (cfg.ground_temp - mass_temps)
         )
         return q_air / cfg.zone_capacitance, q_mass / cfg.mass_capacitance
 
-    def max_stable_dt(self, zone_mass_flow: Optional[np.ndarray] = None) -> float:
+    def max_stable_dt(self, zone_mass_flow_kgs: Optional[np.ndarray] = None) -> float:
         """Largest explicit-Euler step guaranteed stable, seconds.
 
         Bounded by the fastest air node: ``dt < 2 C / G_total``.  We
@@ -185,8 +192,8 @@ class RCNetwork:
         cfg = self.config
         degree = -np.diag(self._mixing)  # total mixing conductance per zone
         g_total = degree + cfg.mass_coupling + self._infiltration
-        if zone_mass_flow is not None:
-            g_total = g_total + np.asarray(zone_mass_flow) * AIR_CP
+        if zone_mass_flow_kgs is not None:
+            g_total = g_total + np.asarray(zone_mass_flow_kgs) * AIR_CP
         else:
             # Worst case: all VAVs at max flow into the best-served zone.
             max_flow = AIR_DENSITY * 4.0 * 0.8 * self._diffuser_fractions.max()

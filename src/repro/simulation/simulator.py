@@ -18,6 +18,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro import rng as rng_mod
+from repro.contracts import ensure_finite, ensure_unit_range
 from repro.data.timeseries import TimeAxis
 from repro.errors import ConfigurationError, SimulationError
 from repro.geometry import Auditorium, Point, ZoneGrid, default_auditorium
@@ -29,6 +30,12 @@ from repro.simulation.occupancy import OccupancyModel
 from repro.simulation.humidity import MoistureBalance, MoistureConfig
 from repro.simulation.rc_network import RCNetwork, RCNetworkConfig
 from repro.simulation.weather import WeatherConfig, WeatherModel
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "AuditoriumSimulator",
+]
 
 #: CO₂ generation per seated adult, m³/s.
 CO2_PER_PERSON = 5.2e-6
@@ -257,7 +264,7 @@ class AuditoriumSimulator:
         out_tstat_true = np.empty((n, 2))
 
         moisture = MoistureBalance(
-            self.auditorium.volume, MoistureConfig(), initial_temp=cfg.initial_temp
+            self.auditorium.volume, MoistureConfig(), initial_temp_c=cfg.initial_temp
         )
         co2 = OUTDOOR_CO2_PPM
         room_volume = self.auditorium.volume
@@ -306,7 +313,7 @@ class AuditoriumSimulator:
                 hours[k],
                 tstat,
                 cfg.dt,
-                return_temp=float(zone_temps.mean()),
+                return_temp_c=float(zone_temps.mean()),
                 flow_commands=flow_commands,
             )
             out_flows[k] = flows
@@ -323,15 +330,15 @@ class AuditoriumSimulator:
                     float(np.dot(flows[ids], discharge[ids]) / f) if f > 1e-12 else discharge[ids].mean()
                 )
 
-            zone_flow, zone_supply_temp = self.network.supply_to_zones(diffuser_flows, diffuser_temps)
-            zone_heat = self.network.occupant_zone_heat(zone_occupancy[k])
-            zone_heat += self.network.lighting_zone_heat(lighting[k], self.lighting.heat_watts)
+            zone_flow, zone_supply_temp_c = self.network.supply_to_zones(diffuser_flows, diffuser_temps)
+            zone_heat_w = self.network.occupant_zone_heat(zone_occupancy[k])
+            zone_heat_w += self.network.lighting_zone_heat(lighting[k], self.lighting.heat_watts)
 
             # 4. Integrate the thermal network over the step.
             ambient_k = float(ambient[k])
 
-            def derivative(z, m, _flow=zone_flow, _st=zone_supply_temp, _q=zone_heat, _amb=ambient_k):
-                return self.network.derivatives(z, m, _flow, _st, _q, _amb)
+            def derivative(z, m, _flow_kgs=zone_flow, _st=zone_supply_temp_c, _q=zone_heat_w, _amb=ambient_k):
+                return self.network.derivatives(z, m, _flow_kgs, _st, _q, _amb)
 
             out_zone[k] = zone_temps
             out_mass[k] = mass_temps
@@ -354,11 +361,17 @@ class AuditoriumSimulator:
             out_humidity[k] = moisture.step(
                 cfg.dt,
                 occupants=float(occupancy_total[k]),
-                supply_flow=total_flow,
+                supply_flow_m3s=total_flow,
                 fresh_fraction=FRESH_AIR_FRACTION,
-                discharge_temp=mean_discharge,
-                ambient_temp=ambient_k,
+                discharge_temp_c=mean_discharge,
+                ambient_temp_c=ambient_k,
             )
+
+        # Integrator-health contracts: a blown-up Euler step shows here
+        # first, as NaN/Inf or as physically impossible room temperatures.
+        ensure_finite(out_zone, "simulated zone temperatures")
+        ensure_finite(out_mass, "simulated mass temperatures")
+        ensure_unit_range(out_zone, -40.0, 70.0, "simulated zone temperatures (°C)")
 
         return SimulationResult(
             axis=axis,

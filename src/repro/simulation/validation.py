@@ -23,9 +23,16 @@ from repro.errors import SimulationError
 from repro.simulation.rc_network import AIR_CP, RCNetwork
 from repro.simulation.simulator import SimulationResult
 
+__all__ = [
+    "steady_state",
+    "time_constants",
+    "EnergyAudit",
+    "energy_audit",
+]
+
 
 def _system_matrices(
-    network: RCNetwork, zone_mass_flow: np.ndarray
+    network: RCNetwork, zone_mass_flow_kgs: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Continuous-time ``(A, offset-map)`` of the coupled air+mass system.
 
@@ -37,7 +44,7 @@ def _system_matrices(
     a = np.zeros((2 * n, 2 * n))
     # Air block.
     a[:n, :n] = network._mixing.copy()
-    a[:n, :n] -= np.diag(cfg.mass_coupling + network._infiltration + zone_mass_flow * AIR_CP)
+    a[:n, :n] -= np.diag(cfg.mass_coupling + network._infiltration + zone_mass_flow_kgs * AIR_CP)
     a[:n, n:] = cfg.mass_coupling * np.eye(n)
     a[:n] /= cfg.zone_capacitance
     # Mass block.
@@ -49,23 +56,23 @@ def _system_matrices(
 
 def steady_state(
     network: RCNetwork,
-    zone_mass_flow: np.ndarray,
-    zone_supply_temp: np.ndarray,
-    zone_heat: np.ndarray,
-    ambient_temp: float,
+    zone_mass_flow_kgs: np.ndarray,
+    zone_supply_temp_c: np.ndarray,
+    zone_heat_w: np.ndarray,
+    ambient_temp_c: float,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact equilibrium ``(zone_temps, mass_temps)`` for constant inputs."""
     cfg = network.config
     n = network.n_zones
-    a, _ = _system_matrices(network, np.asarray(zone_mass_flow, dtype=float))
+    a, _ = _system_matrices(network, np.asarray(zone_mass_flow_kgs, dtype=float))
     forcing = np.zeros(2 * n)
     forcing[:n] = (
-        np.asarray(zone_mass_flow) * AIR_CP * np.asarray(zone_supply_temp)
-        + network._infiltration * ambient_temp
-        + np.asarray(zone_heat)
+        np.asarray(zone_mass_flow_kgs) * AIR_CP * np.asarray(zone_supply_temp_c)
+        + network._infiltration * ambient_temp_c
+        + np.asarray(zone_heat_w)
     ) / cfg.zone_capacitance
     forcing[n:] = (
-        network._exterior * ambient_temp + cfg.ground_conductance * cfg.ground_temp
+        network._exterior * ambient_temp_c + cfg.ground_conductance * cfg.ground_temp
     ) / cfg.mass_capacitance
     try:
         x = np.linalg.solve(a, -forcing)
@@ -75,12 +82,12 @@ def steady_state(
 
 
 def time_constants(
-    network: RCNetwork, zone_mass_flow: Optional[np.ndarray] = None
+    network: RCNetwork, zone_mass_flow_kgs: Optional[np.ndarray] = None
 ) -> np.ndarray:
     """Open-loop time constants (seconds, ascending) of the RC system."""
-    if zone_mass_flow is None:
-        zone_mass_flow = np.zeros(network.n_zones)
-    a, _ = _system_matrices(network, np.asarray(zone_mass_flow, dtype=float))
+    if zone_mass_flow_kgs is None:
+        zone_mass_flow_kgs = np.zeros(network.n_zones)
+    a, _ = _system_matrices(network, np.asarray(zone_mass_flow_kgs, dtype=float))
     eigenvalues = np.linalg.eigvals(a)
     real = np.real(eigenvalues)
     if np.any(real >= 0):
@@ -149,10 +156,10 @@ def energy_audit(result: SimulationResult, network: RCNetwork) -> EnergyAudit:
                 float(np.dot(flows[ids], temps[ids]) / f) if f > 1e-12 else temps[ids].mean()
             )
         zone_flow, zone_supply = network.supply_to_zones(diffuser_flows, diffuser_temps)
-        zone_heat = network.occupant_zone_heat(result.zone_occupancy[k])
-        zone_heat = zone_heat + network.lighting_zone_heat(result.lighting[k], 2000.0)
+        zone_heat_w = network.occupant_zone_heat(result.zone_occupancy[k])
+        zone_heat_w = zone_heat_w + network.lighting_zone_heat(result.lighting[k], 2000.0)
         dz, dm = network.derivatives(
-            zone_temps, mass_temps, zone_flow, zone_supply, zone_heat, float(result.ambient[k])
+            zone_temps, mass_temps, zone_flow, zone_supply, zone_heat_w, float(result.ambient[k])
         )
         net += dt * (cfg.zone_capacitance * dz.sum() + cfg.mass_capacitance * dm.sum())
 

@@ -16,6 +16,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "VAVConfig",
+    "VAVBox",
+]
+
 
 @dataclass(frozen=True)
 class VAVConfig:
@@ -87,9 +92,9 @@ class VAVBox:
         self._flow += alpha_flow * (flow_setpoint - self._flow)
         self._discharge_temp += alpha_temp * (temp_setpoint - self._discharge_temp)
 
-    def heat_rate_into(self, zone_temp: float, air_density: float = 1.2, cp: float = 1005.0) -> float:
-        """Heat delivered to air at ``zone_temp`` by this box's full flow, W.
+    def heat_rate_into(self, zone_temp_c: float, air_density: float = 1.2, cp: float = 1005.0) -> float:
+        """Heat delivered to air at ``zone_temp_c`` by this box's full flow, W.
 
         Negative when the discharge is colder than the zone (cooling).
         """
-        return self._flow * air_density * cp * (self._discharge_temp - zone_temp)
+        return self._flow * air_density * cp * (self._discharge_temp - zone_temp_c)

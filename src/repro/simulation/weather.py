@@ -26,6 +26,11 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.errors import ConfigurationError
 
+__all__ = [
+    "WeatherConfig",
+    "WeatherModel",
+]
+
 _MINUTES_PER_DAY = 1440
 _SECONDS_PER_DAY = 86400.0
 

@@ -27,6 +27,12 @@ from repro.errors import IdentificationError
 from repro.sysid.identify import solve_least_squares
 from repro.sysid.models import ThermalModel, _as_matrix
 
+__all__ = [
+    "ARXModel",
+    "build_arx_regression",
+    "identify_arx",
+]
+
 
 @dataclass(frozen=True)
 class ARXModel(ThermalModel):

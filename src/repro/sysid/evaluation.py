@@ -23,6 +23,13 @@ from repro.sysid.identify import IdentificationOptions, identify
 from repro.sysid.metrics import per_sensor_rms, percentile, rms
 from repro.sysid.models import ThermalModel
 
+__all__ = [
+    "EvaluationOptions",
+    "PredictionEvaluation",
+    "evaluate_model",
+    "fit_and_evaluate",
+]
+
 
 @dataclass(frozen=True)
 class EvaluationOptions:

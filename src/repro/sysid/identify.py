@@ -19,11 +19,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.data.dataset import AuditoriumDataset
 from repro.data.gaps import Segment
 from repro.data.modes import Mode
 from repro.errors import IdentificationError
 from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
+
+__all__ = [
+    "IdentificationOptions",
+    "build_regression",
+    "solve_least_squares",
+    "identify",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,7 @@ class IdentificationOptions:
             raise IdentificationError("ridge must be non-negative")
 
 
+@check_shapes(temperatures="n p", inputs="n m")
 def build_regression(
     temperatures: np.ndarray,
     inputs: np.ndarray,
@@ -100,6 +109,7 @@ def build_regression(
     return phi_all, y_all
 
 
+@check_shapes(phi="r q", y="r p")
 def solve_least_squares(
     phi: np.ndarray, y: np.ndarray, ridge: float = 0.0
 ) -> np.ndarray:

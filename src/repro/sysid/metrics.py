@@ -13,6 +13,15 @@ import numpy as np
 
 from repro.errors import DataError
 
+__all__ = [
+    "rms",
+    "pooled_rms",
+    "per_sensor_rms",
+    "percentile",
+    "empirical_cdf",
+    "max_pairwise_difference",
+]
+
 
 def rms(errors: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
     """Root mean square over ``axis``, ignoring NaN entries."""

@@ -22,7 +22,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.errors import IdentificationError
+
+__all__ = [
+    "ThermalModel",
+    "FirstOrderModel",
+    "SecondOrderModel",
+]
 
 
 def _as_matrix(name: str, value: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
@@ -56,6 +63,7 @@ class ThermalModel(abc.ABC):
         temperature rows (``history``, shape ``(order, p)``, oldest
         first) and the current input ``u(k)``."""
 
+    @check_shapes(initial="o p", inputs="n m", ret="n p")
     def simulate(
         self,
         initial: np.ndarray,

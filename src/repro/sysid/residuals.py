@@ -27,6 +27,16 @@ from repro.data.modes import Mode
 from repro.errors import IdentificationError
 from repro.sysid.models import ThermalModel
 
+__all__ = [
+    "one_step_residuals",
+    "autocorrelation",
+    "LjungBoxResult",
+    "ljung_box",
+    "ResidualReport",
+    "residual_report",
+    "input_contributions",
+]
+
 
 def one_step_residuals(
     model: ThermalModel,

@@ -19,6 +19,12 @@ from repro.errors import IdentificationError
 from repro.sysid.evaluation import EvaluationOptions, evaluate_model
 from repro.sysid.identify import IdentificationOptions, identify
 
+__all__ = [
+    "SweepResult",
+    "training_horizon_sweep",
+    "prediction_length_sweep",
+]
+
 
 @dataclass
 class SweepResult:

@@ -13,9 +13,9 @@ from repro.errors import DataError
 EPOCH = datetime(2013, 1, 31)
 
 
-def make_dataset(n_days=2, period=900.0, n_sensors=4, fill=20.0):
-    count = int(n_days * 86400 / period)
-    axis = TimeAxis(epoch=EPOCH, period=period, count=count)
+def make_dataset(n_days=2, period_s=900.0, n_sensors=4, fill=20.0):
+    count = int(n_days * 86400 / period_s)
+    axis = TimeAxis(epoch=EPOCH, period=period_s, count=count)
     channels = InputChannels()
     temps = np.full((count, n_sensors), fill)
     temps += np.arange(n_sensors)[None, :] * 0.1

@@ -1,5 +1,8 @@
-"""The exception hierarchy is catchable at one base class."""
+"""The exception hierarchy is catchable at one base class, every error is
+constructible and printable, and every error class is actually raised by
+at least one real code path in the library."""
 
+import numpy as np
 import pytest
 
 from repro import errors
@@ -14,6 +17,7 @@ ALL_ERRORS = [
     errors.IdentificationError,
     errors.ClusteringError,
     errors.SelectionError,
+    errors.ContractError,
 ]
 
 
@@ -24,5 +28,88 @@ def test_all_derive_from_repro_error(exc):
         raise exc("boom")
 
 
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_constructible_and_printable(exc):
+    instance = exc("the drive exploded")
+    assert str(instance) == "the drive exploded"
+    assert exc.__name__ in repr(instance)
+    assert exc("no args") is not None
+
+
 def test_base_is_exception():
     assert issubclass(errors.ReproError, Exception)
+
+
+def test_all_exports_cover_hierarchy():
+    exported = set(errors.__all__)
+    for exc in ALL_ERRORS:
+        assert exc.__name__ in exported
+    assert "ReproError" in exported
+
+
+# ---------------------------------------------------------------------------
+# Each error class is raised by a real code path
+# ---------------------------------------------------------------------------
+
+
+def test_configuration_error_raised():
+    from repro.simulation.rc_network import RCNetworkConfig
+
+    with pytest.raises(errors.ConfigurationError):
+        RCNetworkConfig(zone_capacitance=-1.0)
+
+
+def test_geometry_error_raised():
+    from repro.geometry import Auditorium
+
+    with pytest.raises(errors.GeometryError):
+        Auditorium(width=-1.0)
+
+
+def test_simulation_error_raised():
+    from repro.simulation.integrator import substep_count
+
+    with pytest.raises(errors.SimulationError):
+        substep_count(-1.0, 1.0)
+
+
+def test_sensing_error_raised():
+    from repro.sensing.camera import CameraConfig
+
+    with pytest.raises(errors.SensingError):
+        CameraConfig(snapshot_period=-1.0)
+
+
+def test_data_error_raised():
+    from repro.data.gaps import Segment
+
+    with pytest.raises(errors.DataError):
+        Segment(3, 3)
+
+
+def test_identification_error_raised():
+    from repro.sysid.identify import IdentificationOptions
+
+    with pytest.raises(errors.IdentificationError):
+        IdentificationOptions(order=3)
+
+
+def test_clustering_error_raised():
+    from repro.cluster.similarity import SimilarityOptions
+
+    with pytest.raises(errors.ClusteringError):
+        SimilarityOptions(sigma=-1.0)
+
+
+def test_selection_error_raised():
+    from repro.selection.gp import empirical_covariance
+
+    with pytest.raises(errors.SelectionError):
+        empirical_covariance(np.zeros(3))
+
+
+def test_contract_error_raised():
+    from repro.contracts import ensure_finite
+
+    with pytest.raises(errors.ContractError):
+        ensure_finite(np.array([np.nan]), "probe")

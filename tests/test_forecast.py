@@ -50,7 +50,7 @@ class TestCalendarForecaster:
         # Plan starting 11:00 with a 2 h horizon at 15-min periods: the
         # seminar (12:00) appears in the later rows.
         step = int(11 * 3600 / 60)
-        forecast = forecaster.horizon(step, horizon_steps=8, model_period=900.0)
+        forecast = forecaster.horizon(step, horizon_steps=8, model_period_s=900.0)
         assert forecast.shape == (8, 3)
         assert forecast[0, 0] == 0.0  # 11:07 - nobody yet
         assert forecast[-1, 0] > 50.0  # 12:52 - seminar in session

@@ -54,27 +54,27 @@ class TestMoistureBalance:
         balance = MoistureBalance(room_volume=1920.0)
         start = balance.ratio
         for _ in range(60):
-            balance.step(60.0, occupants=90.0, supply_flow=0.0, fresh_fraction=0.3,
-                         discharge_temp=20.0, ambient_temp=10.0)
+            balance.step(60.0, occupants=90.0, supply_flow_m3s=0.0, fresh_fraction=0.3,
+                         discharge_temp_c=20.0, ambient_temp_c=10.0)
         assert balance.ratio > start
 
     def test_cold_coil_dehumidifies(self):
         config = MoistureConfig(initial_rh=70.0)
-        balance = MoistureBalance(room_volume=1920.0, config=config, initial_temp=22.0)
+        balance = MoistureBalance(room_volume=1920.0, config=config, initial_temp_c=22.0)
         start = balance.ratio
         for _ in range(600):
-            balance.step(60.0, occupants=0.0, supply_flow=2.0, fresh_fraction=0.3,
-                         discharge_temp=13.0, ambient_temp=20.0)
+            balance.step(60.0, occupants=0.0, supply_flow_m3s=2.0, fresh_fraction=0.3,
+                         discharge_temp_c=13.0, ambient_temp_c=20.0)
         assert balance.ratio < start
         # Equilibrium at (or below) the coil's saturation cap.
         cap = config.coil_saturation_fraction * saturation_humidity_ratio(13.0)
         assert balance.ratio <= cap * 1.05
 
     def test_ratio_never_negative(self):
-        balance = MoistureBalance(room_volume=100.0, initial_temp=20.0)
+        balance = MoistureBalance(room_volume=100.0, initial_temp_c=20.0)
         for _ in range(1000):
-            balance.step(600.0, occupants=0.0, supply_flow=5.0, fresh_fraction=1.0,
-                         discharge_temp=0.0, ambient_temp=-20.0)
+            balance.step(600.0, occupants=0.0, supply_flow_m3s=5.0, fresh_fraction=1.0,
+                         discharge_temp_c=0.0, ambient_temp_c=-20.0)
         assert balance.ratio >= 0.0
 
     def test_config_validation(self):

@@ -66,7 +66,7 @@ class TestVAVBox:
         box = VAVBox(1, config)
         for _ in range(100):
             box.command(config.max_flow, config.cold_deck_temp, dt=60.0)
-        assert box.heat_rate_into(zone_temp=22.0) < 0  # cooling
+        assert box.heat_rate_into(zone_temp_c=22.0) < 0  # cooling
 
 
 class TestHVACSchedule:
@@ -110,7 +110,7 @@ class TestHVACPlant:
         plant = HVACPlant()
         config = plant.config
         for _ in range(60):
-            flows, temps = plant.step(2.0, [19.0, 19.0], dt=60.0, return_temp=19.5)
+            flows, temps = plant.step(2.0, [19.0, 19.0], dt=60.0, return_temp_c=19.5)
         expected = config.vav.min_flow + config.standby_flow_fraction * (
             config.vav.max_flow - config.vav.min_flow
         )

@@ -28,24 +28,24 @@ finite_floats = st.floats(
 
 class TestTimeAxisProperties:
     @given(
-        period=st.floats(min_value=1.0, max_value=7200.0),
+        period_s=st.floats(min_value=1.0, max_value=7200.0),
         count=st.integers(min_value=1, max_value=500),
     )
-    def test_seconds_strictly_increasing_and_spaced(self, period, count):
-        axis = TimeAxis(epoch=EPOCH, period=period, count=count)
+    def test_seconds_strictly_increasing_and_spaced(self, period_s, count):
+        axis = TimeAxis(epoch=EPOCH, period=period_s, count=count)
         seconds = axis.seconds()
         assert seconds.size == count
         if count > 1:
-            np.testing.assert_allclose(np.diff(seconds), period)
+            np.testing.assert_allclose(np.diff(seconds), period_s)
 
     @given(
-        period=st.floats(min_value=60.0, max_value=3600.0),
+        period_s=st.floats(min_value=60.0, max_value=3600.0),
         count=st.integers(min_value=2, max_value=300),
         index=st.integers(min_value=0, max_value=299),
     )
-    def test_index_datetime_roundtrip(self, period, count, index):
+    def test_index_datetime_roundtrip(self, period_s, count, index):
         assume(index < count)
-        axis = TimeAxis(epoch=EPOCH, period=period, count=count)
+        axis = TimeAxis(epoch=EPOCH, period=period_s, count=count)
         assert axis.index_of(axis.datetime_at(index)) == index
 
     @given(count=st.integers(min_value=1, max_value=400))
@@ -62,14 +62,14 @@ class TestModeProperties:
 
     @given(
         start=st.floats(min_value=0.0, max_value=23.0),
-        duration=st.floats(min_value=0.5, max_value=23.0),
+        duration_h=st.floats(min_value=0.5, max_value=23.0),
     )
-    def test_duration_matches_window(self, start, duration):
-        end = (start + duration) % 24.0
+    def test_duration_matches_window(self, start, duration_h):
+        end = (start + duration_h) % 24.0
         mode = Mode(name="m", start_hour=start, end_hour=end)
-        assert mode.duration_hours == pytest.approx(duration, abs=1e-6) or (
+        assert mode.duration_hours == pytest.approx(duration_h, abs=1e-6) or (
             # wrap-around degenerate case when end == start
-            abs(duration - 24.0) < 1e-6
+            abs(duration_h - 24.0) < 1e-6
         )
 
 
@@ -102,9 +102,9 @@ class TestResampleProperties:
             max_size=30,
             unique_by=lambda pair: pair[0],
         ),
-        staleness=st.floats(min_value=1.0, max_value=1e4),
+        staleness_s=st.floats(min_value=1.0, max_value=1e4),
     )
-    def test_staleness_only_removes(self, data, staleness):
+    def test_staleness_only_removes(self, data, staleness_s):
         data = sorted(data)
         series = EventSeries(
             epoch=EPOCH,
@@ -113,7 +113,7 @@ class TestResampleProperties:
         )
         axis = TimeAxis(epoch=EPOCH, period=300.0, count=40)
         unbounded = resample_last_value(series, axis)
-        bounded = resample_last_value(series, axis, max_staleness=staleness)
+        bounded = resample_last_value(series, axis, max_staleness_s=staleness_s)
         finite = np.isfinite(bounded)
         np.testing.assert_array_equal(bounded[finite], unbounded[finite])
         assert finite.sum() <= np.isfinite(unbounded).sum()
@@ -235,9 +235,9 @@ class TestModelProperties:
 
 
 class TestComfortProperties:
-    @given(temp=st.floats(min_value=10.0, max_value=32.0))
-    def test_ppd_bounded(self, temp):
-        vote = pmv_at_temperature(temp)
+    @given(temp_c=st.floats(min_value=10.0, max_value=32.0))
+    def test_ppd_bounded(self, temp_c):
+        vote = pmv_at_temperature(temp_c)
         dissatisfied = ppd_from_pmv(vote)
         assert 5.0 <= dissatisfied <= 100.0
 

@@ -55,32 +55,32 @@ class TestARXProperties:
 class TestMoistureProperties:
     @given(
         occupants=st.floats(min_value=0.0, max_value=90.0),
-        flow=st.floats(min_value=0.0, max_value=3.2),
+        flow_m3s=st.floats(min_value=0.0, max_value=3.2),
         discharge=st.floats(min_value=5.0, max_value=30.0),
         ambient=st.floats(min_value=-20.0, max_value=35.0),
         steps=st.integers(min_value=1, max_value=200),
     )
     @settings(max_examples=50, deadline=None)
-    def test_ratio_stays_physical(self, occupants, flow, discharge, ambient, steps):
+    def test_ratio_stays_physical(self, occupants, flow_m3s, discharge, ambient, steps):
         balance = MoistureBalance(room_volume=1920.0)
         for _ in range(steps):
             ratio = balance.step(
                 60.0,
                 occupants=occupants,
-                supply_flow=flow,
+                supply_flow_m3s=flow_m3s,
                 fresh_fraction=0.3,
-                discharge_temp=discharge,
-                ambient_temp=ambient,
+                discharge_temp_c=discharge,
+                ambient_temp_c=ambient,
             )
         assert 0.0 <= ratio < 0.05  # well below liquid water
 
     @given(
         rh=st.floats(min_value=0.0, max_value=100.0),
-        temp=st.floats(min_value=0.0, max_value=35.0),
+        temp_c=st.floats(min_value=0.0, max_value=35.0),
     )
-    def test_rh_roundtrip_property(self, rh, temp):
-        ratio = humidity_ratio_from_rh(rh, temp)
-        assert relative_humidity(ratio, temp) == pytest.approx(rh, abs=1e-6)
+    def test_rh_roundtrip_property(self, rh, temp_c):
+        ratio = humidity_ratio_from_rh(rh, temp_c)
+        assert relative_humidity(ratio, temp_c) == pytest.approx(rh, abs=1e-6)
 
 
 class TestARIProperties:

@@ -1,0 +1,624 @@
+"""Tests for the repro_lint AST lint pack (tools/repro_lint).
+
+Every rule gets at least one positive fixture (a snippet that must be
+flagged) and one negative fixture (a snippet that must pass), plus
+coverage of the suppression comments, path/context handling, and the
+CLI's JSON output and exit codes.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro_lint import RULES, LintRunner
+from repro_lint.engine import FileContext, iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Path (relative to tmp_path) that makes the snippet a *library* module.
+LIB = "src/repro/mod.py"
+#: Path that makes the snippet the library's CLI module (RL007-exempt).
+CLI = "src/repro/cli.py"
+#: Path outside the library (scripts, tests, benchmarks).
+SCRIPT = "scripts/helper.py"
+
+
+def lint_snippet(tmp_path, source, relpath=LIB, select=None):
+    """Lint a dedented snippet written at ``relpath`` under ``tmp_path``."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    violations, error = LintRunner(select=select).lint_file(path)
+    assert error is None, error
+    return violations
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# ---------------------------------------------------------------------------
+# Registry sanity
+# ---------------------------------------------------------------------------
+
+
+def test_registry_has_all_eight_rules():
+    got = [rule.code for rule in RULES]
+    assert got == sorted(got)
+    assert got == [f"RL00{i}" for i in range(1, 9)]
+
+
+def test_rules_have_summaries():
+    for rule in RULES:
+        assert rule.summary, rule.code
+
+
+# ---------------------------------------------------------------------------
+# RL001 — global-state RNG
+# ---------------------------------------------------------------------------
+
+
+def test_rl001_flags_np_random_attribute(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL001"]
+
+
+def test_rl001_flags_stdlib_random_module(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL001"]
+
+
+def test_rl001_flags_from_imports_of_draw_functions(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        from numpy.random import rand
+        from random import shuffle
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL001", "RL001"]
+
+
+def test_rl001_allows_generator_api(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+        from numpy.random import Generator, default_rng
+        from random import Random
+
+        def draw(gen: np.random.Generator):
+            local = Random(7)
+            return default_rng(0).normal(), gen.normal(), local.random()
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+
+def test_rl002_flags_literal_and_call_defaults(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f(a, items=[], table={}, tags=set(), buf=bytearray()):
+            return a
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL002"] * 4
+
+
+def test_rl002_flags_keyword_only_and_lambda_defaults(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f(*, acc=[]):
+            return acc
+
+        g = lambda xs=[]: xs
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL002", "RL002"]
+
+
+def test_rl002_allows_immutable_defaults(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f(a=None, b=(), c=0, d="x", e=frozenset()):
+            return a, b, c, d, e
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — unit suffixes on physical-quantity parameters
+# ---------------------------------------------------------------------------
+
+
+def test_rl003_flags_bare_quantity_names(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def step(supply_temp, flow, timeout):
+            return supply_temp + flow + timeout
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL003"] * 3
+    assert "supply_temp" in out[0].message
+
+
+def test_rl003_accepts_unit_suffixes(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def step(supply_temp_c, flow_m3s, mass_flow_kgs, timeout_s, power_kw, duration_h):
+            return supply_temp_c
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+def test_rl003_skips_self_and_non_quantity_names(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        class C:
+            def method(self, index, label, tempo):
+                return index
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — bare / overbroad except
+# ---------------------------------------------------------------------------
+
+
+def test_rl004_flags_bare_and_swallowed_except(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f():
+            try:
+                risky()
+            except:
+                pass
+            try:
+                risky()
+            except BaseException:
+                raise
+            try:
+                risky()
+            except Exception:
+                pass
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL004"] * 3
+
+
+def test_rl004_allows_narrow_and_handled_except(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f(log):
+            try:
+                risky()
+            except ValueError:
+                pass
+            try:
+                risky()
+            except Exception as exc:
+                log.warning("failed: %s", exc)
+                raise
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — __all__ must match public definitions (library modules only)
+# ---------------------------------------------------------------------------
+
+
+def test_rl005_flags_missing_public_name(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        __all__ = ["visible"]
+
+        def visible():
+            "doc"
+
+        def also_public():
+            "doc"
+        """,
+    )
+    assert "RL005" in codes(out)
+    assert any("also_public" in v.message for v in out)
+
+
+def test_rl005_flags_missing_dunder_all(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def visible():
+            "doc"
+        """,
+    )
+    assert "RL005" in codes(out)
+
+
+def test_rl005_flags_unbound_export(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        __all__ = ["ghost"]
+        """,
+    )
+    assert "RL005" in codes(out)
+
+
+def test_rl005_accepts_matching_dunder_all(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        from math import tau
+
+        __all__ = ["TAU", "visible"]
+
+        TAU = tau
+
+        def visible():
+            "doc"
+
+        def _private():
+            pass
+        """,
+    )
+    assert codes(out) == []
+
+
+def test_rl005_not_applied_outside_library(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def visible():
+            "doc"
+        """,
+        relpath=SCRIPT,
+    )
+    assert "RL005" not in codes(out)
+
+
+# ---------------------------------------------------------------------------
+# RL006 — public docstrings (library modules only)
+# ---------------------------------------------------------------------------
+
+
+def test_rl006_flags_undocumented_public_def(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        __all__ = ["visible", "Thing"]
+
+        def visible():
+            return 1
+
+        class Thing:
+            pass
+        """,
+    )
+    assert codes(out) == ["RL006", "RL006"]
+
+
+def test_rl006_allows_documented_and_private(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        __all__ = ["visible"]
+
+        def visible():
+            "documented"
+
+        def _private():
+            return 1
+        """,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 — no print() in the library (CLI exempt)
+# ---------------------------------------------------------------------------
+
+
+def test_rl007_flags_print_in_library(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        __all__ = ["noisy"]
+
+        def noisy():
+            "doc"
+            print("debugging")
+        """,
+    )
+    assert codes(out) == ["RL007"]
+
+
+def test_rl007_exempts_cli_and_scripts(tmp_path):
+    snippet = """
+        __all__ = ["main"]
+
+        def main():
+            "doc"
+            print("report")
+    """
+    assert codes(lint_snippet(tmp_path, snippet, relpath=CLI)) == []
+    assert "RL007" not in codes(lint_snippet(tmp_path, snippet, relpath=SCRIPT))
+
+
+# ---------------------------------------------------------------------------
+# RL008 — pytest skip markers need a reason
+# ---------------------------------------------------------------------------
+
+
+def test_rl008_flags_reasonless_skips(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import pytest
+
+        @pytest.mark.skip
+        def test_a():
+            pass
+
+        @pytest.mark.skip()
+        def test_b():
+            pass
+
+        @pytest.mark.skipif(True)
+        def test_c():
+            pass
+        """,
+        relpath="tests/test_sample.py",
+    )
+    assert codes(out) == ["RL008"] * 3
+
+
+def test_rl008_accepts_skips_with_reason(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import pytest
+
+        @pytest.mark.skip(reason="not implemented on this branch")
+        def test_a():
+            pass
+
+        @pytest.mark.skipif(True, reason="needs hardware")
+        def test_b():
+            pass
+
+        @pytest.mark.skip("positional reason")
+        def test_c():
+            pass
+        """,
+        relpath="tests/test_sample.py",
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def test_line_suppression_silences_one_code(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)  # repro-lint: disable=RL001
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+def test_line_suppression_is_code_specific(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)  # repro-lint: disable=RL002
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL001"]
+
+
+def test_file_suppression(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        # repro-lint: disable-file=RL001,RL002
+        import numpy as np
+
+        def draw(acc=[]):
+            return np.random.rand(3)
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+def test_file_suppression_all(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        # repro-lint: disable-file=ALL
+        import numpy as np
+
+        def draw(acc=[], supply_temp=0.0):
+            print(acc)
+            return np.random.rand(3)
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine / runner behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    snippet = """
+        import numpy as np
+
+        def draw(acc=[]):
+            return np.random.rand(3)
+    """
+    only_rng = lint_snippet(tmp_path, snippet, relpath=SCRIPT, select={"RL001"})
+    assert codes(only_rng) == ["RL001"]
+
+    path = tmp_path / SCRIPT
+    violations, error = LintRunner(ignore={"RL001"}).lint_file(path)
+    assert error is None
+    assert codes(violations) == ["RL002"]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def oops(:\n")
+    violations, error = LintRunner().lint_file(path)
+    assert violations == []
+    assert error is not None and "broken.py" in error
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("x = 1\n")
+    found = list(iter_python_files([tmp_path]))
+    assert [p.name for p in found] == ["a.py"]
+
+
+def test_module_name_and_context_detection(tmp_path):
+    lib = tmp_path / "src" / "repro" / "cluster" / "spectral.py"
+    lib.parent.mkdir(parents=True)
+    lib.write_text("x = 1\n")
+    ctx = FileContext(lib, lib.read_text())
+    assert ctx.module_name == "repro.cluster.spectral"
+    assert ctx.is_library and not ctx.is_cli
+
+    cli = tmp_path / "src" / "repro" / "cli.py"
+    cli.write_text("x = 1\n")
+    assert FileContext(cli, cli.read_text()).is_cli
+
+    test = tmp_path / "tests" / "test_x.py"
+    test.parent.mkdir(parents=True)
+    test.write_text("x = 1\n")
+    tctx = FileContext(test, test.read_text())
+    assert tctx.is_test and not tctx.is_library
+
+
+def test_violation_formatting(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f(acc=[]):
+            return acc
+        """,
+        relpath=SCRIPT,
+    )
+    (violation,) = out
+    human = violation.format_human()
+    assert human.endswith(f"RL002 {violation.message}")
+    record = violation.as_dict()
+    assert record["code"] == "RL002" and record["line"] == violation.line
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and JSON output
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "tools"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_clean_tree_exits_zero(tmp_path):
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    proc = run_cli(str(tmp_path), cwd=REPO_ROOT)
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_cli_violations_exit_one_with_json(tmp_path):
+    (tmp_path / "bad.py").write_text("def f(acc=[]):\n    return acc\n")
+    proc = run_cli(str(tmp_path), "--format", "json", cwd=REPO_ROOT)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["count"] == 1
+    assert payload["violations"][0]["code"] == "RL002"
+
+
+def test_cli_missing_path_exits_two(tmp_path):
+    proc = run_cli(str(tmp_path / "nope"), cwd=REPO_ROOT)
+    assert proc.returncode == 2
+
+
+def test_repo_tree_is_lint_clean():
+    proc = run_cli("src", "tests", "benchmarks", cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -30,13 +30,13 @@ class TestResampleLastValue:
 
     def test_staleness_bound(self):
         axis = TimeAxis(epoch=EPOCH, period=10.0, count=6)
-        out = resample_last_value(make_series([0.0], [1.0]), axis, max_staleness=25.0)
+        out = resample_last_value(make_series([0.0], [1.0]), axis, max_staleness_s=25.0)
         np.testing.assert_array_equal(np.isnan(out), [False, False, False, True, True, True])
 
     def test_staleness_must_be_positive(self):
         axis = TimeAxis(epoch=EPOCH, period=10.0, count=2)
         with pytest.raises(DataError):
-            resample_last_value(make_series([0.0], [1.0]), axis, max_staleness=0.0)
+            resample_last_value(make_series([0.0], [1.0]), axis, max_staleness_s=0.0)
 
     def test_empty_series_all_nan(self):
         axis = TimeAxis(epoch=EPOCH, period=10.0, count=4)

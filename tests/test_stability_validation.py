@@ -64,10 +64,10 @@ class TestSteadyState:
         n = network.n_zones
         zones, masses = steady_state(
             network,
-            zone_mass_flow=np.zeros(n),
-            zone_supply_temp=np.full(n, 20.0),
-            zone_heat=np.zeros(n),
-            ambient_temp=network.config.ground_temp,
+            zone_mass_flow_kgs=np.zeros(n),
+            zone_supply_temp_c=np.full(n, 20.0),
+            zone_heat_w=np.zeros(n),
+            ambient_temp_c=network.config.ground_temp,
         )
         np.testing.assert_allclose(zones, network.config.ground_temp, atol=1e-8)
         np.testing.assert_allclose(masses, network.config.ground_temp, atol=1e-8)
@@ -77,10 +77,10 @@ class TestSteadyState:
         heat = np.full(n, 200.0)
         zones, _ = steady_state(
             network,
-            zone_mass_flow=np.zeros(n),
-            zone_supply_temp=np.full(n, 20.0),
-            zone_heat=heat,
-            ambient_temp=network.config.ground_temp,
+            zone_mass_flow_kgs=np.zeros(n),
+            zone_supply_temp_c=np.full(n, 20.0),
+            zone_heat_w=heat,
+            ambient_temp_c=network.config.ground_temp,
         )
         assert zones.min() > network.config.ground_temp + 0.5
 
@@ -114,7 +114,7 @@ class TestTimeConstants:
 
     def test_supply_flow_speeds_up_air(self, network):
         slow = time_constants(network).min()
-        fast = time_constants(network, zone_mass_flow=np.full(network.n_zones, 0.2)).min()
+        fast = time_constants(network, zone_mass_flow_kgs=np.full(network.n_zones, 0.2)).min()
         assert fast < slow
 
 

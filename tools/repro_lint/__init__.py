@@ -1,0 +1,34 @@
+"""repro-lint — the repo's custom AST lint pack.
+
+A small, dependency-free static analyzer that encodes *repo invariants*
+that generic linters cannot know about: RNG discipline, physical-unit
+naming, ``__all__`` hygiene, and the handful of bug classes that have
+historically corrupted results in thermal/occupancy reproduction work
+without failing a single test.
+
+Usage::
+
+    python -m repro_lint src/ tests/ benchmarks/
+    python -m repro_lint --format json src/
+    python -m repro_lint --list-rules
+
+Each rule is a visitor class registered in :mod:`repro_lint.rules`; see
+``docs/static-analysis.md`` for the rule catalogue and the suppression
+syntax (``# repro-lint: disable=RLxxx``).
+"""
+
+from repro_lint.engine import FileContext, LintRunner, Violation, lint_file, lint_paths
+from repro_lint.rules import RULES, Rule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FileContext",
+    "LintRunner",
+    "RULES",
+    "Rule",
+    "Violation",
+    "__version__",
+    "lint_file",
+    "lint_paths",
+]

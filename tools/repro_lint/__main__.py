@@ -1,0 +1,8 @@
+"""``python -m repro_lint`` entry point."""
+
+import sys
+
+from repro_lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

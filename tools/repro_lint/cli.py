@@ -1,0 +1,106 @@
+"""Command-line front end: ``python -m repro_lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro_lint.engine import LintRunner
+from repro_lint.rules import RULES
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
+    if raw is None:
+        return None
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description="Custom AST lint pack encoding this repo's invariants.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
+                        help="files or directories to lint (default: src tests benchmarks)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point.  Returns the process exit code (0 = clean)."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Output was piped to a consumer that exited early (head, a
+        # pager).  Mirror grep: detach stdout quietly, exit like SIGPIPE.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _run(argv: Optional[Sequence[str]]) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    select = _parse_codes(args.select)
+    ignore = _parse_codes(args.ignore)
+    known = {rule.code for rule in RULES}
+    for flag, requested in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted(requested - known) if requested else []
+        if unknown:
+            print(
+                f"repro_lint: unknown rule code(s) for {flag}: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    runner = LintRunner(select=select, ignore=ignore)
+    paths: List[Path] = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro_lint: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    violations, errors = runner.lint_paths(paths)
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "violations": [v.as_dict() for v in violations],
+                "errors": errors,
+                "count": len(violations),
+            },
+            indent=2,
+        ))
+    else:
+        for violation in violations:
+            print(violation.format_human())
+        for error in errors:
+            print(f"repro_lint: error: {error}", file=sys.stderr)
+        if violations:
+            print(f"\n{len(violations)} violation(s) across {len({v.path for v in violations})} file(s)")
+        else:
+            print("repro_lint: clean")
+    if errors:
+        return 2
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

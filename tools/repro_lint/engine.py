@@ -1,0 +1,182 @@
+"""Lint engine: file discovery, suppression handling, rule dispatch.
+
+The engine is deliberately tiny.  A :class:`FileContext` captures
+everything a rule may want to know about the file being linted (its
+path, source, parsed tree, and where it sits in the repo layout); the
+:class:`LintRunner` walks the requested paths, runs every registered
+rule over each file, and filters the resulting violations through the
+suppression comments.
+
+Suppression syntax
+------------------
+* Line level — append ``# repro-lint: disable=RL001`` (or a
+  comma-separated list, or ``all``) to the offending line.
+* File level — put ``# repro-lint: disable-file=RL001`` on a line of
+  its own anywhere in the file to silence a rule for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+_LINE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+_FILE_DISABLE = re.compile(r"^\s*#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)\s*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format_human(self) -> str:
+        """Render as ``path:line:col: CODE message`` (clickable in most UIs)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return dataclasses.asdict(self)
+
+
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: Path, source: str, repo_root: Optional[Path] = None):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.module_name = self._derive_module_name(path)
+        base = path.name
+        #: Library code lives under ``src/repro`` — the strict rules
+        #: (``__all__``, docstrings, no-print) apply only there.
+        self.is_library = self.module_name == "repro" or self.module_name.startswith("repro.")
+        #: The CLI front end is allowed to print.
+        self.is_cli = self.is_library and base == "cli.py"
+        self.is_test = base.startswith("test_") or base.startswith("bench_") or base == "conftest.py"
+        self._file_disabled = self._parse_file_disables()
+
+    @staticmethod
+    def _derive_module_name(path: Path) -> str:
+        parts = list(path.with_suffix("").parts)
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1 :]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _parse_file_disables(self) -> Set[str]:
+        disabled: Set[str] = set()
+        for line in self.lines:
+            match = _FILE_DISABLE.match(line)
+            if match:
+                disabled.update(c.strip().upper() for c in match.group(1).split(","))
+        return disabled
+
+    def line_disables(self, lineno: int) -> Set[str]:
+        """Rule codes suppressed on a given 1-based source line."""
+        if not 1 <= lineno <= len(self.lines):
+            return set()
+        match = _LINE_DISABLE.search(self.lines[lineno - 1])
+        if not match:
+            return set()
+        return {c.strip().upper() for c in match.group(1).split(",")}
+
+    def is_suppressed(self, code: str, lineno: int) -> bool:
+        """True when ``code`` is disabled at ``lineno`` (line or file level)."""
+        for disabled in (self._file_disabled, self.line_disables(lineno)):
+            if "ALL" in disabled or code.upper() in disabled:
+                return True
+        return False
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        if raw.is_dir():
+            candidates: Iterable[Path] = sorted(raw.rglob("*.py"))
+        elif raw.suffix == ".py":
+            candidates = [raw]
+        else:
+            candidates = []
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
+
+
+class LintRunner:
+    """Run a set of rules over files and collect violations."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[type]] = None,
+        select: Optional[Set[str]] = None,
+        ignore: Optional[Set[str]] = None,
+    ):
+        from repro_lint.rules import RULES
+
+        chosen = list(rules if rules is not None else RULES)
+        if select:
+            chosen = [r for r in chosen if r.code in select]
+        if ignore:
+            chosen = [r for r in chosen if r.code not in ignore]
+        self.rules = chosen
+
+    def lint_file(self, path: Path) -> Tuple[List[Violation], Optional[str]]:
+        """Lint one file.  Returns ``(violations, error)``; ``error`` is a
+        human-readable string when the file cannot be parsed."""
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext(path, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            return [], f"{path}: {exc}"
+        violations: List[Violation] = []
+        for rule_cls in self.rules:
+            rule = rule_cls(ctx)
+            rule.visit(ctx.tree)
+            rule.finish()
+            violations.extend(
+                v for v in rule.violations if not ctx.is_suppressed(v.code, v.line)
+            )
+        violations.sort(key=lambda v: (v.line, v.col, v.code))
+        return violations, None
+
+    def lint_paths(self, paths: Sequence[Path]) -> Tuple[List[Violation], List[str]]:
+        """Lint every python file under ``paths``."""
+        all_violations: List[Violation] = []
+        errors: List[str] = []
+        for path in iter_python_files(paths):
+            violations, error = self.lint_file(path)
+            all_violations.extend(violations)
+            if error is not None:
+                errors.append(error)
+        return all_violations, errors
+
+
+def lint_file(path: Path) -> List[Violation]:
+    """Convenience: lint one file with every registered rule."""
+    violations, error = LintRunner().lint_file(path)
+    if error is not None:
+        raise ValueError(error)
+    return violations
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Violation]:
+    """Convenience: lint files/dirs with every registered rule."""
+    violations, errors = LintRunner().lint_paths(paths)
+    if errors:
+        raise ValueError("; ".join(errors))
+    return violations

@@ -1,0 +1,529 @@
+"""The rule catalogue.
+
+Every rule is an :class:`ast.NodeVisitor` subclass with a class-level
+``code``/``summary`` and a ``violations`` list; subclasses call
+:meth:`Rule.report` when they find something.  Registration is a
+decorator so the CLI, the docs, and the tests all see the same list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro_lint.engine import FileContext, Violation
+
+RULES: List[Type["Rule"]] = []
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the shared registry."""
+    RULES.append(cls)
+    RULES.sort(key=lambda r: r.code)
+    return cls
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules."""
+
+    code = "RL000"
+    summary = ""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.violations: List[Violation] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a violation at ``node``'s location."""
+        self.violations.append(
+            Violation(
+                path=str(self.ctx.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=self.code,
+                message=message,
+            )
+        )
+
+    def finish(self) -> None:
+        """Hook run after the tree walk (for whole-module rules)."""
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class GlobalRngRule(Rule):
+    """RL001 — no global-state RNG.
+
+    ``np.random.normal(...)`` (and friends) and the stdlib ``random``
+    module mutate hidden global state, which silently destroys
+    reproducibility the moment two components interleave draws.  All
+    randomness must flow through a passed-in
+    :class:`numpy.random.Generator` (see ``repro.rng``).
+    """
+
+    code = "RL001"
+    summary = "no global-state RNG; thread a numpy Generator or explicit seed"
+
+    #: numpy.random attributes that *construct* generators rather than
+    #: draw from the legacy global state.
+    _NUMPY_OK = {
+        "Generator",
+        "default_rng",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+        "RandomState",  # explicit instance, not the module-level singleton
+    }
+    #: stdlib ``random`` attributes that are classes, not global draws.
+    _STDLIB_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+
+    def __init__(self, ctx: FileContext):
+        super().__init__(ctx)
+        self._numpy_aliases: Set[str] = set()
+        self._numpy_random_aliases: Set[str] = set()
+        self._stdlib_random_aliases: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._numpy_random_aliases.add(alias.asname)
+                else:
+                    self._numpy_aliases.add(bound)
+            elif alias.name == "random":
+                self._stdlib_random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in self._NUMPY_OK:
+                    self.report(
+                        node,
+                        f"import of numpy.random.{alias.name} draws from the global "
+                        "RNG; pass a numpy.random.Generator instead",
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name not in self._STDLIB_OK:
+                    self.report(
+                        node,
+                        f"import of random.{alias.name} uses the interpreter-global "
+                        "RNG; pass a numpy.random.Generator or explicit seed",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            parts = dotted.split(".")
+            # np.random.<fn> / numpy.random.<fn>
+            if (
+                len(parts) >= 3
+                and parts[0] in self._numpy_aliases
+                and parts[1] == "random"
+                and parts[2] not in self._NUMPY_OK
+            ):
+                self.report(
+                    node,
+                    f"{dotted} draws from numpy's global RNG; use a passed-in "
+                    "numpy.random.Generator (see repro.rng)",
+                )
+                return  # do not double-report nested attribute chains
+            # nprandom.<fn> where nprandom aliases numpy.random
+            if (
+                len(parts) >= 2
+                and parts[0] in self._numpy_random_aliases
+                and parts[1] not in self._NUMPY_OK
+            ):
+                self.report(
+                    node,
+                    f"{dotted} draws from numpy's global RNG; use a passed-in "
+                    "numpy.random.Generator (see repro.rng)",
+                )
+                return
+            # random.<fn> from the stdlib module
+            if (
+                len(parts) >= 2
+                and parts[0] in self._stdlib_random_aliases
+                and parts[1] not in self._STDLIB_OK
+            ):
+                self.report(
+                    node,
+                    f"{dotted} uses the interpreter-global RNG; use a passed-in "
+                    "numpy.random.Generator or explicit seed",
+                )
+                return
+        self.generic_visit(node)
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL002 — no mutable default arguments.
+
+    A ``def f(x, acc=[])`` default is created once and shared across
+    calls; state leaks between invocations.
+    """
+
+    code = "RL002"
+    summary = "no mutable default arguments"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter"}
+
+    def _check(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        name = getattr(node, "name", "<lambda>")
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                kind = type(default).__name__.lower()
+                self.report(default, f"mutable default ({kind} literal) in {name}(); use None and create inside")
+            elif isinstance(default, ast.Call):
+                callee = default.func
+                callee_name = callee.id if isinstance(callee, ast.Name) else getattr(callee, "attr", None)
+                if callee_name in self._MUTABLE_CALLS:
+                    self.report(
+                        default,
+                        f"mutable default ({callee_name}()) in {name}(); use None and create inside",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+
+@register
+class UnitSuffixRule(Rule):
+    """RL003 — physical-quantity parameters must carry a unit suffix.
+
+    The repo's convention (``docs/physics.md``, ``docs/static-analysis.md``)
+    is that a parameter holding a dimensioned quantity names its unit:
+    ``supply_temp_c``, ``cooling_power_kw``, ``timeout_s``.  A bare
+    ``temp`` or ``duration`` is exactly how a °C value ends up added to
+    a kelvin value three call sites later.
+    """
+
+    code = "RL003"
+    summary = "physical-quantity parameter names need a unit suffix (_c, _kw, _s, ...)"
+
+    #: Terminal name tokens that denote a dimensioned quantity.
+    QUANTITY_TOKENS = {
+        "temp",
+        "temperature",
+        "power",
+        "flow",
+        "airflow",
+        "mass",
+        "duration",
+        "timeout",
+        "energy",
+        "heat",
+        "period",
+        "staleness",
+    }
+    #: Approved unit suffixes (extend in lock-step with the docs).
+    UNIT_SUFFIXES = (
+        "_c",
+        "_k",
+        "_kw",
+        "_w",
+        "_cfm",
+        "_m3s",
+        "_s",
+        "_min",
+        "_h",
+        "_kg",
+        "_kgs",
+        "_j",
+        "_kwh",
+        "_pct",
+        "_frac",
+        "_ppm",
+        "_pa",
+        "_m",
+        "_m2",
+        "_m3",
+    )
+
+    def _check_args(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in every:
+            name = arg.arg
+            if name in ("self", "cls"):
+                continue
+            lowered = name.lower()
+            if lowered.endswith(self.UNIT_SUFFIXES):
+                continue
+            terminal = lowered.rsplit("_", 1)[-1]
+            if terminal in self.QUANTITY_TOKENS:
+                self.report(
+                    arg,
+                    f"parameter {name!r} names a physical quantity without a unit "
+                    f"suffix; rename to e.g. {name}_c / {name}_s per docs/physics.md",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+
+@register
+class BareExceptRule(Rule):
+    """RL004 — no bare or overbroad ``except``.
+
+    ``except:`` (and ``except BaseException:``) swallow
+    ``KeyboardInterrupt``/``SystemExit`` and hide genuine bugs;
+    ``except Exception: pass`` silently discards errors.
+    """
+
+    code = "RL004"
+    summary = "no bare/overbroad except clauses"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare 'except:'; catch a specific exception type")
+        elif isinstance(node.type, ast.Name) and node.type.id == "BaseException":
+            self.report(node, "'except BaseException' is overbroad; catch a specific type")
+        elif isinstance(node.type, ast.Name) and node.type.id == "Exception":
+            if all(isinstance(stmt, ast.Pass) for stmt in node.body) or all(
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+                for stmt in node.body
+            ):
+                self.report(
+                    node,
+                    "'except Exception: pass' silently swallows errors; handle or re-raise",
+                )
+        self.generic_visit(node)
+
+
+@register
+class DunderAllRule(Rule):
+    """RL005 — ``__all__`` must exist and match the public defs.
+
+    Applies to every ``repro.*`` module that defines a public function
+    or class.  A stale ``__all__`` makes ``from repro.x import *`` and
+    the API docs silently diverge from the code.
+    """
+
+    code = "RL005"
+    summary = "__all__ must exist and match public module defs (repro.* only)"
+
+    def finish(self) -> None:
+        if not self.ctx.is_library:
+            return
+        tree = self.ctx.tree
+        public_defs = [
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        bound = self._top_level_bindings(tree)
+        all_node, all_names = self._find_dunder_all(tree)
+        if all_node is None:
+            if public_defs:
+                self.report(
+                    tree.body[0] if tree.body else tree,
+                    f"module {self.ctx.module_name} defines public names "
+                    f"({', '.join(public_defs[:4])}{'...' if len(public_defs) > 4 else ''}) "
+                    "but no __all__",
+                )
+            return
+        if all_names is None:
+            self.report(all_node, "__all__ must be a literal list/tuple of strings")
+            return
+        for name in all_names:
+            if name not in bound:
+                self.report(all_node, f"__all__ lists {name!r} which is not defined in the module")
+        listed = set(all_names)
+        for name in public_defs:
+            if name not in listed:
+                self.report(all_node, f"public def {name!r} is missing from __all__")
+
+    @staticmethod
+    def _top_level_bindings(tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        bound.update(e.id for e in target.elts if isinstance(e, ast.Name))
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Conservatively accept names bound in conditional blocks.
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                        bound.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Name):
+                                bound.add(target.id)
+                    elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            bound.add((alias.asname or alias.name).split(".")[0])
+        return bound
+
+    @staticmethod
+    def _find_dunder_all(
+        tree: ast.Module,
+    ) -> Tuple[Optional[ast.AST], Optional[List[str]]]:
+        for node in tree.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            if not (isinstance(target, ast.Name) and target.id == "__all__"):
+                continue
+            value = node.value
+            if isinstance(value, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str) for e in value.elts
+            ):
+                return node, [e.value for e in value.elts]
+            return node, None
+        return None, None
+
+
+@register
+class PublicDocstringRule(Rule):
+    """RL006 — public functions and classes in ``src/repro`` need docstrings."""
+
+    code = "RL006"
+    summary = "public defs in repro.* require docstrings"
+
+    def finish(self) -> None:
+        if not self.ctx.is_library:
+            return
+        for node in self.ctx.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not node.name.startswith("_")
+                and ast.get_docstring(node) is None
+            ):
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                self.report(node, f"public {kind} {node.name!r} has no docstring")
+
+
+@register
+class NoPrintRule(Rule):
+    """RL007 — no ``print()`` in library code.
+
+    Library output must go through return values or ``logging``; bare
+    prints pollute captured experiment output.  The CLI front end
+    (``repro/cli.py``) is exempt, as are tests and benchmarks.
+    """
+
+    code = "RL007"
+    summary = "no print() in library code (CLI exempt)"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.ctx.is_library
+            and not self.ctx.is_cli
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self.report(node, "print() in library code; return data or use logging")
+        self.generic_visit(node)
+
+
+@register
+class SkipReasonRule(Rule):
+    """RL008 — ``pytest.mark.skip``/``skipif`` must state a reason.
+
+    A bare skip rots silently; the reason string is what lets a later
+    reader decide whether the skip still applies.
+    """
+
+    code = "RL008"
+    summary = "pytest skip/skipif markers require a reason"
+
+    def _is_skip_mark(self, node: ast.AST) -> Optional[str]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) >= 2 and parts[-2] == "mark" and parts[-1] in ("skip", "skipif"):
+            return parts[-1]
+        return None
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # A bare `@pytest.mark.skip` (no call at all) can never carry a reason.
+        if self._is_skip_mark(node) == "skip" and not self._inside_call(node):
+            self.report(node, "pytest.mark.skip without a reason; add reason=...")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        kind = self._is_skip_mark(node.func)
+        if kind is not None:
+            has_reason = any(kw.arg == "reason" for kw in node.keywords)
+            if kind == "skip" and node.args and not has_reason:
+                has_reason = True  # positional reason: mark.skip("why")
+            if kind == "skipif" and len(node.args) > 1 and not has_reason:
+                has_reason = True
+            if not has_reason:
+                self.report(node, f"pytest.mark.{kind} without a reason; add reason=...")
+            # Don't descend into func: the Attribute visitor would
+            # re-report the marker we just accepted/reported.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                self.visit(arg)
+            return
+        self.generic_visit(node)
+
+    def _inside_call(self, node: ast.AST) -> bool:
+        # The Call visitor handles called markers; here we only need to
+        # know whether this attribute chain is the func of some call we
+        # will visit.  ast has no parent pointers, so track via a set of
+        # call-func nodes collected lazily.
+        if not hasattr(self, "_call_funcs"):
+            self._call_funcs = set()
+            for sub in ast.walk(self.ctx.tree):
+                if isinstance(sub, ast.Call):
+                    self._call_funcs.add(id(sub.func))
+        return id(node) in self._call_funcs
