@@ -1,6 +1,6 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test lint bench bench-quick report examples clean
+.PHONY: install test lint bench bench-quick bench-json report examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,11 @@ bench:
 
 bench-quick:
 	REPRO_BENCH_DAYS=28 pytest benchmarks/ --benchmark-only
+
+# Cache/parallelism speedup tracking: writes BENCH_report.json (see
+# docs/performance.md).  REPRO_BENCH_DAYS/REPRO_BENCH_JOBS scale it.
+bench-json:
+	PYTHONPATH=src python benchmarks/bench_cache.py
 
 report:
 	repro report --days 98 --output report.txt

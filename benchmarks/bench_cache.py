@@ -1,0 +1,127 @@
+"""Artifact-cache and parallel-runner benchmark → ``BENCH_report.json``.
+
+Measures the end-to-end wall-clock of ``repro report`` in fresh
+subprocesses under four regimes:
+
+* ``cold_serial``   — empty artifact cache, ``--jobs 1`` (trace is
+  generated from scratch; the pre-PR status quo for every process),
+* ``warm_serial``   — same cache directory again, ``--jobs 1`` (trace
+  read back from the content-addressed store),
+* ``cold_jobs``     — a second empty cache directory, ``--jobs N``,
+* ``warm_jobs``     — warm cache, ``--jobs N``.
+
+It also asserts that every regime produced a *byte-identical* report,
+so the cache and the process-parallel runner can never silently change
+results while speeding them up.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DAYS``  — trace length (default 98, the paper scale;
+  CI's smoke job uses 7),
+* ``REPRO_BENCH_JOBS``  — worker processes for the parallel regimes
+  (default 4).
+
+Run via ``make bench-json`` (or directly:
+``PYTHONPATH=src python benchmarks/bench_cache.py``).  The JSON lands
+in the repository root as ``BENCH_report.json`` so successive PRs can
+compare numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+BENCH_DAYS = os.environ.get("REPRO_BENCH_DAYS", "98")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _run_report(cache_dir: Path, output: Path, jobs: int) -> float:
+    """Time one ``repro report`` in a fresh subprocess; returns seconds."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "report",
+        "--days",
+        BENCH_DAYS,
+        "--jobs",
+        str(jobs),
+        "--output",
+        str(output),
+    ]
+    begin = time.perf_counter()
+    subprocess.run(command, check=True, env=env, stdout=subprocess.DEVNULL)
+    return time.perf_counter() - begin
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cache_serial = workdir / "cache-serial"
+        cache_jobs = workdir / "cache-jobs"
+        reports = {
+            regime: workdir / f"report-{regime}.txt"
+            for regime in ("cold_serial", "warm_serial", "cold_jobs", "warm_jobs")
+        }
+
+        print(f"benchmarking repro report --days {BENCH_DAYS} (jobs={BENCH_JOBS}) ...")
+        timings = {}
+        timings["cold_serial"] = _run_report(cache_serial, reports["cold_serial"], jobs=1)
+        print(f"  cold, serial : {timings['cold_serial']:8.2f} s")
+        timings["warm_serial"] = _run_report(cache_serial, reports["warm_serial"], jobs=1)
+        print(f"  warm, serial : {timings['warm_serial']:8.2f} s")
+        timings["cold_jobs"] = _run_report(cache_jobs, reports["cold_jobs"], jobs=BENCH_JOBS)
+        print(f"  cold, jobs={BENCH_JOBS}: {timings['cold_jobs']:8.2f} s")
+        timings["warm_jobs"] = _run_report(cache_serial, reports["warm_jobs"], jobs=BENCH_JOBS)
+        print(f"  warm, jobs={BENCH_JOBS}: {timings['warm_jobs']:8.2f} s")
+
+        texts = {regime: path.read_text() for regime, path in reports.items()}
+        byte_identical = len(set(texts.values())) == 1
+        if not byte_identical:
+            print("ERROR: reports differ across cache/parallelism regimes", file=sys.stderr)
+
+        payload = {
+            "benchmark": "repro report",
+            "days": float(BENCH_DAYS),
+            "jobs": BENCH_JOBS,
+            "seconds": {k: round(v, 3) for k, v in timings.items()},
+            "speedup": {
+                "warm_vs_cold_serial": round(
+                    timings["cold_serial"] / timings["warm_serial"], 2
+                ),
+                "cold_jobs_vs_cold_serial": round(
+                    timings["cold_serial"] / timings["cold_jobs"], 2
+                ),
+                "warm_jobs_vs_cold_serial": round(
+                    timings["cold_serial"] / timings["warm_jobs"], 2
+                ),
+            },
+            "reports_byte_identical": byte_identical,
+            "python": sys.version.split()[0],
+        }
+        target = ROOT / "BENCH_report.json"
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {target}")
+        print(json.dumps(payload["speedup"], indent=2))
+        return 0 if byte_identical else 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

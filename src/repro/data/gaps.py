@@ -90,20 +90,19 @@ def find_segments(
         if mask.shape != ok.shape:
             raise DataError(f"mask shape {mask.shape} does not match data {ok.shape}")
         ok = ok & mask
-    segments: List[Segment] = []
-    n = ok.size
-    i = 0
-    while i < n:
-        if not ok[i]:
-            i += 1
-            continue
-        j = i
-        while j < n and ok[j]:
-            j += 1
-        if j - i >= min_length:
-            segments.append(Segment(i, j))
-        i = j
-    return segments
+    # Run-length encode the validity mask: a run starts where the
+    # padded mask steps 0 -> 1 and stops where it steps 1 -> 0, so all
+    # boundaries come from two vectorized diffs instead of a Python
+    # scan over every tick.
+    padded = np.concatenate(([False], ok, [False])).astype(np.int8)
+    edges = np.diff(padded)
+    starts = np.flatnonzero(edges == 1)
+    stops = np.flatnonzero(edges == -1)
+    return [
+        Segment(int(start), int(stop))
+        for start, stop in zip(starts, stops)
+        if stop - start >= min_length
+    ]
 
 
 def mask_gaps(matrix: np.ndarray, segments: Sequence[Segment]) -> np.ndarray:

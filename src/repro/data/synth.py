@@ -8,15 +8,20 @@ resolution.
 
 Because the full trace takes tens of seconds to generate, the module
 keeps an in-process cache keyed by configuration, which the experiment
-runners and benchmarks share.
+runners and benchmarks share — and reads through the persistent
+content-addressed artifact store (:mod:`repro.core.artifacts`), so the
+cost is paid once per machine rather than once per process.  Set
+``REPRO_CACHE=off`` to disable the on-disk layer, ``REPRO_CACHE_DIR``
+to relocate it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro import rng as rng_mod
+from repro.core.artifacts import artifact_key, default_cache, fingerprint
 from repro.data.assemble import AssemblyConfig, assemble_dataset
 from repro.data.dataset import AuditoriumDataset
 from repro.data.screening import ScreeningThresholds, screen_sensors
@@ -45,22 +50,21 @@ class SynthConfig:
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
     seed: int = rng_mod.DEFAULT_SEED
 
-    def cache_key(self) -> Tuple:
-        sim = self.simulation
-        return (
-            sim.start,
-            sim.days,
-            sim.dt,
-            sim.grid_nx,
-            sim.grid_ny,
-            sim.rc,
-            sim.hvac,
-            sim.weather,
-            sim.seed,
-            self.deployment,
-            self.assembly,
-            self.seed,
-        )
+    def cache_key(self) -> str:
+        """Stable content key covering *every* configuration field.
+
+        Delegates to :func:`repro.core.artifacts.fingerprint` so the
+        in-process cache and the on-disk artifact store agree, and so a
+        new configuration field can never be silently left out of the
+        key (the previous hand-written tuple omitted the thermostat
+        noise/draft and initial-temperature fields, aliasing distinct
+        configurations onto one cache slot).
+        """
+        return fingerprint(self)
+
+    def artifact_key(self) -> str:
+        """Content-addressed on-disk key (config + package version)."""
+        return artifact_key("synth-output", self)
 
 
 @dataclass
@@ -76,15 +80,28 @@ class SynthOutput:
     simulation: SimulationResult
 
 
-_CACHE: Dict[Tuple, SynthOutput] = {}
+_CACHE: Dict[str, SynthOutput] = {}
 
 
 def generate(config: Optional[SynthConfig] = None, use_cache: bool = True) -> SynthOutput:
-    """Run the full synthetic path: simulate, observe, assemble, screen."""
+    """Run the full synthetic path: simulate, observe, assemble, screen.
+
+    With ``use_cache`` (the default) the result is looked up first in
+    the per-process cache, then in the persistent artifact store; a
+    fresh generation is written back to both.
+    """
     config = config or SynthConfig()
     key = config.cache_key()
     if use_cache and key in _CACHE:
         return _CACHE[key]
+
+    disk = default_cache() if use_cache else None
+    disk_key = config.artifact_key() if use_cache else ""
+    if disk is not None:
+        cached = disk.load(disk_key)
+        if isinstance(cached, SynthOutput):
+            _CACHE[key] = cached
+            return cached
 
     sim_cfg = config.simulation
     if sim_cfg.seed != config.seed:
@@ -112,6 +129,8 @@ def generate(config: Optional[SynthConfig] = None, use_cache: bool = True) -> Sy
     output = SynthOutput(full_dataset=full, analysis_dataset=analysis, raw=raw, simulation=result)
     if use_cache:
         _CACHE[key] = output
+        if disk is not None:
+            disk.store(disk_key, output)
     return output
 
 

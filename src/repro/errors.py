@@ -17,6 +17,7 @@ __all__ = [
     "IdentificationError",
     "ClusteringError",
     "SelectionError",
+    "ExperimentError",
     "ContractError",
 ]
 
@@ -55,6 +56,10 @@ class ClusteringError(ReproError):
 
 class SelectionError(ReproError):
     """Sensor selection failed (empty cluster, unknown strategy, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment run failed (unknown experiment id, bad job count, ...)."""
 
 
 class ContractError(ReproError):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.data.modes import OCCUPIED
+from repro.errors import IdentificationError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import ExperimentContext, resolve_context
 from repro.sysid.sweeps import prediction_length_sweep, training_horizon_sweep
@@ -31,9 +32,26 @@ def run(
     """Reproduce both panels of Fig. 5."""
     ctx = resolve_context(context)
     usable = ctx.analysis.usable_days(OCCUPIED)
-    feasible = [n for n in training_days_options if n <= max(len(usable) - 6, 0)]
+    validation_days = 6
+    feasible = [n for n in training_days_options if n <= max(len(usable) - validation_days, 0)]
+    if not feasible:
+        # Short (off-protocol) traces cannot hold the paper's smallest
+        # 13-day horizon plus 6 validation days.  Degrade to a single
+        # feasible point instead of crashing: hold out ~a third of the
+        # usable days and train on the rest.
+        validation_days = max(1, len(usable) // 3)
+        if len(usable) - validation_days < 1:
+            raise IdentificationError(
+                f"only {len(usable)} usable {OCCUPIED.name} days; "
+                "fig5 needs at least one training and one validation day"
+            )
+        feasible = [len(usable) - validation_days]
     top = training_horizon_sweep(
-        ctx.analysis, training_days_options=feasible, mode=OCCUPIED, ridge=ridge
+        ctx.analysis,
+        training_days_options=feasible,
+        mode=OCCUPIED,
+        ridge=ridge,
+        validation_days=validation_days,
     )
     bottom = prediction_length_sweep(
         ctx.train_occupied,

@@ -37,6 +37,18 @@ __all__ = [
     "AuditoriumSimulator",
 ]
 
+
+def _tap_weight_matrix(weight_lists, n_zones: int) -> np.ndarray:
+    """Stack sparse ``(zone, weight)`` lists into a ``(n_taps, n_zones)``
+    matrix so per-step sensor taps become one matrix-vector product
+    instead of a Python loop over weight pairs (the profiled hot spot of
+    :meth:`AuditoriumSimulator.run`)."""
+    matrix = np.zeros((len(weight_lists), n_zones))
+    for row, pairs in enumerate(weight_lists):
+        for zone, weight in pairs:
+            matrix[row, zone] = weight
+    return matrix
+
 #: CO₂ generation per seated adult, m³/s.
 CO2_PER_PERSON = 5.2e-6
 #: Outdoor CO₂ concentration, ppm.
@@ -82,11 +94,20 @@ class SimulationConfig:
 
     @property
     def n_steps(self) -> int:
+        """Number of outer steps: ``days`` rounded to whole ``dt`` ticks."""
         return int(round(self.days * 86400.0 / self.dt))
 
     @property
     def end(self) -> datetime:
-        return self.start + timedelta(days=self.days)
+        """End of the *simulated* axis.
+
+        Derived from ``n_steps * dt`` — not ``timedelta(days=days)`` —
+        so that for horizons not divisible by ``dt`` the calendar,
+        weather and occupancy trajectories cover exactly the ticks the
+        integrator produces instead of extending past (or stopping
+        short of) the simulated axis.
+        """
+        return self.start + timedelta(seconds=self.n_steps * self.dt)
 
 
 @dataclass
@@ -229,17 +250,23 @@ class AuditoriumSimulator:
         # Thermostat measurement noise for the control loop.
         noise_gen = rng_mod.derive(cfg.seed, "thermostat-control-noise")
         tstat_noise = cfg.thermostat_noise * noise_gen.standard_normal((n, 2))
-        tstat_weights = [
-            self.grid.interpolation_weights(pos) for pos in self._thermostat_positions.values()
-        ]
+        tstat_matrix = _tap_weight_matrix(
+            [
+                self.grid.interpolation_weights(pos)
+                for pos in self._thermostat_positions.values()
+            ],
+            self.grid.n_zones,
+        )
 
         # Supervisory-controller sensor taps (if any): interpolation
         # weights for its sensor positions plus independent reading noise.
-        controller_weights = []
+        controller_matrix = np.zeros((0, self.grid.n_zones))
         controller_noise = np.zeros((n, 0))
         if self.supervisory_controller is not None:
             positions = list(self.supervisory_controller.positions())
-            controller_weights = [self.grid.interpolation_weights(p) for p in positions]
+            controller_matrix = _tap_weight_matrix(
+                [self.grid.interpolation_weights(p) for p in positions], self.grid.n_zones
+            )
             ctrl_gen = rng_mod.derive(cfg.seed, "controller-sensor-noise")
             controller_noise = cfg.thermostat_noise * ctrl_gen.standard_normal(
                 (n, len(positions))
@@ -276,12 +303,7 @@ class AuditoriumSimulator:
             # 1. Thermostats sample the true field.  They hang inside
             # the front diffuser's plume, so their reading mixes in a
             # flow-proportional share of the discharge air.
-            tstat = np.array(
-                [
-                    sum(zone_temps[zone] * w for zone, w in weights)
-                    for weights in tstat_weights
-                ]
-            )
+            tstat = tstat_matrix @ zone_temps
             front_flow = float(
                 sum(self.plant.vavs[v - 1].flow for v in front_diffuser.vav_ids)
             )
@@ -299,13 +321,7 @@ class AuditoriumSimulator:
             # unconditioned overnight discharge rides the zone mean.
             flow_commands = None
             if self.supervisory_controller is not None:
-                readings = np.array(
-                    [
-                        sum(zone_temps[zone] * w for zone, w in weights)
-                        for weights in controller_weights
-                    ]
-                )
-                readings += controller_noise[k]
+                readings = controller_matrix @ zone_temps + controller_noise[k]
                 flow_commands = self.supervisory_controller.decide(
                     k, float(hours[k]), readings, cfg.dt
                 )

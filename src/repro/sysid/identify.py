@@ -111,13 +111,21 @@ def build_regression(
 
 @check_shapes(phi="r q", y="r p")
 def solve_least_squares(
-    phi: np.ndarray, y: np.ndarray, ridge: float = 0.0
+    phi: np.ndarray,
+    y: np.ndarray,
+    ridge: float = 0.0,
+    unpenalized_columns: Sequence[int] = (),
 ) -> np.ndarray:
-    """Solve ``min ||Phi W - Y||² (+ ridge ||W||²)`` for ``W``.
+    """Solve ``min ||Phi W - Y||² (+ ridge ||W_penalized||²)`` for ``W``.
 
     Uses the economy SVD solve of :func:`numpy.linalg.lstsq` when
     unregularized, and the normal equations otherwise (the Gram matrix
     is well conditioned once the ridge is added).
+
+    ``unpenalized_columns`` lists regressor columns excluded from the
+    ridge penalty.  The intercept column must be listed here when one is
+    present: shrinking a constant offset toward zero is not
+    regularization, it simply biases every prediction.
     """
     phi = np.asarray(phi, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -128,7 +136,14 @@ def solve_least_squares(
             f"underdetermined problem: {phi.shape[0]} rows for {phi.shape[1]} regressors"
         )
     if ridge > 0.0:
-        gram = phi.T @ phi + ridge * np.eye(phi.shape[1])
+        penalty = ridge * np.eye(phi.shape[1])
+        for column in unpenalized_columns:
+            if not 0 <= column < phi.shape[1]:
+                raise IdentificationError(
+                    f"unpenalized column {column} out of range for {phi.shape[1]} regressors"
+                )
+            penalty[column, column] = 0.0
+        gram = phi.T @ phi + penalty
         return np.linalg.solve(gram, phi.T @ y)
     solution, _, rank, _ = np.linalg.lstsq(phi, y, rcond=None)
     if rank < phi.shape[1]:
@@ -170,7 +185,11 @@ def identify(
     if segments is None:
         segments = dataset.segments(mode=mode, min_length=options.order + 1)
     phi, y = build_regression(dataset.temperatures, dataset.inputs, segments, options)
-    w = solve_least_squares(phi, y, ridge=options.ridge)
+    # The intercept (last column, when fitted) is never ridge-penalized.
+    intercept_columns = (phi.shape[1] - 1,) if options.fit_intercept else ()
+    w = solve_least_squares(
+        phi, y, ridge=options.ridge, unpenalized_columns=intercept_columns
+    )
 
     p = dataset.n_sensors
     m = dataset.channels.n_channels

@@ -87,10 +87,15 @@ def max_pairwise_difference(columns: np.ndarray) -> np.ndarray:
     if columns.ndim != 2:
         raise DataError("expected a 2-D matrix")
     n = columns.shape[1]
-    out = []
-    for i in range(n):
-        for j in range(i + 1, n):
-            diff = np.abs(columns[:, i] - columns[:, j])
-            finite = diff[np.isfinite(diff)]
-            out.append(float(finite.max()) if finite.size else np.nan)
-    return np.asarray(out)
+    # Broadcast over the condensed pair index instead of a Python pair
+    # loop: np.triu_indices yields row-major (i < j) pairs, exactly
+    # pdist's condensed ordering.
+    rows, cols = np.triu_indices(n, k=1)
+    if rows.size == 0:
+        return np.empty(0)
+    diff = np.abs(columns[:, rows] - columns[:, cols])  # (N, n_pairs)
+    out = np.full(rows.size, np.nan)
+    has_finite = np.isfinite(diff).any(axis=0)
+    if has_finite.any():
+        out[has_finite] = np.nanmax(diff[:, has_finite], axis=0)
+    return out

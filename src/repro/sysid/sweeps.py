@@ -60,6 +60,8 @@ def training_horizon_sweep(
     larger horizons extend further into the past while predicting the
     same days.
     """
+    if not training_days_options:
+        raise IdentificationError("training_days_options must not be empty")
     usable = dataset.usable_days(mode, min_coverage=min_coverage)
     if len(usable) < validation_days + min(training_days_options):
         raise IdentificationError(

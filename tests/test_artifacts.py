@@ -1,0 +1,195 @@
+"""Tests for the persistent artifact cache (:mod:`repro.core.artifacts`)."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import (
+    ArtifactCache,
+    artifact_key,
+    cache_enabled,
+    cache_root,
+    default_cache,
+    fingerprint,
+)
+from repro.data.synth import SynthConfig, SynthOutput, clear_cache, generate
+from repro.simulation.simulator import SimulationConfig
+
+TINY_DAYS = 2.0
+
+
+def tiny_config(days: float = TINY_DAYS, seed: int = 1234) -> SynthConfig:
+    return SynthConfig(simulation=SimulationConfig(days=days, seed=seed), seed=seed)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint(tiny_config()) == fingerprint(tiny_config())
+
+    def test_sensitive_to_every_simulation_field(self):
+        base = fingerprint(tiny_config())
+        assert fingerprint(tiny_config(seed=99)) != base
+        assert fingerprint(tiny_config(days=3.0)) != base
+        # Fields the old hand-written tuple key silently dropped.
+        drafty = SynthConfig(
+            simulation=SimulationConfig(days=TINY_DAYS, seed=1234, thermostat_draft=0.5),
+            seed=1234,
+        )
+        assert fingerprint(drafty) != base
+
+    def test_canonicalizes_containers(self):
+        assert fingerprint({"b": 2, "a": 1}) == fingerprint({"a": 1, "b": 2})
+        assert fingerprint([1, 2.5, "x"]) == fingerprint((1, 2.5, "x"))
+        assert fingerprint(np.float64(1.5)) == fingerprint(1.5)
+
+    def test_key_includes_version(self):
+        config = tiny_config()
+        assert artifact_key("synth-output", config) != artifact_key(
+            "synth-output", config, version="0.0.0-test"
+        )
+        assert artifact_key("synth-output", config) != artifact_key("other", config)
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        assert cache.load("ab" * 32) is None
+        path = cache.store("ab" * 32, {"x": np.arange(3)})
+        assert path is not None and path.exists()
+        loaded = cache.load("ab" * 32)
+        assert np.array_equal(loaded["x"], np.arange(3))
+
+    def test_corrupt_file_is_a_miss_and_self_heals(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        key = "cd" * 32
+        cache.store(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"this is not a pickle")
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+        # A fresh store after the corruption works again.
+        cache.store(key, [4, 5])
+        assert cache.load(key) == [4, 5]
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        key = "ef" * 32
+        cache.store(key, list(range(100)))
+        payload = cache.path_for(key).read_bytes()
+        cache.path_for(key).write_bytes(payload[: len(payload) // 2])
+        assert cache.load(key) is None
+
+    def test_disabled_cache_stores_and_loads_nothing(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        assert cache.store("aa" * 32, {"v": 1}) is None
+        assert not any(tmp_path.iterdir())
+        assert cache.load("aa" * 32) is None
+
+    def test_env_switch_disables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not cache_enabled()
+        assert not default_cache().enabled
+        monkeypatch.setenv("REPRO_CACHE", "")
+        assert cache_enabled()
+
+    def test_env_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert cache_root() == tmp_path / "elsewhere"
+        assert default_cache().root == tmp_path / "elsewhere"
+
+    def test_concurrent_readers(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        key = "ff" * 32
+        value = {"trace": np.random.default_rng(0).random((500, 30))}
+        cache.store(key, value)
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda _: cache.load(key), range(32)))
+        assert all(np.array_equal(r["trace"], value["trace"]) for r in results)
+
+    def test_concurrent_writers_race_benignly(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        key = "bb" * 32
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda i: cache.store(key, {"payload": i}), range(16)))
+        loaded = cache.load(key)
+        assert loaded is not None and 0 <= loaded["payload"] < 16
+        # No temp files left behind.
+        leftovers = [p for p in cache.path_for(key).parent.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestSynthReadThrough:
+    def test_generate_round_trip_is_byte_identical(self, monkeypatch, tmp_path):
+        """A disk-cached trace equals a fresh generation with the same seed."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = tiny_config()
+        fresh = generate(config, use_cache=False)
+        cached_path = default_cache().path_for(config.artifact_key())
+        assert not cached_path.exists()  # use_cache=False must not write
+
+        generate(config)  # populates disk
+        assert cached_path.exists()
+        clear_cache()  # drop the in-process layer to force the disk read
+        reloaded = generate(config)
+
+        for name in ("full_dataset", "analysis_dataset"):
+            fresh_ds = getattr(fresh, name)
+            reloaded_ds = getattr(reloaded, name)
+            assert fresh_ds.sensor_ids == reloaded_ds.sensor_ids
+            assert np.array_equal(
+                fresh_ds.temperatures, reloaded_ds.temperatures, equal_nan=True
+            )
+            assert np.array_equal(fresh_ds.inputs, reloaded_ds.inputs, equal_nan=True)
+        assert np.array_equal(
+            fresh.simulation.zone_temps, reloaded.simulation.zone_temps
+        )
+        assert pickle.dumps(fresh.simulation.zone_temps) == pickle.dumps(
+            reloaded.simulation.zone_temps
+        )
+
+    def test_cache_off_bypasses_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        clear_cache()
+        config = tiny_config(seed=4321)
+        output = generate(config)
+        assert isinstance(output, SynthOutput)
+        assert not any(tmp_path.rglob("*.pkl"))
+
+    def test_version_bump_invalidates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        generate(config)
+        old_path = default_cache().path_for(config.artifact_key())
+        assert old_path.exists()
+        monkeypatch.setattr("repro.version.__version__", "999.0.0")
+        assert default_cache().path_for(config.artifact_key()) != old_path
+
+    def test_corrupt_synth_artifact_regenerates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        first = generate(config)
+        path = default_cache().path_for(config.artifact_key())
+        path.write_bytes(b"\x80corrupt")
+        clear_cache()
+        regenerated = generate(config)
+        assert np.array_equal(
+            first.analysis_dataset.temperatures,
+            regenerated.analysis_dataset.temperatures,
+            equal_nan=True,
+        )
+        assert path.exists()  # regenerated artifact was re-stored
+
+
+@pytest.mark.parametrize("payload", [None, 42, "text"])
+def test_non_synth_payloads_round_trip(tmp_path, payload):
+    cache = ArtifactCache(root=tmp_path, enabled=True)
+    key = artifact_key("misc", {"payload": payload})
+    cache.store(key, payload)
+    assert cache.load(key) == payload

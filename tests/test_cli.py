@@ -94,3 +94,32 @@ class TestReport:
         text = target.read_text()
         assert "== table1" in text
         assert "== fig11" in text
+        # An off-protocol trace length is stated in the header.
+        assert "28-day synthetic trace" in text
+        assert "OFF-PROTOCOL: paper uses 98 days" in text
+
+    def test_defaults_are_paper_protocol(self):
+        """experiment/report default to the paper's 98 days; the quick
+        interactive subcommands keep the cheaper 28-day default."""
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        assert parser.parse_args(["report"]).days == 98.0
+        assert parser.parse_args(["experiment", "all"]).days == 98.0
+        assert parser.parse_args(["experiment", "all"]).jobs == 1
+        assert parser.parse_args(["fit"]).days == 28.0
+
+
+class TestJobs:
+    def test_parallel_report_matches_serial(self, capsys, tmp_path, week_output):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        code, _, _ = run_cli(
+            capsys, "report", "--days", "7", "--output", str(serial)
+        )
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "report", "--days", "7", "--jobs", "2", "--output", str(parallel)
+        )
+        assert code == 0
+        assert serial.read_bytes() == parallel.read_bytes()

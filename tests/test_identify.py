@@ -93,6 +93,36 @@ class TestSolve:
         w_big = solve_least_squares(phi, y, ridge=1e4)
         assert np.linalg.norm(w_big) < np.linalg.norm(w0)
 
+    def test_ridge_leaves_unpenalized_columns_alone(self):
+        """Ridge with an unpenalized intercept matches the closed form.
+
+        With the intercept excluded from the penalty, the solution is
+        the centered-data ridge solve plus an exactly unbiased offset:
+        ``W = (Xc'Xc + ridge I)^-1 Xc'Yc`` and ``c = mean(Y) - mean(X) W``.
+        """
+        gen = np.random.default_rng(3)
+        x = gen.random((200, 4))
+        y = 5.0 + x @ gen.random((4, 2)) + 0.01 * gen.standard_normal((200, 2))
+        phi = np.hstack([x, np.ones((200, 1))])
+        ridge = 7.5
+
+        w = solve_least_squares(phi, y, ridge=ridge, unpenalized_columns=(4,))
+
+        x_centered = x - x.mean(axis=0)
+        y_centered = y - y.mean(axis=0)
+        w_closed = np.linalg.solve(
+            x_centered.T @ x_centered + ridge * np.eye(4), x_centered.T @ y_centered
+        )
+        c_closed = y.mean(axis=0) - x.mean(axis=0) @ w_closed
+        np.testing.assert_allclose(w[:4], w_closed, rtol=1e-8)
+        np.testing.assert_allclose(w[4], c_closed, rtol=1e-8)
+
+    def test_unpenalized_column_out_of_range(self):
+        with pytest.raises(IdentificationError):
+            solve_least_squares(
+                np.ones((10, 2)), np.ones((10, 1)), ridge=1.0, unpenalized_columns=(5,)
+            )
+
     def test_underdetermined_rejected(self):
         with pytest.raises(IdentificationError):
             solve_least_squares(np.ones((2, 5)), np.ones((2, 1)))

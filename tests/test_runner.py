@@ -1,0 +1,101 @@
+"""Tests for the process-parallel experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import resolve_ids, run_experiments
+
+#: A cheap, representative subset for parallel-equivalence checks.
+SUBSET = ["table1", "fig2", "fig3", "fig6"]
+
+
+class TestResolveIds:
+    def test_all_expands_in_registry_order(self):
+        assert resolve_ids(["all"]) == list(EXPERIMENTS)
+
+    def test_explicit_ids_pass_through(self):
+        assert resolve_ids(SUBSET) == SUBSET
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError, match="fig99"):
+            resolve_ids(["fig2", "fig99"])
+
+
+class TestRunExperiments:
+    @pytest.fixture(autouse=True)
+    def _warm(self, week_output):
+        """Run against the session-cached 7-day trace."""
+
+    def test_serial_results_are_ordered_and_rendered(self):
+        results = run_experiments(SUBSET, days=7.0)
+        assert [experiment_id for experiment_id, _ in results] == SUBSET
+        for experiment_id, rendered in results:
+            assert rendered.startswith(f"== {experiment_id}:")
+
+    def test_parallel_is_byte_identical_to_serial(self, tmp_path, monkeypatch):
+        # Fresh cache dir per run so both paths genuinely compute the
+        # renders (a shared dir would let the parallel run trivially
+        # replay the serial run's cached output).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        serial = run_experiments(SUBSET, days=7.0, jobs=1)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        parallel = run_experiments(SUBSET, days=7.0, jobs=2)
+        assert parallel == serial
+
+    def test_single_id_ignores_jobs(self):
+        (result,) = run_experiments(["fig2"], days=7.0, jobs=8)
+        assert result[0] == "fig2"
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="jobs"):
+            run_experiments(["fig2"], days=7.0, jobs=0)
+
+
+class TestRenderCache:
+    @pytest.fixture(autouse=True)
+    def _warm(self, week_output, tmp_path, monkeypatch):
+        """Isolated cache dir per test, 7-day trace pre-generated."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_warm_run_replays_render_without_executing(self, monkeypatch):
+        (first,) = run_experiments(["fig2"], days=7.0)
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("experiment re-ran despite a cached render")
+
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _boom)
+        (second,) = run_experiments(["fig2"], days=7.0)
+        assert second == first
+
+    def test_source_change_invalidates_render(self, monkeypatch):
+        run_experiments(["fig2"], days=7.0)
+        monkeypatch.setattr(
+            "repro.experiments.runner.source_digest", lambda: "different-code"
+        )
+        executed = []
+        original = EXPERIMENTS["fig2"].run
+
+        def _spy(*args, **kwargs):
+            executed.append(True)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _spy)
+        run_experiments(["fig2"], days=7.0)
+        assert executed
+
+    def test_cache_off_recomputes(self, monkeypatch):
+        run_experiments(["fig2"], days=7.0)
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        executed = []
+        original = EXPERIMENTS["fig2"].run
+
+        def _spy(*args, **kwargs):
+            executed.append(True)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _spy)
+        run_experiments(["fig2"], days=7.0)
+        assert executed

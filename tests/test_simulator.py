@@ -38,6 +38,19 @@ class TestBasics:
         other = AuditoriumSimulator(SimulationConfig(days=2.0, seed=99)).run()
         assert not np.array_equal(result.zone_temps, other.zone_temps)
 
+    def test_fractional_day_axis_consistent(self):
+        """``end`` tracks the simulated axis for horizons not divisible
+        by ``dt`` (0.33 days at dt=60 is 475.2 ticks, rounded to 475)."""
+        config = SimulationConfig(days=0.33, dt=60.0)
+        assert config.n_steps == 475
+        from datetime import timedelta
+
+        assert config.end == config.start + timedelta(seconds=475 * 60.0)
+        result = AuditoriumSimulator(config).run()
+        assert result.n_steps == config.n_steps
+        # The calendar axis ends exactly where the integrator stopped.
+        assert result.axis.datetime_at(config.n_steps - 1) < config.end
+
     def test_temperatures_realistic(self, result):
         assert result.zone_temps.min() > 14.0
         assert result.zone_temps.max() < 27.0
