@@ -38,6 +38,7 @@ examples:
 	python examples/comfort_audit.py --days 7
 	python examples/reduced_model_control.py --days 14 --control-days 2
 	python examples/occupancy_sensing.py --days 7
+	python examples/fault_campaign.py --days 7
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -113,6 +113,9 @@ def main() -> int:
             },
             "reports_byte_identical": byte_identical,
             "python": sys.version.split()[0],
+            # the cold_jobs ratio is meaningless without knowing how
+            # many cores the measuring box actually had
+            "cpus": os.cpu_count(),
         }
         target = ROOT / "BENCH_report.json"
         target.write_text(json.dumps(payload, indent=2) + "\n")

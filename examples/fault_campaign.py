@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fault campaign walkthrough: inject, quarantine, model the survivors.
+
+Builds a mixed fault campaign against a synthetic two-week trace,
+injects it at increasing severity, and shows the degraded pipeline at
+work: screening quarantines the faulted sensors with machine-readable
+reasons, gap segmentation absorbs the injected outages, and the
+surviving sensors still cluster, select and identify.
+
+Run:  python examples/fault_campaign.py [--days 14] [--severity 1.0]
+"""
+
+import argparse
+
+from repro.data.gaps import gap_statistics
+from repro.data.modes import OCCUPIED
+from repro.data.screening import screen_sensors
+from repro.data.synth import default_dataset
+from repro.geometry.layout import THERMOSTAT_IDS
+from repro.sensing.faults import FaultConfig, SensorFault, FaultCampaign, apply_campaign
+from repro.sysid.evaluation import fit_and_evaluate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=14.0)
+    parser.add_argument("--severity", type=float, default=1.0)
+    args = parser.parse_args()
+
+    # 1. A clean analysis dataset (25 wireless sensors + 2 thermostats).
+    dataset = default_dataset(days=args.days)
+    print(f"clean dataset: {dataset.n_sensors} sensors, "
+          f"coverage {dataset.coverage():.0%}")
+
+    # 2. A campaign mixing four concurrent fault kinds, scaled to the
+    # requested severity.  Every draw derives from the campaign seed, so
+    # re-running this script reproduces the same corruption bit-for-bit.
+    wireless = [s for s in dataset.sensor_ids if s not in THERMOSTAT_IDS]
+    campaign = FaultCampaign(
+        name="walkthrough",
+        faults=(
+            SensorFault(wireless[0], FaultConfig(kind="stuck")),
+            SensorFault(wireless[1], FaultConfig(kind="drift")),
+            SensorFault(wireless[2], FaultConfig(kind="nan_gap")),
+            SensorFault(wireless[3], FaultConfig(kind="spikes")),
+        ),
+    ).scaled(args.severity)
+    result = apply_campaign(dataset, campaign)
+    print()
+    print(result.summary())
+
+    # 3. Screening quarantines the casualties (thermostats protected).
+    report = screen_sensors(
+        result.dataset.temperatures,
+        result.dataset.sensor_ids,
+        result.dataset.axis.day_indices(),
+        protected_ids=THERMOSTAT_IDS,
+    )
+    print()
+    print(f"quarantined {report.n_dropped} of {dataset.n_sensors} sensors:")
+    for sid, reason in sorted(report.dropped.items()):
+        print(f"  sensor {sid}: {reason}")
+
+    # 4. Gap segmentation absorbs what the faults punched out.
+    survivors = result.dataset.select_sensors(report.require_survivors().kept_ids)
+    stats = gap_statistics(survivors.temperatures)
+    print()
+    print(f"survivors: {survivors.n_sensors} sensors, "
+          f"{stats.n_segments} continuous segments, "
+          f"coverage {stats.coverage:.0%}, longest gap {stats.longest_gap} ticks")
+
+    # 5. The survivors still identify and predict.
+    train, valid = survivors.split_half_days(OCCUPIED)
+    _, evaluation = fit_and_evaluate(train, valid, order=1, mode=OCCUPIED)
+    print(f"order-1 model on survivors: "
+          f"free-run RMS {evaluation.overall_rms():.3f} degC "
+          f"over {evaluation.n_days} held-out days")
+
+
+if __name__ == "__main__":
+    main()

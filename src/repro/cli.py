@@ -10,6 +10,7 @@ Subcommands::
     repro snapshot    render a temperature snapshot on the ASCII floor plan
     repro experiment  run one (or all) of the paper's tables/figures
     repro report      run every experiment and write a combined report
+    repro robustness  fault-injection severity sweep (degradation curve)
 
 Every subcommand accepts ``--days`` and ``--seed`` to control the
 synthetic trace; the trace is cached per configuration within a process
@@ -18,6 +19,12 @@ synthetic trace; the trace is cached per configuration within a process
 ``REPRO_CACHE=off`` disables it).  ``experiment`` and ``report`` default
 to the paper's 98-day protocol and accept ``--jobs N`` to fan
 experiments out over worker processes.
+
+Failing experiments no longer abort a report: survivors render
+normally, a "FAILED experiments" section lists the casualties, and the
+exit code is 1 on partial failure (see ``docs/robustness.md``;
+``REPRO_RUNNER_TIMEOUT_S`` and ``REPRO_RUNNER_RETRIES`` tune the
+runner's timeout/retry policy).
 """
 
 from __future__ import annotations
@@ -110,13 +117,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "id",
         help="experiment id (table1, table2, fig2..fig11, ext-control, "
-        "ext-occupancy, ext-order, ext-stability, or 'all')",
+        "ext-occupancy, ext-order, ext-stability, robustness, or 'all')",
     )
 
     p = sub.add_parser("report", help="run every experiment and write a combined report")
     _add_common(p, days_default=DEFAULT_DAYS)
     _add_jobs(p)
     p.add_argument("--output", help="write the report to this file (default: stdout)")
+
+    p = sub.add_parser(
+        "robustness", help="fault-injection severity sweep (degradation curve)"
+    )
+    _add_common(p, days_default=DEFAULT_DAYS)
+    p.add_argument(
+        "--faulted",
+        type=int,
+        default=None,
+        help="wireless sensors targeted by the campaign (default 6)",
+    )
 
     return parser
 
@@ -231,16 +249,27 @@ def _cmd_select(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro.errors import ExperimentError
-    from repro.experiments.runner import run_experiments
+    from repro.experiments.runner import RunnerOptions, run_experiments_detailed
 
     try:
-        results = run_experiments([args.id], days=args.days, seed=args.seed, jobs=args.jobs)
+        report = run_experiments_detailed(
+            [args.id],
+            days=args.days,
+            seed=args.seed,
+            jobs=args.jobs,
+            options=RunnerOptions.from_env(),
+        )
     except ExperimentError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    for _, rendered in results:
+    for _, rendered in report.results:
         print(rendered)
         print()
+    if report.failures:
+        print(report.render_failures(), file=sys.stderr)
+        # Partial failure renders what survived; total failure is the
+        # same hard error a bad invocation gets.
+        return 1 if report.results else 2
     return 0
 
 
@@ -265,11 +294,21 @@ def _report_header(days: float, seed: int) -> List[str]:
 
 
 def _cmd_report(args) -> int:
-    from repro.experiments.runner import run_experiments
+    from repro.experiments.runner import RunnerOptions, run_experiments_detailed
 
+    report = run_experiments_detailed(
+        ["all"],
+        days=args.days,
+        seed=args.seed,
+        jobs=args.jobs,
+        options=RunnerOptions.from_env(),
+    )
     chunks = _report_header(args.days, args.seed)
-    for _, rendered in run_experiments(["all"], days=args.days, seed=args.seed, jobs=args.jobs):
+    for _, rendered in report.results:
         chunks.append(rendered)
+        chunks.append("")
+    if report.failures:
+        chunks.append(report.render_failures())
         chunks.append("")
     text = "\n".join(chunks)
     if args.output:
@@ -278,6 +317,19 @@ def _cmd_report(args) -> int:
         print(f"wrote report to {args.output}")
     else:
         print(text)
+    if report.failures:
+        print(report.render_failures(), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_robustness(args) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.robustness import N_FAULTED
+
+    n_faulted = args.faulted if args.faulted is not None else N_FAULTED
+    result = EXPERIMENTS["robustness"].run(context=_context(args), n_faulted=n_faulted)
+    print(result.render())
     return 0
 
 
@@ -301,6 +353,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "robustness": _cmd_robustness,
 }
 
 

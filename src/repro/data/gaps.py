@@ -19,10 +19,12 @@ from repro.errors import DataError
 
 __all__ = [
     "Segment",
+    "GapStats",
     "valid_mask",
     "find_segments",
     "mask_gaps",
     "coverage",
+    "gap_statistics",
 ]
 
 
@@ -120,3 +122,44 @@ def coverage(segments: Sequence[Segment], n_ticks: int) -> float:
     if n_ticks <= 0:
         return 0.0
     return sum(len(s) for s in segments) / float(n_ticks)
+
+
+@dataclass(frozen=True)
+class GapStats:
+    """How fragmented a trace is after gap segmentation.
+
+    The degradation reports use this to show that injected NaN bursts
+    are *absorbed* — they fragment the trace into more, shorter
+    segments instead of breaking the pipeline.
+    """
+
+    n_segments: int
+    n_ticks: int
+    coverage: float
+    longest_segment: int
+    longest_gap: int
+
+
+def gap_statistics(
+    matrix: np.ndarray,
+    min_length: int = 2,
+    mask: Optional[np.ndarray] = None,
+) -> GapStats:
+    """Segment ``matrix`` and summarize the resulting fragmentation."""
+    values = np.asarray(matrix, dtype=float)
+    n_ticks = values.shape[0] if values.ndim else 0
+    segments = find_segments(values, min_length=min_length, mask=mask)
+    longest_segment = max((len(s) for s in segments), default=0)
+    longest_gap = 0
+    previous_stop = 0
+    for segment in segments:
+        longest_gap = max(longest_gap, segment.start - previous_stop)
+        previous_stop = segment.stop
+    longest_gap = max(longest_gap, n_ticks - previous_stop)
+    return GapStats(
+        n_segments=len(segments),
+        n_ticks=n_ticks,
+        coverage=coverage(segments, n_ticks),
+        longest_segment=longest_segment,
+        longest_gap=longest_gap,
+    )

@@ -4,8 +4,16 @@ The paper notes that "following pre-processing, several sensors with
 unreliable results are removed from the dataset".  This module is that
 pre-processing step: it computes robust per-sensor health statistics and
 rejects sensors whose behaviour is inconsistent with the rest of the
-network — excessive missing data, a stuck output, abnormal noise, or a
-drift away from the network consensus.
+network — excessive missing data, a stuck output, abnormal noise,
+impulsive outliers, a drift away from the network consensus, or a trace
+that has decorrelated from it (e.g. a skewed clock).
+
+Screening is the quarantine gate of the degraded pipeline: faults
+injected by a :class:`repro.sensing.faults.FaultCampaign` surface here
+as machine-readable drop reasons, the survivors flow on to clustering /
+selection / identification, and
+:meth:`ScreeningReport.require_survivors` raises the typed
+:class:`repro.errors.NoUsableSensorsError` when nothing usable remains.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import DataError, NoUsableSensorsError
 
 __all__ = [
     "SensorHealth",
@@ -24,6 +32,11 @@ __all__ = [
     "sensor_health",
     "screen_sensors",
 ]
+
+#: Window of the running median used for impulsive-outlier detection.
+_SPIKE_WINDOW = 5
+#: Deviation from the running median that counts as a spike, °C.
+_SPIKE_DEVIATION_C = 2.5
 
 
 @dataclass(frozen=True)
@@ -39,6 +52,24 @@ class SensorHealth:
     #: Worst absolute deviation of the sensor's daily median from the
     #: network's daily median, °C — catches slow calibration drift.
     consensus_deviation: float
+    #: Fraction of samples deviating impulsively (> 2.5 °C) from the
+    #: sensor's own running median — catches spike/outlier faults.
+    spike_fraction: float = 0.0
+    #: Pearson correlation of the sensor with the network median trace —
+    #: a skewed clock or a dead channel decorrelates from the consensus.
+    consensus_correlation: float = 1.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for machine-readable reports."""
+        return {
+            "sensor_id": int(self.sensor_id),
+            "missing_fraction": float(self.missing_fraction),
+            "longest_stuck_fraction": float(self.longest_stuck_fraction),
+            "noise_level": float(self.noise_level),
+            "consensus_deviation": float(self.consensus_deviation),
+            "spike_fraction": float(self.spike_fraction),
+            "consensus_correlation": float(self.consensus_correlation),
+        }
 
 
 @dataclass(frozen=True)
@@ -49,6 +80,8 @@ class ScreeningThresholds:
     max_stuck_fraction: float = 0.35
     max_noise_level: float = 0.35
     max_consensus_deviation: float = 1.2
+    max_spike_fraction: float = 0.02
+    min_consensus_correlation: float = 0.25
 
 
 @dataclass
@@ -59,12 +92,44 @@ class ScreeningReport:
     dropped: Dict[int, str] = field(default_factory=dict)
     health: Dict[int, SensorHealth] = field(default_factory=dict)
 
+    @property
+    def n_kept(self) -> int:
+        return len(self.kept_ids)
+
+    @property
+    def n_dropped(self) -> int:
+        return len(self.dropped)
+
     def summary(self) -> str:
         """Human-readable multi-line report."""
         lines = [f"kept {len(self.kept_ids)} sensors: {list(self.kept_ids)}"]
         for sid, reason in sorted(self.dropped.items()):
             lines.append(f"dropped {sid}: {reason}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form: kept ids, drop reasons, health stats."""
+        return {
+            "kept": [int(s) for s in self.kept_ids],
+            "dropped": {int(s): reason for s, reason in self.dropped.items()},
+            "health": {int(s): h.to_dict() for s, h in self.health.items()},
+        }
+
+    def require_survivors(self) -> "ScreeningReport":
+        """Self, unless every sensor was quarantined.
+
+        Raises :class:`repro.errors.NoUsableSensorsError` with the full
+        drop inventory when nothing survived — the typed signal that
+        degraded operation has run out of sensors.
+        """
+        if not self.kept_ids:
+            reasons = "; ".join(
+                f"{sid}: {reason}" for sid, reason in sorted(self.dropped.items())
+            )
+            raise NoUsableSensorsError(
+                f"screening quarantined all {len(self.dropped)} sensors ({reasons})"
+            )
+        return self
 
 
 def _longest_run_fraction(values: np.ndarray) -> float:
@@ -83,6 +148,36 @@ def _longest_run_fraction(values: np.ndarray) -> float:
             current += 1
     longest = max(longest, current)
     return longest / finite.size
+
+
+def _spike_fraction(values: np.ndarray, finite_mask: np.ndarray) -> float:
+    """Fraction of finite samples deviating impulsively from a running median."""
+    finite = values[finite_mask]
+    if finite.size < _SPIKE_WINDOW:
+        return 0.0
+    windows = np.lib.stride_tricks.sliding_window_view(finite, _SPIKE_WINDOW)
+    running = np.median(windows, axis=1)
+    half = _SPIKE_WINDOW // 2
+    centered = finite[half : half + running.size]
+    return float((np.abs(centered - running) > _SPIKE_DEVIATION_C).mean())
+
+
+def _consensus_correlation(
+    values: np.ndarray, network_median: np.ndarray, finite_mask: np.ndarray
+) -> float:
+    """Pearson correlation with the network median over shared samples.
+
+    Returns 1.0 (no evidence against the sensor) when fewer than a
+    day's worth of shared samples exist or either trace is constant.
+    """
+    shared = finite_mask & np.isfinite(network_median)
+    if shared.sum() < 16:
+        return 1.0
+    a = values[shared]
+    b = network_median[shared]
+    if np.std(a) < 1e-12 or np.std(b) < 1e-12:
+        return 1.0
+    return float(np.corrcoef(a, b)[0, 1])
 
 
 def sensor_health(
@@ -115,6 +210,10 @@ def sensor_health(
         longest_stuck_fraction=_longest_run_fraction(values),
         noise_level=noise,
         consensus_deviation=consensus_dev,
+        spike_fraction=_spike_fraction(values, finite_mask),
+        consensus_correlation=_consensus_correlation(
+            values, np.asarray(network_daily_median, dtype=float), finite_mask
+        ),
     )
 
 
@@ -126,6 +225,11 @@ def screen_sensors(
     protected_ids: Sequence[int] = (),
 ) -> ScreeningReport:
     """Screen a temperature matrix and decide which sensors to keep.
+
+    Never raises on unhealthy data: every sensor gets a health record,
+    unhealthy ones are quarantined with a reason, and an all-quarantined
+    outcome is an empty ``kept_ids`` that callers escalate with
+    :meth:`ScreeningReport.require_survivors` when they cannot proceed.
 
     Parameters
     ----------
@@ -172,6 +276,13 @@ def screen_sensors(
             reason = f"noise level {h.noise_level:.2f} degC per sample"
         elif h.consensus_deviation > limits.max_consensus_deviation:
             reason = f"drifted {h.consensus_deviation:.1f} degC from network consensus"
+        elif h.spike_fraction > limits.max_spike_fraction:
+            reason = f"impulsive outliers on {h.spike_fraction:.1%} of samples"
+        elif h.consensus_correlation < limits.min_consensus_correlation:
+            reason = (
+                f"decorrelated from network consensus "
+                f"(r = {h.consensus_correlation:.2f}, e.g. clock skew)"
+            )
         if reason is not None and sid not in protected:
             dropped[sid] = reason
         else:

@@ -14,10 +14,14 @@ __all__ = [
     "SimulationError",
     "SensingError",
     "DataError",
+    "NoUsableSensorsError",
     "IdentificationError",
+    "NoUsableSegmentsError",
     "ClusteringError",
     "SelectionError",
     "ExperimentError",
+    "ExperimentTimeoutError",
+    "WorkerCrashError",
     "ContractError",
 ]
 
@@ -46,8 +50,23 @@ class DataError(ReproError):
     """A dataset operation failed (misaligned series, empty segment, ...)."""
 
 
+class NoUsableSensorsError(DataError):
+    """Screening quarantined every sensor; nothing usable remains.
+
+    Raised at the point where the degraded pipeline would otherwise
+    proceed with an empty sensor set — the explicit "nothing left"
+    signal of graceful degradation."""
+
+
 class IdentificationError(ReproError):
     """System identification failed (no usable samples, singular problem, ...)."""
+
+
+class NoUsableSegmentsError(IdentificationError):
+    """Gap segmentation left no segment long enough to regress on.
+
+    The typed form of "the trace is all gaps": injected NaN bursts or
+    outages consumed every continuous run the model order needs."""
 
 
 class ClusteringError(ReproError):
@@ -60,6 +79,17 @@ class SelectionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment run failed (unknown experiment id, bad job count, ...)."""
+
+
+class ExperimentTimeoutError(ExperimentError):
+    """An experiment exceeded the runner's per-experiment timeout."""
+
+
+class WorkerCrashError(ExperimentError):
+    """An experiment worker process died (segfault, OOM-kill, ``os._exit``).
+
+    The runner records this and downgrades the experiment to an
+    isolated serial retry instead of aborting the whole report."""
 
 
 class ContractError(ReproError):

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    robustness,
     table1,
     table2,
 )
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "ext-occupancy": SimpleNamespace(run=ext_analysis.run_occupancy),
     "ext-order": SimpleNamespace(run=ext_analysis.run_order_sweep),
     "ext-stability": SimpleNamespace(run=ext_analysis.run_stability),
+    "robustness": robustness,
 }
 
 __all__ = ["ExperimentContext", "ExperimentResult", "EXPERIMENTS"]

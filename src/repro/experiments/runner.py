@@ -1,6 +1,6 @@
-"""Process-parallel experiment runner with cached renders.
+"""Process-parallel experiment runner: cached renders, hardened failures.
 
-The paper defines 16 independent tables/figures; running them serially
+The paper defines 16+ independent tables/figures; running them serially
 dominates the wall-clock of ``repro report`` once the trace itself is
 cached.  This runner attacks that cost twice over:
 
@@ -23,22 +23,138 @@ Both layers preserve determinism: results always come back in the
 requested order and each experiment renders exactly the text it would
 render serially, so a ``--jobs 4`` report is byte-identical to a
 ``--jobs 1`` report, warm or cold.
+
+On top of that sits **graceful degradation**
+(:func:`run_experiments_detailed`): one failing experiment can no
+longer abort a whole report.  Failures are caught *per experiment*,
+recorded as :class:`ExperimentFailure` entries, and the remaining
+experiments keep running:
+
+* a raising experiment is recorded (library :class:`ReproError`\\ s are
+  deterministic, so they are not retried);
+* an unexpected exception gets a **bounded retry with backoff**,
+  re-run in an *isolated* single-shot subprocess;
+* a **worker crash** (``BrokenProcessPool`` — segfault, OOM-kill,
+  ``os._exit``) downgrades the affected experiments to the same
+  isolated serial retry instead of killing the report;
+* an optional **per-experiment timeout** (``RunnerOptions.timeout_s``,
+  or ``REPRO_RUNNER_TIMEOUT_S``) bounds each isolated run and
+  watchdogs the pool.
+
+The returned :class:`RunReport` carries the successful renders (still
+byte-identical to a clean serial run) plus the machine-readable failure
+inventory the CLI turns into a report "failed experiments" section and
+a partial-failure exit code.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import math
+import multiprocessing
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import rng as rng_mod
 from repro.core.artifacts import artifact_key, default_cache, fingerprint, source_digest
-from repro.errors import ExperimentError
+from repro.errors import (
+    ExperimentError,
+    ExperimentTimeoutError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.experiments.context import DEFAULT_DAYS, get_context
 
 __all__ = [
+    "ExperimentFailure",
+    "RunReport",
+    "RunnerOptions",
     "resolve_ids",
     "run_experiments",
+    "run_experiments_detailed",
 ]
+
+#: Environment override for the per-experiment timeout, seconds.
+ENV_TIMEOUT = "REPRO_RUNNER_TIMEOUT_S"
+#: Environment override for the transient-failure retry budget.
+ENV_RETRIES = "REPRO_RUNNER_RETRIES"
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Failure-handling knobs of the experiment runner."""
+
+    #: Per-experiment wall-clock budget, seconds (``None`` = unbounded).
+    timeout_s: Optional[float] = None
+    #: Isolated re-runs granted to transiently failing experiments.
+    retries: int = 1
+    #: Base sleep between retry attempts, seconds (linear backoff).
+    backoff_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ExperimentError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ExperimentError(f"retries must be non-negative, got {self.retries}")
+        if self.backoff_s < 0:
+            raise ExperimentError(f"backoff_s must be non-negative, got {self.backoff_s}")
+
+    @staticmethod
+    def from_env() -> "RunnerOptions":
+        """Options with ``REPRO_RUNNER_TIMEOUT_S``/``_RETRIES`` applied."""
+        timeout_raw = os.environ.get(ENV_TIMEOUT, "").strip()
+        retries_raw = os.environ.get(ENV_RETRIES, "").strip()
+        try:
+            timeout = float(timeout_raw) if timeout_raw else None
+            retries = int(retries_raw) if retries_raw else 1
+        except ValueError as exc:
+            raise ExperimentError(
+                f"bad {ENV_TIMEOUT}/{ENV_RETRIES} value: {exc}"
+            ) from None
+        return RunnerOptions(timeout_s=timeout, retries=retries)
+
+
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment's terminal failure, machine-readable."""
+
+    experiment_id: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line human rendering for report failure sections."""
+        note = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"{self.experiment_id}: {self.error_type}{note}: {self.message}"
+
+
+@dataclass
+class RunReport:
+    """Outcome of a (possibly partially failed) experiment batch."""
+
+    #: Successful ``(experiment_id, rendered_text)`` pairs, in request
+    #: order; each text is byte-identical to a clean serial run's.
+    results: List[Tuple[str, str]] = field(default_factory=list)
+    #: Terminal failures, in request order.
+    failures: List[ExperimentFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render_failures(self) -> str:
+        """The report's "failed experiments" section (empty string if none)."""
+        if not self.failures:
+            return ""
+        lines = [f"== FAILED experiments ({len(self.failures)}) =="]
+        for failure in self.failures:
+            lines.append(f"  {failure.describe()}")
+        lines.append("note: all other experiments completed; results above are unaffected")
+        return "\n".join(lines)
 
 
 def resolve_ids(requested: Sequence[str]) -> List[str]:
@@ -88,6 +204,293 @@ def _render_one(experiment_id: str, days: float, seed: int) -> str:
     return rendered
 
 
+def _subprocess_render(queue, experiment_id: str, days: float, seed: int) -> None:
+    """Isolated-subprocess entry: render and ship the outcome back."""
+    try:
+        queue.put(("ok", _render_one(experiment_id, days, seed)))
+    except Exception as exc:  # the error must cross the process boundary
+        queue.put(("error", type(exc).__name__, str(exc)))
+
+
+def _run_isolated(
+    experiment_id: str, days: float, seed: int, timeout_s: Optional[float]
+) -> str:
+    """Render one experiment in a dedicated subprocess.
+
+    Crash isolation and timeout enforcement in one place: a dying child
+    becomes :class:`WorkerCrashError`, a child that outlives
+    ``timeout_s`` is terminated and becomes
+    :class:`ExperimentTimeoutError`, and an exception inside the child
+    is re-raised here (library errors by their original type, so the
+    caller's deterministic/transient classification still works).
+    """
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        mp_context = multiprocessing.get_context()
+    queue = mp_context.Queue()
+    process = mp_context.Process(
+        target=_subprocess_render, args=(queue, experiment_id, days, seed), daemon=True
+    )
+    process.start()
+    process.join(timeout_s)
+    if process.is_alive():
+        process.terminate()
+        process.join(5.0)
+        raise ExperimentTimeoutError(
+            f"experiment {experiment_id!r} exceeded the {timeout_s:g} s timeout"
+        )
+    try:
+        outcome = queue.get(timeout=5.0)
+    except Exception:
+        raise WorkerCrashError(
+            f"worker for experiment {experiment_id!r} died "
+            f"(exit code {process.exitcode}) before reporting a result"
+        ) from None
+    if outcome[0] == "ok":
+        return outcome[1]
+    error_name, message = outcome[1], outcome[2]
+    import repro.errors as errors_mod
+
+    error_cls = getattr(errors_mod, error_name, None)
+    if isinstance(error_cls, type) and issubclass(error_cls, ReproError):
+        raise error_cls(message)
+    raise RuntimeError(f"{error_name}: {message}")
+
+
+def _is_deterministic(exc: BaseException) -> bool:
+    """Whether retrying ``exc`` is pointless.
+
+    Library errors (:class:`ReproError`) are deterministic properties of
+    the configuration — the same inputs will fail the same way — except
+    for the runner's own timeout/crash markers, which may well be
+    transient (load spikes, OOM kills) and deserve their retry budget.
+    """
+    if isinstance(exc, (ExperimentTimeoutError, WorkerCrashError)):
+        return False
+    return isinstance(exc, ReproError)
+
+
+def _attempt_retries(
+    experiment_id: str,
+    days: float,
+    seed: int,
+    options: RunnerOptions,
+    first_error: BaseException,
+    attempts_used: int,
+) -> Tuple[Optional[str], Optional[ExperimentFailure]]:
+    """Isolated re-runs after a transient failure; ``(render, failure)``."""
+    error: BaseException = first_error
+    attempts = attempts_used
+    while not _is_deterministic(error) and attempts - attempts_used < options.retries:
+        if options.backoff_s:
+            time.sleep(options.backoff_s * (attempts - attempts_used + 1))
+        attempts += 1
+        try:
+            return _run_isolated(experiment_id, days, seed, options.timeout_s), None
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a record
+            error = exc
+    return None, ExperimentFailure(
+        experiment_id=experiment_id,
+        error_type=type(error).__name__,
+        message=str(error),
+        attempts=attempts,
+    )
+
+
+def _run_serial(
+    pending: Sequence[str],
+    days: float,
+    seed: int,
+    options: RunnerOptions,
+    rendered: Dict[str, str],
+    failed: Dict[str, ExperimentFailure],
+) -> None:
+    """In-process serial execution with per-experiment failure capture.
+
+    With a timeout configured, each experiment runs in an isolated
+    subprocess instead (an in-process run cannot be interrupted).
+    """
+    for experiment_id in pending:
+        try:
+            if options.timeout_s is not None:
+                rendered[experiment_id] = _run_isolated(
+                    experiment_id, days, seed, options.timeout_s
+                )
+            else:
+                rendered[experiment_id] = _render_one(experiment_id, days, seed)
+        except Exception as exc:  # noqa: BLE001 - recorded, never aborts the batch
+            render, failure = _attempt_retries(
+                experiment_id, days, seed, options, exc, attempts_used=1
+            )
+            if render is not None:
+                rendered[experiment_id] = render
+            elif failure is not None:
+                failed[experiment_id] = failure
+
+
+def _terminate_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Best-effort kill of a pool's workers (used after a watchdog trip)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # already dead / already closed
+            pass
+
+
+def _run_parallel(
+    pending: Sequence[str],
+    days: float,
+    seed: int,
+    n_jobs: int,
+    options: RunnerOptions,
+    rendered: Dict[str, str],
+    failed: Dict[str, ExperimentFailure],
+) -> None:
+    """Pool fan-out with per-future capture and crash/timeout downgrade."""
+    n_workers = min(n_jobs, len(pending))
+    # The watchdog bounds the whole batch: each worker slot processes at
+    # most ceil(pending / workers) experiments back to back.
+    watchdog: Optional[float] = None
+    if options.timeout_s is not None:
+        watchdog = options.timeout_s * math.ceil(len(pending) / n_workers) + 5.0
+
+    retry_errors: Dict[str, BaseException] = {}
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+    watchdog_tripped = False
+    try:
+        futures = {
+            pool.submit(_render_one, experiment_id, days, seed): experiment_id
+            for experiment_id in pending
+        }
+        try:
+            for future in concurrent.futures.as_completed(futures, timeout=watchdog):
+                experiment_id = futures[future]
+                try:
+                    rendered[experiment_id] = future.result()
+                except BrokenProcessPool:
+                    # The crash poisons every in-flight future; all of
+                    # them downgrade to the isolated serial path.
+                    retry_errors[experiment_id] = WorkerCrashError(
+                        f"worker pool broke while running {experiment_id!r}"
+                    )
+                except ReproError as exc:
+                    failed[experiment_id] = ExperimentFailure(
+                        experiment_id=experiment_id,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=1,
+                    )
+                except Exception as exc:  # noqa: BLE001 - downgraded to retry
+                    retry_errors[experiment_id] = exc
+        except concurrent.futures.TimeoutError:
+            watchdog_tripped = True
+            for future, experiment_id in futures.items():
+                if future.done() or experiment_id in rendered:
+                    continue
+                if future.cancel():
+                    # Never started: give it an isolated serial run.
+                    retry_errors[experiment_id] = WorkerCrashError(
+                        f"{experiment_id!r} was still queued when the pool watchdog fired"
+                    )
+                else:
+                    failed[experiment_id] = ExperimentFailure(
+                        experiment_id=experiment_id,
+                        error_type=ExperimentTimeoutError.__name__,
+                        message=(
+                            f"still running when the pool watchdog fired "
+                            f"after {watchdog:g} s"
+                        ),
+                        attempts=1,
+                    )
+            _terminate_pool(pool)
+    finally:
+        pool.shutdown(wait=not watchdog_tripped, cancel_futures=True)
+
+    # Crash/transient downgrades: isolated serial re-runs, in request
+    # order so the downgrade path stays deterministic.
+    for experiment_id in pending:
+        if experiment_id not in retry_errors:
+            continue
+        try:
+            rendered[experiment_id] = _run_isolated(
+                experiment_id, days, seed, options.timeout_s
+            )
+        except Exception as exc:  # noqa: BLE001 - recorded below
+            render, failure = _attempt_retries(
+                experiment_id, days, seed, options, exc, attempts_used=2
+            )
+            if render is not None:
+                rendered[experiment_id] = render
+            elif failure is not None:
+                failed[experiment_id] = failure
+
+
+def run_experiments_detailed(
+    ids: Sequence[str],
+    days: float = DEFAULT_DAYS,
+    seed: int = rng_mod.DEFAULT_SEED,
+    jobs: Optional[int] = None,
+    options: Optional[RunnerOptions] = None,
+) -> RunReport:
+    """Run experiments with per-experiment failure isolation.
+
+    Every requested experiment is attempted; failures are recorded in
+    the returned :class:`RunReport` instead of aborting the batch, so a
+    report can render every surviving result alongside a failures
+    section.  See :class:`RunnerOptions` for the timeout/retry knobs.
+    """
+    ids = resolve_ids(ids)
+    n_jobs = 1 if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ExperimentError(f"jobs must be a positive integer, got {jobs!r}")
+    options = options or RunnerOptions()
+
+    cache = default_cache()
+    rendered: Dict[str, str] = {}
+    failed: Dict[str, ExperimentFailure] = {}
+    if cache.enabled:
+        for experiment_id in ids:
+            hit = cache.load(_render_key(experiment_id, days, seed))
+            if isinstance(hit, str):
+                rendered[experiment_id] = hit
+    pending = [i for i in ids if i not in rendered]
+
+    if pending:
+        # Warm the shared trace before any experiment runs.  Serially
+        # this is just the run's context; in parallel it guarantees
+        # workers find the artifact on disk (or inherit the in-process
+        # cache via fork) instead of each paying the full generation.
+        # If the trace itself cannot be generated, every pending
+        # experiment fails for that one reason — recorded, not raised.
+        try:
+            get_context(days=days, seed=seed)
+        except Exception as exc:  # noqa: BLE001 - one record per casualty
+            for experiment_id in pending:
+                failed[experiment_id] = ExperimentFailure(
+                    experiment_id=experiment_id,
+                    error_type=type(exc).__name__,
+                    message=f"shared trace generation failed: {exc}",
+                    attempts=1,
+                )
+            pending = []
+
+    # In-process serial execution only when the caller asked for it:
+    # with jobs > 1 even a single pending experiment goes through a
+    # worker process, so a crashing experiment cannot take down the
+    # parent (crash isolation is part of the jobs > 1 contract).
+    if pending and n_jobs == 1:
+        _run_serial(pending, days, seed, options, rendered, failed)
+    elif pending:
+        _run_parallel(pending, days, seed, n_jobs, options, rendered, failed)
+
+    return RunReport(
+        results=[(i, rendered[i]) for i in ids if i in rendered],
+        failures=[failed[i] for i in ids if i in failed],
+    )
+
+
 def run_experiments(
     ids: Sequence[str],
     days: float = DEFAULT_DAYS,
@@ -113,39 +516,17 @@ def run_experiments(
     ``[(experiment_id, rendered_text), ...]`` in the order of ``ids``
     (after ``"all"`` expansion) regardless of cache state or completion
     order, so reports are reproducible under any parallelism.
+
+    Every experiment is attempted even when some fail (failures no
+    longer abort the batch mid-flight); if any did fail, an
+    :class:`ExperimentError` summarizing all of them is raised after
+    the rest completed.  Callers that want the partial results should
+    use :func:`run_experiments_detailed`.
     """
-    ids = resolve_ids(ids)
-    n_jobs = 1 if jobs is None else int(jobs)
-    if n_jobs < 1:
-        raise ExperimentError(f"jobs must be a positive integer, got {jobs!r}")
-
-    cache = default_cache()
-    rendered: Dict[str, str] = {}
-    if cache.enabled:
-        for experiment_id in ids:
-            hit = cache.load(_render_key(experiment_id, days, seed))
-            if isinstance(hit, str):
-                rendered[experiment_id] = hit
-    pending = [i for i in ids if i not in rendered]
-
-    if pending:
-        # Warm the shared trace before any experiment runs.  Serially
-        # this is just the run's context; in parallel it guarantees
-        # workers find the artifact on disk (or inherit the in-process
-        # cache via fork) instead of each paying the full generation.
-        get_context(days=days, seed=seed)
-
-    if pending and (n_jobs == 1 or len(pending) == 1):
-        for experiment_id in pending:
-            rendered[experiment_id] = _render_one(experiment_id, days, seed)
-    elif pending:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(_render_one, experiment_id, days, seed): experiment_id
-                for experiment_id in pending
-            }
-            for future in concurrent.futures.as_completed(futures):
-                rendered[futures[future]] = future.result()
-    return [(experiment_id, rendered[experiment_id]) for experiment_id in ids]
+    report = run_experiments_detailed(ids, days=days, seed=seed, jobs=jobs)
+    if report.failures:
+        details = "; ".join(f.describe() for f in report.failures)
+        raise ExperimentError(
+            f"{len(report.failures)} experiment(s) failed: {details}"
+        )
+    return report.results

@@ -1,33 +1,361 @@
-"""Sensor fault injection.
+"""Sensor fault injection: single-unit fault modes and fault campaigns.
 
 The paper's pre-processing removed "several sensors with unreliable
-results"; to exercise that code path the deployment includes units with
-injected faults.  Faults transform the *true* signal a unit would have
-measured into the corrupted signal it actually reports.
+results" (14 of 39 deployed units); to exercise that code path the
+deployment includes units with injected faults, and the robustness
+experiments stress the whole downstream pipeline with *campaigns* of
+concurrent faults.
+
+Two layers live here:
+
+* **Fault models** — deterministic, seeded transformations of the
+  *true* signal a unit would have measured into the corrupted signal it
+  actually reports.  Each model is described by a validated
+  :class:`FaultConfig`; the supported kinds are in
+  :data:`FAULT_KINDS`.  Faults that lose samples (dropout bursts, NaN
+  gaps, battery death) mark them NaN, which the downstream gap
+  segmentation treats exactly like a network outage.
+* **Campaigns** — a :class:`FaultCampaign` is a named mix of
+  per-sensor faults.  Applying a campaign to a dataset is a pure
+  function of ``(dataset, campaign)``: every random draw derives from
+  the campaign seed, the fault kind and the sensor id, so a campaign is
+  cache-keyable by its configuration alone (see
+  :meth:`FaultCampaign.cache_key`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.errors import SensingError
+from repro.errors import ConfigurationError, SensingError
 
 __all__ = [
+    "FAULT_KINDS",
+    "LEGACY_FAULT_KINDS",
+    "FaultConfig",
     "FaultModel",
+    "SensorFault",
+    "FaultCampaign",
+    "CampaignResult",
     "apply_fault",
+    "apply_fault_config",
+    "apply_campaign",
+    "default_campaign",
     "dropout_mask",
 ]
 
-FAULT_KINDS = ("drift", "stuck", "noisy", "dropout")
+#: Campaign-grade fault kinds (the robustness framework).
+FAULT_KINDS = (
+    "stuck",
+    "drift",
+    "dropout_bursts",
+    "nan_gap",
+    "spikes",
+    "clock_skew",
+    "battery_death",
+)
+
+#: Fault kinds understood by the original deployment-time injection
+#: (:func:`apply_fault`); ``noisy``/``dropout`` predate the campaign
+#: framework and stay supported for the synthetic deployment.
+LEGACY_FAULT_KINDS = ("drift", "stuck", "noisy", "dropout")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One fault mode, fully described and validated.
+
+    ``severity`` scales every magnitude and rate linearly: severity 0
+    is a no-op, severity 1 applies the configured maxima.  All rates
+    and fractions are validated on construction so a campaign can never
+    silently carry an out-of-range parameter.
+    """
+
+    #: One of :data:`FAULT_KINDS`.
+    kind: str
+    #: Linear scale of the fault's magnitudes/extent, in [0, 1].
+    severity: float = 1.0
+    #: Fraction of the trace after which the fault can begin, in [0, 1).
+    onset_fraction: float = 0.1
+    #: ``drift``: additive calibration drift at severity 1, °C per day.
+    drift_c_per_day: float = 0.6
+    #: ``dropout_bursts``: fraction of post-onset samples lost at severity 1.
+    dropout_rate: float = 0.8
+    #: ``dropout_bursts``: mean burst length, samples.
+    burst_ticks: int = 8
+    #: ``nan_gap``: gap length at severity 1, as a fraction of the trace.
+    gap_fraction: float = 0.6
+    #: ``spikes``: fraction of post-onset samples hit at severity 1.
+    spike_rate: float = 0.05
+    #: ``spikes``: spike amplitude at severity 1, °C.
+    spike_amplitude_c: float = 8.0
+    #: ``clock_skew``: timestamp drift at severity 1, seconds per day.
+    clock_skew_s_per_day: float = 5400.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; supported: {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigurationError(f"severity must be in [0, 1], got {self.severity}")
+        if not 0.0 <= self.onset_fraction < 1.0:
+            raise ConfigurationError(
+                f"onset_fraction must be in [0, 1), got {self.onset_fraction}"
+            )
+        for name in ("dropout_rate", "gap_fraction", "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("drift_c_per_day", "spike_amplitude_c", "clock_skew_s_per_day"):
+            magnitude = getattr(self, name)
+            if magnitude < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative, got {magnitude}")
+        if self.burst_ticks < 1:
+            raise ConfigurationError(f"burst_ticks must be >= 1, got {self.burst_ticks}")
+
+    def describe(self) -> str:
+        """One-line human summary (used in campaign reports)."""
+        return f"{self.kind}(severity={self.severity:g}, onset={self.onset_fraction:g})"
+
+
+def _onset_index(config: FaultConfig, n: int) -> int:
+    return min(n, int(round(config.onset_fraction * n)))
+
+
+def _fault_gen(seed: rng_mod.SeedLike, kind: str, sensor_id: int) -> np.random.Generator:
+    return rng_mod.derive(seed, f"fault-{kind}", index=sensor_id)
+
+
+def apply_fault_config(
+    config: FaultConfig,
+    values: np.ndarray,
+    seconds: np.ndarray,
+    seed: rng_mod.SeedLike,
+    sensor_id: int,
+) -> np.ndarray:
+    """Corrupted copy of ``values`` under ``config``.
+
+    ``values`` is a uniformly sampled trace (NaN marks samples that are
+    already missing); ``seconds`` are its sample times.  Lost samples
+    come back as NaN.  The transformation is a pure function of
+    ``(config, values, seconds, seed, sensor_id)``.
+    """
+    values = np.array(values, dtype=float, copy=True)
+    seconds = np.asarray(seconds, dtype=float)
+    if values.shape != seconds.shape:
+        raise SensingError("values and seconds must align")
+    n = values.size
+    severity = config.severity
+    if n == 0 or severity == 0.0:
+        return values
+    onset = _onset_index(config, n)
+    kind = config.kind
+
+    if kind == "stuck":
+        # Severity widens the frozen tail from nothing up to the full
+        # post-onset span.
+        start = n - int(round(severity * (n - onset)))
+        if start < n:
+            held = values[start] if np.isfinite(values[start]) else np.nanmean(values)
+            values[start:] = held
+        return values
+
+    if kind == "drift":
+        days = (seconds - seconds[onset]) / 86400.0 if onset < n else np.zeros(n)
+        ramp = np.clip(days, 0.0, None)
+        return values + severity * config.drift_c_per_day * ramp
+
+    if kind == "dropout_bursts":
+        gen = _fault_gen(seed, kind, sensor_id)
+        lost_target = severity * config.dropout_rate * (n - onset)
+        n_bursts = max(1, int(round(lost_target / config.burst_ticks))) if lost_target >= 1 else 0
+        for _ in range(n_bursts):
+            start = int(gen.integers(onset, n))
+            length = 1 + int(gen.geometric(1.0 / config.burst_ticks))
+            values[start : min(n, start + length)] = np.nan
+        return values
+
+    if kind == "nan_gap":
+        gen = _fault_gen(seed, kind, sensor_id)
+        length = int(round(severity * config.gap_fraction * n))
+        if length >= 1:
+            latest = max(onset, n - length)
+            start = int(gen.integers(onset, latest + 1))
+            values[start : start + length] = np.nan
+        return values
+
+    if kind == "spikes":
+        gen = _fault_gen(seed, kind, sensor_id)
+        hit = gen.random(n) < severity * config.spike_rate
+        hit[:onset] = False
+        signs = np.where(gen.random(n) < 0.5, -1.0, 1.0)
+        scale = 0.5 + gen.random(n)
+        values[hit] += (severity * config.spike_amplitude_c * signs * scale)[hit]
+        return values
+
+    if kind == "clock_skew":
+        # The unit's clock runs fast: a sample stamped at tick k was
+        # really measured earlier, so the reported trace is the true
+        # trace read at a progressively receding index.
+        if n < 2:
+            return values
+        period = float(np.median(np.diff(seconds))) or 1.0
+        days = np.clip((seconds - seconds[onset]) / 86400.0, 0.0, None)
+        shift = np.round(severity * config.clock_skew_s_per_day * days / period).astype(int)
+        source = np.clip(np.arange(n) - shift, 0, n - 1)
+        return values[source]
+
+    # battery_death: the unit goes permanently silent; severity pulls
+    # the death forward from end-of-trace to the onset point.
+    death = n - int(round(severity * (n - onset)))
+    values[death:] = np.nan
+    return values
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """A fault bound to the sensor it corrupts."""
+
+    sensor_id: int
+    config: FaultConfig
+
+    def __post_init__(self) -> None:
+        if self.sensor_id < 0:
+            raise ConfigurationError(f"sensor_id must be non-negative, got {self.sensor_id}")
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A named, seeded mix of concurrent sensor faults.
+
+    The campaign is a deterministic function of its configuration: the
+    same campaign applied to the same dataset always produces the same
+    corrupted dataset, and :meth:`cache_key` is a stable content key
+    over every field, so campaign outputs can read through the artifact
+    cache like any other derived product.
+    """
+
+    name: str
+    faults: Tuple[SensorFault, ...]
+    seed: int = rng_mod.DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign name must be non-empty")
+        targeted = [f.sensor_id for f in self.faults]
+        if len(set(targeted)) != len(targeted):
+            raise ConfigurationError(
+                f"campaign {self.name!r} targets a sensor twice: {sorted(targeted)}"
+            )
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct fault kinds in the campaign, sorted."""
+        return tuple(sorted({f.config.kind for f in self.faults}))
+
+    def scaled(self, severity: float) -> "FaultCampaign":
+        """Copy with every fault's severity set to ``severity``."""
+        if not 0.0 <= severity <= 1.0:
+            raise ConfigurationError(f"severity must be in [0, 1], got {severity}")
+        faults = tuple(
+            SensorFault(f.sensor_id, replace(f.config, severity=severity))
+            for f in self.faults
+        )
+        return replace(self, faults=faults)
+
+    def cache_key(self) -> str:
+        """Stable content key over every campaign field."""
+        from repro.core.artifacts import fingerprint
+
+        return fingerprint(self)
+
+
+@dataclass
+class CampaignResult:
+    """A campaign's output: the corrupted dataset plus what was done."""
+
+    #: The dataset with the campaign's faults injected.
+    dataset: "object"
+    campaign: FaultCampaign
+    #: sensor id -> one-line description of the fault applied to it.
+    applied: Dict[int, str] = field(default_factory=dict)
+    #: Faulted sensor ids that were not present in the dataset.
+    missing: Tuple[int, ...] = ()
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the injection."""
+        lines = [f"campaign {self.campaign.name!r}: {len(self.applied)} sensors faulted"]
+        for sid in sorted(self.applied):
+            lines.append(f"  sensor {sid}: {self.applied[sid]}")
+        if self.missing:
+            lines.append(f"  not in dataset (skipped): {list(self.missing)}")
+        return "\n".join(lines)
+
+
+def apply_campaign(dataset, campaign: FaultCampaign) -> CampaignResult:
+    """Inject every fault of ``campaign`` into a copy of ``dataset``.
+
+    ``dataset`` is an :class:`repro.data.dataset.AuditoriumDataset`;
+    only temperature columns are touched.  Faulted sensors missing from
+    the dataset are skipped and reported in
+    :attr:`CampaignResult.missing` rather than raising, so one campaign
+    definition works across the full and screened analysis sets.
+    """
+    temps = np.array(dataset.temperatures, dtype=float, copy=True)
+    seconds = dataset.axis.seconds()
+    applied: Dict[int, str] = {}
+    missing = []
+    for fault in campaign.faults:
+        if fault.sensor_id not in dataset.sensor_ids:
+            missing.append(fault.sensor_id)
+            continue
+        col = dataset.column_of(fault.sensor_id)
+        temps[:, col] = apply_fault_config(
+            fault.config, temps[:, col], seconds, campaign.seed, fault.sensor_id
+        )
+        applied[fault.sensor_id] = fault.config.describe()
+    corrupted = replace(dataset, temperatures=temps)
+    return CampaignResult(
+        dataset=corrupted, campaign=campaign, applied=applied, missing=tuple(missing)
+    )
+
+
+def default_campaign(
+    sensor_ids,
+    name: str = "mixed",
+    seed: int = rng_mod.DEFAULT_SEED,
+    severity: float = 1.0,
+) -> FaultCampaign:
+    """A campaign cycling the full fault taxonomy over ``sensor_ids``.
+
+    Sensor ``i`` receives fault kind ``FAULT_KINDS[i % 7]``, so any
+    campaign over >= 3 sensors exercises at least three concurrent
+    fault types.
+    """
+    faults = tuple(
+        SensorFault(int(sid), FaultConfig(kind=FAULT_KINDS[i % len(FAULT_KINDS)], severity=severity))
+        for i, sid in enumerate(sensor_ids)
+    )
+    return FaultCampaign(name=name, faults=faults, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Deployment-time fault injection (the original, pre-campaign surface)
+# ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
 class FaultModel:
-    """Parameters of the supported fault modes."""
+    """Parameters of the deployment-time fault modes.
+
+    Validated like every other configuration object: out-of-range rates
+    raise :class:`repro.errors.ConfigurationError` at construction.
+    """
 
     #: Calibration drift rate, °C per day (``drift``).
     drift_per_day: float = 0.2
@@ -37,6 +365,18 @@ class FaultModel:
     noisy_sigma: float = 0.6
     #: Probability that a ``dropout`` unit loses any given report.
     dropout_probability: float = 0.995
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stuck_after_fraction <= 1.0:
+            raise ConfigurationError(
+                f"stuck_after_fraction must be in [0, 1], got {self.stuck_after_fraction}"
+            )
+        if not 0.0 <= self.dropout_probability <= 1.0:
+            raise ConfigurationError(
+                f"dropout_probability must be in [0, 1], got {self.dropout_probability}"
+            )
+        if self.noisy_sigma < 0.0 or self.drift_per_day < 0.0:
+            raise ConfigurationError("noise and drift magnitudes must be non-negative")
 
 
 def apply_fault(
@@ -49,6 +389,12 @@ def apply_fault(
 ) -> np.ndarray:
     """Return the corrupted version of ``values`` for fault ``kind``.
 
+    This is the deployment-time surface (one fault kind per unit, drawn
+    from :data:`LEGACY_FAULT_KINDS`); campaigns use
+    :func:`apply_fault_config`.  ``drift`` and ``stuck`` are routed
+    through the campaign framework's :class:`FaultConfig`, so both
+    surfaces share one implementation.
+
     ``dropout`` corrupts the *transmission* rather than the value, so it
     returns the values unchanged here; the deployment applies its loss
     probability at report time (see
@@ -56,18 +402,22 @@ def apply_fault(
     """
     if kind is None:
         return values
-    if kind not in FAULT_KINDS:
+    if kind not in LEGACY_FAULT_KINDS:
         raise SensingError(f"unknown fault kind {kind!r}")
     model = model or FaultModel()
     values = np.array(values, dtype=float, copy=True)
+    seconds = np.asarray(seconds, dtype=float)
     if kind == "drift":
-        days = np.asarray(seconds, dtype=float) / 86400.0
-        return values + model.drift_per_day * days
+        config = FaultConfig(
+            kind="drift", onset_fraction=0.0, drift_c_per_day=model.drift_per_day
+        )
+        return apply_fault_config(config, values, seconds, seed, sensor_id)
     if kind == "stuck":
-        cut = int(model.stuck_after_fraction * values.size)
-        if cut < values.size:
-            values[cut:] = values[cut] if cut > 0 else values[0]
-        return values
+        # The legacy semantics freeze *at* the configured fraction; the
+        # campaign's severity scales the frozen tail, so onset maps 1:1.
+        onset = min(model.stuck_after_fraction, 1.0 - 1e-9)
+        config = FaultConfig(kind="stuck", onset_fraction=onset)
+        return apply_fault_config(config, values, seconds, seed, sensor_id)
     if kind == "noisy":
         gen = rng_mod.derive(seed, "fault-noisy", index=sensor_id)
         return values + model.noisy_sigma * gen.standard_normal(values.shape)
@@ -76,10 +426,16 @@ def apply_fault(
 
 
 def dropout_mask(
-    n_reports: int, probability: float, seed: rng_mod.SeedLike, sensor_id: int
+    n_reports: int,
+    probability: float,
+    seed: rng_mod.SeedLike,
+    sensor_id: int,
 ) -> np.ndarray:
-    """Boolean keep-mask for a ``dropout`` unit's reports."""
-    if not 0.0 <= probability <= 1.0:
-        raise SensingError("dropout probability must be in [0, 1]")
+    """Boolean keep-mask for a ``dropout`` unit's reports.
+
+    The rate is validated through :class:`FaultModel` like every other
+    fault parameter (``ConfigurationError`` when out of [0, 1]).
+    """
+    model = FaultModel(dropout_probability=probability)
     gen = rng_mod.derive(seed, "fault-dropout", index=sensor_id)
-    return gen.random(n_reports) >= probability
+    return gen.random(n_reports) >= model.dropout_probability

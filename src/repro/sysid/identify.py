@@ -23,7 +23,7 @@ from repro.contracts import check_shapes
 from repro.data.dataset import AuditoriumDataset
 from repro.data.gaps import Segment
 from repro.data.modes import Mode
-from repro.errors import IdentificationError
+from repro.errors import IdentificationError, NoUsableSegmentsError
 from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
 
 __all__ = [
@@ -101,7 +101,10 @@ def build_regression(
         phi_rows.append(phi)
         y_rows.append(y)
     if not phi_rows:
-        raise IdentificationError("no segment long enough to form a regression row")
+        raise NoUsableSegmentsError(
+            f"none of the {len(list(segments))} segments is long enough "
+            f"(order {order} needs {order + 1} ticks) to form a regression row"
+        )
     phi_all = np.vstack(phi_rows)
     y_all = np.vstack(y_rows)
     if options.fit_intercept:

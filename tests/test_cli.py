@@ -123,3 +123,79 @@ class TestJobs:
         )
         assert code == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+
+class TestRobustnessCommand:
+    def test_degradation_curve_renders(self, capsys):
+        code, out, _ = run_cli(capsys, "robustness", "--days", "7")
+        assert code == 0
+        assert "== robustness:" in out
+        assert "quarantined" in out
+        assert "max quarantined" in out
+
+    def test_default_is_paper_protocol(self):
+        from repro.cli import _build_parser
+
+        assert _build_parser().parse_args(["robustness"]).days == 98.0
+
+
+class TestPartialFailure:
+    """A raising experiment degrades the report instead of killing it."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self, tmp_path, monkeypatch):
+        """Renders must really execute for the injected failure to fire."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_report_renders_survivors_and_exits_1(self, capsys, tmp_path, monkeypatch):
+        from repro.errors import DataError
+        from repro.experiments import EXPERIMENTS
+
+        def _boom(context=None):
+            raise DataError("injected mid-report failure")
+
+        monkeypatch.setattr(EXPERIMENTS["fig9"], "run", _boom)
+        target = tmp_path / "report.txt"
+        code, _, err = run_cli(
+            capsys, "report", "--days", "7", "--jobs", "4", "--output", str(target)
+        )
+        assert code == 1
+        text = target.read_text()
+        assert "== FAILED experiments (1) ==" in text
+        assert "fig9: DataError" in text
+        assert "== table1" in text and "== fig11" in text  # survivors rendered
+        assert "fig9: DataError" in err
+
+    def test_failed_parallel_report_otherwise_matches_serial(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.errors import DataError
+        from repro.experiments import EXPERIMENTS
+
+        def _boom(context=None):
+            raise DataError("injected")
+
+        monkeypatch.setattr(EXPERIMENTS["fig9"], "run", _boom)
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-serial"))
+        code, _, _ = run_cli(capsys, "report", "--days", "7", "--output", str(serial))
+        assert code == 1
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-parallel"))
+        code, _, _ = run_cli(
+            capsys, "report", "--days", "7", "--jobs", "4", "--output", str(parallel)
+        )
+        assert code == 1
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_single_experiment_total_failure_exits_2(self, capsys, monkeypatch):
+        from repro.errors import DataError
+        from repro.experiments import EXPERIMENTS
+
+        def _boom(context=None):
+            raise DataError("injected")
+
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _boom)
+        code, _, err = run_cli(capsys, "experiment", "fig2", "--days", "7")
+        assert code == 2
+        assert "fig2: DataError" in err

@@ -14,9 +14,14 @@ ALL_ERRORS = [
     errors.SimulationError,
     errors.SensingError,
     errors.DataError,
+    errors.NoUsableSensorsError,
     errors.IdentificationError,
+    errors.NoUsableSegmentsError,
     errors.ClusteringError,
     errors.SelectionError,
+    errors.ExperimentError,
+    errors.ExperimentTimeoutError,
+    errors.WorkerCrashError,
     errors.ContractError,
 ]
 
@@ -113,3 +118,37 @@ def test_contract_error_raised():
 
     with pytest.raises(errors.ContractError):
         ensure_finite(np.array([np.nan]), "probe")
+
+
+def test_no_usable_sensors_error_raised():
+    from repro.data.screening import ScreeningReport
+
+    report = ScreeningReport(kept_ids=(), dropped={3: "stuck for 90% of the trace"})
+    with pytest.raises(errors.NoUsableSensorsError, match="stuck"):
+        report.require_survivors()
+    # Still catchable as the coarser DataError at API boundaries.
+    assert issubclass(errors.NoUsableSensorsError, errors.DataError)
+
+
+def test_no_usable_segments_error_raised():
+    from repro.sysid.identify import IdentificationOptions, build_regression
+
+    with pytest.raises(errors.NoUsableSegmentsError, match="long enough"):
+        build_regression(
+            np.zeros((5, 2)), np.zeros((5, 3)), [], IdentificationOptions(order=1)
+        )
+    assert issubclass(errors.NoUsableSegmentsError, errors.IdentificationError)
+
+
+def test_experiment_error_raised():
+    from repro.experiments.runner import resolve_ids
+
+    with pytest.raises(errors.ExperimentError):
+        resolve_ids(["not-an-experiment"])
+
+
+def test_runner_failure_markers_are_experiment_errors():
+    # Raised by the runner's isolation machinery (exercised end-to-end
+    # in test_runner.py); here we pin the taxonomy they live under.
+    assert issubclass(errors.ExperimentTimeoutError, errors.ExperimentError)
+    assert issubclass(errors.WorkerCrashError, errors.ExperimentError)

@@ -42,12 +42,13 @@ class TestRegistry:
             "fig7", "fig8", "fig9", "fig10", "fig11",
         }
         extensions = {"ext-control", "ext-occupancy", "ext-order", "ext-stability"}
-        assert set(EXPERIMENTS) == paper | extensions
+        robustness = {"robustness"}
+        assert set(EXPERIMENTS) == paper | extensions | robustness
 
     def test_every_paper_runner_returns_result(self, ctx):
         for experiment_id, module in EXPERIMENTS.items():
-            if experiment_id.startswith("ext-"):
-                continue  # extensions covered below (some are slow)
+            if experiment_id.startswith("ext-") or experiment_id == "robustness":
+                continue  # extensions/robustness covered elsewhere (some are slow)
             result = module.run(context=ctx)
             assert isinstance(result, ExperimentResult)
             assert result.experiment_id == experiment_id

@@ -1,0 +1,215 @@
+"""Tests for the fault-scenario framework (configs, kinds, campaigns)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensing.faults import (
+    FAULT_KINDS,
+    CampaignResult,
+    FaultCampaign,
+    FaultConfig,
+    SensorFault,
+    apply_campaign,
+    apply_fault_config,
+    default_campaign,
+)
+
+SEED = 1234
+
+
+def make_trace(n=960, period_s=900.0):
+    """A clean diurnal trace with its sample times."""
+    seconds = np.arange(n) * period_s
+    values = 20.0 + np.sin(2 * np.pi * seconds / 86400.0)
+    return values, seconds
+
+
+class TestFaultConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultConfig(kind="gremlins")
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("severity", 1.5),
+            ("severity", -0.1),
+            ("onset_fraction", 1.0),
+            ("dropout_rate", 2.0),
+            ("gap_fraction", -0.5),
+            ("spike_rate", 1.01),
+            ("drift_c_per_day", -1.0),
+            ("spike_amplitude_c", -1.0),
+            ("clock_skew_s_per_day", -1.0),
+            ("burst_ticks", 0),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigurationError, match=field):
+            FaultConfig(kind="drift", **{field: value})
+
+    def test_describe_mentions_kind_and_severity(self):
+        text = FaultConfig(kind="spikes", severity=0.5).describe()
+        assert "spikes" in text and "0.5" in text
+
+
+class TestApplyFaultConfig:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_deterministic(self, kind):
+        values, seconds = make_trace()
+        config = FaultConfig(kind=kind)
+        one = apply_fault_config(config, values, seconds, SEED, sensor_id=4)
+        two = apply_fault_config(config, values, seconds, SEED, sensor_id=4)
+        np.testing.assert_array_equal(one, two)
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_severity_zero_is_noop(self, kind):
+        values, seconds = make_trace()
+        config = FaultConfig(kind=kind, severity=0.0)
+        out = apply_fault_config(config, values, seconds, SEED, sensor_id=4)
+        np.testing.assert_array_equal(out, values)
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_input_never_mutated(self, kind):
+        values, seconds = make_trace()
+        before = values.copy()
+        apply_fault_config(FaultConfig(kind=kind), values, seconds, SEED, 4)
+        np.testing.assert_array_equal(values, before)
+
+    def test_stuck_freezes_tail(self):
+        values, seconds = make_trace()
+        out = apply_fault_config(
+            FaultConfig(kind="stuck", onset_fraction=0.5), values, seconds, SEED, 4
+        )
+        half = values.size // 2
+        assert np.unique(out[half:]).size == 1
+        np.testing.assert_array_equal(out[: half - 1], values[: half - 1])
+
+    def test_drift_ramps_after_onset(self):
+        values, seconds = make_trace()
+        config = FaultConfig(kind="drift", onset_fraction=0.0, drift_c_per_day=1.0)
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        days = seconds / 86400.0
+        np.testing.assert_allclose(out - values, days)
+
+    def test_dropout_bursts_lose_roughly_the_rate(self):
+        values, seconds = make_trace(n=4000)
+        config = FaultConfig(kind="dropout_bursts", dropout_rate=0.5, onset_fraction=0.0)
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        lost = np.isnan(out).mean()
+        assert 0.2 < lost < 0.8
+
+    def test_nan_gap_is_one_contiguous_block(self):
+        values, seconds = make_trace()
+        config = FaultConfig(kind="nan_gap", gap_fraction=0.3)
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        missing = np.flatnonzero(np.isnan(out))
+        assert missing.size == round(0.3 * values.size)
+        assert np.all(np.diff(missing) == 1)
+
+    def test_spikes_hit_roughly_the_rate(self):
+        values, seconds = make_trace(n=4000)
+        config = FaultConfig(kind="spikes", spike_rate=0.1, onset_fraction=0.0)
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        hit = np.abs(out - values) > 1.0
+        assert 0.05 < hit.mean() < 0.15
+
+    def test_clock_skew_replays_earlier_samples(self):
+        values, seconds = make_trace(n=2000)
+        config = FaultConfig(
+            kind="clock_skew", onset_fraction=0.0, clock_skew_s_per_day=3600.0
+        )
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        # One hour of skew per day at 15-minute sampling: the last
+        # sample reads from ~4 ticks/day earlier in the true trace.
+        assert not np.array_equal(out, values)
+        days_total = seconds[-1] / 86400.0
+        expected_shift = int(round(3600.0 * days_total / 900.0))
+        assert out[-1] == values[values.size - 1 - expected_shift]
+
+    def test_battery_death_silences_the_tail(self):
+        values, seconds = make_trace()
+        config = FaultConfig(kind="battery_death", onset_fraction=0.25, severity=1.0)
+        out = apply_fault_config(config, values, seconds, SEED, 4)
+        quarter = values.size // 4
+        assert np.isnan(out[quarter:]).all()
+        assert np.isfinite(out[: quarter - 1]).all()
+
+    def test_misaligned_inputs_rejected(self):
+        from repro.errors import SensingError
+
+        values, seconds = make_trace()
+        with pytest.raises(SensingError):
+            apply_fault_config(FaultConfig(kind="drift"), values, seconds[:-1], SEED, 4)
+
+
+class TestFaultCampaign:
+    def test_duplicate_target_rejected(self):
+        fault = SensorFault(3, FaultConfig(kind="drift"))
+        with pytest.raises(ConfigurationError, match="twice"):
+            FaultCampaign(name="dup", faults=(fault, fault))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            FaultCampaign(name="", faults=())
+
+    def test_kinds_sorted_unique(self):
+        campaign = default_campaign([1, 2, 3, 4], name="mix", seed=SEED)
+        assert campaign.kinds == tuple(sorted(set(campaign.kinds)))
+        assert len(campaign.kinds) >= 3
+
+    def test_scaled_sets_every_severity(self):
+        campaign = default_campaign([1, 2, 3], seed=SEED).scaled(0.5)
+        assert all(f.config.severity == 0.5 for f in campaign.faults)
+        with pytest.raises(ConfigurationError):
+            campaign.scaled(1.5)
+
+    def test_cache_key_tracks_configuration(self):
+        a = default_campaign([1, 2, 3], seed=SEED)
+        assert a.cache_key() == default_campaign([1, 2, 3], seed=SEED).cache_key()
+        assert a.cache_key() != a.scaled(0.5).cache_key()
+        assert a.cache_key() != default_campaign([1, 2, 3], seed=SEED + 1).cache_key()
+
+
+class TestApplyCampaign:
+    def test_injects_and_reports(self, week_dataset):
+        ids = list(week_dataset.sensor_ids)[:3]
+        campaign = default_campaign(ids, seed=SEED)
+        result = apply_campaign(week_dataset, campaign)
+        assert isinstance(result, CampaignResult)
+        assert sorted(result.applied) == sorted(ids)
+        assert result.missing == ()
+        # The original dataset is untouched; the copy is corrupted.
+        changed = [
+            sid
+            for sid in ids
+            if not np.array_equal(
+                result.dataset.temperatures[:, result.dataset.column_of(sid)],
+                week_dataset.temperatures[:, week_dataset.column_of(sid)],
+                equal_nan=True,
+            )
+        ]
+        assert changed == sorted(ids, key=ids.index)
+        for sid in week_dataset.sensor_ids:
+            if sid in ids:
+                continue
+            np.testing.assert_array_equal(
+                result.dataset.temperatures[:, result.dataset.column_of(sid)],
+                week_dataset.temperatures[:, week_dataset.column_of(sid)],
+            )
+
+    def test_missing_sensors_skipped_not_raised(self, week_dataset):
+        campaign = default_campaign([99991, 99992], seed=SEED)
+        result = apply_campaign(week_dataset, campaign)
+        assert result.missing == (99991, 99992)
+        assert not result.applied
+        assert "skipped" in result.summary()
+
+    def test_deterministic_across_calls(self, week_dataset):
+        campaign = default_campaign(list(week_dataset.sensor_ids)[:4], seed=SEED)
+        one = apply_campaign(week_dataset, campaign)
+        two = apply_campaign(week_dataset, campaign)
+        np.testing.assert_array_equal(
+            one.dataset.temperatures, two.dataset.temperatures
+        )

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.data.gaps import Segment, coverage, find_segments, mask_gaps, valid_mask
+from repro.data.gaps import (
+    Segment,
+    coverage,
+    find_segments,
+    gap_statistics,
+    mask_gaps,
+    valid_mask,
+)
 from repro.errors import DataError
 
 
@@ -80,3 +87,34 @@ class TestMaskGapsAndCoverage:
         assert coverage([Segment(0, 5), Segment(10, 15)], 20) == pytest.approx(0.5)
         assert coverage([], 10) == 0.0
         assert coverage([Segment(0, 1)], 0) == 0.0
+
+
+class TestGapStatistics:
+    def test_fragmentation_summary(self):
+        data = np.ones(20)
+        data[5:8] = np.nan  # a 3-tick gap
+        data[15] = np.nan  # a 1-tick gap
+        stats = gap_statistics(data, min_length=2)
+        assert stats.n_segments == 3
+        assert stats.n_ticks == 20
+        assert stats.coverage == pytest.approx(16 / 20)
+        assert stats.longest_segment == 7
+        assert stats.longest_gap == 3
+
+    def test_all_gaps(self):
+        stats = gap_statistics(np.full(10, np.nan))
+        assert stats.n_segments == 0
+        assert stats.coverage == 0.0
+        assert stats.longest_segment == 0
+        assert stats.longest_gap == 10
+
+    def test_nan_burst_absorbed_not_fatal(self):
+        """Injected NaN bursts fragment the trace; segmentation absorbs
+        them instead of breaking (the degraded-pipeline guarantee)."""
+        data = np.ones((100, 2))
+        data[30:45, 0] = np.nan
+        data[70:72, 1] = np.nan
+        stats = gap_statistics(data)
+        assert stats.n_segments == 3
+        assert stats.coverage == pytest.approx((30 + 25 + 28) / 100)
+        assert stats.longest_gap == 15

@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import DataError, ExperimentError
 from repro.experiments import EXPERIMENTS
-from repro.experiments.runner import resolve_ids, run_experiments
+from repro.experiments.runner import (
+    RunnerOptions,
+    resolve_ids,
+    run_experiments,
+    run_experiments_detailed,
+)
 
 #: A cheap, representative subset for parallel-equivalence checks.
 SUBSET = ["table1", "fig2", "fig3", "fig6"]
@@ -99,3 +107,158 @@ class TestRenderCache:
         monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _spy)
         run_experiments(["fig2"], days=7.0)
         assert executed
+
+
+class _FakeResult:
+    """Minimal stand-in for an ExperimentResult."""
+
+    def __init__(self, text: str):
+        self._text = text
+
+    def render(self) -> str:
+        return self._text
+
+
+class TestRunnerOptions:
+    def test_validation(self):
+        with pytest.raises(ExperimentError, match="timeout_s"):
+            RunnerOptions(timeout_s=0.0)
+        with pytest.raises(ExperimentError, match="retries"):
+            RunnerOptions(retries=-1)
+        with pytest.raises(ExperimentError, match="backoff_s"):
+            RunnerOptions(backoff_s=-0.1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_TIMEOUT_S", "12.5")
+        monkeypatch.setenv("REPRO_RUNNER_RETRIES", "3")
+        options = RunnerOptions.from_env()
+        assert options.timeout_s == 12.5
+        assert options.retries == 3
+
+    def test_from_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNNER_TIMEOUT_S", raising=False)
+        monkeypatch.delenv("REPRO_RUNNER_RETRIES", raising=False)
+        options = RunnerOptions.from_env()
+        assert options.timeout_s is None
+        assert options.retries == 1
+
+    def test_from_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_TIMEOUT_S", "soon")
+        with pytest.raises(ExperimentError, match="REPRO_RUNNER_TIMEOUT_S"):
+            RunnerOptions.from_env()
+
+
+class TestFailureIsolation:
+    """One failing experiment never takes down the batch."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self, week_output, tmp_path, monkeypatch):
+        """Isolated cache dir so renders really execute (and fail)."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_serial_repro_error_recorded_not_raised(self, monkeypatch):
+        def _boom(context=None):
+            raise DataError("injected deterministic failure")
+
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _boom)
+        report = run_experiments_detailed(["fig2", "fig3"], days=7.0)
+        assert [i for i, _ in report.results] == ["fig2"]
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.experiment_id == "fig3"
+        assert failure.error_type == "DataError"
+        assert failure.attempts == 1  # deterministic: no retry burned
+        assert "injected deterministic failure" in failure.message
+        assert "fig3" in report.render_failures()
+
+    def test_parallel_failure_leaves_others_byte_identical(self, monkeypatch):
+        ids = ["table1", "fig2", "fig3"]
+        serial = dict(run_experiments_detailed(ids, days=7.0).results)
+
+        def _boom(context=None):
+            raise DataError("injected")
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", os.environ["REPRO_CACHE_DIR"] + "-b")
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _boom)
+        report = run_experiments_detailed(ids, days=7.0, jobs=4)
+        assert [f.experiment_id for f in report.failures] == ["fig2"]
+        survived = dict(report.results)
+        assert set(survived) == {"table1", "fig3"}
+        for experiment_id, text in survived.items():
+            assert text == serial[experiment_id]
+
+    def test_worker_crash_downgraded_and_recorded(self, monkeypatch):
+        def _die(context=None):
+            os._exit(3)
+
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _die)
+        report = run_experiments_detailed(
+            ["fig2", "fig3"],
+            days=7.0,
+            jobs=2,
+            options=RunnerOptions(retries=1, backoff_s=0.01),
+        )
+        assert [i for i, _ in report.results] == ["fig2"]
+        (failure,) = report.failures
+        assert failure.experiment_id == "fig3"
+        assert failure.error_type == "WorkerCrashError"
+        assert failure.attempts > 1  # pool attempt + isolated retries
+
+    def test_transient_failure_recovers_on_retry(self, monkeypatch):
+        calls = {"n": 0}
+
+        def _flaky(context=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient glitch")
+            return _FakeResult("== fig3: recovered ==")
+
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _flaky)
+        report = run_experiments_detailed(
+            ["fig3"], days=7.0, options=RunnerOptions(retries=1, backoff_s=0.01)
+        )
+        assert report.ok
+        assert report.results == [("fig3", "== fig3: recovered ==")]
+
+    def test_retry_budget_exhausts_to_failure(self, monkeypatch):
+        def _always(context=None):
+            raise RuntimeError("still broken")
+
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _always)
+        report = run_experiments_detailed(
+            ["fig3"], days=7.0, options=RunnerOptions(retries=1, backoff_s=0.01)
+        )
+        (failure,) = report.failures
+        assert failure.error_type == "RuntimeError"
+        assert failure.attempts == 2
+
+    def test_timeout_terminates_and_records(self, monkeypatch):
+        def _hang(context=None):
+            time.sleep(60)
+
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _hang)
+        start = time.monotonic()
+        report = run_experiments_detailed(
+            ["fig3"], days=7.0, options=RunnerOptions(timeout_s=1.0, retries=0)
+        )
+        elapsed = time.monotonic() - start
+        (failure,) = report.failures
+        assert failure.error_type == "ExperimentTimeoutError"
+        assert elapsed < 30.0
+
+    def test_legacy_wrapper_raises_after_running_everything(self, monkeypatch):
+        executed = []
+        original = EXPERIMENTS["fig3"].run
+
+        def _boom(context=None):
+            raise DataError("injected")
+
+        def _spy(*args, **kwargs):
+            executed.append(True)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(EXPERIMENTS["fig2"], "run", _boom)
+        monkeypatch.setattr(EXPERIMENTS["fig3"], "run", _spy)
+        with pytest.raises(ExperimentError, match="fig2"):
+            run_experiments(["fig2", "fig3"], days=7.0)
+        assert executed  # the batch kept going past the failure

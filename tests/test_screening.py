@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.data.screening import (
+    ScreeningReport,
     ScreeningThresholds,
+    _longest_run_fraction,
     screen_sensors,
     sensor_health,
 )
-from repro.errors import DataError
+from repro.errors import DataError, NoUsableSensorsError
 
 
 def make_matrix(n_ticks=960, n_sensors=5, seed=3):
@@ -97,3 +99,77 @@ class TestScreenSensors:
         strict = ScreeningThresholds(max_noise_level=1e-9)
         report = screen_sensors(temps, [1, 2, 3, 4, 5], day, thresholds=strict)
         assert len(report.dropped) == 5
+
+    def test_spike_fault_dropped(self):
+        temps, day = make_matrix(n_sensors=3)
+        temps = temps.copy()
+        gen = np.random.default_rng(5)
+        hit = gen.random(temps.shape[0]) < 0.05
+        temps[hit, 0] += 8.0
+        report = screen_sensors(temps, [1, 2, 3], day)
+        assert 1 in report.dropped
+        assert "impulsive outliers" in report.dropped[1]
+        assert report.health[1].spike_fraction > 0.02
+
+    def test_decorrelated_sensor_dropped(self):
+        temps, day = make_matrix(n_sensors=4)
+        temps = temps.copy()
+        # An inverted diurnal cycle tracks nothing the network does —
+        # the signature of a badly skewed clock or crossed channel.
+        temps[:, 0] = 40.0 - temps[:, 0]
+        report = screen_sensors(temps, [1, 2, 3, 4], day)
+        assert 1 in report.dropped
+        assert "decorrelated" in report.dropped[1]
+        assert report.health[1].consensus_correlation < 0.0
+
+
+class TestDegradedScreening:
+    """Edge cases of the quarantine gate: empty, tiny, constant inputs."""
+
+    def test_all_sensors_bad_reports_empty_kept(self):
+        temps, day = make_matrix(n_sensors=3)
+        temps = temps.copy()
+        temps[:, :] = np.nan
+        report = screen_sensors(temps, [1, 2, 3], day)
+        assert report.kept_ids == ()
+        assert set(report.dropped) == {1, 2, 3}
+        assert report.n_kept == 0 and report.n_dropped == 3
+
+    def test_require_survivors_raises_with_inventory(self):
+        temps, day = make_matrix(n_sensors=3)
+        temps = temps.copy()
+        temps[:, :] = np.nan
+        report = screen_sensors(temps, [1, 2, 3], day)
+        with pytest.raises(NoUsableSensorsError, match="all 3 sensors"):
+            report.require_survivors()
+
+    def test_require_survivors_passes_through_survivors(self):
+        report = ScreeningReport(kept_ids=(4,))
+        assert report.require_survivors() is report
+
+    def test_single_sensor_trace_keeps_itself(self):
+        temps, day = make_matrix(n_sensors=1)
+        report = screen_sensors(temps, [7], day)
+        assert report.kept_ids == (7,)
+        # A lone sensor IS the network median: consensus stats neutral.
+        assert report.health[7].consensus_deviation < 0.1
+        assert report.health[7].consensus_correlation > 0.99
+
+    def test_longest_run_fraction_constant_series(self):
+        assert _longest_run_fraction(np.full(50, 21.5)) == 1.0
+
+    def test_longest_run_fraction_degenerate_sizes(self):
+        assert _longest_run_fraction(np.array([])) == 1.0
+        assert _longest_run_fraction(np.array([20.0])) == 1.0
+        assert _longest_run_fraction(np.full(10, np.nan)) == 1.0
+
+    def test_report_to_dict_machine_readable(self):
+        temps, day = make_matrix(n_sensors=2)
+        temps = temps.copy()
+        temps[:, 1] = np.nan
+        report = screen_sensors(temps, [1, 2], day)
+        payload = report.to_dict()
+        assert payload["kept"] == [1]
+        assert 2 in payload["dropped"]
+        assert set(payload["health"]) == {1, 2}
+        assert "spike_fraction" in payload["health"][1]

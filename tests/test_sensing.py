@@ -5,7 +5,7 @@ from datetime import datetime
 import numpy as np
 import pytest
 
-from repro.errors import SensingError
+from repro.errors import ConfigurationError, SensingError
 from repro.geometry.auditorium import Point
 from repro.geometry.layout import SensorSpec
 from repro.sensing.camera import CameraConfig, OccupancyCamera
@@ -55,7 +55,8 @@ class TestFaults:
         assert 0.05 < keep.mean() < 0.15
 
     def test_dropout_mask_validation(self):
-        with pytest.raises(SensingError):
+        # Rates are validated through FaultModel like any other config.
+        with pytest.raises(ConfigurationError):
             dropout_mask(10, 1.5, seed=1, sensor_id=1)
 
 
