@@ -1,6 +1,6 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test lint bench bench-quick bench-json report examples clean
+.PHONY: install test lint bench bench-quick bench-json report examples stream-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,13 @@ examples:
 	python examples/reduced_model_control.py --days 14 --control-days 2
 	python examples/occupancy_sensing.py --days 7
 	python examples/fault_campaign.py --days 7
+	python examples/online_service.py --days 14
+
+# Online subsystem round trip: stream a trace into a snapshot, then
+# serve demo predict-ahead requests from the restored state.
+stream-demo:
+	repro stream --days 14 --snapshot stream-demo
+	repro serve --days 14 --restore stream-demo --demo 3
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache

@@ -10,7 +10,9 @@ Subcommands::
     repro snapshot    render a temperature snapshot on the ASCII floor plan
     repro experiment  run one (or all) of the paper's tables/figures
     repro report      run every experiment and write a combined report
-    repro robustness  fault-injection severity sweep (degradation curve)
+    repro robustness  fault-injection sweeps (severity or faulted-count)
+    repro stream      replay the trace through the online pipeline
+    repro serve       answer predict-ahead requests from the online model
 
 Every subcommand accepts ``--days`` and ``--seed`` to control the
 synthetic trace; the trace is cached per configuration within a process
@@ -117,7 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "id",
         help="experiment id (table1, table2, fig2..fig11, ext-control, "
-        "ext-occupancy, ext-order, ext-stability, robustness, or 'all')",
+        "ext-occupancy, ext-order, ext-stability, ext-streaming, "
+        "robustness, robustness-count, or 'all')",
     )
 
     p = sub.add_parser("report", help="run every experiment and write a combined report")
@@ -126,15 +129,62 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write the report to this file (default: stdout)")
 
     p = sub.add_parser(
-        "robustness", help="fault-injection severity sweep (degradation curve)"
+        "robustness", help="fault-injection sweeps (severity or faulted-count)"
     )
     _add_common(p, days_default=DEFAULT_DAYS)
     p.add_argument(
         "--faulted",
         type=int,
         default=None,
-        help="wireless sensors targeted by the campaign (default 6)",
+        help="wireless sensors targeted by the campaign (default 6; severity sweep only)",
     )
+    p.add_argument(
+        "--sweep",
+        choices=("severity", "count"),
+        default="severity",
+        help="sweep fault severity (default) or the number of faulted sensors",
+    )
+
+    p = sub.add_parser(
+        "stream", help="replay the synthetic trace through the online pipeline"
+    )
+    _add_common(p)
+    p.add_argument("--order", type=int, choices=(1, 2), default=2)
+    p.add_argument(
+        "--forgetting",
+        type=float,
+        default=1.0,
+        help="RLS forgetting factor in (0, 1] (default 1.0 = infinite memory)",
+    )
+    p.add_argument(
+        "--snapshot",
+        help="save the finished pipeline under this snapshot name",
+    )
+
+    p = sub.add_parser(
+        "serve", help="answer predict-ahead requests from the online model"
+    )
+    _add_common(p)
+    p.add_argument("--order", type=int, choices=(1, 2), default=2)
+    p.add_argument(
+        "--restore",
+        help="restore the pipeline from this snapshot instead of streaming afresh",
+    )
+    p.add_argument(
+        "--demo",
+        type=int,
+        default=0,
+        metavar="N",
+        help="answer N built-in demo requests instead of reading stdin",
+    )
+    p.add_argument(
+        "--horizon",
+        type=int,
+        default=8,
+        help="prediction horizon of demo requests, ticks (default 8 = 2 h)",
+    )
+    p.add_argument("--max-queue", type=int, default=64)
+    p.add_argument("--max-batch", type=int, default=8)
 
     return parser
 
@@ -200,10 +250,10 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_cluster(args) -> int:
-    from repro.cluster import cluster_mean_temperatures, cluster_sensors
+    from repro.cluster import cluster_mean_temperatures, cluster_sensors_cached
 
     ctx = _context(args)
-    clustering = cluster_sensors(ctx.train_occupied_wireless, method=args.method, k=args.k)
+    clustering = cluster_sensors_cached(ctx.train_occupied_wireless, method=args.method, k=args.k)
     means = cluster_mean_temperatures(clustering, ctx.train_occupied_wireless)
     print(f"{args.method} similarity, k = {clustering.k} (eigengap pick)")
     for cluster in range(clustering.k):
@@ -213,7 +263,7 @@ def _cmd_cluster(args) -> int:
 
 
 def _cmd_select(args) -> int:
-    from repro.cluster import cluster_sensors
+    from repro.cluster import cluster_sensors_cached
     from repro.selection import (
         evaluate_selection,
         gp_selection,
@@ -225,7 +275,7 @@ def _cmd_select(args) -> int:
 
     ctx = _context(args)
     train, valid = ctx.train_occupied_wireless, ctx.valid_occupied_wireless
-    clustering = cluster_sensors(train, method="correlation", k=args.k)
+    clustering = cluster_sensors_cached(train, method="correlation", k=args.k)
     if args.strategy == "sms":
         selection = near_mean_selection(clustering, train, n_per_cluster=args.per_cluster)
     elif args.strategy == "srs":
@@ -327,9 +377,144 @@ def _cmd_robustness(args) -> int:
     from repro.experiments import EXPERIMENTS
     from repro.experiments.robustness import N_FAULTED
 
-    n_faulted = args.faulted if args.faulted is not None else N_FAULTED
-    result = EXPERIMENTS["robustness"].run(context=_context(args), n_faulted=n_faulted)
+    if args.sweep == "count":
+        result = EXPERIMENTS["robustness-count"].run(context=_context(args))
+    else:
+        n_faulted = args.faulted if args.faulted is not None else N_FAULTED
+        result = EXPERIMENTS["robustness"].run(
+            context=_context(args), n_faulted=n_faulted
+        )
     print(result.render())
+    return 0
+
+
+def _stream_sensor_ids(ctx) -> List[int]:
+    """The deployment-phase streamed sensors: the near-mean selection."""
+    from repro.cluster import cluster_sensors_cached
+    from repro.selection import near_mean_selection
+
+    clustering = cluster_sensors_cached(
+        ctx.train_occupied_wireless, method="correlation", k=2
+    )
+    return near_mean_selection(clustering, ctx.train_occupied_wireless).sensors()
+
+
+def _build_pipeline(args, forgetting: float = 1.0):
+    """Stream the analysis trace (selected sensors) into a fresh pipeline."""
+    from repro.streaming import OnlinePipeline, ReplaySource
+
+    ctx = _context(args)
+    stream_ds = ctx.analysis.select_sensors(_stream_sensor_ids(ctx))
+    pipeline = OnlinePipeline(
+        stream_ds.sensor_ids,
+        stream_ds.channels.n_channels,
+        order=args.order,
+        forgetting=forgetting,
+    )
+    pipeline.run(ReplaySource(stream_ds))
+    return pipeline
+
+
+def _cmd_stream(args) -> int:
+    from repro.streaming import save_snapshot
+
+    pipeline = _build_pipeline(args, forgetting=args.forgetting)
+    print(f"streamed sensors: {list(pipeline.sensor_ids)}")
+    print(pipeline.summary.describe())
+    for sid, count in sorted(pipeline.summary.quarantine_counts.items()):
+        print(f"  sensor {sid}: {count} quarantined readings")
+    if pipeline.estimator.ready:
+        model = pipeline.model()
+        print(
+            f"online model: order {model.order}, "
+            f"spectral radius {model.spectral_radius():.4f}"
+        )
+    else:
+        print("online model: underdetermined (not enough clean ticks)")
+    if args.snapshot:
+        key = save_snapshot(args.snapshot, pipeline)
+        if key is None:
+            print("cache disabled; snapshot not saved", file=sys.stderr)
+            return 1
+        print(f"snapshot {args.snapshot!r} saved ({key[:16]}...)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.streaming import (
+        PredictionService,
+        ServiceConfig,
+        build_request,
+        load_snapshot,
+    )
+
+    pipeline = None
+    if args.restore:
+        pipeline = load_snapshot(args.restore)
+        if pipeline is None:
+            print(
+                f"snapshot {args.restore!r} not found; streaming afresh",
+                file=sys.stderr,
+            )
+    if pipeline is None:
+        pipeline = _build_pipeline(args)
+    service = PredictionService(
+        pipeline, ServiceConfig(max_queue=args.max_queue, max_batch=args.max_batch)
+    )
+
+    def flush() -> None:
+        while True:
+            responses = service.drain()
+            if not responses:
+                return
+            for response in responses:
+                print(json.dumps(response.to_payload()))
+
+    if args.demo:
+        held_inputs = pipeline.estimator.last_inputs()
+        try:
+            for _ in range(args.demo):
+                request = build_request(
+                    {"horizon_ticks": args.horizon},
+                    held_inputs,
+                    service.next_request_id(),
+                    service.config.max_horizon_ticks,
+                )
+                service.submit(request)
+            flush()
+        except ReproError as exc:
+            print(f"demo request failed: {exc}", file=sys.stderr)
+            return 2
+    else:
+        held_inputs = pipeline.estimator.last_inputs()
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                request = build_request(
+                    payload,
+                    held_inputs,
+                    service.next_request_id(),
+                    service.config.max_horizon_ticks,
+                )
+                service.submit(request)
+            except (ValueError, ReproError) as exc:
+                print(json.dumps({"error": str(exc)}))
+                continue
+            if service.pending >= service.config.max_batch:
+                flush()
+        flush()
+    stats = service.stats.as_dict()
+    print(
+        f"served {stats['served']} requests in {stats['batches']} batches "
+        f"(mean latency {stats['mean_latency_s'] * 1000.0:.2f} ms)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -354,6 +539,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "report": _cmd_report,
     "robustness": _cmd_robustness,
+    "stream": _cmd_stream,
+    "serve": _cmd_serve,
 }
 
 

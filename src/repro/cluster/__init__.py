@@ -19,7 +19,12 @@ from repro.cluster.similarity import (
 from repro.cluster.laplacian import graph_laplacian, laplacian_eigensystem
 from repro.cluster.eigengap import choose_k_by_eigengap, log_eigenvalues
 from repro.cluster.kmeans import KMeansResult, kmeans
-from repro.cluster.spectral import ClusteringResult, spectral_clustering, cluster_sensors
+from repro.cluster.spectral import (
+    ClusteringResult,
+    spectral_clustering,
+    cluster_sensors,
+    cluster_sensors_cached,
+)
 from repro.cluster.baselines import kmeans_traces, single_linkage
 from repro.cluster.stability import (
     StabilityResult,
@@ -47,6 +52,7 @@ __all__ = [
     "KMeansResult",
     "spectral_clustering",
     "cluster_sensors",
+    "cluster_sensors_cached",
     "ClusteringResult",
     "kmeans_traces",
     "single_linkage",

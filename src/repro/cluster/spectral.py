@@ -31,6 +31,7 @@ __all__ = [
     "similarity_from_traces",
     "spectral_clustering",
     "cluster_sensors",
+    "cluster_sensors_cached",
 ]
 
 SIMILARITY_METHODS = ("euclidean", "correlation")
@@ -147,3 +148,55 @@ def cluster_sensors(
         eigengaps=gaps,
         weights=weights,
     )
+
+
+def cluster_sensors_cached(
+    dataset: AuditoriumDataset,
+    method: str = "correlation",
+    k: Optional[int] = None,
+    options: Optional[SimilarityOptions] = None,
+    seed: rng_mod.SeedLike = None,
+    k_max: Optional[int] = None,
+) -> ClusteringResult:
+    """:func:`cluster_sensors` behind the persistent artifact cache.
+
+    A clustering is deterministic given the temperature traces, the
+    similarity configuration and an *integer-like* seed, so it keys on
+    the trace digest plus the configuration fingerprint (and the source
+    digest, so code edits invalidate).  A live ``numpy`` ``Generator``
+    seed has hidden state the key cannot capture — those calls bypass
+    the cache entirely rather than risk serving a wrong clustering.
+    """
+    if isinstance(seed, np.random.Generator):
+        return cluster_sensors(
+            dataset, method=method, k=k, options=options, seed=seed, k_max=k_max
+        )
+    from repro.core.artifacts import (
+        array_digest,
+        artifact_key,
+        default_cache,
+        source_digest,
+    )
+
+    cache = default_cache()
+    key = artifact_key(
+        "clustering",
+        {
+            "data": array_digest(dataset.temperatures),
+            "sensors": dataset.sensor_ids,
+            "method": method,
+            "k": k,
+            "options": options,
+            "seed": seed,
+            "k_max": k_max,
+            "source": source_digest(),
+        },
+    )
+    cached = cache.load(key)
+    if isinstance(cached, ClusteringResult):
+        return cached
+    result = cluster_sensors(
+        dataset, method=method, k=k, options=options, seed=seed, k_max=k_max
+    )
+    cache.store(key, result)
+    return result

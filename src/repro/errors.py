@@ -23,6 +23,8 @@ __all__ = [
     "ExperimentTimeoutError",
     "WorkerCrashError",
     "ContractError",
+    "StreamingError",
+    "ServiceOverloadError",
 ]
 
 
@@ -95,3 +97,15 @@ class WorkerCrashError(ExperimentError):
 class ContractError(ReproError):
     """A runtime contract was violated (shape mismatch, non-finite value,
     out-of-range physical quantity) — see :mod:`repro.contracts`."""
+
+
+class StreamingError(ReproError):
+    """An online-streaming operation failed (bad tick shape, invalid
+    recursion parameters, underdetermined online model, ...)."""
+
+
+class ServiceOverloadError(StreamingError):
+    """The prediction service's bounded request queue is full.
+
+    The typed backpressure signal: callers shed or retry rather than
+    growing an unbounded backlog inside the service."""

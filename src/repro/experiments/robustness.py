@@ -40,8 +40,11 @@ from repro.sensing.faults import FaultCampaign, apply_campaign, default_campaign
 __all__ = [
     "SEVERITIES",
     "N_FAULTED",
+    "FAULT_COUNTS",
+    "COUNT_SWEEP_SEVERITY",
     "build_campaign",
     "run",
+    "run_count_sweep",
 ]
 
 #: Severity sweep of the degradation curve.
@@ -50,6 +53,13 @@ SEVERITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
 #: Wireless sensors targeted by the default campaign — enough to cycle
 #: through several distinct fault kinds without gutting the network.
 N_FAULTED = 6
+
+#: Faulted-sensor counts swept by :func:`run_count_sweep`.
+FAULT_COUNTS = (0, 2, 4, 6, 8, 10)
+
+#: Fixed severity of the count sweep — high enough that every targeted
+#: sensor is genuinely degraded, below the saturating extreme.
+COUNT_SWEEP_SEVERITY = 0.75
 
 
 def build_campaign(context: ExperimentContext, n_faulted: int = N_FAULTED) -> FaultCampaign:
@@ -90,14 +100,14 @@ def _model_survivors(
     a :class:`ReproError` subclass when the survivors cannot support a
     stage (too few sensors, no usable segments, ...).
     """
-    from repro.cluster import cluster_sensors
+    from repro.cluster import cluster_sensors_cached
     from repro.selection import evaluate_selection, near_mean_selection
     from repro.sysid.evaluation import fit_and_evaluate
 
     wireless_ids = [s for s in survivors.sensor_ids if s not in THERMOSTAT_IDS]
     wireless = survivors.select_sensors(wireless_ids)
     train_w, valid_w = wireless.split_half_days(OCCUPIED)
-    clustering = cluster_sensors(train_w, method="correlation", k=2)
+    clustering = cluster_sensors_cached(train_w, method="correlation", k=2)
     selection = near_mean_selection(clustering, train_w)
     selection_error = evaluate_selection(selection, clustering, valid_w)
 
@@ -203,6 +213,115 @@ def run(
     return ExperimentResult(
         experiment_id="robustness",
         title="Fault-injection severity sweep (degradation curve)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        extras={"curve": curve, "artifact_key": key},
+    )
+
+
+def run_count_sweep(
+    context: Optional[ExperimentContext] = None,
+    counts: Sequence[int] = FAULT_COUNTS,
+    severity: float = COUNT_SWEEP_SEVERITY,
+) -> ExperimentResult:
+    """Sweep the *number* of faulted sensors at fixed severity.
+
+    The severity sweep asks "how broken can the faulted sensors get";
+    this asks the complementary question: how *many* sensors can fault
+    before the selected-representative set destabilizes.  The headline
+    column is selection stability — Jaccard overlap of the selected
+    sensors against the fault-free selection — charted against the
+    count of concurrently faulted units.
+    """
+    ctx = resolve_context(context)
+    max_count = max(counts, default=0)
+    if max_count > len(ctx.wireless.sensor_ids):
+        raise ValueError(
+            f"cannot fault {max_count} sensors: only "
+            f"{len(ctx.wireless.sensor_ids)} wireless sensors exist"
+        )
+
+    headers = [
+        "faulted",
+        "quarantined",
+        "survivors",
+        "model RMSE (degC)",
+        "selection err (degC)",
+        "selection overlap",
+    ]
+    rows: List[List[object]] = []
+    notes: List[str] = [
+        f"severity fixed at {severity:g}; campaign cycles the fault taxonomy",
+        "overlap = Jaccard similarity of the selected sensors vs the fault-free selection",
+    ]
+    curve = {
+        "n_faulted": [],
+        "quarantined": [],
+        "survivors": [],
+        "model_rmse_c": [],
+        "selection_error_c": [],
+        "selection_overlap": [],
+    }
+
+    baseline_selection: Optional[List[int]] = None
+    for count in counts:
+        campaign = build_campaign(ctx, n_faulted=count).scaled(severity)
+        result = apply_campaign(ctx.analysis, campaign)
+        report = _screen(result.dataset)
+        survivors = result.dataset.select_sensors(report.kept_ids)
+        rmse_c: object = "n/a"
+        selection_error_c: object = "n/a"
+        overlap: object = "n/a"
+        try:
+            rmse, selection_error, selected = _model_survivors(survivors)
+            rmse_c, selection_error_c = rmse, selection_error
+            if baseline_selection is None:
+                baseline_selection = selected
+            overlap = _jaccard(selected, baseline_selection)
+        except ReproError as exc:
+            notes.append(
+                f"{count} faulted sensors degraded past modelling: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        rows.append(
+            [count, report.n_dropped, report.n_kept, rmse_c, selection_error_c, overlap]
+        )
+        curve["n_faulted"].append(int(count))
+        curve["quarantined"].append(report.n_dropped)
+        curve["survivors"].append(report.n_kept)
+        curve["model_rmse_c"].append(rmse_c if isinstance(rmse_c, float) else None)
+        curve["selection_error_c"].append(
+            selection_error_c if isinstance(selection_error_c, float) else None
+        )
+        curve["selection_overlap"].append(overlap if isinstance(overlap, float) else None)
+
+    stable = [
+        n for n, o in zip(curve["n_faulted"], curve["selection_overlap"]) if o == 1.0
+    ]
+    if stable:
+        notes.append(
+            f"selection fully stable (overlap 1.0) up to {max(stable)} faulted sensors"
+        )
+
+    key = artifact_key(
+        "robustness-count-curve",
+        {
+            "counts": tuple(int(c) for c in counts),
+            "severity": float(severity),
+            "days": ctx.days,
+            "seed": ctx.seed,
+            "source": source_digest(),
+        },
+    )
+    cache = default_cache()
+    if cache.enabled:
+        cache.store(key, curve)
+        notes.append(f"count curve stored as artifact {key[:16]}...")
+
+    return ExperimentResult(
+        experiment_id="robustness-count",
+        title="Selection stability vs number of faulted sensors",
         headers=headers,
         rows=rows,
         notes=notes,

@@ -21,6 +21,13 @@ Two layers live here:
   the campaign seed, the fault kind and the sensor id, so a campaign is
   cache-keyable by its configuration alone (see
   :meth:`FaultCampaign.cache_key`).
+* **Input faults** — the model inputs have their own failure modes:
+  the occupancy camera miscounts or freezes, and the HVAC portal logger
+  (VAV flows, lighting, ambient) drops whole records.  These are
+  described by :class:`InputFaultConfig` (kinds in
+  :data:`INPUT_FAULT_KINDS`), carried on
+  :attr:`FaultCampaign.input_faults`, and applied with the same seeded,
+  cache-keyable discipline as sensor faults.
 """
 
 from __future__ import annotations
@@ -35,14 +42,17 @@ from repro.errors import ConfigurationError, SensingError
 
 __all__ = [
     "FAULT_KINDS",
+    "INPUT_FAULT_KINDS",
     "LEGACY_FAULT_KINDS",
     "FaultConfig",
+    "InputFaultConfig",
     "FaultModel",
     "SensorFault",
     "FaultCampaign",
     "CampaignResult",
     "apply_fault",
     "apply_fault_config",
+    "apply_input_fault_config",
     "apply_campaign",
     "default_campaign",
     "dropout_mask",
@@ -58,6 +68,10 @@ FAULT_KINDS = (
     "clock_skew",
     "battery_death",
 )
+
+#: Input-channel fault kinds: failures of the occupancy camera and of
+#: the HVAC portal logger rather than of a temperature unit.
+INPUT_FAULT_KINDS = ("camera_miscount", "camera_freeze", "logger_dropout")
 
 #: Fault kinds understood by the original deployment-time injection
 #: (:func:`apply_fault`); ``noisy``/``dropout`` predate the campaign
@@ -218,6 +232,135 @@ def apply_fault_config(
 
 
 @dataclass(frozen=True)
+class InputFaultConfig:
+    """One input-channel fault mode, fully described and validated.
+
+    The occupancy camera and the HVAC portal logger fail differently
+    from temperature units:
+
+    * ``camera_miscount`` — the head-count pipeline mislabels frames:
+      a seeded subset of post-onset ticks gets an integer count error
+      (clipped at zero occupants).
+    * ``camera_freeze`` — the camera feed hangs and the count freezes
+      at its last value for the post-onset tail.
+    * ``logger_dropout`` — the portal logger loses whole records, so
+      every logger-fed channel (VAV flows, lighting, ambient) goes NaN
+      over the *same* seeded bursts — a correlated outage, unlike
+      independent per-sensor dropouts.
+
+    As with :class:`FaultConfig`, ``severity`` scales magnitudes and
+    rates linearly and every parameter is validated on construction.
+    """
+
+    #: One of :data:`INPUT_FAULT_KINDS`.
+    kind: str
+    #: Linear scale of the fault's magnitudes/extent, in [0, 1].
+    severity: float = 1.0
+    #: Fraction of the trace after which the fault can begin, in [0, 1).
+    onset_fraction: float = 0.1
+    #: ``camera_miscount``: fraction of post-onset ticks hit at severity 1.
+    miscount_rate: float = 0.3
+    #: ``camera_miscount``: largest count error at severity 1, people.
+    miscount_max_people: int = 15
+    #: ``logger_dropout``: fraction of post-onset records lost at severity 1.
+    dropout_rate: float = 0.5
+    #: ``logger_dropout``: mean burst length, ticks.
+    burst_ticks: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in INPUT_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown input fault kind {self.kind!r}; supported: {INPUT_FAULT_KINDS}"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ConfigurationError(f"severity must be in [0, 1], got {self.severity}")
+        if not 0.0 <= self.onset_fraction < 1.0:
+            raise ConfigurationError(
+                f"onset_fraction must be in [0, 1), got {self.onset_fraction}"
+            )
+        for name in ("miscount_rate", "dropout_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.miscount_max_people < 1:
+            raise ConfigurationError(
+                f"miscount_max_people must be >= 1, got {self.miscount_max_people}"
+            )
+        if self.burst_ticks < 1:
+            raise ConfigurationError(f"burst_ticks must be >= 1, got {self.burst_ticks}")
+
+    def describe(self) -> str:
+        """One-line human summary (used in campaign reports)."""
+        return f"{self.kind}(severity={self.severity:g}, onset={self.onset_fraction:g})"
+
+
+def _logger_columns(channels) -> Tuple[int, ...]:
+    """Input columns fed by the HVAC portal logger (all but occupancy)."""
+    return tuple(
+        i for i, name in enumerate(channels.names) if name != "occupancy"
+    )
+
+
+def apply_input_fault_config(
+    config: InputFaultConfig,
+    inputs: np.ndarray,
+    channels,
+    seconds: np.ndarray,
+    seed: rng_mod.SeedLike,
+) -> np.ndarray:
+    """Corrupted copy of the input matrix under ``config``.
+
+    ``inputs`` is the ``(n, m)`` model-input matrix laid out by
+    ``channels`` (:class:`repro.data.dataset.InputChannels`); lost
+    records come back as NaN.  Pure function of
+    ``(config, inputs, seconds, seed)``, like its sensor counterpart.
+    """
+    inputs = np.array(inputs, dtype=float, copy=True)
+    seconds = np.asarray(seconds, dtype=float)
+    n = inputs.shape[0]
+    if seconds.shape != (n,):
+        raise SensingError("inputs and seconds must align")
+    severity = config.severity
+    if n == 0 or severity == 0.0:
+        return inputs
+    onset = min(n, int(round(config.onset_fraction * n)))
+    kind = config.kind
+    gen = rng_mod.derive(seed, f"input-fault-{kind}", index=0)
+
+    if kind == "camera_miscount":
+        occ = channels.index_of("occupancy")
+        hit = gen.random(n) < severity * config.miscount_rate
+        hit[:onset] = False
+        max_error = max(1, int(round(severity * config.miscount_max_people)))
+        errors = gen.integers(-max_error, max_error + 1, size=n).astype(float)
+        column = inputs[:, occ]
+        column[hit] = np.clip(column[hit] + errors[hit], 0.0, None)
+        return inputs
+
+    if kind == "camera_freeze":
+        occ = channels.index_of("occupancy")
+        start = n - int(round(severity * (n - onset)))
+        if start < n:
+            column = inputs[:, occ]
+            held = column[start] if np.isfinite(column[start]) else 0.0
+            column[start:] = held
+        return inputs
+
+    # logger_dropout: whole portal records vanish, so every logger-fed
+    # channel shares the same NaN bursts.
+    columns = list(_logger_columns(channels))
+    lost_target = severity * config.dropout_rate * (n - onset)
+    n_bursts = (
+        max(1, int(round(lost_target / config.burst_ticks))) if lost_target >= 1 else 0
+    )
+    for _ in range(n_bursts):
+        start = int(gen.integers(onset, n))
+        length = 1 + int(gen.geometric(1.0 / config.burst_ticks))
+        inputs[start : min(n, start + length), columns] = np.nan
+    return inputs
+
+
+@dataclass(frozen=True)
 class SensorFault:
     """A fault bound to the sensor it corrupts."""
 
@@ -243,6 +386,8 @@ class FaultCampaign:
     name: str
     faults: Tuple[SensorFault, ...]
     seed: int = rng_mod.DEFAULT_SEED
+    #: Input-channel faults (camera, portal logger) riding the campaign.
+    input_faults: Tuple[InputFaultConfig, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -252,11 +397,21 @@ class FaultCampaign:
             raise ConfigurationError(
                 f"campaign {self.name!r} targets a sensor twice: {sorted(targeted)}"
             )
+        input_kinds = [f.kind for f in self.input_faults]
+        if len(set(input_kinds)) != len(input_kinds):
+            raise ConfigurationError(
+                f"campaign {self.name!r} repeats an input fault kind: {sorted(input_kinds)}"
+            )
 
     @property
     def kinds(self) -> Tuple[str, ...]:
-        """Distinct fault kinds in the campaign, sorted."""
+        """Distinct sensor fault kinds in the campaign, sorted."""
         return tuple(sorted({f.config.kind for f in self.faults}))
+
+    @property
+    def input_kinds(self) -> Tuple[str, ...]:
+        """Distinct input-channel fault kinds in the campaign, sorted."""
+        return tuple(sorted({f.kind for f in self.input_faults}))
 
     def scaled(self, severity: float) -> "FaultCampaign":
         """Copy with every fault's severity set to ``severity``."""
@@ -266,7 +421,10 @@ class FaultCampaign:
             SensorFault(f.sensor_id, replace(f.config, severity=severity))
             for f in self.faults
         )
-        return replace(self, faults=faults)
+        input_faults = tuple(
+            replace(f, severity=severity) for f in self.input_faults
+        )
+        return replace(self, faults=faults, input_faults=input_faults)
 
     def cache_key(self) -> str:
         """Stable content key over every campaign field."""
@@ -286,12 +444,16 @@ class CampaignResult:
     applied: Dict[int, str] = field(default_factory=dict)
     #: Faulted sensor ids that were not present in the dataset.
     missing: Tuple[int, ...] = ()
+    #: input fault kind -> one-line description of what was applied.
+    input_applied: Dict[str, str] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable multi-line account of the injection."""
         lines = [f"campaign {self.campaign.name!r}: {len(self.applied)} sensors faulted"]
         for sid in sorted(self.applied):
             lines.append(f"  sensor {sid}: {self.applied[sid]}")
+        for kind in sorted(self.input_applied):
+            lines.append(f"  inputs: {self.input_applied[kind]}")
         if self.missing:
             lines.append(f"  not in dataset (skipped): {list(self.missing)}")
         return "\n".join(lines)
@@ -301,8 +463,9 @@ def apply_campaign(dataset, campaign: FaultCampaign) -> CampaignResult:
     """Inject every fault of ``campaign`` into a copy of ``dataset``.
 
     ``dataset`` is an :class:`repro.data.dataset.AuditoriumDataset`;
-    only temperature columns are touched.  Faulted sensors missing from
-    the dataset are skipped and reported in
+    temperature columns take the per-sensor faults and the input matrix
+    takes :attr:`FaultCampaign.input_faults`.  Faulted sensors missing
+    from the dataset are skipped and reported in
     :attr:`CampaignResult.missing` rather than raising, so one campaign
     definition works across the full and screened analysis sets.
     """
@@ -319,9 +482,20 @@ def apply_campaign(dataset, campaign: FaultCampaign) -> CampaignResult:
             fault.config, temps[:, col], seconds, campaign.seed, fault.sensor_id
         )
         applied[fault.sensor_id] = fault.config.describe()
-    corrupted = replace(dataset, temperatures=temps)
+    inputs = dataset.inputs
+    input_applied: Dict[str, str] = {}
+    for input_fault in campaign.input_faults:
+        inputs = apply_input_fault_config(
+            input_fault, inputs, dataset.channels, seconds, campaign.seed
+        )
+        input_applied[input_fault.kind] = input_fault.describe()
+    corrupted = replace(dataset, temperatures=temps, inputs=inputs)
     return CampaignResult(
-        dataset=corrupted, campaign=campaign, applied=applied, missing=tuple(missing)
+        dataset=corrupted,
+        campaign=campaign,
+        applied=applied,
+        missing=tuple(missing),
+        input_applied=input_applied,
     )
 
 

@@ -1,0 +1,72 @@
+"""Online streaming subsystem: the deployment phase, live.
+
+The batch pipeline (screen → cluster → select → identify) runs on a
+recorded dataset; this package runs the same mathematics against a tick
+stream:
+
+* :mod:`repro.streaming.ingest` — replay a dataset (or CSV) as
+  timestamped ticks and gate each reading for physical plausibility.
+* :mod:`repro.streaming.rls` — recursive least squares maintaining the
+  Eq. 1 / Eq. 2 parameter vectors incrementally; on a static stream the
+  final weights match the batch fit to numerical precision.
+* :mod:`repro.streaming.drift` — CUSUM innovation monitoring with a
+  provable detection-delay bound, plus a cluster-consistency check that
+  recommends re-clustering when the training-phase structure decays.
+* :mod:`repro.streaming.pipeline` — the composed gate → estimator →
+  monitors object with snapshot-friendly state.
+* :mod:`repro.streaming.service` — a bounded-queue, micro-batching
+  predict-ahead service (the ``repro serve`` backend).
+* :mod:`repro.streaming.state` — snapshot/restore of a live pipeline
+  through the artifact cache.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.drift import (
+    ClusterConsistencyMonitor,
+    CusumDriftDetector,
+    DriftConfig,
+)
+from repro.streaming.ingest import (
+    GatedTick,
+    GateThresholds,
+    ReplaySource,
+    StreamTick,
+    TickGate,
+)
+from repro.streaming.pipeline import OnlinePipeline, StreamSummary, TickRecord
+from repro.streaming.rls import OnlineModelEstimator, RecursiveLeastSquares
+from repro.streaming.service import (
+    PredictionRequest,
+    PredictionResponse,
+    PredictionService,
+    ServiceConfig,
+    ServiceStats,
+    build_request,
+)
+from repro.streaming.state import load_snapshot, save_snapshot, snapshot_key
+
+__all__ = [
+    "StreamTick",
+    "ReplaySource",
+    "GateThresholds",
+    "GatedTick",
+    "TickGate",
+    "RecursiveLeastSquares",
+    "OnlineModelEstimator",
+    "DriftConfig",
+    "CusumDriftDetector",
+    "ClusterConsistencyMonitor",
+    "OnlinePipeline",
+    "StreamSummary",
+    "TickRecord",
+    "ServiceConfig",
+    "PredictionRequest",
+    "PredictionResponse",
+    "PredictionService",
+    "ServiceStats",
+    "build_request",
+    "snapshot_key",
+    "save_snapshot",
+    "load_snapshot",
+]

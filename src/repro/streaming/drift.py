@@ -1,0 +1,256 @@
+"""Online drift detection for the deployed thermal model.
+
+Two monitors guard the deployment phase:
+
+* :class:`CusumDriftDetector` — a one-sided CUSUM over the model's
+  one-step innovation magnitude.  It self-calibrates (mean, sigma) over
+  a warmup window, then accumulates standardized exceedance
+  ``S ← max(0, S + z − slack)`` and fires when ``S`` crosses
+  ``threshold``.  For a sustained shift of ``δ`` standard deviations
+  the worst-case detection delay is ``ceil(threshold / (δ − slack))``
+  ticks (:meth:`DriftConfig.delay_bound`), the bound the tests and the
+  ``ext_streaming`` experiment assert against.
+* :class:`ClusterConsistencyMonitor` — the structural check: during
+  evaluation replays (where all sensors are still observable) it tracks
+  how far each selected sensor diverges from its cluster's mean trace.
+  When the windowed divergence exceeds its limit, the training-phase
+  clustering no longer represents the field and the monitor recommends
+  re-clustering — the failure mode Hoque et al. (arXiv:1903.06123)
+  warn about when occupancy-driven dynamics shift.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StreamingError
+
+__all__ = [
+    "DriftConfig",
+    "CusumDriftDetector",
+    "ClusterConsistencyMonitor",
+]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """CUSUM calibration and firing thresholds.
+
+    Defaults suit the 15-minute assembly cadence: two days of warmup
+    (192 ticks) to calibrate the innovation statistics, ``slack`` of
+    half a standard deviation to absorb calibration noise, and a firing
+    threshold of 8 accumulated standardized exceedances.
+    """
+
+    #: Ticks used to calibrate the innovation mean and sigma.
+    warmup_ticks: int = 192
+    #: Accumulated standardized exceedance at which the detector fires.
+    threshold: float = 8.0
+    #: Per-tick allowance subtracted before accumulating, in sigmas.
+    slack: float = 0.5
+    #: Floor on the calibrated sigma (guards constant warmup windows).
+    min_sigma: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.warmup_ticks < 2:
+            raise StreamingError("warmup_ticks must be at least 2")
+        if self.threshold <= 0 or self.slack < 0:
+            raise StreamingError("threshold must be positive and slack non-negative")
+        if self.min_sigma <= 0:
+            raise StreamingError("min_sigma must be positive")
+
+    def delay_bound(self, shift_sigmas: float) -> int:
+        """Worst-case detection delay for a sustained ``shift_sigmas`` shift.
+
+        A step change lifting the standardized innovation to ``δ`` makes
+        ``S`` grow by at least ``δ − slack`` per tick, so the detector
+        fires within ``ceil(threshold / (δ − slack))`` ticks of onset.
+        Only defined for shifts the detector can see (``δ > slack``).
+        """
+        if shift_sigmas <= self.slack:
+            raise StreamingError(
+                f"shift of {shift_sigmas:g} sigmas is within the slack ({self.slack:g}); "
+                "no finite delay bound exists"
+            )
+        return int(math.ceil(self.threshold / (shift_sigmas - self.slack)))
+
+
+class CusumDriftDetector:
+    """One-sided CUSUM over a scalar health signal (innovation RMS).
+
+    Feed it one value per model update via :meth:`update`; it calibrates
+    itself over the first ``warmup_ticks`` values (Welford running
+    moments), then watches for a sustained upward shift.  After firing
+    it keeps accumulating, so callers can both alarm once and inspect
+    the trajectory.
+    """
+
+    def __init__(self, config: Optional[DriftConfig] = None) -> None:
+        """Fresh, uncalibrated detector."""
+        self.config = config or DriftConfig()
+        self.n_seen = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.statistic = 0.0
+        self.fired = False
+        #: Tick ordinal (counting updates) at which the alarm first fired.
+        self.fired_at: Optional[int] = None
+
+    @property
+    def calibrated(self) -> bool:
+        """Whether the warmup window is complete."""
+        return self.n_seen >= self.config.warmup_ticks
+
+    @property
+    def mean(self) -> float:
+        """Calibrated innovation mean (running estimate during warmup)."""
+        return self._mean
+
+    @property
+    def sigma(self) -> float:
+        """Calibrated innovation standard deviation (floored).
+
+        Only warmup values feed ``_m2``, so the divisor must stop at the
+        warmup length too — dividing by the ever-growing ``n_seen``
+        would shrink sigma as the stream runs and manufacture false
+        alarms out of perfectly calibrated data.
+        """
+        n = min(self.n_seen, self.config.warmup_ticks)
+        if n < 2:
+            return self.config.min_sigma
+        return max(math.sqrt(self._m2 / (n - 1)), self.config.min_sigma)
+
+    def update(self, value: float) -> bool:
+        """Absorb one health value; True when the alarm is (newly) firing.
+
+        During warmup the value only feeds calibration.  Afterwards the
+        calibrated moments are frozen and the standardized exceedance
+        accumulates.
+        """
+        value = float(value)
+        if not math.isfinite(value):
+            raise StreamingError("drift detector received a non-finite value")
+        self.n_seen += 1
+        if self.n_seen <= self.config.warmup_ticks:
+            delta = value - self._mean
+            self._mean += delta / self.n_seen
+            self._m2 += delta * (value - self._mean)
+            return False
+        z = (value - self._mean) / self.sigma
+        self.statistic = max(0.0, self.statistic + z - self.config.slack)
+        if self.statistic > self.config.threshold and not self.fired:
+            self.fired = True
+            self.fired_at = self.n_seen
+        return self.fired
+
+    def reset_alarm(self) -> None:
+        """Clear the alarm and statistic, keeping the calibration."""
+        self.statistic = 0.0
+        self.fired = False
+        self.fired_at = None
+
+
+class ClusterConsistencyMonitor:
+    """Watches selected sensors against their cluster means.
+
+    The training phase justified keeping only the selected sensors by
+    showing each tracks its cluster's mean trace; this monitor measures
+    that justification continuously.  ``update`` takes a full
+    temperature row (evaluation replays still carry every sensor) and
+    maintains a rolling window of ``|T_selected − cluster_mean|`` per
+    cluster; :attr:`recommend_recluster` turns True once any cluster's
+    windowed divergence exceeds ``max_divergence_c``.
+    """
+
+    def __init__(
+        self,
+        cluster_columns: Dict[int, Sequence[int]],
+        selected_columns: Dict[int, int],
+        window_ticks: int = 96,
+        max_divergence_c: float = 0.75,
+    ) -> None:
+        """Monitor ``selected_columns[c]`` against columns ``cluster_columns[c]``."""
+        if set(selected_columns) - set(cluster_columns):
+            raise StreamingError("every selected column needs its cluster's columns")
+        if window_ticks < 1:
+            raise StreamingError("window_ticks must be positive")
+        if max_divergence_c <= 0:
+            raise StreamingError("max_divergence_c must be positive")
+        self.cluster_columns = {
+            int(c): tuple(int(i) for i in cols) for c, cols in cluster_columns.items()
+        }
+        self.selected_columns = {int(c): int(i) for c, i in selected_columns.items()}
+        self.window_ticks = int(window_ticks)
+        self.max_divergence_c = float(max_divergence_c)
+        self._windows: Dict[int, Deque[float]] = {
+            c: deque(maxlen=self.window_ticks) for c in self.selected_columns
+        }
+
+    @classmethod
+    def from_selection(
+        cls,
+        clustering,
+        selection,
+        sensor_ids: Sequence[int],
+        window_ticks: int = 96,
+        max_divergence_c: float = 0.75,
+    ) -> "ClusterConsistencyMonitor":
+        """Build the monitor from clustering + selection results.
+
+        ``sensor_ids`` is the streamed column order (the replayed
+        dataset's), which may be a superset of the clustered sensors —
+        only clustered sensors present in the stream are monitored.
+        """
+        position = {int(s): i for i, s in enumerate(sensor_ids)}
+        cluster_columns: Dict[int, Tuple[int, ...]] = {}
+        selected_columns: Dict[int, int] = {}
+        for cluster in range(clustering.k):
+            members = [s for s in clustering.members(cluster) if s in position]
+            reps = [
+                s for s in selection.representatives_of(cluster) if s in position
+            ]
+            if not members or not reps:
+                continue
+            cluster_columns[cluster] = tuple(position[s] for s in members)
+            selected_columns[cluster] = position[reps[0]]
+        if not selected_columns:
+            raise StreamingError("no clustered sensor is present in the stream")
+        return cls(
+            cluster_columns,
+            selected_columns,
+            window_ticks=window_ticks,
+            max_divergence_c=max_divergence_c,
+        )
+
+    def update(self, temperatures: np.ndarray) -> None:
+        """Absorb one full temperature row (NaN-tolerant)."""
+        temps = np.asarray(temperatures, dtype=float)
+        for cluster, selected in self.selected_columns.items():
+            selected_value = temps[selected]
+            members = temps[list(self.cluster_columns[cluster])]
+            members = members[np.isfinite(members)]
+            if not math.isfinite(selected_value) or members.size == 0:
+                continue  # a gap carries no structural evidence
+            self._windows[cluster].append(
+                abs(selected_value - float(members.mean()))
+            )
+
+    def divergence(self) -> Dict[int, float]:
+        """Windowed mean divergence per cluster, °C (NaN until data)."""
+        return {
+            c: (float(np.mean(w)) if w else float("nan"))
+            for c, w in self._windows.items()
+        }
+
+    @property
+    def recommend_recluster(self) -> bool:
+        """True when any cluster's divergence exceeds the limit."""
+        return any(
+            w and float(np.mean(w)) > self.max_divergence_c
+            for w in self._windows.values()
+        )

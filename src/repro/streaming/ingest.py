@@ -1,0 +1,227 @@
+"""Stream ingestion: tick sources and the per-tick plausibility gate.
+
+The batch pipeline screens sensors *after* the fact
+(:mod:`repro.data.screening` quarantines whole units from a complete
+trace).  The online pipeline cannot wait for the trace to finish, so the
+gate here makes the same call one tick at a time: a reading that is
+non-finite, physically implausible, or an impulsive jump from the
+sensor's previous accepted value is quarantined before it can reach the
+recursive estimator.
+
+Sources are plain iterables of :class:`StreamTick`.
+:class:`ReplaySource` replays an assembled
+:class:`repro.data.dataset.AuditoriumDataset` (synthetic or loaded from
+CSV via :meth:`ReplaySource.from_csv`) in timestamp order, which is how
+the experiments and the ``repro stream`` / ``repro serve`` CLI drive the
+online layer; a live deployment would substitute any iterator yielding
+the same tick type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.dataset import AuditoriumDataset, InputChannels
+from repro.errors import StreamingError
+
+__all__ = [
+    "StreamTick",
+    "ReplaySource",
+    "GateThresholds",
+    "GatedTick",
+    "TickGate",
+]
+
+
+@dataclass(frozen=True)
+class StreamTick:
+    """One timestamped sample of the whole deployment.
+
+    ``temperatures`` holds one reading per streamed sensor (NaN when the
+    sensor sent nothing this tick); ``inputs`` is the paper's input
+    vector ``u(k)`` = [VAV flows, occupancy, lighting, ambient].
+    """
+
+    index: int
+    seconds: float
+    temperatures: np.ndarray
+    inputs: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "temperatures", np.asarray(self.temperatures, dtype=float)
+        )
+        object.__setattr__(self, "inputs", np.asarray(self.inputs, dtype=float))
+        if self.temperatures.ndim != 1 or self.inputs.ndim != 1:
+            raise StreamingError("tick temperatures and inputs must be 1-D vectors")
+
+
+class ReplaySource:
+    """Replays a dataset as a timestamped tick stream.
+
+    Iterating yields one :class:`StreamTick` per axis row, in order —
+    the deployment-phase view of data the batch pipeline consumed as one
+    matrix.  ``start``/``stop`` bound the replayed half-open tick range.
+    """
+
+    def __init__(
+        self,
+        dataset: AuditoriumDataset,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> None:
+        """Bind the source to ``dataset`` rows ``start:stop``."""
+        stop = dataset.n_samples if stop is None else int(stop)
+        if not 0 <= start <= stop <= dataset.n_samples:
+            raise StreamingError(
+                f"replay range [{start}, {stop}) outside dataset of {dataset.n_samples} ticks"
+            )
+        self.dataset = dataset
+        self.start = int(start)
+        self.stop = stop
+        self._seconds = dataset.axis.seconds()
+
+    @classmethod
+    def from_csv(cls, stem: Union[str, Path]) -> "ReplaySource":
+        """Replay a dataset saved by :func:`repro.data.io.save_dataset_csv`."""
+        from repro.data.io import load_dataset_csv
+
+        return cls(load_dataset_csv(stem))
+
+    @property
+    def sensor_ids(self) -> Tuple[int, ...]:
+        """Streamed sensor ids, in column order."""
+        return self.dataset.sensor_ids
+
+    @property
+    def channels(self) -> InputChannels:
+        """Input-channel layout of the replayed ticks."""
+        return self.dataset.channels
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __iter__(self) -> Iterator[StreamTick]:
+        temps = self.dataset.temperatures
+        inputs = self.dataset.inputs
+        for k in range(self.start, self.stop):
+            yield StreamTick(
+                index=k,
+                seconds=float(self._seconds[k]),
+                temperatures=temps[k],
+                inputs=inputs[k],
+            )
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """Per-tick plausibility limits of the ingestion gate.
+
+    The limits mirror the batch screening layer's intent but act on
+    single readings: anything outside the plausible indoor range or
+    jumping implausibly fast from the sensor's previous accepted value
+    is quarantined.  ``max_step_c`` only applies between *consecutive*
+    accepted ticks — after a gap the comparison value is stale, so the
+    first reading back is judged on range alone.
+    """
+
+    #: Plausible reading range for an indoor unit, °C.
+    min_plausible_c: float = -30.0
+    max_plausible_c: float = 60.0
+    #: Largest credible change between consecutive ticks, °C.
+    max_step_c: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.min_plausible_c < self.max_plausible_c:
+            raise StreamingError("need min_plausible_c < max_plausible_c")
+        if self.max_step_c <= 0:
+            raise StreamingError("max_step_c must be positive")
+
+
+@dataclass(frozen=True)
+class GatedTick:
+    """A tick annotated with the gate's verdicts.
+
+    ``sensor_ok[i]`` is True when sensor column ``i`` reported a finite,
+    plausible value this tick; ``quarantined`` maps offending sensor ids
+    to machine-readable reasons (same spirit as
+    :class:`repro.data.screening.ScreeningReport`).
+    """
+
+    tick: StreamTick
+    sensor_ok: np.ndarray
+    inputs_ok: bool
+    quarantined: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """Whether every sensor and every input passed the gate."""
+        return bool(self.inputs_ok and self.sensor_ok.all())
+
+
+class TickGate:
+    """Stateful per-tick plausibility gate.
+
+    Holds the last accepted finite reading (and its tick index) per
+    sensor so step checks compare against genuinely adjacent data.  The
+    gate never mutates the tick — downstream consumers decide what a
+    quarantined reading means for them (the recursive estimator treats
+    it like a batch-pipeline gap).
+    """
+
+    def __init__(
+        self,
+        sensor_ids: Tuple[int, ...],
+        thresholds: Optional[GateThresholds] = None,
+    ) -> None:
+        """Gate for the given sensor column order."""
+        self.sensor_ids = tuple(int(s) for s in sensor_ids)
+        self.thresholds = thresholds or GateThresholds()
+        self._last_value = np.full(len(self.sensor_ids), np.nan)
+        self._last_index = np.full(len(self.sensor_ids), -(10**9), dtype=int)
+        self.n_ticks = 0
+        self.n_quarantined_readings = 0
+
+    def reset(self) -> None:
+        """Forget all per-sensor history (e.g. after a restore)."""
+        self._last_value[:] = np.nan
+        self._last_index[:] = -(10**9)
+
+    def check(self, tick: StreamTick) -> GatedTick:
+        """Gate one tick, updating per-sensor acceptance state."""
+        temps = tick.temperatures
+        if temps.shape != (len(self.sensor_ids),):
+            raise StreamingError(
+                f"tick carries {temps.shape[0] if temps.ndim else 0} readings "
+                f"for {len(self.sensor_ids)} gated sensors"
+            )
+        limits = self.thresholds
+        ok = np.isfinite(temps)
+        quarantined: Dict[int, str] = {}
+        for col, sid in enumerate(self.sensor_ids):
+            if not ok[col]:
+                continue  # a missing reading is a gap, not a quarantine
+            value = float(temps[col])
+            reason = None
+            if not limits.min_plausible_c <= value <= limits.max_plausible_c:
+                reason = f"reading {value:.1f} degC outside plausible range"
+            elif self._last_index[col] == tick.index - 1:
+                step = abs(value - self._last_value[col])
+                if step > limits.max_step_c:
+                    reason = f"implausible step of {step:.1f} degC in one tick"
+            if reason is not None:
+                ok[col] = False
+                quarantined[sid] = reason
+                self.n_quarantined_readings += 1
+            else:
+                self._last_value[col] = value
+                self._last_index[col] = tick.index
+        inputs_ok = bool(np.all(np.isfinite(tick.inputs)))
+        self.n_ticks += 1
+        return GatedTick(
+            tick=tick, sensor_ok=ok, inputs_ok=inputs_ok, quarantined=quarantined
+        )

@@ -1,0 +1,255 @@
+"""Recursive least squares: the online form of the paper's Eqs. 3–4.
+
+The batch pipeline solves ``min Σ ||Phi W − Y||²`` once, over the whole
+training trace (:func:`repro.sysid.identify.solve_least_squares`).  The
+deployment phase cannot refit from scratch on every reading, so this
+module maintains the same parameter matrices *recursively*: each tick
+contributes one rank-one update to the inverse Gram matrix, the classic
+RLS recursion with an exponential forgetting factor ``λ``.
+
+With ``λ = 1`` the recursion computes exactly the ridge solution
+``(ε I + ΦᵀΦ)⁻¹ ΦᵀY`` where ``ε`` is the ``regularization`` prior —
+i.e. on a static stream it converges to the batch
+:func:`repro.sysid.identify.solve_least_squares` fit at the matching
+ridge, which :mod:`tests.test_streaming` asserts to 1e-6 relative
+error (and to the plain unregularized fit within the slack the
+training Gram's conditioning allows).  With ``λ < 1`` old ticks decay with effective memory
+``1 / (1 − λ)`` samples, which is what keeps the model fresh once the
+building's dynamics drift.
+
+:class:`OnlineModelEstimator` wraps the raw recursion with the paper's
+regressor layout (Eq. 1 / Eq. 2, shared with
+:func:`repro.sysid.identify.build_regression`) and the same gap
+semantics as the batch segmentation: a tick that fails the ingestion
+gate resets the lag buffer exactly like a trace gap starts a new
+segment, so the set of regression rows consumed online is identical to
+the batch stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StreamingError
+from repro.streaming.ingest import GatedTick
+from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
+
+__all__ = [
+    "RecursiveLeastSquares",
+    "OnlineModelEstimator",
+]
+
+
+class RecursiveLeastSquares:
+    """Multi-output RLS with forgetting factor.
+
+    Maintains ``W`` (``(q, p)``, the stacked parameter matrix) and the
+    inverse Gram ``P = (λ-weighted ΦᵀΦ + reg·I)⁻¹`` through rank-one
+    updates; each :meth:`update` costs ``O(q² + qp)``.
+    """
+
+    def __init__(
+        self,
+        n_regressors: int,
+        n_outputs: int,
+        forgetting: float = 1.0,
+        regularization: float = 1e-8,
+    ) -> None:
+        """Start from the zero model with prior precision ``regularization``."""
+        if n_regressors < 1 or n_outputs < 1:
+            raise StreamingError("need at least one regressor and one output")
+        if not 0.0 < forgetting <= 1.0:
+            raise StreamingError(f"forgetting must be in (0, 1], got {forgetting}")
+        if regularization <= 0.0:
+            raise StreamingError("regularization must be positive")
+        self.n_regressors = int(n_regressors)
+        self.n_outputs = int(n_outputs)
+        self.forgetting = float(forgetting)
+        self.regularization = float(regularization)
+        self._weights = np.zeros((self.n_regressors, self.n_outputs))
+        self._covariance = np.eye(self.n_regressors) / self.regularization
+        self.n_updates = 0
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current parameter matrix ``W``, shape ``(q, p)`` (a copy)."""
+        return self._weights.copy()
+
+    def predict(self, phi: np.ndarray) -> np.ndarray:
+        """Model output ``Wᵀ φ`` for one regressor vector."""
+        phi = np.asarray(phi, dtype=float)
+        if phi.shape != (self.n_regressors,):
+            raise StreamingError(
+                f"phi has shape {phi.shape}, expected ({self.n_regressors},)"
+            )
+        return self._weights.T @ phi
+
+    def update(self, phi: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Absorb one ``(φ, y)`` pair; returns the prior innovation.
+
+        The innovation ``y − Wᵀφ`` is computed *before* the update —
+        it is the one-step prediction error of the current model, the
+        quantity the drift detector watches.
+        """
+        phi = np.asarray(phi, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if phi.shape != (self.n_regressors,) or y.shape != (self.n_outputs,):
+            raise StreamingError(
+                f"update shapes {phi.shape}/{y.shape} do not match "
+                f"({self.n_regressors},)/({self.n_outputs},)"
+            )
+        if not (np.all(np.isfinite(phi)) and np.all(np.isfinite(y))):
+            raise StreamingError("RLS update received non-finite values")
+        innovation = y - self._weights.T @ phi
+        p_phi = self._covariance @ phi
+        denom = self.forgetting + float(phi @ p_phi)
+        gain = p_phi / denom
+        self._weights += np.outer(gain, innovation)
+        self._covariance = (self._covariance - np.outer(gain, p_phi)) / self.forgetting
+        # Rank-one updates slowly break symmetry in floating point;
+        # re-symmetrizing keeps thousands of ticks numerically faithful
+        # to the batch normal equations.
+        self._covariance = 0.5 * (self._covariance + self._covariance.T)
+        self.n_updates += 1
+        return innovation
+
+
+class OnlineModelEstimator:
+    """Maintains the paper's Eq. 1 / Eq. 2 parameters from a tick stream.
+
+    The regressor layout matches
+    :func:`repro.sysid.identify.build_regression` row for row:
+
+    * order 1:  ``φ(k) = [T(k), u(k)]``, target ``T(k+1)``
+    * order 2:  ``φ(k) = [T(k), ΔT(k), u(k)]``, target ``T(k+1)``
+
+    A tick on which any sensor or input fails the gate resets the lag
+    buffer — the online equivalent of a gap starting a new segment — so
+    on a static stream the estimator sees exactly the rows the batch
+    regression stacks, and its parameters converge to the batch fit.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int,
+        n_inputs: int,
+        order: int = 2,
+        forgetting: float = 1.0,
+        regularization: float = 1e-8,
+        fit_intercept: bool = False,
+    ) -> None:
+        """Estimator for ``n_sensors`` outputs driven by ``n_inputs`` channels."""
+        if order not in (1, 2):
+            raise StreamingError("order must be 1 or 2")
+        if n_sensors < 1 or n_inputs < 1:
+            raise StreamingError("need at least one sensor and one input channel")
+        self.n_sensors = int(n_sensors)
+        self.n_inputs = int(n_inputs)
+        self.order = int(order)
+        self.fit_intercept = bool(fit_intercept)
+        q = order * self.n_sensors + self.n_inputs + (1 if fit_intercept else 0)
+        self.rls = RecursiveLeastSquares(
+            n_regressors=q,
+            n_outputs=self.n_sensors,
+            forgetting=forgetting,
+            regularization=regularization,
+        )
+        #: Rolling buffer of the most recent *consecutive valid* ticks,
+        #: oldest first; at most ``order + 1`` entries are retained.
+        self._buffer: List[Tuple[np.ndarray, np.ndarray]] = []
+
+    @property
+    def n_updates(self) -> int:
+        """Number of regression rows absorbed so far."""
+        return self.rls.n_updates
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough rows arrived for the parameters to be determined."""
+        return self.rls.n_updates >= self.rls.n_regressors
+
+    def reset_history(self) -> None:
+        """Drop the lag buffer (start a new segment)."""
+        self._buffer.clear()
+
+    def history(self) -> Optional[np.ndarray]:
+        """The trailing ``order`` temperature rows, oldest first.
+
+        This is the seed :meth:`repro.sysid.models.ThermalModel.simulate`
+        needs for a predict-ahead request; ``None`` until ``order``
+        consecutive valid ticks have been buffered.
+        """
+        if len(self._buffer) < self.order:
+            return None
+        return np.vstack([t for t, _ in self._buffer[-self.order :]])
+
+    def last_inputs(self) -> Optional[np.ndarray]:
+        """The most recent valid input vector (``None`` before any)."""
+        if not self._buffer:
+            return None
+        return self._buffer[-1][1].copy()
+
+    def _phi(self) -> np.ndarray:
+        """Regressor vector for the step *into* the buffer's last tick."""
+        prev_t, prev_u = self._buffer[-2]
+        parts = [prev_t]
+        if self.order == 2:
+            prev2_t, _ = self._buffer[-3]
+            parts.append(prev_t - prev2_t)
+        parts.append(prev_u)
+        if self.fit_intercept:
+            parts.append(np.ones(1))
+        return np.concatenate(parts)
+
+    def observe(self, gated: GatedTick) -> Optional[np.ndarray]:
+        """Absorb one gated tick.
+
+        Returns the innovation vector when the tick completed a
+        regression row, ``None`` when it only extended (or reset) the
+        lag buffer.  Ticks with any quarantined sensor or invalid input
+        reset the buffer — partial rows never reach the estimator, just
+        as the batch segmentation drops rows with any NaN.
+        """
+        if not gated.clean:
+            self.reset_history()
+            return None
+        tick = gated.tick
+        if tick.temperatures.shape != (self.n_sensors,):
+            raise StreamingError(
+                f"tick has {tick.temperatures.shape[0]} sensors, expected {self.n_sensors}"
+            )
+        if tick.inputs.shape != (self.n_inputs,):
+            raise StreamingError(
+                f"tick has {tick.inputs.shape[0]} inputs, expected {self.n_inputs}"
+            )
+        self._buffer.append((tick.temperatures.copy(), tick.inputs.copy()))
+        if len(self._buffer) > self.order + 1:
+            self._buffer.pop(0)
+        if len(self._buffer) < self.order + 1:
+            return None
+        phi = self._phi()
+        return self.rls.update(phi, tick.temperatures)
+
+    def to_model(self) -> ThermalModel:
+        """The current parameters as a batch-compatible thermal model.
+
+        Unpacks ``W`` exactly like :func:`repro.sysid.identify.identify`
+        unpacks the batch solution, so the returned model plugs into
+        every downstream consumer (simulation, evaluation, control).
+        """
+        if not self.ready:
+            raise StreamingError(
+                f"model underdetermined: {self.rls.n_updates} rows for "
+                f"{self.rls.n_regressors} regressors"
+            )
+        w = self.rls.weights
+        p = self.n_sensors
+        m = self.n_inputs
+        c = w[-1] if self.fit_intercept else None
+        if self.order == 1:
+            return FirstOrderModel(A=w[:p].T, B=w[p : p + m].T, c=c)
+        return SecondOrderModel(
+            A1=w[:p].T, A2=w[p : 2 * p].T, B=w[2 * p : 2 * p + m].T, c=c
+        )

@@ -19,7 +19,7 @@ import numpy as np
 from repro.data.dataset import AuditoriumDataset
 from repro.data.modes import Mode, OCCUPIED, daily_windows
 from repro.errors import IdentificationError
-from repro.sysid.identify import IdentificationOptions, identify
+from repro.sysid.identify import IdentificationOptions, identify_cached
 from repro.sysid.metrics import per_sensor_rms, percentile, rms
 from repro.sysid.models import ThermalModel
 
@@ -152,6 +152,11 @@ def fit_and_evaluate(
     evaluation: Optional[EvaluationOptions] = None,
     keep_traces: bool = False,
 ) -> Tuple[ThermalModel, PredictionEvaluation]:
-    """Identify on ``train`` and evaluate free-run prediction on ``validate``."""
-    model = identify(train, IdentificationOptions(order=order, ridge=ridge), mode=mode)
+    """Identify on ``train`` and evaluate free-run prediction on ``validate``.
+
+    The fit reads through the persistent artifact cache
+    (:func:`repro.sysid.identify.identify_cached`), so sweeps that
+    refit the same configuration pay the least-squares solve once.
+    """
+    model = identify_cached(train, IdentificationOptions(order=order, ridge=ridge), mode=mode)
     return model, evaluate_model(model, validate, mode=mode, options=evaluation, keep_traces=keep_traces)

@@ -31,6 +31,7 @@ __all__ = [
     "build_regression",
     "solve_least_squares",
     "identify",
+    "identify_cached",
 ]
 
 
@@ -205,3 +206,50 @@ def identify(
     a2 = w[p : 2 * p].T
     b = w[2 * p : 2 * p + m].T
     return SecondOrderModel(A1=a1, A2=a2, B=b, c=c)
+
+
+def identify_cached(
+    dataset: AuditoriumDataset,
+    options: Optional[IdentificationOptions] = None,
+    mode: Optional[Mode] = None,
+    segments: Optional[Sequence[Segment]] = None,
+) -> ThermalModel:
+    """:func:`identify` behind the persistent artifact cache.
+
+    An identified model is a pure function of the training matrices,
+    the segment structure and the solver options, so it keys on the
+    :func:`repro.core.artifacts.array_digest` of the data plus the
+    fingerprint of everything else — and on the package source digest,
+    so editing any module refits instead of serving a stale model.
+    Sweeps that refit the same configuration across processes (the
+    robustness experiments, the streaming comparison) read the fit
+    straight from disk.
+    """
+    from repro.core.artifacts import (
+        array_digest,
+        artifact_key,
+        default_cache,
+        fingerprint,
+        source_digest,
+    )
+
+    options = options or IdentificationOptions()
+    cache = default_cache()
+    key = artifact_key(
+        "identified-model",
+        {
+            "data": array_digest(dataset.temperatures, dataset.inputs),
+            "sensors": dataset.sensor_ids,
+            "period": float(dataset.axis.period),
+            "options": options,
+            "mode": mode,
+            "segments": None if segments is None else fingerprint(tuple(segments)),
+            "source": source_digest(),
+        },
+    )
+    cached = cache.load(key)
+    if isinstance(cached, ThermalModel):
+        return cached
+    model = identify(dataset, options=options, mode=mode, segments=segments)
+    cache.store(key, model)
+    return model

@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.artifacts import (
     ArtifactCache,
+    array_digest,
     artifact_key,
     cache_enabled,
     cache_root,
@@ -52,6 +53,74 @@ class TestFingerprint:
             "synth-output", config, version="0.0.0-test"
         )
         assert artifact_key("synth-output", config) != artifact_key("other", config)
+
+
+class TestArrayDigest:
+    def test_stable_across_calls(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        assert array_digest(arr) == array_digest(arr.copy())
+
+    def test_sensitive_to_values_shape_and_dtype(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        base = array_digest(arr)
+        bumped = arr.copy()
+        bumped[0, 0] += 1e-12
+        assert array_digest(bumped) != base
+        assert array_digest(arr.reshape(4, 3)) != base
+        assert array_digest(arr.astype(np.float32)) != base
+
+    def test_multiple_arrays_and_order(self):
+        a, b = np.zeros(3), np.ones(3)
+        assert array_digest(a, b) != array_digest(b, a)
+        assert array_digest(a, b) != array_digest(a)
+
+    def test_non_contiguous_views_hash_like_their_copy(self):
+        arr = np.arange(20.0).reshape(4, 5)
+        view = arr[:, ::2]
+        assert array_digest(view) == array_digest(view.copy())
+
+
+class TestCachedFits:
+    """Satellite: identified models and clusterings read through the cache."""
+
+    def test_identify_cached_matches_identify(self, monkeypatch, tmp_path):
+        from tests.conftest import make_linear_dataset
+        from repro.sysid.identify import (
+            IdentificationOptions,
+            identify,
+            identify_cached,
+        )
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        dataset = make_linear_dataset(n_days=3.0, noise=0.01)
+        options = IdentificationOptions(order=2)
+        plain = identify(dataset, options)
+        first = identify_cached(dataset, options)  # populates the cache
+        second = identify_cached(dataset, options)  # reads it back
+        for model in (first, second):
+            np.testing.assert_array_equal(model.A1, plain.A1)
+            np.testing.assert_array_equal(model.A2, plain.A2)
+            np.testing.assert_array_equal(model.B, plain.B)
+        assert any(tmp_path.rglob("*.pkl"))
+
+    def test_identify_cached_keys_on_the_data(self, monkeypatch, tmp_path):
+        from tests.conftest import make_linear_dataset
+        from repro.sysid.identify import identify_cached
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = identify_cached(make_linear_dataset(n_days=3.0, noise=0.01, seed=1))
+        b = identify_cached(make_linear_dataset(n_days=3.0, noise=0.01, seed=2))
+        assert not np.array_equal(a.A1, b.A1)
+
+    def test_cluster_sensors_cached_matches_direct(self, monkeypatch, tmp_path, week_dataset):
+        from repro.cluster import cluster_sensors, cluster_sensors_cached
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        direct = cluster_sensors(week_dataset, method="correlation", k=2)
+        first = cluster_sensors_cached(week_dataset, method="correlation", k=2)
+        second = cluster_sensors_cached(week_dataset, method="correlation", k=2)
+        np.testing.assert_array_equal(first.labels, direct.labels)
+        np.testing.assert_array_equal(second.labels, direct.labels)
 
 
 class TestArtifactCache:

@@ -41,13 +41,19 @@ class TestRegistry:
             "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "fig11",
         }
-        extensions = {"ext-control", "ext-occupancy", "ext-order", "ext-stability"}
-        robustness = {"robustness"}
+        extensions = {
+            "ext-control",
+            "ext-occupancy",
+            "ext-order",
+            "ext-stability",
+            "ext-streaming",
+        }
+        robustness = {"robustness", "robustness-count"}
         assert set(EXPERIMENTS) == paper | extensions | robustness
 
     def test_every_paper_runner_returns_result(self, ctx):
         for experiment_id, module in EXPERIMENTS.items():
-            if experiment_id.startswith("ext-") or experiment_id == "robustness":
+            if experiment_id.startswith(("ext-", "robustness")):
                 continue  # extensions/robustness covered elsewhere (some are slow)
             result = module.run(context=ctx)
             assert isinstance(result, ExperimentResult)

@@ -3,15 +3,19 @@
 import numpy as np
 import pytest
 
+from repro.data.dataset import InputChannels
 from repro.errors import ConfigurationError
 from repro.sensing.faults import (
     FAULT_KINDS,
+    INPUT_FAULT_KINDS,
     CampaignResult,
     FaultCampaign,
     FaultConfig,
+    InputFaultConfig,
     SensorFault,
     apply_campaign,
     apply_fault_config,
+    apply_input_fault_config,
     default_campaign,
 )
 
@@ -23,6 +27,19 @@ def make_trace(n=960, period_s=900.0):
     seconds = np.arange(n) * period_s
     values = 20.0 + np.sin(2 * np.pi * seconds / 86400.0)
     return values, seconds
+
+
+def make_inputs(n=960, period_s=900.0, seed=3):
+    """A clean (n, m) input matrix with its channel layout and times."""
+    gen = np.random.default_rng(seed)
+    channels = InputChannels()
+    seconds = np.arange(n) * period_s
+    inputs = np.zeros((n, channels.n_channels))
+    inputs[:, 0:4] = 0.3 + 0.2 * gen.random((n, 4))
+    inputs[:, channels.index_of("occupancy")] = gen.integers(0, 60, size=n)
+    inputs[:, channels.index_of("lighting")] = gen.integers(0, 2, size=n)
+    inputs[:, channels.index_of("ambient")] = 5.0 + 10.0 * gen.random(n)
+    return inputs, channels, seconds
 
 
 class TestFaultConfig:
@@ -144,6 +161,96 @@ class TestApplyFaultConfig:
             apply_fault_config(FaultConfig(kind="drift"), values, seconds[:-1], SEED, 4)
 
 
+class TestInputFaultConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown input fault kind"):
+            InputFaultConfig(kind="poltergeist")
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("severity", 1.5),
+            ("onset_fraction", 1.0),
+            ("miscount_rate", -0.1),
+            ("miscount_max_people", 0),
+            ("dropout_rate", 2.0),
+            ("burst_ticks", 0),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ConfigurationError, match=field):
+            InputFaultConfig(kind="camera_miscount", **{field: value})
+
+    def test_describe_mentions_kind(self):
+        text = InputFaultConfig(kind="logger_dropout", severity=0.5).describe()
+        assert "logger_dropout" in text and "0.5" in text
+
+
+class TestApplyInputFaultConfig:
+    @pytest.mark.parametrize("kind", INPUT_FAULT_KINDS)
+    def test_deterministic(self, kind):
+        inputs, channels, seconds = make_inputs()
+        config = InputFaultConfig(kind=kind)
+        one = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        two = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        np.testing.assert_array_equal(one, two)
+
+    @pytest.mark.parametrize("kind", INPUT_FAULT_KINDS)
+    def test_severity_zero_is_noop(self, kind):
+        inputs, channels, seconds = make_inputs()
+        config = InputFaultConfig(kind=kind, severity=0.0)
+        out = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        np.testing.assert_array_equal(out, inputs)
+
+    @pytest.mark.parametrize("kind", INPUT_FAULT_KINDS)
+    def test_input_never_mutated(self, kind):
+        inputs, channels, seconds = make_inputs()
+        before = inputs.copy()
+        apply_input_fault_config(
+            InputFaultConfig(kind=kind), inputs, channels, seconds, SEED
+        )
+        np.testing.assert_array_equal(inputs, before)
+
+    def test_miscount_only_touches_occupancy(self):
+        inputs, channels, seconds = make_inputs()
+        config = InputFaultConfig(kind="camera_miscount", onset_fraction=0.5)
+        out = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        occ = channels.index_of("occupancy")
+        others = [i for i in range(channels.n_channels) if i != occ]
+        np.testing.assert_array_equal(out[:, others], inputs[:, others])
+        changed = out[:, occ] != inputs[:, occ]
+        assert changed.any()
+        assert not changed[: inputs.shape[0] // 2].any()  # pre-onset untouched
+        # Miscounts stay integer head counts, never negative.
+        errors = (out[:, occ] - inputs[:, occ])[changed]
+        np.testing.assert_array_equal(errors, np.round(errors))
+        assert (out[:, occ] >= 0).all()
+
+    def test_camera_freeze_holds_the_last_count(self):
+        inputs, channels, seconds = make_inputs()
+        config = InputFaultConfig(kind="camera_freeze", onset_fraction=0.25)
+        out = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        occ = channels.index_of("occupancy")
+        quarter = inputs.shape[0] // 4
+        assert np.unique(out[quarter:, occ]).size == 1
+        np.testing.assert_array_equal(out[: quarter - 1, occ], inputs[: quarter - 1, occ])
+
+    def test_logger_dropout_is_a_correlated_outage(self):
+        """Lost portal records NaN every logger channel on the same ticks."""
+        inputs, channels, seconds = make_inputs(n=2000)
+        config = InputFaultConfig(kind="logger_dropout", onset_fraction=0.0)
+        out = apply_input_fault_config(config, inputs, channels, seconds, SEED)
+        occ = channels.index_of("occupancy")
+        logger = [i for i in range(channels.n_channels) if i != occ]
+        missing = np.isnan(out[:, logger])
+        assert missing.any()
+        # Each lost tick loses the whole record, not one channel.
+        per_tick = missing.sum(axis=1)
+        assert set(np.unique(per_tick)) <= {0, len(logger)}
+        # The camera is a separate device; its channel survives.
+        assert np.isfinite(out[:, occ]).all()
+
+
 class TestFaultCampaign:
     def test_duplicate_target_rejected(self):
         fault = SensorFault(3, FaultConfig(kind="drift"))
@@ -170,6 +277,33 @@ class TestFaultCampaign:
         assert a.cache_key() == default_campaign([1, 2, 3], seed=SEED).cache_key()
         assert a.cache_key() != a.scaled(0.5).cache_key()
         assert a.cache_key() != default_campaign([1, 2, 3], seed=SEED + 1).cache_key()
+
+    def test_duplicate_input_kind_rejected(self):
+        freeze = InputFaultConfig(kind="camera_freeze")
+        with pytest.raises(ConfigurationError, match="input fault kind"):
+            FaultCampaign(name="dup", faults=(), input_faults=(freeze, freeze))
+
+    def test_scaled_covers_input_faults(self):
+        campaign = FaultCampaign(
+            name="inputs",
+            faults=(),
+            input_faults=(
+                InputFaultConfig(kind="camera_miscount"),
+                InputFaultConfig(kind="logger_dropout"),
+            ),
+        ).scaled(0.25)
+        assert all(f.severity == 0.25 for f in campaign.input_faults)
+        assert campaign.input_kinds == ("camera_miscount", "logger_dropout")
+
+    def test_cache_key_tracks_input_faults(self):
+        bare = FaultCampaign(name="c", faults=(), seed=SEED)
+        with_inputs = FaultCampaign(
+            name="c",
+            faults=(),
+            seed=SEED,
+            input_faults=(InputFaultConfig(kind="camera_freeze"),),
+        )
+        assert bare.cache_key() != with_inputs.cache_key()
 
 
 class TestApplyCampaign:
@@ -212,4 +346,28 @@ class TestApplyCampaign:
         two = apply_campaign(week_dataset, campaign)
         np.testing.assert_array_equal(
             one.dataset.temperatures, two.dataset.temperatures
+        )
+
+    def test_input_faults_ride_the_campaign(self, week_dataset):
+        campaign = FaultCampaign(
+            name="portal-down",
+            faults=(),
+            seed=SEED,
+            input_faults=(
+                InputFaultConfig(kind="camera_freeze", onset_fraction=0.5),
+                InputFaultConfig(kind="logger_dropout", onset_fraction=0.5),
+            ),
+        )
+        result = apply_campaign(week_dataset, campaign)
+        assert set(result.input_applied) == {"camera_freeze", "logger_dropout"}
+        assert "inputs: camera_freeze" in result.summary()
+        # The original dataset's inputs are untouched; the copy changed.
+        assert np.isfinite(week_dataset.inputs).all()
+        assert np.isnan(result.dataset.inputs).any()
+        occ = week_dataset.channels.index_of("occupancy")
+        assert np.unique(result.dataset.inputs[-10:, occ]).size == 1
+        # And the injection is deterministic.
+        again = apply_campaign(week_dataset, campaign)
+        np.testing.assert_array_equal(
+            again.dataset.inputs, result.dataset.inputs
         )

@@ -99,6 +99,33 @@ class TestDegradationCurve:
         assert "max quarantined" in text
 
 
+class TestCountSweep:
+    """Satellite: selection stability vs *number* of faulted sensors."""
+
+    @pytest.fixture(scope="class")
+    def count_result(self, ctx14):
+        return EXPERIMENTS["robustness-count"].run(context=ctx14, counts=(0, 2))
+
+    def test_rows_follow_the_counts(self, count_result):
+        assert count_result.experiment_id == "robustness-count"
+        assert [row[0] for row in count_result.rows] == [0, 2]
+        curve = count_result.extras["curve"]
+        assert curve["n_faulted"] == [0, 2]
+        # Fault-free endpoint: full network, baseline overlap 1.0.
+        assert curve["quarantined"][0] == 0
+        assert curve["selection_overlap"][0] == 1.0
+
+    def test_curve_stored_as_artifact(self, count_result):
+        stored = default_cache().load(count_result.extras["artifact_key"])
+        assert stored == count_result.extras["curve"]
+
+    def test_impossible_count_rejected(self, ctx14):
+        from repro.experiments.robustness import run_count_sweep
+
+        with pytest.raises(ValueError, match="wireless sensors"):
+            run_count_sweep(context=ctx14, counts=(10_000,))
+
+
 class TestDeterminism:
     def test_sweep_is_reproducible(self, ctx14, result14):
         again = EXPERIMENTS["robustness"].run(context=ctx14, severities=(0.0, 1.0))

@@ -1,0 +1,569 @@
+"""Tests for the online streaming layer (ingest, RLS, drift, pipeline).
+
+The load-bearing claims:
+
+* the ingestion gate quarantines implausible readings one tick at a
+  time, with batch-screening gap semantics;
+* on a static stream the recursive estimator's parameters equal the
+  batch least-squares fit (to 1e-6 relative error at the matching
+  ridge);
+* the CUSUM drift detector fires within its documented delay bound and
+  does not false-alarm on in-calibration data;
+* a snapshot/restore round trip through the artifact cache resumes the
+  stream losslessly.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import ArtifactCache
+from repro.errors import StreamingError
+from repro.streaming import (
+    ClusterConsistencyMonitor,
+    CusumDriftDetector,
+    DriftConfig,
+    GateThresholds,
+    OnlineModelEstimator,
+    OnlinePipeline,
+    RecursiveLeastSquares,
+    ReplaySource,
+    StreamTick,
+    TickGate,
+    load_snapshot,
+    save_snapshot,
+)
+
+from tests.conftest import make_linear_dataset
+
+
+#: The hand-built linear dataset wanders outside the default plausible
+#: band (its dynamics are synthetic, not a real room); equivalence tests
+#: open the gate wide so online and batch consume identical rows.
+WIDE_GATE = GateThresholds(
+    min_plausible_c=-1000.0, max_plausible_c=1000.0, max_step_c=1000.0
+)
+
+
+def make_tick(index, temperatures, inputs=None, seconds=None):
+    """A tick with defaulted inputs/seconds, for gate-level tests."""
+    if inputs is None:
+        inputs = np.zeros(7)
+    return StreamTick(
+        index=index,
+        seconds=900.0 * index if seconds is None else seconds,
+        temperatures=temperatures,
+        inputs=inputs,
+    )
+
+
+def replay_through(dataset, order=2, forgetting=1.0, **kwargs):
+    """A pipeline that has consumed the whole dataset."""
+    pipeline = OnlinePipeline(
+        dataset.sensor_ids,
+        dataset.channels.n_channels,
+        order=order,
+        forgetting=forgetting,
+        **kwargs,
+    )
+    pipeline.run(ReplaySource(dataset))
+    return pipeline
+
+
+class TestStreamTick:
+    def test_vectors_coerced_to_float(self):
+        tick = make_tick(0, [20, 21, 22])
+        assert tick.temperatures.dtype == float
+
+    @pytest.mark.parametrize("bad", [np.zeros((2, 2)), 1.0])
+    def test_non_vector_rejected(self, bad):
+        with pytest.raises(StreamingError, match="1-D"):
+            make_tick(0, bad)
+
+
+class TestReplaySource:
+    def test_yields_every_row_in_order(self, linear_dataset):
+        source = ReplaySource(linear_dataset)
+        ticks = list(source)
+        assert len(ticks) == len(source) == linear_dataset.n_samples
+        assert [t.index for t in ticks[:3]] == [0, 1, 2]
+        np.testing.assert_array_equal(
+            ticks[5].temperatures, linear_dataset.temperatures[5]
+        )
+        np.testing.assert_array_equal(ticks[5].inputs, linear_dataset.inputs[5])
+        assert ticks[1].seconds - ticks[0].seconds == linear_dataset.axis.period
+
+    def test_half_open_range(self, linear_dataset):
+        source = ReplaySource(linear_dataset, 10, 20)
+        ticks = list(source)
+        assert [t.index for t in ticks] == list(range(10, 20))
+
+    def test_bad_range_rejected(self, linear_dataset):
+        with pytest.raises(StreamingError, match="replay range"):
+            ReplaySource(linear_dataset, 5, linear_dataset.n_samples + 1)
+
+    def test_from_csv_round_trip(self, linear_dataset, tmp_path):
+        from repro.data.io import save_dataset_csv
+
+        save_dataset_csv(linear_dataset, tmp_path / "trace")
+        source = ReplaySource.from_csv(tmp_path / "trace")
+        assert source.sensor_ids == linear_dataset.sensor_ids
+        first = next(iter(source))
+        # The CSV format rounds to 4 decimals; replay matches to that.
+        np.testing.assert_allclose(
+            first.temperatures, linear_dataset.temperatures[0], atol=1e-4
+        )
+
+
+class TestGateThresholds:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(StreamingError):
+            GateThresholds(min_plausible_c=10.0, max_plausible_c=0.0)
+
+    def test_non_positive_step_rejected(self):
+        with pytest.raises(StreamingError):
+            GateThresholds(max_step_c=0.0)
+
+
+class TestTickGate:
+    def test_plausible_readings_pass(self):
+        gate = TickGate((1, 2))
+        gated = gate.check(make_tick(0, [21.0, 22.0]))
+        assert gated.clean
+        assert not gated.quarantined
+
+    def test_out_of_range_quarantined(self):
+        gate = TickGate((1, 2))
+        gated = gate.check(make_tick(0, [21.0, 99.0]))
+        assert not gated.clean
+        assert list(gated.quarantined) == [2]
+        assert "plausible range" in gated.quarantined[2]
+
+    def test_nan_is_a_gap_not_a_quarantine(self):
+        gate = TickGate((1, 2))
+        gated = gate.check(make_tick(0, [np.nan, 22.0]))
+        assert not gated.clean
+        assert not gated.quarantined
+        assert gate.n_quarantined_readings == 0
+
+    def test_impulsive_step_quarantined(self):
+        gate = TickGate((1,))
+        gate.check(make_tick(0, [21.0]))
+        gated = gate.check(make_tick(1, [45.0]))
+        assert list(gated.quarantined) == [1]
+        assert "step" in gated.quarantined[1]
+
+    def test_step_check_skipped_after_gap(self):
+        """After a gap the comparison value is stale: range check only."""
+        gate = TickGate((1,))
+        gate.check(make_tick(0, [21.0]))
+        gate.check(make_tick(1, [np.nan]))
+        gated = gate.check(make_tick(2, [45.0]))
+        assert gated.clean  # a 24-degree move over an unknown gap is not impulsive
+
+    def test_quarantined_value_not_remembered(self):
+        """The step baseline only advances on *accepted* readings."""
+        gate = TickGate((1,))
+        gate.check(make_tick(0, [21.0]))
+        gate.check(make_tick(1, [45.0]))  # quarantined
+        gated = gate.check(make_tick(2, [21.5]))
+        assert gated.clean
+
+    def test_invalid_inputs_flagged(self):
+        gate = TickGate((1,))
+        gated = gate.check(make_tick(0, [21.0], inputs=np.full(7, np.nan)))
+        assert not gated.inputs_ok and not gated.clean
+        assert not gated.quarantined  # inputs are gaps, not sensor quarantines
+
+    def test_shape_mismatch_rejected(self):
+        gate = TickGate((1, 2, 3))
+        with pytest.raises(StreamingError, match="gated sensors"):
+            gate.check(make_tick(0, [21.0]))
+
+    def test_reset_forgets_step_baseline(self):
+        gate = TickGate((1,))
+        gate.check(make_tick(0, [21.0]))
+        gate.reset()
+        gated = gate.check(make_tick(1, [45.0]))
+        assert gated.clean
+
+
+class TestRecursiveLeastSquares:
+    def test_bad_construction_rejected(self):
+        with pytest.raises(StreamingError):
+            RecursiveLeastSquares(0, 1)
+        with pytest.raises(StreamingError):
+            RecursiveLeastSquares(2, 1, forgetting=0.0)
+        with pytest.raises(StreamingError):
+            RecursiveLeastSquares(2, 1, regularization=0.0)
+
+    def test_first_innovation_is_the_target(self):
+        rls = RecursiveLeastSquares(2, 1)
+        innovation = rls.update([1.0, 0.5], [3.0])
+        np.testing.assert_allclose(innovation, [3.0])  # zero starting model
+
+    def test_non_finite_update_rejected(self):
+        rls = RecursiveLeastSquares(2, 1)
+        with pytest.raises(StreamingError, match="non-finite"):
+            rls.update([np.nan, 1.0], [1.0])
+
+    def test_weights_property_is_a_copy(self):
+        rls = RecursiveLeastSquares(2, 1)
+        rls.weights[:] = 99.0
+        assert np.all(rls.weights == 0.0)
+
+    def test_matches_exact_ridge_solution(self):
+        """The recursion IS the ridge solve: (eps I + Phi'Phi)^-1 Phi'Y."""
+        gen = np.random.default_rng(5)
+        phi = gen.standard_normal((200, 4))
+        y = gen.standard_normal((200, 2))
+        rls = RecursiveLeastSquares(4, 2, regularization=1e-8)
+        for row, target in zip(phi, y):
+            rls.update(row, target)
+        gram = 1e-8 * np.eye(4) + phi.T @ phi
+        exact = np.linalg.solve(gram, phi.T @ y)
+        np.testing.assert_allclose(rls.weights, exact, rtol=1e-6, atol=1e-9)
+
+
+def batch_fit(dataset, order, ridge):
+    """The batch regression stack and its solutions at two ridges."""
+    from repro.sysid.identify import (
+        IdentificationOptions,
+        build_regression,
+        solve_least_squares,
+    )
+
+    options = IdentificationOptions(order=order)
+    segments = dataset.segments(min_length=order + 1)
+    phi, y = build_regression(dataset.temperatures, dataset.inputs, segments, options)
+    return phi, y, solve_least_squares(phi, y, ridge=ridge)
+
+
+class TestOnlineBatchEquivalence:
+    """ISSUE acceptance: RLS on a static replay equals the batch fit."""
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_rls_matches_batch_least_squares(self, order):
+        dataset = make_linear_dataset(n_days=4.0, noise=0.02)
+        pipeline = replay_through(dataset, order=order, gate_thresholds=WIDE_GATE)
+        reg = pipeline.estimator.rls.regularization
+        phi, y, w_batch = batch_fit(dataset, order, ridge=reg)
+
+        assert pipeline.estimator.n_updates == phi.shape[0]
+        w_online = pipeline.estimator.rls.weights
+        rel = np.linalg.norm(w_online - w_batch) / np.linalg.norm(w_batch)
+        assert rel <= 1e-6
+
+        # Against the *unregularized* fit the agreement is bounded by
+        # the ridge bias, not the recursion: still tight, not 1e-6.
+        _, _, w_plain = batch_fit(dataset, order, ridge=0.0)
+        rel_plain = np.linalg.norm(w_online - w_plain) / np.linalg.norm(w_plain)
+        assert rel_plain <= 1e-4
+
+    @pytest.mark.parametrize("order", [1, 2])
+    def test_gaps_reset_rows_like_batch_segments(self, order):
+        """A gap resets the lag buffer: same rows as batch segmentation."""
+        gaps = (50, 51, 150, 260)
+        dataset = make_linear_dataset(n_days=4.0, noise=0.02, gap_ticks=gaps)
+        pipeline = replay_through(dataset, order=order, gate_thresholds=WIDE_GATE)
+        reg = pipeline.estimator.rls.regularization
+        phi, y, w_batch = batch_fit(dataset, order, ridge=reg)
+
+        assert pipeline.summary.n_gap_ticks == len(gaps)
+        assert pipeline.estimator.n_updates == phi.shape[0]
+        w_online = pipeline.estimator.rls.weights
+        rel = np.linalg.norm(w_online - w_batch) / np.linalg.norm(w_batch)
+        assert rel <= 1e-6
+
+    def test_model_unpacks_like_identify(self):
+        """to_model() and identify() agree matrix by matrix."""
+        from repro.sysid.identify import IdentificationOptions, identify
+
+        dataset = make_linear_dataset(n_days=4.0, noise=0.02)
+        pipeline = replay_through(dataset, order=2, gate_thresholds=WIDE_GATE)
+        online = pipeline.model()
+        batch = identify(dataset, IdentificationOptions(order=2))
+        np.testing.assert_allclose(online.A1, batch.A1, rtol=0, atol=1e-5)
+        np.testing.assert_allclose(online.A2, batch.A2, rtol=0, atol=1e-5)
+        np.testing.assert_allclose(online.B, batch.B, rtol=0, atol=1e-5)
+
+    def test_forgetting_tracks_a_regime_change(self):
+        """lambda < 1 lands nearer the post-change dynamics than lambda = 1."""
+        gen = np.random.default_rng(11)
+        first = make_linear_dataset(n_days=4.0, seed=7, noise=0.01)
+        n, p = first.temperatures.shape
+        half = n // 2
+        # Second half: visibly different dynamics, same input trace.
+        a2 = 0.7 * np.eye(p) + 0.05 * gen.random((p, p))
+        b2 = 0.08 * gen.standard_normal((p, first.inputs.shape[1]))
+        temps = first.temperatures.copy()
+        for k in range(half, n - 1):
+            temps[k + 1] = a2 @ temps[k] + b2 @ first.inputs[k]
+        dataset = replace(first, temperatures=temps)
+
+        estimators = {}
+        for forgetting in (1.0, 0.95):
+            pipeline = replay_through(
+                dataset, order=1, forgetting=forgetting, gate_thresholds=WIDE_GATE
+            )
+            estimators[forgetting] = pipeline.estimator.rls.weights
+        w_truth = np.vstack([a2.T, b2.T])
+        err = {
+            f: np.linalg.norm(w - w_truth) for f, w in estimators.items()
+        }
+        assert err[0.95] < err[1.0]
+
+
+class TestOnlineModelEstimator:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(StreamingError, match="order"):
+            OnlineModelEstimator(n_sensors=2, n_inputs=7, order=3)
+
+    def test_underdetermined_model_raises(self):
+        estimator = OnlineModelEstimator(n_sensors=2, n_inputs=7, order=2)
+        assert not estimator.ready
+        with pytest.raises(StreamingError, match="underdetermined"):
+            estimator.to_model()
+
+    def test_history_needs_order_valid_ticks(self, linear_dataset):
+        pipeline = OnlinePipeline(
+            linear_dataset.sensor_ids, linear_dataset.channels.n_channels, order=2
+        )
+        ticks = iter(ReplaySource(linear_dataset))
+        pipeline.process(next(ticks))
+        assert pipeline.estimator.history() is None
+        pipeline.process(next(ticks))
+        history = pipeline.estimator.history()
+        assert history is not None and history.shape == (
+            2,
+            len(linear_dataset.sensor_ids),
+        )
+        np.testing.assert_array_equal(history[-1], linear_dataset.temperatures[1])
+
+
+class TestDriftConfig:
+    def test_validation(self):
+        with pytest.raises(StreamingError):
+            DriftConfig(warmup_ticks=1)
+        with pytest.raises(StreamingError):
+            DriftConfig(threshold=0.0)
+        with pytest.raises(StreamingError):
+            DriftConfig(slack=-0.1)
+
+    def test_delay_bound_formula(self):
+        config = DriftConfig(threshold=8.0, slack=0.5)
+        assert config.delay_bound(4.5) == 2  # ceil(8 / 4)
+        assert config.delay_bound(1.5) == 8  # ceil(8 / 1)
+
+    def test_delay_bound_undefined_inside_slack(self):
+        with pytest.raises(StreamingError, match="slack"):
+            DriftConfig(slack=0.5).delay_bound(0.5)
+
+
+class TestCusumDriftDetector:
+    def make_calibrated(self, config=None, seed=0):
+        """A detector calibrated on seeded unit-ish noise."""
+        config = config or DriftConfig(warmup_ticks=64)
+        detector = CusumDriftDetector(config)
+        gen = np.random.default_rng(seed)
+        for value in 1.0 + 0.1 * gen.standard_normal(config.warmup_ticks):
+            assert detector.update(value) is False
+        assert detector.calibrated
+        return detector
+
+    def test_fires_within_the_documented_delay_bound(self):
+        """ISSUE acceptance: detection delay respects delay_bound."""
+        detector = self.make_calibrated()
+        shift = 4.0
+        shifted = detector.mean + shift * detector.sigma
+        bound = detector.config.delay_bound(shift)
+        delay = None
+        for k in range(bound + 5):
+            if detector.update(shifted):
+                delay = k + 1
+                break
+        assert delay is not None and delay <= bound
+
+    def test_no_false_alarm_on_in_calibration_data(self):
+        detector = self.make_calibrated()
+        gen = np.random.default_rng(42)
+        for value in 1.0 + 0.1 * gen.standard_normal(1000):
+            detector.update(value)
+        assert not detector.fired
+
+    def test_shift_inside_slack_never_fires(self):
+        detector = self.make_calibrated()
+        barely = detector.mean + 0.4 * detector.sigma  # below the 0.5-sigma slack
+        for _ in range(2000):
+            detector.update(barely)
+        assert not detector.fired
+
+    def test_reset_alarm_keeps_calibration(self):
+        detector = self.make_calibrated()
+        mean, sigma = detector.mean, detector.sigma
+        while not detector.update(detector.mean + 5 * detector.sigma):
+            pass
+        detector.reset_alarm()
+        assert not detector.fired and detector.statistic == 0.0
+        assert detector.mean == mean and detector.sigma == sigma
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(StreamingError, match="non-finite"):
+            CusumDriftDetector().update(float("nan"))
+
+    def test_sigma_floored_on_constant_warmup(self):
+        config = DriftConfig(warmup_ticks=8)
+        detector = CusumDriftDetector(config)
+        for _ in range(8):
+            detector.update(1.0)
+        assert detector.sigma == config.min_sigma
+
+
+class TestClusterConsistencyMonitor:
+    def make_monitor(self, **kwargs):
+        return ClusterConsistencyMonitor(
+            cluster_columns={0: (0, 1, 2), 1: (3, 4)},
+            selected_columns={0: 0, 1: 3},
+            **kwargs,
+        )
+
+    def test_healthy_tracking_stays_quiet(self):
+        monitor = self.make_monitor(window_ticks=10, max_divergence_c=0.5)
+        for _ in range(20):
+            monitor.update([20.0, 20.1, 19.9, 24.0, 24.0])
+        assert not monitor.recommend_recluster
+        assert monitor.divergence()[0] < 0.1
+
+    def test_sustained_divergence_recommends_reclustering(self):
+        monitor = self.make_monitor(window_ticks=10, max_divergence_c=0.5)
+        for _ in range(20):
+            monitor.update([22.0, 20.0, 20.0, 24.0, 24.0])
+        assert monitor.recommend_recluster
+        assert monitor.divergence()[0] > 1.0
+
+    def test_gaps_carry_no_evidence(self):
+        monitor = self.make_monitor(window_ticks=10)
+        monitor.update([np.nan, 20.0, 20.0, 24.0, 24.0])
+        assert np.isnan(monitor.divergence()[0])
+        assert not monitor.recommend_recluster
+
+    def test_selected_outside_cluster_rejected(self):
+        with pytest.raises(StreamingError, match="cluster"):
+            ClusterConsistencyMonitor(
+                cluster_columns={0: (0, 1)}, selected_columns={0: 0, 1: 2}
+            )
+
+    def test_from_selection_maps_ids_to_columns(self, month_dataset):
+        from repro.cluster import cluster_sensors
+        from repro.selection import near_mean_selection
+
+        clustering = cluster_sensors(month_dataset, method="correlation", k=2)
+        selection = near_mean_selection(clustering, month_dataset)
+        monitor = ClusterConsistencyMonitor.from_selection(
+            clustering, selection, month_dataset.sensor_ids
+        )
+        assert set(monitor.selected_columns) <= set(range(clustering.k))
+        for cluster, column in monitor.selected_columns.items():
+            assert column in monitor.cluster_columns[cluster]
+        monitor.update(month_dataset.temperatures[0])
+        assert all(np.isfinite(v) for v in monitor.divergence().values())
+
+
+class TestOnlinePipeline:
+    def test_quarantined_tick_resets_the_row_stream(self):
+        """A quarantined reading must not contribute a regression row."""
+        dataset = make_linear_dataset(n_days=2.0, noise=0.01)
+        spiked = dataset.temperatures.copy()
+        spiked[40, 0] = 5000.0  # outside even the wide plausible range
+        faulty = replace(dataset, temperatures=spiked)
+        clean = replay_through(dataset, order=2, gate_thresholds=WIDE_GATE)
+        gated = replay_through(faulty, order=2, gate_thresholds=WIDE_GATE)
+        assert gated.summary.n_quarantined_ticks == 1
+        assert gated.summary.quarantine_counts == {1: 1}
+        # One bad tick costs the row it would complete plus the
+        # order+1-tick refill of the lag buffer.
+        assert gated.estimator.n_updates == clean.estimator.n_updates - 3
+
+    def test_drift_calibration_skips_the_startup_transient(self):
+        """The first q innovations never reach the CUSUM calibration."""
+        dataset = make_linear_dataset(n_days=2.0, noise=0.01)
+        pipeline = replay_through(dataset, order=2, gate_thresholds=WIDE_GATE)
+        q = pipeline.estimator.rls.n_regressors
+        assert pipeline.drift.n_seen == pipeline.estimator.n_updates - q
+
+    def test_predict_ahead_equals_model_simulate(self):
+        """ISSUE acceptance: predict-ahead == batch-style simulation."""
+        dataset = make_linear_dataset(n_days=2.0, noise=0.01)
+        pipeline = replay_through(dataset, order=2, gate_thresholds=WIDE_GATE)
+        horizon = np.tile(dataset.inputs[-1], (8, 1))
+        served = pipeline.predict_ahead(horizon)
+        expected = pipeline.model().simulate(pipeline.estimator.history(), horizon)
+        assert served.tobytes() == expected.tobytes()
+
+    def test_predict_ahead_without_history_raises(self):
+        pipeline = OnlinePipeline((1, 2, 3), 7, order=2, gate_thresholds=WIDE_GATE)
+        dataset = make_linear_dataset(n_days=2.0)
+        pipeline.run(ReplaySource(dataset, 0, dataset.n_samples))
+        pipeline.estimator.reset_history()
+        with pytest.raises(StreamingError, match="history"):
+            pipeline.predict_ahead(np.zeros((4, 7)))
+
+    def test_summary_describe_mentions_counts(self):
+        dataset = make_linear_dataset(n_days=2.0, gap_ticks=(30,))
+        pipeline = replay_through(dataset)
+        text = pipeline.summary.describe()
+        assert f"{pipeline.summary.n_ticks} ticks" in text
+        assert "1 gaps" in text
+
+
+class TestSnapshotRoundTrip:
+    def test_restored_pipeline_continues_identically(self, tmp_path):
+        """ISSUE acceptance: snapshot/restore is a lossless round trip."""
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        dataset = make_linear_dataset(n_days=4.0, noise=0.02)
+        half = dataset.n_samples // 2
+
+        straight = replay_through(dataset, order=2, gate_thresholds=WIDE_GATE)
+
+        partial = OnlinePipeline(
+            dataset.sensor_ids,
+            dataset.channels.n_channels,
+            order=2,
+            gate_thresholds=WIDE_GATE,
+        )
+        partial.run(ReplaySource(dataset, 0, half))
+        key = save_snapshot("round-trip", partial, cache=cache)
+        assert key is not None
+        restored = load_snapshot("round-trip", cache=cache)
+        assert restored is not None and restored is not partial
+        restored.run(ReplaySource(dataset, half))
+
+        np.testing.assert_array_equal(
+            restored.estimator.rls.weights, straight.estimator.rls.weights
+        )
+        assert restored.estimator.n_updates == straight.estimator.n_updates
+        assert restored.summary.n_ticks == straight.summary.n_ticks
+        assert restored.drift.n_seen == straight.drift.n_seen
+        np.testing.assert_array_equal(
+            restored.estimator.history(), straight.estimator.history()
+        )
+
+    def test_disabled_cache_returns_none(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        pipeline = OnlinePipeline((1,), 7, order=1)
+        assert save_snapshot("nope", pipeline, cache=cache) is None
+        assert load_snapshot("nope", cache=cache) is None
+
+    def test_wrong_typed_artifact_is_a_miss(self, tmp_path):
+        from repro.streaming.state import snapshot_key
+
+        cache = ArtifactCache(root=tmp_path, enabled=True)
+        cache.store(snapshot_key("stale"), {"not": "a pipeline"})
+        assert load_snapshot("stale", cache=cache) is None
+
+    def test_empty_name_rejected(self):
+        from repro.streaming.state import snapshot_key
+
+        with pytest.raises(StreamingError, match="name"):
+            snapshot_key("")

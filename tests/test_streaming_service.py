@@ -1,0 +1,343 @@
+"""Tests for the prediction service, its CLI and the streaming experiment.
+
+Covers the ISSUE's service-level acceptance claims: micro-batched
+responses byte-identical to single-request responses, explicit
+backpressure on the bounded queue, latency/throughput counters, the
+``repro stream`` / ``repro serve`` round trip through a snapshot, and
+the ``ext-streaming`` experiment rendering through the cache.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceOverloadError, StreamingError
+from repro.streaming import (
+    GateThresholds,
+    OnlinePipeline,
+    PredictionRequest,
+    PredictionService,
+    ReplaySource,
+    ServiceConfig,
+    build_request,
+)
+
+from tests.conftest import make_linear_dataset
+
+WIDE_GATE = GateThresholds(
+    min_plausible_c=-1000.0, max_plausible_c=1000.0, max_step_c=1000.0
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_linear_dataset(n_days=2.0, noise=0.01)
+
+
+def make_pipeline(dataset):
+    pipeline = OnlinePipeline(
+        dataset.sensor_ids,
+        dataset.channels.n_channels,
+        order=2,
+        gate_thresholds=WIDE_GATE,
+    )
+    pipeline.run(ReplaySource(dataset))
+    return pipeline
+
+
+@pytest.fixture
+def pipeline(dataset):
+    return make_pipeline(dataset)
+
+
+def make_request(dataset, rid, horizon=6, scale=1.0):
+    return PredictionRequest(
+        request_id=rid,
+        horizon_inputs=scale * np.tile(dataset.inputs[-1], (horizon, 1)),
+    )
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_queue": 0}, {"max_batch": 0}, {"max_horizon_ticks": 0}],
+    )
+    def test_non_positive_limits_rejected(self, kwargs):
+        with pytest.raises(StreamingError):
+            ServiceConfig(**kwargs)
+
+
+class TestPredictionRequest:
+    def test_horizon_must_be_matrix(self):
+        with pytest.raises(StreamingError, match="2-D"):
+            PredictionRequest(request_id="r", horizon_inputs=np.zeros(7))
+
+    def test_history_must_be_matrix(self):
+        with pytest.raises(StreamingError, match="2-D"):
+            PredictionRequest(
+                request_id="r",
+                horizon_inputs=np.zeros((4, 7)),
+                history=np.zeros(3),
+            )
+
+
+class TestMicroBatching:
+    def test_batched_responses_byte_identical_to_single(self, dataset):
+        """ISSUE acceptance: micro-batching never changes an answer."""
+        batched = PredictionService(make_pipeline(dataset))
+        single = PredictionService(make_pipeline(dataset))
+        requests = [
+            make_request(dataset, f"r{i}", horizon=4 + i, scale=0.8 + 0.1 * i)
+            for i in range(5)
+        ]
+        for request in requests:
+            batched.submit(request)
+        responses = batched.drain()
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        for request, response in zip(requests, responses):
+            alone = single.handle(request)
+            assert response.predictions.tobytes() == alone.predictions.tobytes()
+            assert response.n_model_updates == alone.n_model_updates
+
+    def test_drain_respects_max_batch(self, pipeline, dataset):
+        service = PredictionService(pipeline, ServiceConfig(max_batch=2))
+        for i in range(5):
+            service.submit(make_request(dataset, f"r{i}"))
+        assert len(service.drain()) == 2
+        assert service.pending == 3
+        assert len(service.drain()) == 2
+        assert len(service.drain()) == 1
+        assert service.drain() == []
+        assert service.stats.batches == 3
+
+    def test_explicit_history_overrides_the_live_buffer(self, pipeline, dataset):
+        service = PredictionService(pipeline)
+        history = np.full((2, len(dataset.sensor_ids)), 21.0)
+        request = PredictionRequest(
+            request_id="seeded",
+            horizon_inputs=np.tile(dataset.inputs[-1], (4, 1)),
+            history=history,
+        )
+        response = service.handle(request)
+        expected = pipeline.model().simulate(
+            history, request.horizon_inputs
+        )
+        assert response.predictions.tobytes() == expected.tobytes()
+
+
+class TestBackpressure:
+    def test_overload_raises_and_counts(self, pipeline, dataset):
+        service = PredictionService(pipeline, ServiceConfig(max_queue=2))
+        service.submit(make_request(dataset, "a"))
+        service.submit(make_request(dataset, "b"))
+        with pytest.raises(ServiceOverloadError, match="queue full"):
+            service.submit(make_request(dataset, "c"))
+        assert service.stats.rejected == 1
+        assert service.pending == 2  # the rejected request never queued
+
+    def test_horizon_limits_enforced_at_submit(self, pipeline, dataset):
+        service = PredictionService(pipeline, ServiceConfig(max_horizon_ticks=8))
+        with pytest.raises(StreamingError, match="horizon"):
+            service.submit(make_request(dataset, "long", horizon=9))
+        with pytest.raises(StreamingError, match="horizon"):
+            service.submit(
+                PredictionRequest(
+                    request_id="empty", horizon_inputs=np.zeros((0, 7))
+                )
+            )
+
+    def test_no_history_anywhere_is_an_error(self, dataset):
+        fresh = OnlinePipeline(
+            dataset.sensor_ids, dataset.channels.n_channels, order=2
+        )
+        # Enough synthetic rows to determine the model, but no buffer.
+        trained = make_pipeline(dataset)
+        trained.estimator.reset_history()
+        service = PredictionService(trained)
+        service.submit(make_request(dataset, "r"))
+        with pytest.raises(StreamingError, match="history"):
+            service.drain()
+        assert fresh.estimator.history() is None
+
+
+class TestStats:
+    def test_counters_accumulate(self, pipeline, dataset):
+        service = PredictionService(pipeline)
+        for i in range(3):
+            service.submit(make_request(dataset, f"r{i}"))
+        service.drain()
+        stats = service.stats
+        assert stats.served == 3 and stats.batches == 1
+        assert stats.total_latency_s > 0 and stats.busy_s > 0
+        assert stats.mean_latency_s == pytest.approx(stats.total_latency_s / 3)
+        assert stats.throughput_rps() > 0
+        payload = stats.as_dict()
+        assert set(payload) == {
+            "served",
+            "rejected",
+            "batches",
+            "mean_latency_s",
+            "throughput_rps",
+        }
+
+    def test_latency_covers_queue_wait(self, pipeline, dataset):
+        import time
+
+        service = PredictionService(pipeline)
+        service.submit(make_request(dataset, "waits"))
+        time.sleep(0.01)
+        (response,) = service.drain()
+        assert response.latency_s >= 0.01
+
+    def test_empty_service_stats_are_zero(self, pipeline):
+        stats = PredictionService(pipeline).stats
+        assert stats.mean_latency_s == 0.0
+        assert stats.throughput_rps() == 0.0
+
+
+class TestResponsePayload:
+    def test_payload_is_json_round_trippable(self, pipeline, dataset):
+        service = PredictionService(pipeline)
+        response = service.handle(make_request(dataset, "json", horizon=3))
+        payload = json.loads(json.dumps(response.to_payload()))
+        assert payload["id"] == "json"
+        assert np.asarray(payload["predictions"]).shape == (
+            3,
+            len(dataset.sensor_ids),
+        )
+        assert payload["n_model_updates"] == pipeline.estimator.n_updates
+
+
+class TestBuildRequest:
+    def test_explicit_inputs_matrix(self):
+        request = build_request(
+            {"id": "mine", "inputs": [[0.0] * 7] * 4}, None, "auto", 100
+        )
+        assert request.request_id == "mine"
+        assert request.horizon_inputs.shape == (4, 7)
+
+    def test_horizon_ticks_tiles_the_fallback(self):
+        fallback = np.arange(7.0)
+        request = build_request({"horizon_ticks": 3}, fallback, "auto", 100)
+        assert request.request_id == "auto"
+        np.testing.assert_array_equal(
+            request.horizon_inputs, np.tile(fallback, (3, 1))
+        )
+
+    def test_horizon_ticks_out_of_range_rejected(self):
+        with pytest.raises(StreamingError, match="horizon_ticks"):
+            build_request({"horizon_ticks": 200}, np.zeros(7), "auto", 100)
+
+    def test_horizon_ticks_without_fallback_rejected(self):
+        with pytest.raises(StreamingError, match="observed inputs"):
+            build_request({"horizon_ticks": 3}, None, "auto", 100)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(StreamingError, match="'inputs' or 'horizon_ticks'"):
+            build_request({"id": "empty"}, None, "auto", 100)
+
+    def test_history_passes_through(self):
+        request = build_request(
+            {"inputs": [[0.0] * 7] * 2, "history": [[20.0] * 3] * 2},
+            None,
+            "auto",
+            100,
+        )
+        assert request.history is not None and request.history.shape == (2, 3)
+
+
+@pytest.fixture(autouse=True)
+def _warm_cache(week_output):
+    """CLI and experiment tests run on the cached 7-day trace."""
+
+
+def run_cli(capsys, *args):
+    from repro.cli import main
+
+    code = main(list(args))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestStreamServeCli:
+    def test_stream_reports_the_online_model(self, capsys):
+        code, out, _ = run_cli(capsys, "stream", "--days", "7")
+        assert code == 0
+        assert "streamed sensors" in out
+        assert "online model: order 2" in out
+
+    def test_stream_then_serve_restores_the_snapshot(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "stream", "--days", "7", "--snapshot", "cli-test"
+        )
+        assert code == 0
+        assert "snapshot 'cli-test' saved" in out
+
+        code, out, err = run_cli(
+            capsys, "serve", "--days", "7", "--restore", "cli-test", "--demo", "2"
+        )
+        assert code == 0
+        assert "not found" not in err  # the snapshot really was restored
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert len(lines) == 2
+        assert all("predictions" in line for line in lines)
+        assert "served 2 requests" in err
+
+    def test_serve_answers_json_lines_from_stdin(self, capsys, monkeypatch):
+        payloads = "\n".join(
+            [
+                json.dumps({"id": "good", "horizon_ticks": 4}),
+                "not json at all",
+                json.dumps({"id": "bad", "horizon_ticks": 99999}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(payloads + "\n"))
+        code, out, err = run_cli(capsys, "serve", "--days", "7")
+        assert code == 0
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        answered = [line for line in lines if "predictions" in line]
+        errors = [line for line in lines if "error" in line]
+        assert [line["id"] for line in answered] == ["good"]
+        assert len(errors) == 2
+        assert "served 1 requests" in err
+
+
+class TestExtStreamingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.context import ExperimentContext
+
+        ctx = ExperimentContext.create(days=14.0)
+        return EXPERIMENTS["ext-streaming"].run(context=ctx)
+
+    def test_convergence_rows_cover_the_checkpoints(self, result):
+        from repro.experiments.ext_streaming import CHECKPOINT_FRACTIONS
+
+        assert [row[0] for row in result.rows] == list(CHECKPOINT_FRACTIONS)
+        final = result.rows[-1]
+        assert isinstance(final[3], float)  # online RMSE resolved
+        assert final[5] < 0.05  # parameters converged to the batch fit
+
+    def test_drift_alarm_fires_after_the_onset(self, result):
+        drift = result.extras["drift"]
+        assert drift["fired_at_tick"] is not None
+        assert drift["delay_ticks"] >= 0
+        if drift["delay_bound_ticks"] is not None:
+            assert drift["delay_ticks"] <= drift["delay_bound_ticks"]
+
+    def test_curves_stored_through_the_cache(self, result):
+        from repro.core.artifacts import default_cache
+
+        stored = default_cache().load(result.extras["artifact_key"])
+        assert stored is not None
+        assert stored["convergence"] == result.extras["convergence"]
+        assert stored["drift"] == result.extras["drift"]
+
+    def test_render_mentions_both_halves(self, result):
+        text = result.render()
+        assert "online RMSE" in text
+        assert "drift alarm" in text
+        assert "recommend re-clustering" in text
