@@ -23,10 +23,12 @@ bench:
 bench-quick:
 	REPRO_BENCH_DAYS=28 pytest benchmarks/ --benchmark-only
 
-# Cache/parallelism speedup tracking: writes BENCH_report.json (see
-# docs/performance.md).  REPRO_BENCH_DAYS/REPRO_BENCH_JOBS scale it.
+# Cache/parallelism + simulator speedup tracking: writes
+# BENCH_report.json (see docs/performance.md).  REPRO_BENCH_DAYS /
+# REPRO_BENCH_JOBS / REPRO_BENCH_SIM_DAYS scale it.
 bench-json:
 	PYTHONPATH=src python benchmarks/bench_cache.py
+	PYTHONPATH=src python benchmarks/bench_sim.py
 
 report:
 	repro report --days 98 --output report.txt

@@ -95,29 +95,46 @@ def main() -> int:
         if not byte_identical:
             print("ERROR: reports differ across cache/parallelism regimes", file=sys.stderr)
 
+        cpus = os.cpu_count()
+        speedup = {
+            "warm_vs_cold_serial": round(
+                timings["cold_serial"] / timings["warm_serial"], 2
+            ),
+            "cold_jobs_vs_cold_serial": round(
+                timings["cold_serial"] / timings["cold_jobs"], 2
+            ),
+            "warm_jobs_vs_cold_serial": round(
+                timings["cold_serial"] / timings["warm_jobs"], 2
+            ),
+        }
         payload = {
             "benchmark": "repro report",
             "days": float(BENCH_DAYS),
             "jobs": BENCH_JOBS,
             "seconds": {k: round(v, 3) for k, v in timings.items()},
-            "speedup": {
-                "warm_vs_cold_serial": round(
-                    timings["cold_serial"] / timings["warm_serial"], 2
-                ),
-                "cold_jobs_vs_cold_serial": round(
-                    timings["cold_serial"] / timings["cold_jobs"], 2
-                ),
-                "warm_jobs_vs_cold_serial": round(
-                    timings["cold_serial"] / timings["warm_jobs"], 2
-                ),
-            },
+            "speedup": speedup,
             "reports_byte_identical": byte_identical,
             "python": sys.version.split()[0],
             # the cold_jobs ratio is meaningless without knowing how
             # many cores the measuring box actually had
-            "cpus": os.cpu_count(),
+            "cpus": cpus,
         }
+        if cpus == 1:
+            # A ratio of two serial runs says nothing about the runner's
+            # parallelism — don't let it masquerade as a measurement.
+            speedup["cold_jobs_vs_cold_serial"] = None
+            payload["note"] = (
+                "single-CPU host: cold_jobs_vs_cold_serial reported as null "
+                "(process parallelism cannot speed anything up here)"
+            )
         target = ROOT / "BENCH_report.json"
+        try:
+            existing = json.loads(target.read_text())
+        except (OSError, ValueError):
+            existing = {}
+        if isinstance(existing, dict) and "sim" in existing:
+            # bench_sim.py owns the "sim" section; keep it across reruns.
+            payload["sim"] = existing["sim"]
         target.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {target}")
         print(json.dumps(payload["speedup"], indent=2))

@@ -1,0 +1,122 @@
+"""Step-kernel simulator benchmark → ``sim`` section of ``BENCH_report.json``.
+
+Times the closed-loop auditorium simulation under three drivers:
+
+* ``loop``    — the monolithic reference loop (``run_loop``), kept as
+  the readable specification of the step semantics,
+* ``kernel``  — the staged step-kernel pipeline (``run``), one trace in
+  one monolithic chunk,
+* ``chunked`` — the same kernels driven through ``iter_chunks`` in
+  1-day slabs, the shape the streaming/caching layers consume.
+
+All three must produce *bit-identical* traces (asserted with
+``np.array_equal`` before any number is reported), so the speedup can
+never come from changing the physics.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SIM_DAYS``    — simulated days per timing (default 3),
+* ``REPRO_BENCH_SIM_REPEATS`` — repeats per engine, best-of (default 2).
+
+Run via ``make bench-json`` (or directly:
+``PYTHONPATH=src python benchmarks/bench_sim.py``).  The section is
+*merged* into an existing ``BENCH_report.json`` so the cache benchmark's
+numbers survive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.simulation import AuditoriumSimulator, SimulationConfig  # noqa: E402
+
+SIM_DAYS = float(os.environ.get("REPRO_BENCH_SIM_DAYS", "3"))
+REPEATS = int(os.environ.get("REPRO_BENCH_SIM_REPEATS", "2"))
+
+#: Result arrays compared across engines for bit-identity.
+PARITY_FIELDS = (
+    "zone_temps",
+    "mass_temps",
+    "vav_flows",
+    "vav_temps",
+    "co2",
+    "humidity_ratio",
+    "thermostat_readings",
+    "thermostat_true",
+)
+
+
+def _time_engine(run):
+    """Best-of-``REPEATS`` wall-clock of one engine; returns (s, result)."""
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        begin = time.perf_counter()
+        candidate = run()
+        best = min(best, time.perf_counter() - begin)
+        result = candidate
+    return best, result
+
+
+def main() -> int:
+    config = SimulationConfig(days=SIM_DAYS)
+    n_steps = config.n_steps
+    day_steps = max(1, int(round(86400.0 / config.dt)))
+    engines = {
+        "loop": lambda: AuditoriumSimulator(config).run_loop(),
+        "kernel": lambda: AuditoriumSimulator(config).run(),
+        "chunked": lambda: AuditoriumSimulator(config).run(chunk_steps=day_steps),
+    }
+
+    print(f"benchmarking the simulator at {SIM_DAYS:g} days ({n_steps} steps) ...")
+    seconds, results = {}, {}
+    for name, run in engines.items():
+        seconds[name], results[name] = _time_engine(run)
+        print(f"  {name:8s}: {seconds[name]:7.2f} s  ({n_steps / seconds[name]:8.0f} steps/s)")
+
+    reference = results["loop"]
+    bit_identical = all(
+        np.array_equal(getattr(results[name], field), getattr(reference, field))
+        for name in engines
+        for field in PARITY_FIELDS
+    )
+    if not bit_identical:
+        print("ERROR: engines disagree on the trace; refusing to report timings", file=sys.stderr)
+        return 1
+
+    section = {
+        "days": SIM_DAYS,
+        "n_steps": n_steps,
+        "chunk_steps": day_steps,
+        "steps_per_second": {k: round(n_steps / v, 1) for k, v in seconds.items()},
+        "speedup": {
+            "kernel_vs_loop": round(seconds["loop"] / seconds["kernel"], 2),
+            "chunked_vs_loop": round(seconds["loop"] / seconds["chunked"], 2),
+        },
+        "bit_identical": bit_identical,
+    }
+
+    target = ROOT / "BENCH_report.json"
+    try:
+        payload = json.loads(target.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+    except (OSError, ValueError):
+        payload = {}
+    payload["sim"] = section
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote the sim section of {target}")
+    print(json.dumps(section["speedup"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro simulate    generate the synthetic trace and save it as CSV
+    repro synth       generate the trace with chunk/engine control
     repro info        summarize a dataset (synthetic or loaded from CSV)
     repro fit         identify thermal models and report prediction error
     repro cluster     spectral-cluster the sensors and print memberships
@@ -12,6 +13,8 @@ Subcommands::
     repro report      run every experiment and write a combined report
     repro robustness  fault-injection sweeps (severity or faulted-count)
     repro stream      replay the trace through the online pipeline
+                      (``--live``: drive it off the chunked simulator
+                      through event-level sensing instead of a replay)
     repro serve       answer predict-ahead requests from the online model
 
 Every subcommand accepts ``--days`` and ``--seed`` to control the
@@ -82,6 +85,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", required=True, help="output file stem (writes <stem>.csv)")
     p.add_argument(
         "--full", action="store_true", help="save all 41 units instead of the screened analysis set"
+    )
+
+    p = sub.add_parser(
+        "synth", help="generate the synthetic trace with chunk/engine control"
+    )
+    _add_common(p)
+    p.add_argument(
+        "--chunk-steps",
+        type=int,
+        default=None,
+        help="simulation steps per streamed chunk (default: 7-day slabs)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("kernel", "loop"),
+        default="kernel",
+        help="trace generator: staged step-kernels (default) or the reference loop",
+    )
+    p.add_argument("--output", help="optional output file stem (writes <stem>.csv)")
+    p.add_argument(
+        "--full", action="store_true", help="save all 41 units instead of the screened analysis set"
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="bypass the in-process and on-disk caches"
     )
 
     p = sub.add_parser("info", help="summarize a dataset")
@@ -160,6 +187,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot",
         help="save the finished pipeline under this snapshot name",
     )
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help="drive the pipeline off the chunked simulator through event-level "
+        "sensing (packets, loss, outages) instead of replaying a dataset",
+    )
+    p.add_argument(
+        "--chunk-steps",
+        type=int,
+        default=None,
+        help="simulation steps per live chunk (default: 1-day slabs; --live only)",
+    )
+    p.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        help="staleness gate limit, seconds (default: 1.5 heartbeats; --live only)",
+    )
 
     p = sub.add_parser(
         "serve", help="answer predict-ahead requests from the online model"
@@ -206,6 +251,29 @@ def _cmd_simulate(args) -> int:
     dataset = output.full_dataset if args.full else output.analysis_dataset
     path = save_dataset_csv(dataset, args.output)
     print(f"wrote {dataset.n_sensors} sensors x {dataset.n_samples} ticks to {path}")
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from repro.data.synth import SynthConfig, generate
+    from repro.simulation.simulator import SimulationConfig
+
+    output = generate(
+        SynthConfig(simulation=SimulationConfig(days=args.days, seed=args.seed), seed=args.seed),
+        use_cache=not args.no_cache,
+        chunk_steps=args.chunk_steps,
+        engine=args.engine,
+    )
+    dataset = output.full_dataset if args.full else output.analysis_dataset
+    print(
+        f"generated {args.days:g} days with the {args.engine} engine: "
+        f"{dataset.n_sensors} sensors x {dataset.n_samples} ticks"
+    )
+    if args.output:
+        from repro.data.io import save_dataset_csv
+
+        path = save_dataset_csv(dataset, args.output)
+        print(f"wrote {path}")
     return 0
 
 
@@ -415,12 +483,45 @@ def _build_pipeline(args, forgetting: float = 1.0):
     return pipeline
 
 
+def _build_live_pipeline(args):
+    """Run the online pipeline straight off the chunked simulator."""
+    from repro.simulation.simulator import SimulationConfig
+    from repro.streaming import GateThresholds, LiveSimSource, OnlinePipeline
+
+    source = LiveSimSource(
+        SimulationConfig(days=args.days, seed=args.seed), chunk_steps=args.chunk_steps
+    )
+    thresholds = source.default_thresholds()
+    if args.max_age is not None:
+        import dataclasses
+
+        thresholds = dataclasses.replace(thresholds, max_age_s=args.max_age)
+    pipeline = OnlinePipeline(
+        source.sensor_ids,
+        source.channels.n_channels,
+        order=args.order,
+        forgetting=args.forgetting,
+        gate_thresholds=thresholds,
+    )
+    pipeline.run(source)
+    return pipeline
+
+
 def _cmd_stream(args) -> int:
     from repro.streaming import save_snapshot
 
-    pipeline = _build_pipeline(args, forgetting=args.forgetting)
+    if args.live:
+        pipeline = _build_live_pipeline(args)
+    else:
+        pipeline = _build_pipeline(args, forgetting=args.forgetting)
     print(f"streamed sensors: {list(pipeline.sensor_ids)}")
     print(pipeline.summary.describe())
+    if pipeline.gate.reason_counts:
+        reasons = ", ".join(
+            f"{category}: {count}"
+            for category, count in sorted(pipeline.gate.reason_counts.items())
+        )
+        print(f"quarantine reasons: {reasons}")
     for sid, count in sorted(pipeline.summary.quarantine_counts.items()):
         print(f"  sensor {sid}: {count} quarantined readings")
     if pipeline.estimator.ready:
@@ -531,6 +632,7 @@ def _cmd_snapshot(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "synth": _cmd_synth,
     "snapshot": _cmd_snapshot,
     "info": _cmd_info,
     "fit": _cmd_fit,

@@ -17,11 +17,20 @@ to relocate it.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro import rng as rng_mod
-from repro.core.artifacts import artifact_key, default_cache, fingerprint
+from repro.core.artifacts import (
+    ChunkManifest,
+    artifact_key,
+    chunk_key,
+    chunk_manifest_key,
+    default_cache,
+    fingerprint,
+    load_chunk_series,
+)
 from repro.data.assemble import AssemblyConfig, assemble_dataset
 from repro.data.dataset import AuditoriumDataset
 from repro.data.screening import ScreeningThresholds, screen_sensors
@@ -82,14 +91,85 @@ class SynthOutput:
 
 _CACHE: Dict[str, SynthOutput] = {}
 
+#: Artifact kind of the streamed simulation-chunk series (keyed on the
+#: resolved :class:`SimulationConfig`, which fully determines the trace).
+SIM_CHUNK_KIND = "sim-chunks"
+#: Default chunk length for streamed generation: 7 simulated days.
+DEFAULT_CHUNK_DAYS = 7.0
 
-def generate(config: Optional[SynthConfig] = None, use_cache: bool = True) -> SynthOutput:
+
+def _default_chunk_steps(sim_cfg: SimulationConfig) -> int:
+    """Steps per chunk when the caller does not choose: 7-day slabs."""
+    return max(1, int(round(DEFAULT_CHUNK_DAYS * 86400.0 / sim_cfg.dt)))
+
+
+def _simulate_streaming(
+    simulator: AuditoriumSimulator,
+    sim_cfg: SimulationConfig,
+    chunk_steps: int,
+    disk,
+) -> SimulationResult:
+    """Generate the trace chunk by chunk, persisting each as it finishes.
+
+    Chunks land in the artifact cache under ``config fingerprint +
+    chunk index`` keys while later chunks are still integrating; the
+    series is sealed with a :class:`ChunkManifest` at the end, so a
+    concurrent or future process can assemble the full trace the moment
+    generation completes (and an interrupted run never serves partial
+    data).
+    """
+    chunks = []
+    for chunk in simulator.iter_chunks(chunk_steps):
+        chunks.append(chunk)
+        if disk is not None:
+            disk.store(chunk_key(SIM_CHUNK_KIND, sim_cfg, chunk_steps, chunk.index), chunk)
+    if disk is not None:
+        disk.store(
+            chunk_manifest_key(SIM_CHUNK_KIND, sim_cfg),
+            ChunkManifest(
+                n_chunks=len(chunks), chunk_steps=chunk_steps, n_steps=sim_cfg.n_steps
+            ),
+        )
+    return simulator.assemble(chunks)
+
+
+def _resume_from_chunks(
+    simulator: AuditoriumSimulator, sim_cfg: SimulationConfig, disk
+) -> Optional[SimulationResult]:
+    """Assemble a previously streamed chunk series, or ``None``."""
+    if disk is None:
+        return None
+    chunks = load_chunk_series(disk, SIM_CHUNK_KIND, sim_cfg)
+    if chunks is None:
+        return None
+    try:
+        return simulator.assemble(chunks)
+    except Exception:
+        # A stale/foreign series (wrong spans, truncated pickle survivors)
+        # is a miss, not an error — regenerate from scratch.
+        return None
+
+
+def generate(
+    config: Optional[SynthConfig] = None,
+    use_cache: bool = True,
+    chunk_steps: Optional[int] = None,
+    engine: str = "kernel",
+) -> SynthOutput:
     """Run the full synthetic path: simulate, observe, assemble, screen.
 
     With ``use_cache`` (the default) the result is looked up first in
     the per-process cache, then in the persistent artifact store; a
-    fresh generation is written back to both.
+    fresh generation is written back to both.  Cold runs stream the
+    simulation in ``chunk_steps``-sized slabs (default: 7-day chunks)
+    that are persisted as they finish and resumed from on the next
+    read.  ``engine`` selects the trace generator: ``"kernel"`` (the
+    staged step-kernel pipeline) or ``"loop"`` (the monolithic
+    reference loop, bit-identical but slower — used by the parity
+    checks in CI).
     """
+    if engine not in ("kernel", "loop"):
+        raise ValueError(f"unknown simulation engine {engine!r}; use 'kernel' or 'loop'")
     config = config or SynthConfig()
     key = config.cache_key()
     if use_cache and key in _CACHE:
@@ -105,21 +185,15 @@ def generate(config: Optional[SynthConfig] = None, use_cache: bool = True) -> Sy
 
     sim_cfg = config.simulation
     if sim_cfg.seed != config.seed:
-        sim_cfg = SimulationConfig(
-            start=sim_cfg.start,
-            days=sim_cfg.days,
-            dt=sim_cfg.dt,
-            grid_nx=sim_cfg.grid_nx,
-            grid_ny=sim_cfg.grid_ny,
-            rc=sim_cfg.rc,
-            hvac=sim_cfg.hvac,
-            weather=sim_cfg.weather,
-            thermostat_noise=sim_cfg.thermostat_noise,
-            initial_temp=sim_cfg.initial_temp,
-            seed=config.seed,
-        )
+        sim_cfg = dataclasses.replace(sim_cfg, seed=config.seed)
     simulator = AuditoriumSimulator(sim_cfg)
-    result = simulator.run()
+    if engine == "loop":
+        result = simulator.run_loop()
+    else:
+        result = _resume_from_chunks(simulator, sim_cfg, disk)
+        if result is None:
+            size = chunk_steps if chunk_steps is not None else _default_chunk_steps(sim_cfg)
+            result = _simulate_streaming(simulator, sim_cfg, size, disk)
 
     deployment = Deployment(config=config.deployment, seed=rng_mod.derive(config.seed, "deployment"))
     raw = deployment.observe(result)

@@ -174,6 +174,51 @@ def resolve_ids(requested: Sequence[str]) -> List[str]:
     return ids
 
 
+def _generate_trace_worker(days: float, seed: int) -> None:
+    """Child-process entry: generate and persist the shared trace.
+
+    Runs the chunk-streaming generator, so partial progress lands in
+    the artifact cache as 7-day chunk entries even if the parent gives
+    up on the worker.
+    """
+    from repro.data.synth import SynthConfig, generate
+    from repro.simulation.simulator import SimulationConfig
+
+    generate(SynthConfig(simulation=SimulationConfig(days=days, seed=seed), seed=seed))
+
+
+def _start_trace_worker(days: float, seed: int):
+    """Start cold-trace generation in a worker process, or return ``None``.
+
+    Only worth doing when the artifact cache can carry the result back
+    (enabled) and the trace is actually cold.  The caller overlaps
+    cache-independent setup — the experiment-registry import and the
+    package source digest behind the render-key probe — with the
+    worker's integration, then joins before touching the context.  A
+    worker that dies is harmless: ``get_context`` falls back to inline
+    generation (resuming from any chunk entries the worker did seal).
+    """
+    from repro.data.synth import SynthConfig
+    from repro.simulation.simulator import SimulationConfig
+
+    cache = default_cache()
+    if not cache.enabled:
+        return None
+    config = SynthConfig(simulation=SimulationConfig(days=days, seed=seed), seed=seed)
+    if cache.contains(config.artifact_key()):
+        return None
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        mp_context = multiprocessing.get_context()
+    worker = mp_context.Process(target=_generate_trace_worker, args=(days, seed), daemon=True)
+    try:
+        worker.start()
+    except OSError:  # pragma: no cover - cannot spawn: overlap is best-effort
+        return None
+    return worker
+
+
 def _render_key(experiment_id: str, days: float, seed: int) -> str:
     """Artifact key of one experiment's rendered text.
 
@@ -441,21 +486,39 @@ def run_experiments_detailed(
     report can render every surviving result alongside a failures
     section.  See :class:`RunnerOptions` for the timeout/retry knobs.
     """
-    ids = resolve_ids(ids)
     n_jobs = 1 if jobs is None else int(jobs)
     if n_jobs < 1:
         raise ExperimentError(f"jobs must be a positive integer, got {jobs!r}")
     options = options or RunnerOptions()
 
-    cache = default_cache()
-    rendered: Dict[str, str] = {}
-    failed: Dict[str, ExperimentFailure] = {}
-    if cache.enabled:
-        for experiment_id in ids:
-            hit = cache.load(_render_key(experiment_id, days, seed))
-            if isinstance(hit, str):
-                rendered[experiment_id] = hit
-    pending = [i for i in ids if i not in rendered]
+    # On a cold multi-core run, trace generation starts in a worker
+    # *now*, overlapped with everything below that does not need the
+    # trace: the experiment-registry import inside resolve_ids and the
+    # whole-package source digest behind the render-key probe.
+    trace_worker = _start_trace_worker(days, seed) if n_jobs > 1 else None
+    try:
+        ids = resolve_ids(ids)
+
+        cache = default_cache()
+        rendered: Dict[str, str] = {}
+        failed: Dict[str, ExperimentFailure] = {}
+        if cache.enabled:
+            for experiment_id in ids:
+                hit = cache.load(_render_key(experiment_id, days, seed))
+                if isinstance(hit, str):
+                    rendered[experiment_id] = hit
+        pending = [i for i in ids if i not in rendered]
+    except Exception:
+        if trace_worker is not None:
+            trace_worker.terminate()
+            trace_worker.join(5.0)
+        raise
+
+    if trace_worker is not None:
+        # Join regardless of pending: the setup above is cheap, so this
+        # is where the parent actually waits out the integration.  A
+        # non-zero exit is fine — get_context regenerates inline.
+        trace_worker.join()
 
     if pending:
         # Warm the shared trace before any experiment runs.  Serially

@@ -21,6 +21,7 @@ from repro.simulation.hvac import HVACConfig, HVACPlant, HVACSchedule
 from repro.simulation.rc_network import RCNetwork, RCNetworkConfig
 from repro.simulation.simulator import (
     AuditoriumSimulator,
+    SimulationChunk,
     SimulationConfig,
     SimulationResult,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "RCNetwork",
     "RCNetworkConfig",
     "AuditoriumSimulator",
+    "SimulationChunk",
     "SimulationConfig",
     "SimulationResult",
     "MoistureBalance",

@@ -25,6 +25,13 @@ from repro.geometry import Auditorium, Point, ZoneGrid, default_auditorium
 from repro.simulation.calendar import EventCalendar, semester_calendar
 from repro.simulation.hvac import HVACConfig, HVACPlant
 from repro.simulation.integrator import euler_step, substep_count
+from repro.simulation.kernels import (
+    HeldInputDerivative,
+    KernelPlan,
+    SimulationChunk,
+    SimulationState,
+    build_kernels,
+)
 from repro.simulation.lighting import LightingModel
 from repro.simulation.occupancy import OccupancyModel
 from repro.simulation.humidity import MoistureBalance, MoistureConfig
@@ -34,6 +41,7 @@ from repro.simulation.weather import WeatherConfig, WeatherModel
 __all__ = [
     "SimulationConfig",
     "SimulationResult",
+    "SimulationChunk",
     "AuditoriumSimulator",
 ]
 
@@ -234,8 +242,255 @@ class AuditoriumSimulator:
         self._thermostat_positions = dict(sorted(thermostat_positions.items()))
         self.supervisory_controller = supervisory_controller
 
-    def run(self) -> SimulationResult:
-        """Execute the full simulation and return its trajectories."""
+    def _build_plan(self) -> KernelPlan:
+        """Precompute every loop-invariant quantity for one run.
+
+        Consumes the simulator's RNG streams in exactly the order the
+        monolithic loop did (weather, occupancy, thermostat noise,
+        controller noise), so the kernel and loop engines integrate
+        identical realizations.
+        """
+        cfg = self.config
+        n = cfg.n_steps
+        axis = TimeAxis(epoch=cfg.start, period=cfg.dt, count=n)
+        seconds = axis.seconds()
+        hours = axis.hours_of_day()
+
+        # Exogenous trajectories (precomputed, vectorized per event/day).
+        ambient = self.weather.trajectory(cfg.start, seconds)
+        occupancy_total, zone_occupancy = self.occupancy.trajectory(cfg.start, seconds)
+        lighting = self.lighting.trajectory(cfg.start, seconds)
+
+        # Thermostat measurement noise for the control loop.
+        noise_gen = rng_mod.derive(cfg.seed, "thermostat-control-noise")
+        tstat_noise = cfg.thermostat_noise * noise_gen.standard_normal((n, 2))
+        tstat_matrix = _tap_weight_matrix(
+            [
+                self.grid.interpolation_weights(pos)
+                for pos in self._thermostat_positions.values()
+            ],
+            self.grid.n_zones,
+        )
+
+        # Supervisory-controller sensor taps (if any): interpolation
+        # weights for its sensor positions plus independent reading noise.
+        controller_matrix = np.zeros((0, self.grid.n_zones))
+        controller_noise = np.zeros((n, 0))
+        if self.supervisory_controller is not None:
+            positions = list(self.supervisory_controller.positions())
+            controller_matrix = _tap_weight_matrix(
+                [self.grid.interpolation_weights(p) for p in positions], self.grid.n_zones
+            )
+            ctrl_gen = rng_mod.derive(cfg.seed, "controller-sensor-noise")
+            controller_noise = cfg.thermostat_noise * ctrl_gen.standard_normal(
+                (n, len(positions))
+            )
+
+        # Diffuser wiring: which VAVs feed each outlet, as gather indices.
+        diffusers = self.auditorium.diffusers
+        if not diffusers:
+            raise SimulationError("auditorium has no supply diffusers")
+        diffuser_idx = [
+            np.array([v - 1 for v in diffuser.vav_ids], dtype=np.intp) for diffuser in diffusers
+        ]
+        hcfg = self.plant.config
+        vcfg = hcfg.vav
+        front_full_flow = vcfg.max_flow * len(diffusers[0].vav_ids)
+
+        # Schedule and combined occupant+lighting heat, whole horizon.
+        schedule = hcfg.schedule
+        wrapped_hours = hours % 24.0
+        occupied = (schedule.on_hour <= wrapped_hours) & (wrapped_hours < schedule.off_hour)
+        zone_heat_w = self.network.config.occupant_heat * zone_occupancy
+        zone_heat_w = zone_heat_w + (
+            self.lighting.heat_watts * lighting / self.grid.n_zones
+        )[:, None]
+
+        substeps = substep_count(cfg.dt, self.network.max_stable_dt())
+        return KernelPlan(
+            n_steps=n,
+            dt=cfg.dt,
+            n_zones=self.grid.n_zones,
+            n_vavs=self.plant.n_vavs,
+            hours=hours,
+            occupied=occupied,
+            ambient=ambient,
+            occupancy_total=occupancy_total,
+            zone_occupancy=zone_occupancy,
+            lighting=lighting,
+            zone_heat_w=zone_heat_w,
+            tstat_matrix=tstat_matrix,
+            tstat_noise=tstat_noise,
+            controller_matrix=controller_matrix,
+            controller_noise=controller_noise,
+            supervisory_controller=self.supervisory_controller,
+            diffuser_idx=diffuser_idx,
+            front_idx=diffuser_idx[0],
+            front_full_flow=front_full_flow,
+            thermostat_draft=cfg.thermostat_draft,
+            blend=np.asarray(hcfg.thermostat_blend, dtype=float),
+            setpoint=hcfg.setpoint,
+            kp=hcfg.kp,
+            ki=hcfg.ki,
+            integrator_decay=float(np.exp(-cfg.dt / 7200.0)),
+            integrator_limit=0.7 / max(hcfg.ki, 1e-9),
+            standby_flow_cmd=float(
+                np.clip(
+                    vcfg.min_flow
+                    + hcfg.standby_flow_fraction * (vcfg.max_flow - vcfg.min_flow),
+                    vcfg.min_flow,
+                    vcfg.max_flow,
+                )
+            ),
+            vav_min_flow=vcfg.min_flow,
+            vav_max_flow=vcfg.max_flow,
+            vav_flow_span=vcfg.max_flow - vcfg.min_flow,
+            cold_deck_temp=float(
+                np.clip(vcfg.cold_deck_temp, vcfg.cold_deck_temp, vcfg.reheat_max_temp)
+            ),
+            reheat_max_temp=vcfg.reheat_max_temp,
+            alpha_flow=1.0 - np.exp(-cfg.dt / vcfg.flow_time_constant),
+            alpha_temp=1.0 - np.exp(-cfg.dt / vcfg.discharge_time_constant),
+            network=self.network,
+            substeps=substeps,
+            substep_h=cfg.dt / substeps,
+            room_volume=self.auditorium.volume,
+        )
+
+    def _initial_state(self, plan: KernelPlan) -> SimulationState:
+        """Reset the plant and build the cross-step kernel state."""
+        cfg = self.config
+        self.plant.reset()
+        zone_temps, mass_temps = self.network.initial_state(cfg.initial_temp)
+        moisture = MoistureBalance(
+            self.auditorium.volume, MoistureConfig(), initial_temp_c=cfg.initial_temp
+        )
+        n_diffusers = len(plan.diffuser_idx)
+        return SimulationState(
+            zone_temps=zone_temps,
+            mass_temps=mass_temps,
+            vav_flows=self.plant.flows(),
+            vav_discharge=self.plant.discharge_temps(),
+            pi_integrators=np.zeros(plan.n_vavs),
+            co2_ppm=OUTDOOR_CO2_PPM,
+            moisture=moisture,
+            diffuser_flows=np.zeros(n_diffusers),
+            diffuser_temps=np.zeros(n_diffusers),
+        )
+
+    def _writeback_plant(self, state: SimulationState) -> None:
+        """Leave the plant objects at the final VAV/PI state, exactly as
+        the monolithic loop does."""
+        for i, vav in enumerate(self.plant.vavs):
+            vav._flow = float(state.vav_flows[i])
+            vav._discharge_temp = float(state.vav_discharge[i])
+        self.plant._integrators[:] = state.pi_integrators
+
+    def iter_chunks(self, chunk_steps: Optional[int] = None):
+        """Generate the trace as a stream of :class:`SimulationChunk` slabs.
+
+        ``chunk_steps`` is the number of outer steps per chunk (default:
+        the whole trace as one chunk).  Concatenating the yielded chunks
+        is bit-identical to a single-shot :meth:`run` for any chunking —
+        the state threads across chunk boundaries and all RNG draws
+        happen up front.  Integrator-health contracts run per chunk, so
+        a blown-up Euler step is reported with the chunk it first
+        diverged in rather than at end-of-run.
+        """
+        plan = self._build_plan()
+        state = self._initial_state(plan)
+        kernels = build_kernels(plan, CO2_PER_PERSON, OUTDOOR_CO2_PPM, FRESH_AIR_FRACTION)
+        steps = [kernel.step for kernel in kernels]
+        n = plan.n_steps
+        size = n if chunk_steps is None else int(chunk_steps)
+        if size < 1:
+            raise ConfigurationError("chunk_steps must be at least 1")
+        for index, start in enumerate(range(0, n, size)):
+            stop = min(start + size, n)
+            chunk = SimulationChunk.allocate(index, start, stop, plan)
+            for k in range(start, stop):
+                row = k - start
+                for kernel_step in steps:
+                    kernel_step(state, k, row, chunk)
+            where = f"chunk {index}, steps {start}:{stop}"
+            ensure_finite(chunk.zone_temps, f"simulated zone temperatures ({where})")
+            ensure_finite(chunk.mass_temps, f"simulated mass temperatures ({where})")
+            ensure_unit_range(
+                chunk.zone_temps, -40.0, 70.0, f"simulated zone temperatures (°C) ({where})"
+            )
+            yield chunk
+        self._writeback_plant(state)
+
+    def assemble(self, chunks) -> SimulationResult:
+        """Concatenate :class:`SimulationChunk` slabs into a result.
+
+        Validates that the chunks tile ``0..n_steps`` contiguously;
+        works equally on freshly generated chunks and on chunks loaded
+        back from the artifact cache.
+        """
+        cfg = self.config
+        chunks = list(chunks)
+        if not chunks:
+            raise SimulationError("no simulation chunks to assemble")
+        expected = 0
+        for chunk in chunks:
+            if chunk.start != expected:
+                raise SimulationError(
+                    f"chunk {chunk.index} starts at step {chunk.start}, expected {expected}"
+                )
+            expected = chunk.stop
+        if expected != cfg.n_steps:
+            raise SimulationError(f"chunks cover {expected} steps, expected {cfg.n_steps}")
+
+        def cat(name: str) -> np.ndarray:
+            if len(chunks) == 1:
+                return getattr(chunks[0], name)
+            return np.concatenate([getattr(c, name) for c in chunks], axis=0)
+
+        out_zone = cat("zone_temps")
+        out_mass = cat("mass_temps")
+        ensure_finite(out_zone, "simulated zone temperatures")
+        ensure_finite(out_mass, "simulated mass temperatures")
+        ensure_unit_range(out_zone, -40.0, 70.0, "simulated zone temperatures (°C)")
+        return SimulationResult(
+            axis=TimeAxis(epoch=cfg.start, period=cfg.dt, count=cfg.n_steps),
+            zone_temps=out_zone,
+            mass_temps=out_mass,
+            vav_flows=cat("vav_flows"),
+            vav_temps=cat("vav_temps"),
+            occupancy=cat("occupancy"),
+            zone_occupancy=cat("zone_occupancy"),
+            lighting=cat("lighting"),
+            ambient=cat("ambient"),
+            co2=cat("co2"),
+            humidity_ratio=cat("humidity_ratio"),
+            thermostat_readings=cat("thermostat_readings"),
+            thermostat_true=cat("thermostat_true"),
+            auditorium=self.auditorium,
+            grid=self.grid,
+            config=cfg,
+            calendar=self.calendar,
+        )
+
+    def run(self, chunk_steps: Optional[int] = None) -> SimulationResult:
+        """Execute the full simulation and return its trajectories.
+
+        ``chunk_steps`` selects the chunked driver (same output, bounded
+        working set per chunk); the default generates the whole trace as
+        one chunk.
+        """
+        return self.assemble(list(self.iter_chunks(chunk_steps)))
+
+    def run_loop(self) -> SimulationResult:
+        """Reference implementation: the original monolithic per-step loop.
+
+        Kept as the numerical ground truth the kernel engine is tested
+        against (and as the ``--engine loop`` baseline in the
+        benchmarks).  The per-step ``derivative`` closure and the
+        Python-level front-diffuser ``sum``/``np.mean`` reductions are
+        hoisted out of the loop; every remaining operation — and the
+        whole RNG draw order — is unchanged.
+        """
         cfg = self.config
         n = cfg.n_steps
         axis = TimeAxis(epoch=cfg.start, period=cfg.dt, count=n)
@@ -276,6 +531,10 @@ class AuditoriumSimulator:
         diffusers = self.auditorium.diffusers
         if not diffusers:
             raise SimulationError("auditorium has no supply diffusers")
+        diffuser_idx = [
+            np.array([v - 1 for v in diffuser.vav_ids], dtype=np.intp) for diffuser in diffusers
+        ]
+        front_idx = diffuser_idx[0]
 
         self.plant.reset()
         zone_temps, mass_temps = self.network.initial_state(cfg.initial_temp)
@@ -298,18 +557,20 @@ class AuditoriumSimulator:
         front_diffuser = diffusers[0]
         vav_max_flow = self.plant.config.vav.max_flow
         front_full_flow = vav_max_flow * len(front_diffuser.vav_ids)
+        # Hoisted: VAV state as arrays (refreshed from plant.step's own
+        # return values) and one reusable zero-order-hold derivative,
+        # replacing the per-step object reductions and closure.
+        flows_now = self.plant.flows()
+        discharge_now = self.plant.discharge_temps()
+        held = HeldInputDerivative(self.network)
 
         for k in range(n):
             # 1. Thermostats sample the true field.  They hang inside
             # the front diffuser's plume, so their reading mixes in a
             # flow-proportional share of the discharge air.
             tstat = tstat_matrix @ zone_temps
-            front_flow = float(
-                sum(self.plant.vavs[v - 1].flow for v in front_diffuser.vav_ids)
-            )
-            front_discharge = float(
-                np.mean([self.plant.vavs[v - 1].discharge_temp for v in front_diffuser.vav_ids])
-            )
+            front_flow = float(flows_now[front_idx].sum())
+            front_discharge = float(discharge_now[front_idx].mean())
             plume = cfg.thermostat_draft * min(front_flow / front_full_flow, 1.0)
             tstat = (1.0 - plume) * tstat + plume * front_discharge
             out_tstat_true[k] = tstat
@@ -334,12 +595,13 @@ class AuditoriumSimulator:
             )
             out_flows[k] = flows
             out_vav_temps[k] = discharge
+            flows_now = flows
+            discharge_now = discharge
 
             # 3. Aggregate VAVs onto their diffusers.
             diffuser_flows = np.zeros(len(diffusers))
             diffuser_temps = np.zeros(len(diffusers))
-            for d, diffuser in enumerate(diffusers):
-                ids = [v - 1 for v in diffuser.vav_ids]
+            for d, ids in enumerate(diffuser_idx):
                 f = flows[ids].sum()
                 diffuser_flows[d] = f
                 diffuser_temps[d] = (
@@ -352,13 +614,14 @@ class AuditoriumSimulator:
 
             # 4. Integrate the thermal network over the step.
             ambient_k = float(ambient[k])
-
-            def derivative(z, m, _flow_kgs=zone_flow, _st=zone_supply_temp_c, _q=zone_heat_w, _amb=ambient_k):
-                return self.network.derivatives(z, m, _flow_kgs, _st, _q, _amb)
+            held.flow_kgs = zone_flow
+            held.supply_temp_c = zone_supply_temp_c
+            held.heat_w = zone_heat_w
+            held.ambient_c = ambient_k
 
             out_zone[k] = zone_temps
             out_mass[k] = mass_temps
-            zone_temps, mass_temps = euler_step(derivative, zone_temps, mass_temps, cfg.dt, substeps)
+            zone_temps, mass_temps = euler_step(held, zone_temps, mass_temps, cfg.dt, substeps)
 
             # 5. Well-mixed CO₂ balance (fresh-air fraction of supply flow).
             fresh_flow = FRESH_AIR_FRACTION * diffuser_flows.sum()

@@ -5,7 +5,9 @@ recorded dataset; this package runs the same mathematics against a tick
 stream:
 
 * :mod:`repro.streaming.ingest` — replay a dataset (or CSV) as
-  timestamped ticks and gate each reading for physical plausibility.
+  timestamped ticks, or stream them live off the chunked simulator
+  through an event-level sensing model (:class:`LiveSimSource`), and
+  gate each reading for physical plausibility and staleness.
 * :mod:`repro.streaming.rls` — recursive least squares maintaining the
   Eq. 1 / Eq. 2 parameter vectors incrementally; on a static stream the
   final weights match the batch fit to numerical precision.
@@ -30,6 +32,7 @@ from repro.streaming.drift import (
 from repro.streaming.ingest import (
     GatedTick,
     GateThresholds,
+    LiveSimSource,
     ReplaySource,
     StreamTick,
     TickGate,
@@ -49,6 +52,7 @@ from repro.streaming.state import load_snapshot, save_snapshot, snapshot_key
 __all__ = [
     "StreamTick",
     "ReplaySource",
+    "LiveSimSource",
     "GateThresholds",
     "GatedTick",
     "TickGate",

@@ -13,15 +13,19 @@ Sources are plain iterables of :class:`StreamTick`.
 :class:`repro.data.dataset.AuditoriumDataset` (synthetic or loaded from
 CSV via :meth:`ReplaySource.from_csv`) in timestamp order, which is how
 the experiments and the ``repro stream`` / ``repro serve`` CLI drive the
-online layer; a live deployment would substitute any iterator yielding
-the same tick type.
+online layer.  :class:`LiveSimSource` skips the batch assembly entirely:
+it drives the chunked simulator (:meth:`AuditoriumSimulator.iter_chunks`)
+and pushes each chunk through an event-level sensing model —
+report-on-change transmission, packet loss and outages — so the ticks it
+yields carry the *age* of each last-delivered packet and the gate is
+exercised against staleness and transmission loss, not just plausibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +35,7 @@ from repro.errors import StreamingError
 __all__ = [
     "StreamTick",
     "ReplaySource",
+    "LiveSimSource",
     "GateThresholds",
     "GatedTick",
     "TickGate",
@@ -44,12 +49,18 @@ class StreamTick:
     ``temperatures`` holds one reading per streamed sensor (NaN when the
     sensor sent nothing this tick); ``inputs`` is the paper's input
     vector ``u(k)`` = [VAV flows, occupancy, lighting, ambient].
+    ``age_s``, when the source knows it, is the time in seconds since
+    each sensor's reading was actually *delivered* — a live source whose
+    sensors report on change holds the last delivered value between
+    packets, so an old reading can look perfectly plausible while being
+    stale.  Replay sources leave it ``None``.
     """
 
     index: int
     seconds: float
     temperatures: np.ndarray
     inputs: np.ndarray
+    age_s: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -58,6 +69,11 @@ class StreamTick:
         object.__setattr__(self, "inputs", np.asarray(self.inputs, dtype=float))
         if self.temperatures.ndim != 1 or self.inputs.ndim != 1:
             raise StreamingError("tick temperatures and inputs must be 1-D vectors")
+        if self.age_s is not None:
+            ages = np.asarray(self.age_s, dtype=float)
+            if ages.shape != self.temperatures.shape:
+                raise StreamingError("age_s must align with temperatures")
+            object.__setattr__(self, "age_s", ages)
 
 
 class ReplaySource:
@@ -117,6 +133,270 @@ class ReplaySource:
             )
 
 
+class LiveSimSource:
+    """Ticks straight off the chunked simulator, through live sensing.
+
+    The replay path materializes a complete dataset before the first
+    tick exists.  This source instead drives
+    :meth:`repro.simulation.simulator.AuditoriumSimulator.iter_chunks`
+    and converts each :class:`SimulationChunk` to ticks as it lands, so
+    the online pipeline runs against a trace that is still being
+    generated — nothing paper-scale is ever held in memory at once.
+
+    Sensing is modeled at the *event* level, before any resampling:
+    each near-ground wireless unit quantizes its biased, noisy reading
+    and transmits report-on-change packets plus heartbeats
+    (:class:`repro.sensing.sensor.SensorModel` semantics, with
+    report/heartbeat state carried across chunk boundaries); packets
+    then pass through per-packet loss, per-sensor radio *fade* windows
+    (minutes-to-hours of multipath/interference silence, the process
+    behind the paper's per-sensor gaps) and seeded base-station/server
+    outage windows (:mod:`repro.sensing.network`).  A tick reports each
+    sensor's last *delivered* value together with its age in seconds
+    (:attr:`StreamTick.age_s`), which is what lets :class:`TickGate`
+    quarantine stale-but-plausible readings during loss bursts and
+    outages.  Inputs (VAV flows, occupancy, lighting, ambient) come from
+    the simulator truth at the tick step, like the HVAC portal's wired
+    path.
+
+    Iteration is deterministic and repeatable: all randomness is
+    re-derived from the configured seed on every ``__iter__``.
+    """
+
+    def __init__(
+        self,
+        config: Optional["SimulationConfig"] = None,
+        chunk_steps: Optional[int] = None,
+        tick_period_s: float = 900.0,
+        readout: Optional["SensorReadoutConfig"] = None,
+        network: Optional["NetworkConfig"] = None,
+        seed: Optional[int] = None,
+        fade_every_days: float = 1.0,
+        fade_minutes: Tuple[float, float] = (20.0, 90.0),
+    ) -> None:
+        """Bind the source to a simulation and a sensing configuration.
+
+        ``tick_period_s`` (default 900 s, the paper's 15-minute
+        resolution) must be a whole multiple of the simulation step;
+        ``chunk_steps`` defaults to one simulated day per chunk.
+        ``fade_every_days``/``fade_minutes`` shape the per-sensor radio
+        fade process (mean spacing and log-uniform duration range of
+        windows where that unit's packets are all lost); set
+        ``fade_every_days=0`` to disable fading.
+        """
+        from repro.geometry.layout import default_sensor_layout
+        from repro.sensing.network import NetworkConfig, draw_outages
+        from repro.sensing.sensor import SensorModel, SensorReadoutConfig
+        from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig
+        from repro import rng as rng_mod
+
+        self.sim_config = config or SimulationConfig()
+        self.simulator = AuditoriumSimulator(self.sim_config)
+        self.readout = readout or SensorReadoutConfig()
+        self.network_config = network or NetworkConfig()
+        self._seed = self.sim_config.seed if seed is None else int(seed)
+        self._rng_mod = rng_mod
+
+        dt = float(self.sim_config.dt)
+        stride = int(round(tick_period_s / dt))
+        if stride < 1 or abs(stride * dt - tick_period_s) > 1e-9:
+            raise StreamingError(
+                f"tick period {tick_period_s} s is not a whole multiple of "
+                f"the simulation step ({dt} s)"
+            )
+        self.tick_period_s = float(tick_period_s)
+        self._stride = stride
+        self.chunk_steps = (
+            int(chunk_steps) if chunk_steps is not None else max(1, int(round(86400.0 / dt)))
+        )
+        if self.chunk_steps < 1:
+            raise StreamingError("chunk_steps must be >= 1")
+
+        # The streamed units: reliable near-ground wireless sensors (the
+        # same population the batch pre-processing keeps, minus the
+        # wired thermostats — this source models the wireless path).
+        layout = default_sensor_layout()
+        self._specs = [
+            spec
+            for _, spec in sorted(layout.items())
+            if spec.near_ground and not spec.is_thermostat and spec.fault is None
+        ]
+        self._models = [
+            SensorModel(spec, self.readout, seed=self._seed) for spec in self._specs
+        ]
+
+        # Per-sensor zone interpolation (weights + stratification offset)
+        # precomputed once; truth per chunk is then one matmul.
+        grid = self.simulator.grid
+        n_zones = grid.n_zones
+        weights = np.zeros((len(self._specs), n_zones))
+        offsets = np.zeros(len(self._specs))
+        for s, spec in enumerate(self._specs):
+            for zone, w in grid.interpolation_weights(spec.position):
+                weights[s, zone] += w
+            offsets[s] = 0.25 * (spec.position.z - 1.1)
+        self._weights = weights
+        self._offsets = offsets
+
+        duration = self.sim_config.n_steps * dt
+        #: Seeded outage windows the whole run will experience.
+        self.outages = draw_outages(
+            max(duration, dt), self.network_config, seed=rng_mod.derive(self._seed, "live-outages")
+        )
+        if fade_every_days < 0:
+            raise StreamingError("fade_every_days must be >= 0")
+        lo, hi = fade_minutes
+        if not 0.0 < lo <= hi:
+            raise StreamingError("fade_minutes must satisfy 0 < lo <= hi")
+        #: Per-sensor radio fade windows, aligned with ``sensor_ids``.
+        self.fade_windows: List[List[Tuple[float, float]]] = [
+            self._draw_fades(spec.sensor_id, duration, fade_every_days, fade_minutes)
+            for spec in self._specs
+        ]
+
+    def _draw_fades(
+        self,
+        sensor_id: int,
+        duration_s: float,
+        every_days: float,
+        minutes: Tuple[float, float],
+    ) -> List[Tuple[float, float]]:
+        """Seeded renewal process of one unit's radio fade windows."""
+        if every_days <= 0:
+            return []
+        gen = self._rng_mod.derive(self._seed, "live-fade", index=sensor_id)
+        log_lo, log_hi = np.log(minutes[0]), np.log(minutes[1])
+        windows: List[Tuple[float, float]] = []
+        t = 0.0
+        while True:
+            t += float(gen.exponential(every_days * 86400.0))
+            if t >= duration_s:
+                break
+            length = float(np.exp(gen.uniform(log_lo, log_hi))) * 60.0
+            windows.append((t, min(t + length, duration_s)))
+            t += length
+        return windows
+
+    @property
+    def sensor_ids(self) -> Tuple[int, ...]:
+        """Streamed sensor ids, in column order (mirrors ReplaySource)."""
+        return tuple(spec.sensor_id for spec in self._specs)
+
+    @property
+    def channels(self) -> InputChannels:
+        """Input-channel layout of the yielded ticks."""
+        return InputChannels(n_vavs=self.simulator.plant.n_vavs)
+
+    def default_thresholds(self) -> GateThresholds:
+        """Gate limits suited to this source: staleness armed.
+
+        ``max_age_s`` is set to 1.5 heartbeat periods — a healthy unit
+        is heard from at least once per heartbeat, so one and a half
+        periods of silence means delivery is failing (loss or outage),
+        not that the room is steady.
+        """
+        return GateThresholds(max_age_s=1.5 * self.readout.heartbeat_period)
+
+    def __len__(self) -> int:
+        """Number of ticks the source will yield."""
+        n_steps = self.sim_config.n_steps
+        return (n_steps + self._stride - 1) // self._stride
+
+    def __iter__(self) -> Iterator[StreamTick]:
+        rng_mod = self._rng_mod
+        dt = float(self.sim_config.dt)
+        stride = self._stride
+        n_sensors = len(self._specs)
+        threshold = self.readout.report_threshold - 1e-12
+        quant = self.readout.quantization
+        period = self.readout.heartbeat_period
+        loss = self.network_config.packet_loss
+
+        noise_gens = [
+            rng_mod.derive(self._seed, "live-sensor-noise", index=spec.sensor_id)
+            for spec in self._specs
+        ]
+        loss_gens = [
+            rng_mod.derive(self._seed, "live-packet-loss", index=spec.sensor_id)
+            for spec in self._specs
+        ]
+
+        # Carried across chunk boundaries: the last transmitted quantized
+        # value and heartbeat index (transmission state), and the last
+        # *delivered* value and its wall-clock time (what a base station
+        # would actually know).
+        prev_quantized = np.full(n_sensors, np.nan)
+        prev_beat = np.full(n_sensors, -np.inf)
+        held_value = np.full(n_sensors, np.nan)
+        held_time = np.full(n_sensors, -np.inf)
+
+        tick_index = 0
+        for chunk in self.simulator.iter_chunks(self.chunk_steps):
+            times = np.arange(chunk.start, chunk.stop, dtype=float) * dt
+            truth = chunk.zone_temps @ self._weights.T + self._offsets
+
+            delivered: List[Tuple[np.ndarray, np.ndarray]] = []
+            cursors = [0] * n_sensors
+            for s, model in enumerate(self._models):
+                readings = (
+                    truth[:, s]
+                    + model.bias
+                    + self.readout.noise_sigma * noise_gens[s].standard_normal(times.shape)
+                )
+                quantized = np.round(readings / quant) * quant
+
+                prev = prev_quantized[s]
+                if np.isnan(prev):
+                    prev = np.inf  # nothing sent yet: first sample always reports
+                mask = (
+                    np.abs(np.diff(np.concatenate(([prev], quantized)))) >= threshold
+                )
+                phase = (model.sensor_id * 137.0) % period
+                beat = np.floor((times - phase) / period)
+                mask |= np.diff(np.concatenate(([prev_beat[s]], beat))) > 0
+                prev_quantized[s] = quantized[-1]
+                prev_beat[s] = beat[-1]
+
+                report_times = times[mask]
+                report_values = quantized[mask]
+                keep = self.outages.wireless_keep_mask(report_times)
+                for lo_t, hi_t in self.fade_windows[s]:
+                    keep &= (report_times < lo_t) | (report_times >= hi_t)
+                keep &= loss_gens[s].random(report_times.shape) >= loss
+                delivered.append((report_times[keep], report_values[keep]))
+
+            first = chunk.start + (-chunk.start) % stride
+            for k in range(first, chunk.stop, stride):
+                t = k * dt
+                row = k - chunk.start
+                for s in range(n_sensors):
+                    d_times, d_values = delivered[s]
+                    i = cursors[s]
+                    while i < d_times.size and d_times[i] <= t:
+                        held_value[s] = d_values[i]
+                        held_time[s] = d_times[i]
+                        i += 1
+                    cursors[s] = i
+                inputs = np.concatenate(
+                    (
+                        chunk.vav_flows[row],
+                        (
+                            float(chunk.occupancy[row]),
+                            float(chunk.lighting[row]),
+                            float(chunk.ambient[row]),
+                        ),
+                    )
+                )
+                yield StreamTick(
+                    index=tick_index,
+                    seconds=t,
+                    temperatures=held_value.copy(),
+                    inputs=inputs,
+                    age_s=t - held_time,
+                )
+                tick_index += 1
+
+
 @dataclass(frozen=True)
 class GateThresholds:
     """Per-tick plausibility limits of the ingestion gate.
@@ -127,6 +407,13 @@ class GateThresholds:
     is quarantined.  ``max_step_c`` only applies between *consecutive*
     accepted ticks — after a gap the comparison value is stale, so the
     first reading back is judged on range alone.
+
+    ``max_age_s`` additionally quarantines *stale* readings when the
+    source reports packet ages (:attr:`StreamTick.age_s`): a
+    report-on-change sensor whose packets are being lost keeps showing
+    its last delivered value, which is plausible but no longer current.
+    ``None`` (the default) disables the check, which is the right thing
+    for replay sources that do not track delivery times.
     """
 
     #: Plausible reading range for an indoor unit, °C.
@@ -134,12 +421,16 @@ class GateThresholds:
     max_plausible_c: float = 60.0
     #: Largest credible change between consecutive ticks, °C.
     max_step_c: float = 10.0
+    #: Oldest acceptable last-delivered packet, seconds (None: no check).
+    max_age_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.min_plausible_c < self.max_plausible_c:
             raise StreamingError("need min_plausible_c < max_plausible_c")
         if self.max_step_c <= 0:
             raise StreamingError("max_step_c must be positive")
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise StreamingError("max_age_s must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -185,6 +476,8 @@ class TickGate:
         self._last_index = np.full(len(self.sensor_ids), -(10**9), dtype=int)
         self.n_ticks = 0
         self.n_quarantined_readings = 0
+        #: Quarantines by category: ``"range"``, ``"step"``, ``"stale"``.
+        self.reason_counts: Dict[str, int] = {}
 
     def reset(self) -> None:
         """Forget all per-sensor history (e.g. after a restore)."""
@@ -201,22 +494,38 @@ class TickGate:
             )
         limits = self.thresholds
         ok = np.isfinite(temps)
+        ages = tick.age_s if limits.max_age_s is not None else None
         quarantined: Dict[int, str] = {}
         for col, sid in enumerate(self.sensor_ids):
             if not ok[col]:
                 continue  # a missing reading is a gap, not a quarantine
             value = float(temps[col])
             reason = None
-            if not limits.min_plausible_c <= value <= limits.max_plausible_c:
+            category = None
+            if ages is not None and np.isfinite(ages[col]) and ages[col] > limits.max_age_s:
+                # The held value may be perfectly plausible — the problem
+                # is that nothing has been *delivered* for too long
+                # (packet loss or an outage), so it no longer tracks the
+                # room.  Acceptance state is left untouched: the sensor
+                # has not produced fresh data.
+                reason = (
+                    f"stale reading: {ages[col]:.0f} s since last delivered "
+                    f"packet (transmission loss or outage)"
+                )
+                category = "stale"
+            elif not limits.min_plausible_c <= value <= limits.max_plausible_c:
                 reason = f"reading {value:.1f} degC outside plausible range"
+                category = "range"
             elif self._last_index[col] == tick.index - 1:
                 step = abs(value - self._last_value[col])
                 if step > limits.max_step_c:
                     reason = f"implausible step of {step:.1f} degC in one tick"
+                    category = "step"
             if reason is not None:
                 ok[col] = False
                 quarantined[sid] = reason
                 self.n_quarantined_readings += 1
+                self.reason_counts[category] = self.reason_counts.get(category, 0) + 1
             else:
                 self._last_value[col] = value
                 self._last_index[col] = tick.index
