@@ -1,6 +1,6 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test lint bench bench-quick bench-json report examples stream-demo clean
+.PHONY: install test lint analyze bench bench-quick bench-json report examples stream-demo clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,14 @@ lint:
 	else echo "ruff not installed; skipping"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping"; fi
+
+# Whole-program analysis (RL1xx units-flow, RL2xx cache-key
+# completeness, RL3xx determinism, RL4xx contracts coverage) against
+# the checked-in baseline.  Fails on any non-baselined finding and on
+# stale baseline entries (fixed findings must shrink the baseline:
+# python -m repro_lint --analyze --write-baseline).
+analyze:
+	python -m repro_lint --analyze --fail-stale --report analysis_report.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,42 @@
+"""Cache-key corpus (bad): incomplete keys must be flagged."""
+
+from dataclasses import dataclass
+
+from repro.core.artifacts import artifact_key, fingerprint
+
+
+@dataclass(frozen=True)
+class PartialKeyConfig:
+    """RL201: ``noise`` never reaches the hand-written key."""
+
+    days: float = 98.0
+    seed: int = 0
+    noise: float = 0.15  # expect: RL201
+
+    def cache_key(self) -> str:
+        """Hand-written tuple that silently omits a field."""
+        return "{}|{}".format(self.days, self.seed)
+
+
+def simulate(config: PartialKeyConfig, scale: float) -> float:
+    """Underlying producer: consumes config *and* scale."""
+    return config.days * scale
+
+
+def simulate_cached(config: PartialKeyConfig, scale: float) -> float:  # expect: RL202
+    """RL202: ``scale`` shapes the result but never enters the key."""
+    key = artifact_key("sim", {"config": fingerprint(config)})
+    assert key
+    return simulate(config, scale)
+
+
+def analyze(config: PartialKeyConfig) -> float:
+    """Consumes days *and* noise."""
+    return config.days * config.noise
+
+
+def analyze_cached(config: PartialKeyConfig) -> float:  # expect: RL202
+    """RL202: payload keys only config.days; analyze() also reads noise."""
+    key = artifact_key("an", {"days": config.days})
+    assert key
+    return analyze(config)

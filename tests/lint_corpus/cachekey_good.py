@@ -1,0 +1,42 @@
+"""Cache-key corpus (good): complete or audited keys pass."""
+
+from dataclasses import dataclass
+
+from repro.core.artifacts import artifact_key, fingerprint
+
+
+@dataclass(frozen=True)
+class WholeKeyConfig:
+    """fingerprint(self) covers every field, present and future."""
+
+    days: float = 98.0
+    noise: float = 0.15
+
+    def cache_key(self) -> str:
+        """Whole-object key."""
+        return fingerprint(self)
+
+
+@dataclass(frozen=True)
+class ExemptKeyConfig:
+    """Field-by-field key with an explicit audited exemption."""
+
+    # repro-lint: key-covers=label
+    days: float = 98.0
+    label: str = "display-only"
+
+    def cache_key(self) -> str:
+        """label is presentation-only; exempted above."""
+        return "{}".format(self.days)
+
+
+def produce(config: WholeKeyConfig) -> float:
+    """Producer."""
+    return config.days
+
+
+def produce_cached(config: WholeKeyConfig) -> float:
+    """Whole-object fingerprint in the payload covers everything."""
+    key = artifact_key("p", {"config": fingerprint(config)})
+    assert key
+    return produce(config)

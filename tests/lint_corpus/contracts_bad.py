@@ -1,0 +1,20 @@
+"""Contracts corpus (bad): public array seams without runtime contracts.
+
+The corpus driver places this module under ``repro.sysid`` so the
+seam-package scoping of RL401 applies.
+"""
+
+import numpy as np
+
+
+def raw_seam(values: np.ndarray) -> np.ndarray:  # expect: RL401
+    """Returns an array with no contract check."""
+    return values * 2.0
+
+
+class PublicModel:
+    """Seam class whose methods return arrays."""
+
+    def step(self, state: np.ndarray) -> np.ndarray:  # expect: RL401
+        """Method seam without a contract."""
+        return state + 1.0

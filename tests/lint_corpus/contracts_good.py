@@ -1,0 +1,36 @@
+"""Contracts corpus (good): decorated, checked, private, abstract, or waived."""
+
+import abc
+
+import numpy as np
+
+from repro.contracts import check_shapes, ensure_finite
+
+
+@check_shapes(values="n p", ret="n p")
+def decorated_seam(values: np.ndarray) -> np.ndarray:
+    """Contract via the check_shapes decorator."""
+    return values * 2.0
+
+
+def checked_seam(values: np.ndarray) -> np.ndarray:
+    """Contract via ensure_finite on the result."""
+    return ensure_finite(values * 2.0, "values")
+
+
+def _helper(values: np.ndarray) -> np.ndarray:
+    """Private helpers are exempt; contracts guard the public seams."""
+    return values
+
+
+def waived_seam(values: np.ndarray) -> np.ndarray:  # repro-lint: disable=RL401
+    """Explicitly waived seam."""
+    return values
+
+
+class AbstractSeam(abc.ABC):
+    """Abstract declarations have no body to check."""
+
+    @abc.abstractmethod
+    def step(self, state: np.ndarray) -> np.ndarray:
+        """Implementations carry the contract."""

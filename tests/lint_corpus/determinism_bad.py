@@ -1,0 +1,37 @@
+"""Determinism corpus (bad): entropy, wall clocks, set ordering."""
+
+import time
+from datetime import datetime
+
+from numpy.random import default_rng
+
+
+def entropy_seeded() -> float:
+    """RL301: unseeded generator pulls OS entropy."""
+    rng = default_rng()  # expect: RL301
+    return float(rng.random())
+
+
+def stamp() -> float:
+    """RL302: wall-clock reads leak into results."""
+    datetime.now()  # expect: RL302
+    return time.time()  # expect: RL302
+
+
+def freeze_order(ids) -> list:
+    """RL303: list() over a set bakes in hash order."""
+    pending = set(ids)
+    return list(pending)  # expect: RL303
+
+
+def iterate(ids) -> list:
+    """RL303: for-loop over a set expression."""
+    out = []
+    for sensor in {1, 2, 3} - set(ids):  # expect: RL303
+        out.append(sensor)
+    return out
+
+
+def waived_iteration(ids) -> list:
+    """A suppressed RL303 must not be reported."""
+    return list(set(ids))  # repro-lint: disable=RL303

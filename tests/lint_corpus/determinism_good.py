@@ -1,0 +1,28 @@
+"""Determinism corpus (good): seeded, monotonic, ordered."""
+
+import time
+
+from numpy.random import default_rng
+
+
+def seeded(seed: int) -> float:
+    """Seeded generator is reproducible."""
+    return float(default_rng(seed).random())
+
+
+def durations() -> float:
+    """perf_counter measures durations; it never lands in artifacts."""
+    started = time.perf_counter()
+    return time.perf_counter() - started
+
+
+def ordered(ids) -> list:
+    """sorted() fixes the iteration order."""
+    pending = set(ids)
+    return sorted(pending)
+
+
+def insensitive(ids) -> int:
+    """len/min/max are order-insensitive set consumers."""
+    pending = set(ids)
+    return len(pending) + min(pending)

@@ -1,0 +1,51 @@
+"""Units-flow corpus (bad): every ``# expect:`` line must be flagged."""
+
+
+def mix_add(timeout_s: float, interval_min: float) -> float:
+    """RL101: seconds + minutes."""
+    return timeout_s + interval_min  # expect: RL101
+
+
+def mix_compare(age_s: float, limit_min: float) -> bool:
+    """RL101: comparison across units."""
+    return age_s > limit_min  # expect: RL101
+
+
+def mix_aug(total_s: float, extra_min: float) -> float:
+    """RL101: augmented assignment across units."""
+    total_s += extra_min  # expect: RL101
+    return total_s
+
+
+def flows_through_locals(timeout_s: float) -> float:
+    """RL101 through a local rebind: the environment carries the unit."""
+    total = timeout_s + 0.5
+    budget_min = 3.0
+    return total + budget_min  # expect: RL101
+
+
+def rebind_change(delay_s: float) -> float:
+    """RL102: rebind changes the unit."""
+    wait_min = delay_s  # expect: RL102
+    return wait_min
+
+
+def rebind_drop(supply_temp_c: float) -> float:
+    """RL102: quantity name drops the suffix."""
+    temp = supply_temp_c  # expect: RL102
+    return temp
+
+
+def takes_minutes(interval_min: float) -> float:
+    """Callee with a minute-suffixed parameter."""
+    return interval_min * 60.0
+
+
+def call_mismatch(timeout_s: float) -> float:
+    """RL103: seconds passed to a minutes parameter (positional)."""
+    return takes_minutes(timeout_s)  # expect: RL103
+
+
+def call_mismatch_kw(timeout_s: float) -> float:
+    """RL103: seconds passed to a minutes parameter (keyword)."""
+    return takes_minutes(interval_min=timeout_s)  # expect: RL103

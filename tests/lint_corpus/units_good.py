@@ -1,0 +1,30 @@
+"""Units-flow corpus (good): nothing in this module may be flagged."""
+
+import numpy as np
+
+
+def convert(interval_min: float) -> float:
+    """Multiplication legitimately changes the unit."""
+    interval_s = interval_min * 60.0
+    return interval_s
+
+
+def same_unit(room_temp_c: float, wall_temp_c: float) -> float:
+    """Same-suffix arithmetic is fine."""
+    return room_temp_c - wall_temp_c
+
+
+def math_indices(t_k: float, delta: float) -> float:
+    """Single-letter stems are math indices (T at step k), not kelvin."""
+    return t_k + delta
+
+
+def dimensionless(timeout_s: float, count: int) -> float:
+    """Unknown/dimensionless operands never conflict."""
+    return timeout_s + count
+
+
+def transparent(temps_c: np.ndarray) -> float:
+    """numpy reductions preserve the unit without flagging."""
+    peak_c = np.nanmax(temps_c)
+    return float(peak_c)

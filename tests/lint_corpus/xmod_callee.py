@@ -1,0 +1,6 @@
+"""Cross-module corpus: callee with unit-suffixed parameters."""
+
+
+def scale_power(load_kw: float, factor: float = 1.0) -> float:
+    """kW-suffixed parameter, resolved from another module."""
+    return load_kw * factor

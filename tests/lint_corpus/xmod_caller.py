@@ -1,0 +1,13 @@
+"""Cross-module corpus: caller passing the wrong unit across modules."""
+
+from repro.xmod_callee import scale_power
+
+
+def misuse(load_w: float) -> float:
+    """RL103 resolved through the project symbol tables."""
+    return scale_power(load_w)  # expect: RL103
+
+
+def correct(load_kw: float) -> float:
+    """Matching units pass."""
+    return scale_power(load_kw)

@@ -1,0 +1,360 @@
+"""Tests for the whole-program analysis pack (tools/repro_lint/analysis).
+
+The heart of the suite is the corpus under ``tests/lint_corpus``: each
+``*_bad.py`` file marks every line that must be flagged with an inline
+``# expect: <CODE>`` comment, and each ``*_good.py`` file must produce
+no findings at all.  The driver loads the whole corpus as one project
+(so cross-module resolution is exercised) and compares the finding set
+``(file, line, code)`` exactly against the markers.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro_lint.analysis import analyze_project, analyzer_codes
+from repro_lint.analysis.baseline import (
+    baseline_entry,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro_lint.analysis.dataflow import suffix_of
+from repro_lint.analysis.project import Project
+from repro_lint.engine import Violation
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CORPUS = Path(__file__).resolve().parent / "lint_corpus"
+
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z0-9, ]+)")
+
+
+def corpus_destination(name):
+    """Relative placement of a corpus file inside the fake repro package.
+
+    The contracts corpus must land in a seam package (``repro.sysid``)
+    for RL401's scoping to apply; everything else sits at package root.
+    """
+    if name.startswith("contracts_"):
+        return Path("sysid") / name
+    return Path(name)
+
+
+@pytest.fixture(scope="module")
+def corpus_project(tmp_path_factory):
+    root = tmp_path_factory.mktemp("corpus")
+    for src_file in sorted(CORPUS.glob("*.py")):
+        dest = root / "src" / "repro" / corpus_destination(src_file.name)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(src_file.read_text(encoding="utf-8"), encoding="utf-8")
+    project, errors = Project.load([root / "src"])
+    assert errors == []
+    return root, project
+
+
+def expected_markers():
+    expected = set()
+    for src_file in sorted(CORPUS.glob("*.py")):
+        rel = corpus_destination(src_file.name).as_posix()
+        for lineno, line in enumerate(
+            src_file.read_text(encoding="utf-8").splitlines(), 1
+        ):
+            match = _EXPECT.search(line)
+            if match:
+                for code in match.group(1).replace(",", " ").split():
+                    expected.add((rel, lineno, code))
+    return expected
+
+
+def relative_findings(root, violations):
+    base = root / "src" / "repro"
+    return {
+        (Path(v.path).relative_to(base).as_posix(), v.line, v.code)
+        for v in violations
+    }
+
+
+# ---------------------------------------------------------------------------
+# Corpus: exact codes and lines
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_markers_exist():
+    expected = expected_markers()
+    assert expected, "corpus lost its # expect markers"
+    assert {code for _, _, code in expected} == {
+        "RL101",
+        "RL102",
+        "RL103",
+        "RL201",
+        "RL202",
+        "RL301",
+        "RL302",
+        "RL303",
+        "RL401",
+    }
+
+
+def test_corpus_findings_match_markers_exactly(corpus_project):
+    root, project = corpus_project
+    actual = relative_findings(root, analyze_project(project))
+    assert actual == expected_markers()
+
+
+def test_good_corpus_files_are_clean(corpus_project):
+    root, project = corpus_project
+    actual = relative_findings(root, analyze_project(project))
+    flagged_files = {path for path, _, _ in actual}
+    for src_file in CORPUS.glob("*_good.py"):
+        rel = corpus_destination(src_file.name).as_posix()
+        assert rel not in flagged_files
+
+
+def test_inline_waivers_silence_analysis_codes(corpus_project):
+    # determinism_bad.py:waived_iteration and contracts_good.py:waived_seam
+    # carry `# repro-lint: disable=...` comments; neither may be reported.
+    root, project = corpus_project
+    actual = relative_findings(root, analyze_project(project))
+    waived = {path for path, _, _ in actual if "waived" in path}
+    assert not waived
+    for path, lineno, _ in actual:
+        src = CORPUS / Path(path).name
+        line = src.read_text(encoding="utf-8").splitlines()[lineno - 1]
+        assert "disable=" not in line
+
+
+def test_every_finding_carries_a_fix_hint(corpus_project):
+    root, project = corpus_project
+    for violation in analyze_project(project):
+        assert violation.hint, f"{violation.code} at {violation.path}:{violation.line}"
+
+
+def test_specific_hints(corpus_project):
+    root, project = corpus_project
+    by_code = {}
+    for v in analyze_project(project):
+        by_code.setdefault(v.code, []).append(v)
+    (rl201,) = by_code["RL201"]
+    assert "key-covers=noise" in rl201.hint
+    assert "noise" in rl201.message and "PartialKeyConfig" in rl201.message
+    scale_gap = [v for v in by_code["RL202"] if "'scale'" in v.message]
+    assert scale_gap and "absent from the artifact_key payload" in scale_gap[0].message
+    proj_gap = [v for v in by_code["RL202"] if "noise" in v.message]
+    assert proj_gap and "key-covers=config.noise" in proj_gap[0].hint
+    assert any(
+        "sorted" in v.hint for v in by_code["RL303"]
+    ), "RL303 hints must point at sorted()"
+
+
+def test_cross_module_unit_mismatch_resolved(corpus_project):
+    root, project = corpus_project
+    findings = [
+        v
+        for v in analyze_project(project)
+        if v.code == "RL103" and Path(v.path).name == "xmod_caller.py"
+    ]
+    (finding,) = findings
+    assert "scale_power" in finding.message
+    assert "_kw" in finding.message and "_w" in finding.message
+
+
+def test_select_and_ignore_filter_analyzers(corpus_project):
+    root, project = corpus_project
+    only_units = analyze_project(project, select={"RL101"})
+    assert {v.code for v in only_units} == {"RL101"}
+    no_contracts = analyze_project(project, ignore={"RL401"})
+    assert "RL401" not in {v.code for v in no_contracts}
+
+
+# ---------------------------------------------------------------------------
+# Unit-suffix inference basics
+# ---------------------------------------------------------------------------
+
+
+def test_suffix_of_longest_match_and_stems():
+    assert suffix_of("supply_temp_c") == "_c"
+    assert suffix_of("flow_m3s") == "_m3s"
+    assert suffix_of("energy_kwh") == "_kwh"
+    assert suffix_of("t_k") is None  # math index, not kelvin
+    assert suffix_of("u_s") is None
+    assert suffix_of("plain") is None
+
+
+def test_analyzer_codes_registry():
+    codes = analyzer_codes()
+    assert set(codes) == {
+        "RL101",
+        "RL102",
+        "RL103",
+        "RL201",
+        "RL202",
+        "RL301",
+        "RL302",
+        "RL303",
+        "RL401",
+    }
+    for summary in codes.values():
+        assert summary
+
+
+# ---------------------------------------------------------------------------
+# Baseline: round trip, diff, ratchet
+# ---------------------------------------------------------------------------
+
+
+def _violation(path="src/repro/x.py", line=3, code="RL301", message="m"):
+    return Violation(path=path, line=line, col=1, code=code, message=message)
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = [_violation(line=3), _violation(line=9, code="RL302", message="n")]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    loaded = load_baseline(baseline_path)
+    assert loaded == Counter(baseline_entry(v) for v in findings)
+    new, stale = diff_against_baseline(findings, loaded)
+    assert new == [] and stale == []
+
+
+def test_baseline_diff_detects_new_and_stale(tmp_path):
+    old = [_violation(message="kept"), _violation(code="RL302", message="fixed")]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, old)
+    now = [_violation(message="kept"), _violation(code="RL303", message="fresh")]
+    new, stale = diff_against_baseline(now, load_baseline(baseline_path))
+    assert [v.message for v in new] == ["fresh"]
+    assert [entry[2] for entry in stale] == ["fixed"]
+
+
+def test_baseline_entries_ignore_line_numbers(tmp_path):
+    # Moving a finding (unrelated edits above it) must not churn the
+    # baseline: entries are keyed (path, code, message).
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [_violation(line=3)])
+    moved = [_violation(line=40)]
+    new, stale = diff_against_baseline(moved, load_baseline(baseline_path))
+    assert new == [] and stale == []
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    # Two identical messages in one file are two entries; fixing one
+    # leaves the other baselined.
+    pair = [_violation(line=3), _violation(line=9)]
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, pair)
+    new, stale = diff_against_baseline(pair[:1], load_baseline(baseline_path))
+    assert new == [] and len(stale) == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: --analyze end to end
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "tools"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def make_corpus_tree(tmp_path):
+    for src_file in sorted(CORPUS.glob("*.py")):
+        dest = tmp_path / "src" / "repro" / corpus_destination(src_file.name)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(src_file.read_text(encoding="utf-8"), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_cli_analyze_reports_findings_as_json(tmp_path):
+    src = make_corpus_tree(tmp_path)
+    report = tmp_path / "report.json"
+    proc = run_cli(
+        "--analyze",
+        "--no-baseline",
+        "--output",
+        "json",
+        "--report",
+        str(report),
+        str(src),
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["mode"] == "analyze"
+    assert payload["count"] == len(expected_markers())
+    assert payload["new_count"] == payload["count"]
+    assert report.exists() and json.loads(report.read_text())["count"] == payload["count"]
+    hints = [v.get("hint") for v in payload["violations"]]
+    assert all(hints)
+
+
+def test_cli_analyze_baseline_gates_exit_code(tmp_path):
+    src = make_corpus_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    first = run_cli(
+        "--analyze", "--write-baseline", "--baseline", str(baseline), str(src),
+        cwd=REPO_ROOT,
+    )
+    assert first.returncode == 0, first.stdout + first.stderr
+    assert baseline.exists()
+
+    second = run_cli(
+        "--analyze", "--baseline", str(baseline), str(src), cwd=REPO_ROOT
+    )
+    assert second.returncode == 0, second.stdout + second.stderr
+
+    # A new finding not in the baseline fails the run.
+    extra = tmp_path / "src" / "repro" / "fresh.py"
+    extra.write_text(
+        '"""New module."""\n\nimport time\n\n\ndef stamp() -> float:\n'
+        '    """New wall-clock read."""\n    return time.time()\n',
+        encoding="utf-8",
+    )
+    third = run_cli(
+        "--analyze", "--baseline", str(baseline), str(src), cwd=REPO_ROOT
+    )
+    assert third.returncode == 1
+    assert "RL302" in third.stdout
+
+    # Fixing baselined findings leaves stale entries: reported, exit 0
+    # by default, exit 1 under --fail-stale (the ratchet).
+    extra.unlink()
+    fixed = tmp_path / "src" / "repro" / "determinism_bad.py"
+    fixed.unlink()
+    fourth = run_cli(
+        "--analyze", "--baseline", str(baseline), str(src), cwd=REPO_ROOT
+    )
+    assert fourth.returncode == 0
+    assert "stale" in fourth.stdout
+    fifth = run_cli(
+        "--analyze", "--fail-stale", "--baseline", str(baseline), str(src),
+        cwd=REPO_ROOT,
+    )
+    assert fifth.returncode == 1
+
+
+def test_repo_analysis_matches_checked_in_baseline():
+    # `make analyze` equivalent: the committed baseline must be exact —
+    # no new findings, no stale entries.
+    proc = run_cli("--analyze", "--fail-stale", cwd=REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repo_analysis_runs_fast_enough():
+    import time as _time
+
+    start = _time.perf_counter()
+    project, errors = Project.load([REPO_ROOT / "src"])
+    analyze_project(project)
+    elapsed = _time.perf_counter() - start
+    assert errors == []
+    assert elapsed < 10.0, f"analysis took {elapsed:.1f}s (budget 10s)"

@@ -467,6 +467,8 @@ def test_line_suppression_silences_one_code(tmp_path):
 
 
 def test_line_suppression_is_code_specific(tmp_path):
+    # Suppressing RL002 does not silence RL001 — and since nothing on
+    # the line fires RL002, the waiver itself is flagged as dead (RL010).
     out = lint_snippet(
         tmp_path,
         """
@@ -477,7 +479,101 @@ def test_line_suppression_is_code_specific(tmp_path):
         """,
         relpath=SCRIPT,
     )
+    assert sorted(codes(out)) == ["RL001", "RL010"]
+    (rl010,) = [v for v in out if v.code == "RL010"]
+    assert "RL002" in rl010.message
+
+
+def test_multi_code_line_suppression(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw(acc=[]):  # repro-lint: disable=RL002
+            return np.random.rand(3)  # repro-lint: disable=RL001,RL002
+        """,
+        relpath=SCRIPT,
+    )
+    # RL001 and the def-line RL002 are suppressed and used; the RL002
+    # half of the multi-code comment never fires, so it is dead.
+    assert codes(out) == ["RL010"]
+    assert "RL002" in out[0].message
+
+
+def test_rl009_unknown_suppressed_code(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)  # repro-lint: disable=RL001,RL999
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL009"]
+    assert "RL999" in out[0].message
+
+
+def test_rl010_dead_file_level_suppression(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        # repro-lint: disable-file=RL007
+        X = 1
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == ["RL010"]
+    assert "RL007" in out[0].message
+
+
+def test_analysis_code_waivers_not_judged_by_lint_run(tmp_path):
+    # RL401 is an analyzer code: known (no RL009) but not active in a
+    # per-file lint run, so its waiver is never reported as unused.
+    out = lint_snippet(
+        tmp_path,
+        """
+        def f():  # repro-lint: disable=RL401
+            return 1
+        """,
+        relpath=SCRIPT,
+    )
+    assert codes(out) == []
+
+
+def test_suppressions_inside_string_literals_are_inert(tmp_path):
+    out = lint_snippet(
+        tmp_path,
+        """
+        import numpy as np
+
+        NOTE = "how to waive: # repro-lint: disable=RL001"
+
+        def draw():
+            return np.random.rand(3)
+        """,
+        relpath=SCRIPT,
+    )
+    # The string is not a comment: RL001 still fires and no RL010
+    # complains about an unused waiver.
     assert codes(out) == ["RL001"]
+
+
+def test_check_suppressions_opt_out(tmp_path):
+    path = tmp_path / SCRIPT
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        textwrap.dedent(
+            """
+            X = 1  # repro-lint: disable=RL002
+            """
+        )
+    )
+    violations, error = LintRunner(check_suppressions=False).lint_file(path)
+    assert error is None
+    assert codes(violations) == []
 
 
 def test_file_suppression(tmp_path):

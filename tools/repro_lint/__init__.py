@@ -1,4 +1,4 @@
-"""repro-lint — the repo's custom AST lint pack.
+"""repro-lint — the repo's custom AST lint pack and whole-program analyzer.
 
 A small, dependency-free static analyzer that encodes *repo invariants*
 that generic linters cannot know about: RNG discipline, physical-unit
@@ -6,18 +6,36 @@ naming, ``__all__`` hygiene, and the handful of bug classes that have
 historically corrupted results in thermal/occupancy reproduction work
 without failing a single test.
 
+Two layers share one CLI and one suppression syntax:
+
+* the per-file rules (RL001–RL008, :mod:`repro_lint.rules`) plus the
+  engine's suppression meta checks (RL009/RL010);
+* the whole-program analysis pack (:mod:`repro_lint.analysis`) — RL1xx
+  units-flow, RL2xx cache-key completeness, RL3xx determinism
+  discipline, RL4xx contracts coverage — run with ``--analyze`` against
+  a checked-in, shrink-only baseline.
+
 Usage::
 
     python -m repro_lint src/ tests/ benchmarks/
     python -m repro_lint --format json src/
     python -m repro_lint --list-rules
+    python -m repro_lint --analyze src/
+    python -m repro_lint --analyze --output json --report findings.json
 
 Each rule is a visitor class registered in :mod:`repro_lint.rules`; see
-``docs/static-analysis.md`` for the rule catalogue and the suppression
-syntax (``# repro-lint: disable=RLxxx``).
+``docs/static-analysis.md`` for the full catalogue, the suppression
+syntax (``# repro-lint: disable=RLxxx``) and the baseline workflow.
 """
 
-from repro_lint.engine import FileContext, LintRunner, Violation, lint_file, lint_paths
+from repro_lint.engine import (
+    META_CODES,
+    FileContext,
+    LintRunner,
+    Violation,
+    lint_file,
+    lint_paths,
+)
 from repro_lint.rules import RULES, Rule
 
 __version__ = "1.0.0"
@@ -25,6 +43,7 @@ __version__ = "1.0.0"
 __all__ = [
     "FileContext",
     "LintRunner",
+    "META_CODES",
     "RULES",
     "Rule",
     "Violation",

@@ -1,0 +1,90 @@
+"""Whole-program analysis pack on top of the ``repro_lint`` engine.
+
+The per-file rules in :mod:`repro_lint.rules` see one module at a time;
+this package builds a project-wide model (module graph, symbol tables,
+a light intraprocedural dataflow walker — :mod:`.project` and
+:mod:`.dataflow`) and runs four analyzer families over it:
+
+* **RL1xx units-flow** (:mod:`.units`) — propagate the repo's unit
+  suffixes (``_c``, ``_s``, ``_kgs``, ...) through assignments,
+  arithmetic and call arguments; flag mixed-unit add/sub/compare,
+  suffix-dropping rebinds, and unit-suffixed arguments passed to
+  differently-suffixed parameters.
+* **RL2xx cache-key completeness** (:mod:`.cachekeys`) — for every
+  config dataclass exposing ``cache_key``/``artifact_key`` prove each
+  field reaches the key, and for every ``*_cached`` wrapper building an
+  ``artifact_key`` payload by hand, prove the payload covers every
+  attribute the wrapped function actually consumes.
+* **RL3xx determinism discipline** (:mod:`.determinism`) — unseeded RNG
+  construction, wall-clock reads, and unordered ``set`` iteration in
+  library code whose outputs feed the artifact cache and the runner.
+* **RL4xx contracts coverage** (:mod:`.contracts_cov`) — public
+  array-returning functions at the sysid/simulation/cluster/streaming
+  seams must carry a :mod:`repro.contracts` check or an explicit waiver.
+
+Findings report through the ordinary :class:`repro_lint.engine.Violation`
+type and honour the same suppression comments, plus a checked-in
+baseline with a shrink-only ratchet (:mod:`.baseline`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro_lint.analysis.cachekeys import CacheKeyAnalyzer
+from repro_lint.analysis.contracts_cov import ContractsCoverageAnalyzer
+from repro_lint.analysis.determinism import DeterminismAnalyzer
+from repro_lint.analysis.project import Project
+from repro_lint.analysis.units import UnitsFlowAnalyzer
+from repro_lint.engine import Violation
+
+__all__ = [
+    "ANALYZERS",
+    "analyzer_codes",
+    "analyze_project",
+]
+
+#: The analyzer families, in report order.
+ANALYZERS: List[type] = [
+    UnitsFlowAnalyzer,
+    CacheKeyAnalyzer,
+    DeterminismAnalyzer,
+    ContractsCoverageAnalyzer,
+]
+
+
+def analyzer_codes() -> Dict[str, str]:
+    """``code -> summary`` for every finding code the analyzers emit."""
+    catalogue: Dict[str, str] = {}
+    for analyzer in ANALYZERS:
+        catalogue.update(analyzer.codes)
+    return catalogue
+
+
+def analyze_project(
+    project: Project,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> List[Violation]:
+    """Run every analyzer family over ``project``.
+
+    ``select``/``ignore`` filter by finding code (exact match).
+    Suppression comments (``# repro-lint: disable=RLxxx``) are honoured
+    per finding through each module's :class:`FileContext`.
+    """
+    selected = {c.upper() for c in select}
+    ignored = {c.upper() for c in ignore}
+    violations: List[Violation] = []
+    for analyzer_cls in ANALYZERS:
+        analyzer = analyzer_cls(project)
+        for violation in analyzer.run():
+            if selected and violation.code not in selected:
+                continue
+            if violation.code in ignored:
+                continue
+            module = project.module_for_path(violation.path)
+            if module is not None and module.ctx.is_suppressed(violation.code, violation.line):
+                continue
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations

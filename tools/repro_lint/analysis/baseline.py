@@ -1,0 +1,95 @@
+"""Baseline file: accepted pre-existing findings, with a shrink-only ratchet.
+
+The analyzers inevitably surface findings in code that predates them.
+Rather than suppressing each in-line, the accepted set is checked into
+``tools/repro_lint/analysis_baseline.json`` and the CLI fails only on
+findings *not* in it.  The contract is a ratchet:
+
+* a finding not in the baseline fails the build — new debt is rejected;
+* the baseline may only shrink — CI compares the entry count against
+  the merge base, so "fixing" a finding by adding baseline entries is
+  rejected too;
+* entries are matched by ``(path, code, message)`` — line numbers are
+  deliberately excluded so unrelated edits moving code around do not
+  churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro_lint.engine import Violation
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "baseline_entry",
+    "diff_against_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Default checked-in baseline location (repo-relative).
+DEFAULT_BASELINE = Path("tools/repro_lint/analysis_baseline.json")
+
+_Entry = Tuple[str, str, str]
+
+
+def baseline_entry(violation: Violation) -> _Entry:
+    """The stable identity of a finding: ``(path, code, message)``."""
+    return (violation.path.replace("\\", "/"), violation.code, violation.message)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Multiset of accepted findings from ``path`` (empty if missing)."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = Counter()
+    for item in data.get("findings", []):
+        entries[(item["path"], item["code"], item["message"])] += 1
+    return entries
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> int:
+    """Write the current findings as the new baseline; returns the count."""
+    findings: List[Dict[str, str]] = [
+        {"path": p, "code": c, "message": m}
+        for (p, c, m) in sorted(baseline_entry(v) for v in violations)
+    ]
+    payload = {
+        "comment": (
+            "Accepted pre-existing repro_lint --analyze findings. "
+            "This file may only shrink: fix the finding, then regenerate "
+            "with 'python -m repro_lint --analyze --write-baseline'."
+        ),
+        "count": len(findings),
+        "findings": findings,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(findings)
+
+
+def diff_against_baseline(
+    violations: Sequence[Violation], baseline: Counter
+) -> Tuple[List[Violation], List[_Entry]]:
+    """Split findings into ``(new, stale)`` relative to the baseline.
+
+    ``new`` are current findings not covered by the baseline multiset
+    (these fail the build); ``stale`` are baseline entries that no
+    longer fire (these should be pruned by regenerating the baseline —
+    the ratchet's "shrink" direction).
+    """
+    remaining = Counter(baseline)
+    new: List[Violation] = []
+    for violation in violations:
+        entry = baseline_entry(violation)
+        if remaining[entry] > 0:
+            remaining[entry] -= 1
+        else:
+            new.append(violation)
+    stale = sorted(remaining.elements())
+    return new, stale

@@ -1,0 +1,280 @@
+"""RL2xx — cache-key completeness analysis.
+
+Every cached artifact in this repo is addressed by a content key; a key
+that silently omits an input aliases distinct configurations onto one
+cache slot and corrupts every downstream experiment (PR 2 shipped
+exactly this bug in ``SynthConfig.cache_key``).  Two analyzers prove
+key completeness statically:
+
+* **RL201** — a config dataclass exposing ``cache_key``/``artifact_key``
+  must consume *every* field in the key: either whole-object
+  (``fingerprint(self)``, ``asdict(self)``, ...) or field-by-field, in
+  which case each field has to be read (transitively through sibling
+  methods) or exempted.
+* **RL202** — a ``*_cached`` wrapper that hand-builds an
+  ``artifact_key`` payload must cover every wrapper parameter the
+  wrapped function consumes; when a parameter enters the key only as
+  attribute projections (``dataset.temperatures``), the projections
+  must cover the callee's transitive attribute footprint of that
+  parameter.
+
+Exemptions are explicit and auditable: a comment
+
+``# repro-lint: key-covers=dataset.n_sensors,dataset.channels``
+
+inside the function/class states that the named fields/attributes are
+already determined by what the key digests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro_lint.analysis.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_name,
+)
+from repro_lint.engine import Violation
+
+__all__ = ["CacheKeyAnalyzer"]
+
+#: Key-method names RL201 inspects on dataclasses.
+_KEY_METHODS = ("cache_key", "artifact_key")
+#: Calls that consume a whole object (``f(self)`` forms).
+_WHOLE_OBJECT_CALLS = {
+    "fingerprint",
+    "artifact_key",
+    "asdict",
+    "astuple",
+    "dataclasses.asdict",
+    "dataclasses.astuple",
+    "repr",
+    "str",
+    "hash",
+    "vars",
+}
+
+
+def _exemptions(module: ModuleInfo, node: ast.AST) -> Set[str]:
+    """``key-covers`` entries attached to comment lines inside ``node``."""
+    start = getattr(node, "lineno", 1)
+    end = getattr(node, "end_lineno", start)
+    covered: Set[str] = set()
+    for lineno, payload in module.comment_directives("key-covers"):
+        if start <= lineno <= end:
+            covered.update(
+                entry.strip() for entry in payload.split(",") if entry.strip()
+            )
+    return covered
+
+
+class CacheKeyAnalyzer:
+    """Prove cache keys cover their inputs (RL201/RL202)."""
+
+    codes = {
+        "RL201": "dataclass cache_key must consume every field or exempt it",
+        "RL202": "cached-wrapper key payload must cover what the wrapped fn consumes",
+    }
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.violations: List[Violation] = []
+
+    def run(self) -> List[Violation]:
+        """Analyze every dataclass key method and every cached wrapper."""
+        for module in self.project.iter_modules():
+            for cls in module.classes.values():
+                if cls.is_dataclass:
+                    self._check_dataclass(module, cls)
+            for func in module.functions.values():
+                self._check_cached_wrapper(module, func)
+        return self.violations
+
+    # -- RL201: dataclass field coverage -------------------------------
+
+    def _check_dataclass(self, module: ModuleInfo, cls: ClassInfo) -> None:
+        key_methods = [cls.methods[n] for n in _KEY_METHODS if n in cls.methods]
+        if not key_methods or not cls.fields:
+            return
+        consumed: Set[str] = set()
+        whole = False
+        seen: Set[str] = set()
+        queue = list(key_methods)
+        while queue:
+            method = queue.pop()
+            if method.qualname in seen:
+                continue
+            seen.add(method.qualname)
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    consumed.add(node.attr)
+                    sibling = cls.methods.get(node.attr)
+                    if sibling is not None:
+                        queue.append(sibling)
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name in _WHOLE_OBJECT_CALLS and any(
+                        isinstance(a, ast.Name) and a.id == "self" for a in node.args
+                    ):
+                        whole = True
+        if whole:
+            return
+        exempt = _exemptions(module, cls.node)
+        primary = key_methods[0]
+        for field, lineno in cls.fields:
+            if field in consumed or field in exempt:
+                continue
+            self.violations.append(
+                Violation(
+                    path=str(module.path),
+                    line=lineno,
+                    col=1,
+                    code="RL201",
+                    message=(
+                        f"field {field!r} of {cls.name} never reaches "
+                        f"{primary.name}(); distinct configs alias onto one cache slot"
+                    ),
+                    hint=(
+                        f"include self.{field} in the key (or fingerprint(self)), or "
+                        f"add '# repro-lint: key-covers={field}' with a justification"
+                    ),
+                )
+            )
+
+    # -- RL202: cached-wrapper payload coverage ------------------------
+
+    def _check_cached_wrapper(self, module: ModuleInfo, func: FunctionInfo) -> None:
+        payload = self._find_key_payload(func)
+        if payload is None:
+            return
+        wrapped = self._find_wrapped(module, func)
+        if wrapped is None:
+            return
+        whole, projections = self._payload_coverage(func, payload)
+        exempt = _exemptions(module, func.node)
+        footprint = self.project.param_attr_footprint(wrapped)
+        for param in func.all_params:
+            if param not in wrapped.all_params:
+                continue
+            if param in whole or param in exempt:
+                continue
+            needed = {
+                a for a in footprint.get(param, set()) if not a.startswith("_")
+            }
+            covered = projections.get(param, set())
+            if not covered:
+                self.violations.append(
+                    Violation(
+                        path=str(module.path),
+                        line=func.node.lineno,
+                        col=func.node.col_offset + 1,
+                        code="RL202",
+                        message=(
+                            f"parameter {param!r} of {func.name}() is forwarded to "
+                            f"{wrapped.name}() but absent from the artifact_key payload"
+                        ),
+                        hint=(
+                            f"add {param} (or fingerprint({param})) to the payload, or "
+                            f"exempt with '# repro-lint: key-covers={param}'"
+                        ),
+                    )
+                )
+                continue
+            missing = sorted(
+                a for a in needed - covered if f"{param}.{a}" not in exempt
+            )
+            if missing:
+                self.violations.append(
+                    Violation(
+                        path=str(module.path),
+                        line=func.node.lineno,
+                        col=func.node.col_offset + 1,
+                        code="RL202",
+                        message=(
+                            f"cache-key payload of {func.name}() covers only "
+                            f"{param}.{{{', '.join(sorted(covered))}}} but "
+                            f"{wrapped.name}() also consumes {param}.{{{', '.join(missing)}}}"
+                        ),
+                        hint=(
+                            "digest the missing attributes into the payload, or exempt "
+                            "derived ones with '# repro-lint: key-covers="
+                            + ",".join(f"{param}.{a}" for a in missing)
+                            + "'"
+                        ),
+                    )
+                )
+
+    def _find_key_payload(self, func: FunctionInfo) -> Optional[ast.expr]:
+        """The dict-literal payload of an ``artifact_key(kind, {...})`` call.
+
+        Follows one local-variable indirection (``payload = {...}``).
+        """
+        assigns: Dict[str, ast.expr] = {}
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = node.value
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.split(".")[-1] != "artifact_key":
+                continue
+            if len(node.args) < 2:
+                continue
+            payload = node.args[1]
+            if isinstance(payload, ast.Name) and payload.id in assigns:
+                payload = assigns[payload.id]
+            if isinstance(payload, ast.Dict):
+                return payload
+        return None
+
+    def _find_wrapped(
+        self, module: ModuleInfo, func: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        """The underlying function a ``*_cached`` wrapper delegates to."""
+        if not func.name.endswith("_cached"):
+            return None
+        base = func.name[: -len("_cached")]
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                target = node.func
+                if isinstance(target, ast.Name) and target.id == base:
+                    return self.project.resolve_call(module, node)
+        defmod, symbol = self.project.resolve_symbol(module, base)
+        if defmod is not None and symbol in defmod.functions:
+            return defmod.functions[symbol]
+        return None
+
+    def _payload_coverage(
+        self, func: FunctionInfo, payload: ast.expr
+    ) -> Tuple[Set[str], Dict[str, Set[str]]]:
+        """What the payload digests: whole params and per-param projections."""
+        params = set(func.all_params)
+        whole: Set[str] = set()
+        projections: Dict[str, Set[str]] = {}
+
+        def visit(node: ast.AST) -> None:
+            # ``dataset.temperatures`` is a projection of ``dataset``;
+            # only a *bare* Name counts as digesting the whole object.
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id in params:
+                    projections.setdefault(node.value.id, set()).add(node.attr)
+                    return
+            if isinstance(node, ast.Name) and node.id in params:
+                whole.add(node.id)
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(payload)
+        return whole, projections

@@ -1,0 +1,114 @@
+"""RL4xx — contracts coverage at the array seams.
+
+:mod:`repro.contracts` exists so shape mismatches, NaNs and
+out-of-range physics fail loudly at the seams instead of corrupting a
+fit three modules later.  This analyzer proves the convention holds:
+
+* **RL401** — a *public* array-returning function in the seam packages
+  (``repro.sysid``, ``repro.simulation``, ``repro.cluster``,
+  ``repro.streaming``) must either be decorated with ``check_shapes``
+  or call ``ensure_finite``/``ensure_unit_range``/``check_shapes`` in
+  its body — or carry an explicit waiver
+  (``# repro-lint: disable=RL401`` on the ``def`` line).
+
+"Array-returning" is judged from the return annotation (mentions
+``ndarray``/``NDArray``, possibly inside ``Tuple``/``Optional``).
+Abstract methods are exempt — they have no body to check; their
+concrete implementations are checked instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro_lint.analysis.project import FunctionInfo, ModuleInfo, Project, dotted_name
+from repro_lint.engine import Violation
+
+__all__ = ["ContractsCoverageAnalyzer"]
+
+#: Packages forming the numpy-seam surface of the pipeline.
+_SEAM_PACKAGES = (
+    "repro.sysid",
+    "repro.simulation",
+    "repro.cluster",
+    "repro.streaming",
+)
+
+_CONTRACT_CALLS = {"ensure_finite", "ensure_unit_range", "check_shapes"}
+
+
+def _returns_array(func: FunctionInfo) -> bool:
+    if func.returns is None:
+        return False
+    text = func.returns
+    return "ndarray" in text or "NDArray" in text
+
+
+def _is_abstract(func: FunctionInfo) -> bool:
+    return any(
+        decorator.split(".")[-1] in ("abstractmethod", "abstractproperty")
+        for decorator in func.decorators
+    )
+
+
+def _has_contract(func: FunctionInfo) -> bool:
+    for decorator in func.decorators:
+        if decorator.split(".")[-1] in _CONTRACT_CALLS:
+            return True
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] in _CONTRACT_CALLS:
+                return True
+    return False
+
+
+class ContractsCoverageAnalyzer:
+    """Public array seams must carry a runtime contract (RL401)."""
+
+    codes = {
+        "RL401": "public array-returning seam function needs a repro.contracts check",
+    }
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.violations: List[Violation] = []
+
+    def run(self) -> List[Violation]:
+        """Check every public function in the seam packages."""
+        for module in self.project.iter_modules():
+            if not module.name.startswith(_SEAM_PACKAGES):
+                continue
+            for func in module.functions.values():
+                self._check(module, func)
+            for cls in module.classes.values():
+                if cls.name.startswith("_"):
+                    continue
+                for method in cls.methods.values():
+                    self._check(module, method)
+        return self.violations
+
+    def _check(self, module: ModuleInfo, func: FunctionInfo) -> None:
+        if not func.is_public or not _returns_array(func) or _is_abstract(func):
+            return
+        if _has_contract(func):
+            return
+        self.violations.append(
+            Violation(
+                path=str(module.path),
+                line=func.node.lineno,
+                col=func.node.col_offset + 1,
+                code="RL401",
+                message=(
+                    f"public array-returning {func.qualname}() carries no "
+                    "repro.contracts check (check_shapes/ensure_finite/"
+                    "ensure_unit_range)"
+                ),
+                hint=(
+                    "decorate with @check_shapes(...), call ensure_finite/"
+                    "ensure_unit_range on the result, or waive with "
+                    "'# repro-lint: disable=RL401' and a justification"
+                ),
+            )
+        )

@@ -1,0 +1,202 @@
+"""Light intraprocedural dataflow: unit-suffix inference for expressions.
+
+The repo's convention (RL003, ``docs/physics.md``) is that names holding
+dimensioned quantities end in a unit suffix (``supply_temp_c``,
+``timeout_s``, ``flow_kgs``).  This module infers the unit of an
+expression from those suffixes and from local assignments, so the
+units-flow analyzers can follow a quantity through rebinds, arithmetic
+and call arguments without any type annotations.
+
+The lattice is deliberately flat: a unit is a known suffix string or
+``None`` (unknown / dimensionless).  Multiplication and division
+produce ``None`` (they change dimensions); addition, subtraction,
+min/max and NaN-transparent numpy reductions preserve the common unit
+of their operands.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "UNIT_SUFFIXES",
+    "UnitEnv",
+    "iter_function_statements",
+    "suffix_of",
+    "unit_of",
+]
+
+#: Approved unit suffixes, longest-first so ``_m3s`` wins over ``_s``.
+#: Kept in lock-step with ``repro_lint.rules.UnitSuffixRule``.
+UNIT_SUFFIXES: Tuple[str, ...] = tuple(
+    sorted(
+        (
+            "_c",
+            "_k",
+            "_kw",
+            "_w",
+            "_cfm",
+            "_m3s",
+            "_s",
+            "_min",
+            "_h",
+            "_kg",
+            "_kgs",
+            "_j",
+            "_kwh",
+            "_pct",
+            "_frac",
+            "_ppm",
+            "_pa",
+            "_m",
+            "_m2",
+            "_m3",
+        ),
+        key=len,
+        reverse=True,
+    )
+)
+
+#: Calls that pass their first argument's unit through unchanged.
+_TRANSPARENT_CALLS = {
+    "abs",
+    "float",
+    "round",
+    "min",
+    "max",
+    "sum",
+    "sorted",
+}
+#: ``np.<fn>`` attribute calls that preserve the unit of the first arg.
+_TRANSPARENT_NP = {
+    "abs",
+    "asarray",
+    "array",
+    "clip",
+    "maximum",
+    "minimum",
+    "mean",
+    "median",
+    "nanmean",
+    "nanmax",
+    "nanmin",
+    "nansum",
+    "sum",
+    "max",
+    "min",
+    "where",
+    "full",
+    "full_like",
+    "broadcast_to",
+    "concatenate",
+    "stack",
+}
+
+
+def suffix_of(name: str) -> Optional[str]:
+    """Unit suffix carried by ``name``, or ``None``.
+
+    Single-letter stems (``t_k``, ``u_s``) are treated as math-index
+    names, not quantities — ``t_k`` is "T at step k", not kelvin.
+    """
+    lowered = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            stem = lowered[: -len(suffix)]
+            if len(stem.strip("_")) < 2:
+                return None
+            return suffix
+    return None
+
+
+class UnitEnv:
+    """Name -> inferred unit for one function scope."""
+
+    def __init__(self) -> None:
+        self._units: Dict[str, Optional[str]] = {}
+
+    def bind(self, name: str, unit: Optional[str]) -> None:
+        """Record that ``name`` currently holds a value of ``unit``."""
+        self._units[name] = unit
+
+    def lookup(self, name: str) -> Optional[str]:
+        """Unit of ``name``: explicit binding first, else its suffix."""
+        if name in self._units:
+            return self._units[name]
+        return suffix_of(name)
+
+
+def _call_unit(node: ast.Call, env: UnitEnv) -> Optional[str]:
+    func = node.func
+    name: Optional[str] = None
+    if isinstance(func, ast.Name):
+        if func.id in _TRANSPARENT_CALLS:
+            name = func.id
+    elif isinstance(func, ast.Attribute):
+        # np.mean(x_c) and x_c.mean() both preserve the unit.
+        if func.attr in _TRANSPARENT_NP:
+            if isinstance(func.value, ast.Name) and func.value.id in ("np", "numpy"):
+                name = func.attr
+            else:
+                return unit_of(func.value, env)
+    if name is None:
+        return None
+    units = [unit_of(arg, env) for arg in node.args]
+    known = {u for u in units if u is not None}
+    if len(known) == 1:
+        return known.pop()
+    return None
+
+
+def unit_of(node: ast.AST, env: UnitEnv) -> Optional[str]:
+    """Inferred unit of an expression under ``env`` (``None`` = unknown)."""
+    if isinstance(node, ast.Name):
+        return env.lookup(node.id)
+    if isinstance(node, ast.Attribute):
+        # ``self.supply_temp_c`` / ``config.timeout_s``: the terminal
+        # attribute carries the suffix.
+        return suffix_of(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return unit_of(node.operand, env)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = unit_of(node.left, env)
+        right = unit_of(node.right, env)
+        if left is not None and right is not None:
+            return left if left == right else None
+        return left if left is not None else right
+    if isinstance(node, ast.Subscript):
+        return unit_of(node.value, env)
+    if isinstance(node, ast.IfExp):
+        body = unit_of(node.body, env)
+        orelse = unit_of(node.orelse, env)
+        return body if body == orelse else None
+    if isinstance(node, ast.Call):
+        return _call_unit(node, env)
+    if isinstance(node, (ast.Starred,)):
+        return unit_of(node.value, env)
+    return None
+
+
+def iter_function_statements(node: ast.AST) -> List[ast.stmt]:
+    """Every statement inside ``node``'s body, in source order.
+
+    Nested function/class definitions are *not* descended into — each
+    scope gets its own :class:`UnitEnv`.
+    """
+    collected: List[ast.stmt] = []
+
+    def walk(body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            collected.append(stmt)
+            for field in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, field, None)
+                if nested:
+                    walk(nested)
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body)
+
+    walk(getattr(node, "body", []))
+    return collected

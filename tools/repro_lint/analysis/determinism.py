@@ -1,0 +1,233 @@
+"""RL3xx — determinism discipline.
+
+The artifact cache and the parallel runner assume every producer is a
+pure function of its configuration: byte-identical output for the same
+key, across processes and machines.  Three analyzers police the inputs
+that silently break that:
+
+* **RL301** — unseeded RNG construction (``default_rng()``,
+  ``Random()``, ``RandomState()`` with no arguments) draws OS entropy;
+  the result can never be cached or replayed.
+* **RL302** — wall-clock reads (``time.time``, ``datetime.now``,
+  ``date.today``, ...) make output depend on when it ran.
+  ``perf_counter``/``monotonic`` are fine: they measure durations and
+  never land in artifacts.
+* **RL303** — iterating a ``set``/``frozenset`` into an ordered result
+  (``for``, comprehensions, ``list()``/``tuple()``/``join()``/
+  ``enumerate()``) is hash-order dependent; wrap in ``sorted()``.
+  Order-insensitive consumers (``len``, ``min``, ``max``, ``any``,
+  ``all``, membership) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro_lint.analysis.project import FunctionInfo, ModuleInfo, Project, dotted_name
+from repro_lint.engine import Violation
+
+__all__ = ["DeterminismAnalyzer"]
+
+#: Wall-clock call targets (resolved through import aliases).
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: Consumers of a set for which iteration order cannot matter.
+_ORDER_INSENSITIVE = {"len", "min", "max", "any", "all", "sorted", "frozenset", "set", "bool"}
+
+#: Sinks that freeze the (arbitrary) iteration order into an ordered value.
+_ORDERED_SINKS = {"list", "tuple", "enumerate", "iter", "zip"}
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    """Whether an expression produces a ``set``/``frozenset``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        # s.union(t) / s.intersection(t) / ... on a known set
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+            "copy",
+        ):
+            return _is_set_expr(node.func.value, set_names)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+class DeterminismAnalyzer:
+    """Find nondeterminism sources in library code (RL301–RL303)."""
+
+    codes = {
+        "RL301": "RNG constructed without a seed draws OS entropy",
+        "RL302": "wall-clock read makes cached/runner output time-dependent",
+        "RL303": "set iteration order leaks into an ordered result; sort first",
+    }
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.violations: List[Violation] = []
+
+    def run(self) -> List[Violation]:
+        """Analyze every library module in the project."""
+        for module in self.project.iter_modules():
+            if not module.ctx.is_library:
+                continue
+            self._check_module(module)
+        return self.violations
+
+    def _report(
+        self, module: ModuleInfo, node: ast.AST, code: str, message: str, hint: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                path=str(module.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    def _check_module(self, module: ModuleInfo) -> None:
+        set_names = self._collect_set_names(module)
+        consumed: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                self._check_rng(module, node)
+                self._check_wall_clock(module, node)
+                self._check_ordered_sink(module, node, set_names, consumed)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_iteration(module, node.iter, set_names, consumed)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    self._check_iteration(module, gen.iter, set_names, consumed)
+
+    @staticmethod
+    def _collect_set_names(module: ModuleInfo) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_set_expr(node.value, names):
+                    names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                annotation = ast.unparse(node.annotation)
+                if annotation.split("[")[0].split(".")[-1] in ("Set", "set", "FrozenSet", "frozenset"):
+                    names.add(node.target.id)
+        return names
+
+    def _check_rng(self, module: ModuleInfo, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        terminal = name.split(".")[-1]
+        if terminal not in ("default_rng", "RandomState", "Random", "SeedSequence"):
+            return
+        if node.args or node.keywords:
+            return
+        self._report(
+            module,
+            node,
+            "RL301",
+            f"{terminal}() constructed without a seed draws OS entropy; the "
+            "result can never be cached or replayed",
+            "thread an explicit seed or numpy SeedSequence (see repro.rng)",
+        )
+
+    def _check_wall_clock(self, module: ModuleInfo, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None or "." not in name:
+            return
+        parts = name.split(".")
+        base, attr = parts[-2], parts[-1]
+        if (base, attr) not in _WALL_CLOCK:
+            return
+        # Verify the base really is the time/datetime module or class
+        # (imported under any alias), not an unrelated object.
+        root = parts[0]
+        target = module.imports.get(root)
+        if target is None:
+            return
+        resolved = target[1] if target[1] is not None else target[0]
+        if resolved.split(".")[-1] not in ("time", "datetime", "date"):
+            return
+        self._report(
+            module,
+            node,
+            "RL302",
+            f"{name}() reads the wall clock; cached artifacts and runner "
+            "outputs become time-of-run dependent",
+            "pass timestamps in explicitly (config/axis), or use "
+            "time.perf_counter for durations",
+        )
+
+    def _check_ordered_sink(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        set_names: Set[str],
+        consumed: Set[int],
+    ) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDERED_SINKS:
+            if node.args and _is_set_expr(node.args[0], set_names):
+                consumed.add(id(node.args[0]))
+                self._report(
+                    module,
+                    node,
+                    "RL303",
+                    f"{func.id}() over a set freezes hash order into an ordered "
+                    "result",
+                    f"use {func.id}(sorted(...)) (or sorted(...) directly)",
+                )
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            if node.args and _is_set_expr(node.args[0], set_names):
+                consumed.add(id(node.args[0]))
+                self._report(
+                    module,
+                    node,
+                    "RL303",
+                    "str.join() over a set freezes hash order into a string",
+                    "join over sorted(...) instead",
+                )
+
+    def _check_iteration(
+        self,
+        module: ModuleInfo,
+        iter_node: ast.AST,
+        set_names: Set[str],
+        consumed: Set[int],
+    ) -> None:
+        if id(iter_node) in consumed:
+            return
+        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+            if iter_node.func.id in _ORDER_INSENSITIVE:
+                return
+        if _is_set_expr(iter_node, set_names):
+            self._report(
+                module,
+                iter_node,
+                "RL303",
+                "iteration over a set is hash-order dependent; downstream "
+                "results inherit the nondeterminism",
+                "iterate over sorted(...) instead",
+            )

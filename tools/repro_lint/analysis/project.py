@@ -1,0 +1,357 @@
+"""Project model: module graph and symbol tables over ``src/repro``.
+
+Parses every module once, derives per-module symbol tables (top-level
+functions, classes with their methods and dataclass fields, and an
+alias table for every import anywhere in the file), and exposes the
+cross-module resolution the analyzers need: "what function does this
+call target", "what class is this", and "which attributes of parameter
+``p`` does this function (transitively) consume".
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro_lint.engine import FileContext, iter_python_files
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "Project",
+    "dotted_name",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten an ``a.b.c`` attribute chain; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str          #: ``func`` or ``Class.method``
+    module: str            #: dotted module name
+    node: ast.AST          #: the FunctionDef / AsyncFunctionDef
+    params: List[str]      #: positional parameter names, in order
+    kwonly: List[str]      #: keyword-only parameter names
+    decorators: List[str]  #: flattened decorator names (``a.b`` form)
+    returns: Optional[str] #: source text of the return annotation
+    is_method: bool
+
+    @property
+    def is_public(self) -> bool:
+        """Public by naming convention (no leading underscore)."""
+        return not self.name.startswith("_")
+
+    @property
+    def all_params(self) -> List[str]:
+        """Every named parameter (positional then keyword-only)."""
+        return self.params + self.kwonly
+
+    def param_at(self, index: int) -> Optional[str]:
+        """Name of the positional parameter at ``index`` (self excluded)."""
+        offset = 1 if self.is_method and self.params and self.params[0] in ("self", "cls") else 0
+        idx = index + offset
+        if 0 <= idx < len(self.params):
+            return self.params[idx]
+        return None
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    is_dataclass: bool
+    #: Dataclass field names in declaration order (AnnAssign targets,
+    #: ``ClassVar`` annotations excluded).
+    fields: List[Tuple[str, int]]
+    methods: Dict[str, FunctionInfo]
+
+
+class ModuleInfo:
+    """Symbol table and context for one parsed module."""
+
+    def __init__(self, name: str, path: Path, ctx: FileContext):
+        self.name = name
+        self.path = path
+        self.ctx = ctx
+        self.tree = ctx.tree
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: local alias -> (module, symbol or None for whole-module imports)
+        self.imports: Dict[str, Tuple[str, Optional[str]]] = {}
+        #: dotted names of project-internal modules this module imports
+        self.import_edges: Set[str] = set()
+        #: lineno -> comment text (real COMMENT tokens only)
+        self.comments: Dict[int, str] = _comment_lines(ctx.source)
+        self._collect()
+
+    # -- construction -------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[bound] = (target, None)
+                    self.import_edges.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports are not used in this repo
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = (node.module, alias.name)
+                self.import_edges.add(node.module)
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = _function_info(node, node.name, self.name, False)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = _class_info(node, self.name)
+
+    # -- queries ------------------------------------------------------
+
+    def comment_directives(self, directive: str) -> List[Tuple[int, str]]:
+        """``(lineno, payload)`` of every ``# repro-lint: <directive>=...`` comment."""
+        found: List[Tuple[int, str]] = []
+        marker = f"repro-lint: {directive}="
+        for lineno, text in sorted(self.comments.items()):
+            if marker in text:
+                found.append((lineno, text.split(marker, 1)[1].strip()))
+        return found
+
+
+def _comment_lines(source: str) -> Dict[int, str]:
+    """Real comment tokens per line (string literals never match)."""
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parsed OK upstream
+        pass
+    return comments
+
+
+def _function_info(
+    node: ast.AST, qualname: str, module: str, is_method: bool
+) -> FunctionInfo:
+    args = node.args
+    params = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+    kwonly = [a.arg for a in args.kwonlyargs]
+    decorators = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name:
+            decorators.append(name)
+    returns = ast.unparse(node.returns) if node.returns is not None else None
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        module=module,
+        node=node,
+        params=params,
+        kwonly=kwonly,
+        decorators=decorators,
+        returns=returns,
+        is_method=is_method,
+    )
+
+
+def _class_info(node: ast.ClassDef, module: str) -> ClassInfo:
+    is_dataclass = False
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            is_dataclass = True
+    fields: List[Tuple[str, int]] = []
+    methods: Dict[str, FunctionInfo] = {}
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            annotation = ast.unparse(item.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append((item.target.id, item.lineno))
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[item.name] = _function_info(
+                item, f"{node.name}.{item.name}", module, True
+            )
+    return ClassInfo(
+        name=node.name,
+        module=module,
+        node=node,
+        is_dataclass=is_dataclass,
+        fields=fields,
+        methods=methods,
+    )
+
+
+class Project:
+    """The parsed module graph of one source tree."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]):
+        self.modules = modules
+        self._by_path = {str(m.path): m for m in modules.values()}
+        self._footprints: Dict[Tuple[str, str], Dict[str, Set[str]]] = {}
+        self._in_progress: Set[Tuple[str, str]] = set()
+
+    @classmethod
+    def load(cls, paths: Sequence[Path]) -> Tuple["Project", List[str]]:
+        """Parse every python file under ``paths`` into a project model.
+
+        Returns ``(project, errors)``; unparseable files are reported,
+        not fatal.
+        """
+        modules: Dict[str, ModuleInfo] = {}
+        errors: List[str] = []
+        for path in iter_python_files(list(paths)):
+            try:
+                source = path.read_text(encoding="utf-8")
+                ctx = FileContext(path, source)
+            except (OSError, SyntaxError, ValueError) as exc:
+                errors.append(f"{path}: {exc}")
+                continue
+            info = ModuleInfo(ctx.module_name, path, ctx)
+            modules[info.name] = info
+        return cls(modules), errors
+
+    # -- lookups ------------------------------------------------------
+
+    def module_for_path(self, path: str) -> Optional[ModuleInfo]:
+        """The module parsed from ``path`` (string form), if any."""
+        return self._by_path.get(path)
+
+    def iter_modules(self) -> Iterable[ModuleInfo]:
+        """Modules in deterministic (name-sorted) order."""
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def resolve_symbol(
+        self, module: ModuleInfo, name: str
+    ) -> Tuple[Optional[ModuleInfo], Optional[str]]:
+        """Resolve a bare name in ``module`` to ``(defining_module, symbol)``.
+
+        Follows one level of ``from x import y`` indirection into other
+        project modules; returns ``(None, None)`` for anything external.
+        """
+        if name in module.functions or name in module.classes:
+            return module, name
+        target = module.imports.get(name)
+        if target is None:
+            return None, None
+        mod_name, symbol = target
+        if symbol is None:
+            other = self.modules.get(mod_name)
+            return (other, None) if other is not None else (None, None)
+        other = self.modules.get(mod_name)
+        if other is None:
+            return None, None
+        if symbol in other.functions or symbol in other.classes:
+            return other, symbol
+        # Re-exported through a package __init__: follow one more hop.
+        nested = other.imports.get(symbol)
+        if nested is not None and nested[1] is not None:
+            deeper = self.modules.get(nested[0])
+            if deeper is not None and (
+                nested[1] in deeper.functions or nested[1] in deeper.classes
+            ):
+                return deeper, nested[1]
+        return None, None
+
+    def resolve_call(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The project function/constructor a call targets, if resolvable.
+
+        Handles ``f(...)``, ``mod.f(...)`` and ``Class(...)`` (which
+        resolves to ``Class.__init__``).
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            defmod, symbol = self.resolve_symbol(module, func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            target = module.imports.get(func.value.id)
+            if target is None or target[1] is not None:
+                return None
+            defmod = self.modules.get(target[0])
+            symbol = func.attr
+        else:
+            return None
+        if defmod is None or symbol is None:
+            return None
+        if symbol in defmod.functions:
+            return defmod.functions[symbol]
+        cls = defmod.classes.get(symbol)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        return None
+
+    # -- interprocedural attribute footprints -------------------------
+
+    def param_attr_footprint(self, func: FunctionInfo) -> Dict[str, Set[str]]:
+        """Which first-level attributes of each parameter ``func`` consumes.
+
+        ``p.x`` (read, call, or nested access) adds ``x`` to ``p``'s
+        footprint.  When ``p`` is forwarded whole to another resolvable
+        project function, that callee's footprint for the receiving
+        parameter is unioned in (fixed point; cycles cut off).
+        """
+        key = (func.module, func.qualname)
+        cached = self._footprints.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return {}
+        self._in_progress.add(key)
+        try:
+            footprint: Dict[str, Set[str]] = {p: set() for p in func.all_params}
+            module = self.modules.get(func.module)
+            for node in ast.walk(func.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in footprint
+                ):
+                    footprint[node.value.id].add(node.attr)
+                elif isinstance(node, ast.Call) and module is not None:
+                    callee = self.resolve_call(module, node)
+                    if callee is None or callee is func:
+                        continue
+                    sub = self.param_attr_footprint(callee)
+                    for index, arg in enumerate(node.args):
+                        if isinstance(arg, ast.Name) and arg.id in footprint:
+                            receiver = callee.param_at(index)
+                            if receiver is not None:
+                                footprint[arg.id] |= sub.get(receiver, set())
+                    for kw in node.keywords:
+                        if (
+                            kw.arg is not None
+                            and isinstance(kw.value, ast.Name)
+                            and kw.value.id in footprint
+                        ):
+                            footprint[kw.value.id] |= sub.get(kw.arg, set())
+            self._footprints[key] = footprint
+            return footprint
+        finally:
+            self._in_progress.discard(key)

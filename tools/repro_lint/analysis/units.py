@@ -1,0 +1,238 @@
+"""RL1xx — units-flow analysis.
+
+Propagates the repo's unit suffixes through each function body and
+flags the three ways a unit silently goes wrong:
+
+* **RL101** — mixed-unit arithmetic/comparison: ``timeout_s +
+  interval_min``, ``temp_c > limit_k``.  Add/sub/compare require both
+  operands in the same unit; multiply/divide legitimately change
+  dimensions and are never flagged.
+* **RL102** — suffix-dropping or suffix-changing rebinds:
+  ``stale_s = age_min`` (changes unit), ``timeout = timeout_s``
+  (drops it while the target still names a quantity).
+* **RL103** — unit-mismatched call arguments: passing a value inferred
+  as ``_min`` to a parameter named ``..._s``, resolved through the
+  project symbol tables (cross-module).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro_lint.analysis.dataflow import (
+    UnitEnv,
+    iter_function_statements,
+    suffix_of,
+    unit_of,
+)
+from repro_lint.analysis.project import FunctionInfo, ModuleInfo, Project
+from repro_lint.engine import Violation
+
+__all__ = ["UnitsFlowAnalyzer"]
+
+#: Name tokens that mark a bare (suffix-less) target as a quantity.
+_QUANTITY_TOKENS = {
+    "temp",
+    "temperature",
+    "power",
+    "flow",
+    "airflow",
+    "mass",
+    "duration",
+    "timeout",
+    "energy",
+    "heat",
+    "period",
+    "staleness",
+    "age",
+    "interval",
+}
+
+
+class UnitsFlowAnalyzer:
+    """Walk every function with a unit environment and check flows."""
+
+    codes = {
+        "RL101": "add/sub/compare operands must carry the same unit suffix",
+        "RL102": "rebind must not change or drop a unit suffix",
+        "RL103": "call argument unit must match the parameter's suffix",
+    }
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.violations: List[Violation] = []
+
+    def run(self) -> List[Violation]:
+        """Analyze every function/method in every project module."""
+        for module in self.project.iter_modules():
+            for func in module.functions.values():
+                self._check_function(module, func)
+            for cls in module.classes.values():
+                for method in cls.methods.values():
+                    self._check_function(module, method)
+        return self.violations
+
+    # ------------------------------------------------------------------
+
+    def _report(
+        self, module: ModuleInfo, node: ast.AST, code: str, message: str, hint: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                path=str(module.path),
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    def _check_function(self, module: ModuleInfo, func: FunctionInfo) -> None:
+        env = UnitEnv()
+        for stmt in iter_function_statements(func.node):
+            self._seed_bindings(stmt, env)
+        # Two passes: bindings first so forward uses inside loops see
+        # units bound later in source order, then the actual checks.
+        for stmt in iter_function_statements(func.node):
+            self._check_statement(module, stmt, env)
+
+    def _seed_bindings(self, stmt: ast.stmt, env: UnitEnv) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                env.bind(target.id, unit_of(stmt.value, env) or suffix_of(target.id))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                env.bind(stmt.target.id, unit_of(stmt.value, env) or suffix_of(stmt.target.id))
+
+    def _check_statement(self, module: ModuleInfo, stmt: ast.stmt, env: UnitEnv) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._check_rebind(module, stmt, target.id, stmt.value, env)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                self._check_rebind(module, stmt, stmt.target.id, stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, (ast.Add, ast.Sub)):
+            if isinstance(stmt.target, ast.Name):
+                left = env.lookup(stmt.target.id)
+                right = unit_of(stmt.value, env)
+                if left is not None and right is not None and left != right:
+                    op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                    self._report(
+                        module,
+                        stmt,
+                        "RL101",
+                        f"augmented assignment mixes units: {stmt.target.id!r} "
+                        f"({left}) {op} value in {right}",
+                        f"convert the right-hand side to {left} before accumulating",
+                    )
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_binop(module, node, env)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(module, node, env)
+            elif isinstance(node, ast.Call):
+                self._check_call(module, node, env)
+
+    def _check_rebind(
+        self, module: ModuleInfo, stmt: ast.stmt, target: str, value: ast.AST, env: UnitEnv
+    ) -> None:
+        value_unit = unit_of(value, env)
+        target_unit = suffix_of(target)
+        if value_unit is None:
+            return
+        if target_unit is not None:
+            if target_unit != value_unit:
+                self._report(
+                    module,
+                    stmt,
+                    "RL102",
+                    f"rebind changes unit: {target!r} ({target_unit}) bound to a "
+                    f"value in {value_unit}",
+                    f"convert the value to {target_unit} or rename the target "
+                    f"to end in {value_unit}",
+                )
+            return
+        terminal = target.lower().rsplit("_", 1)[-1]
+        if terminal in _QUANTITY_TOKENS:
+            self._report(
+                module,
+                stmt,
+                "RL102",
+                f"rebind drops unit suffix: quantity name {target!r} bound to a "
+                f"value in {value_unit}",
+                f"rename the target to {target}{value_unit}",
+            )
+
+    def _check_binop(self, module: ModuleInfo, node: ast.BinOp, env: UnitEnv) -> None:
+        left = unit_of(node.left, env)
+        right = unit_of(node.right, env)
+        if left is not None and right is not None and left != right:
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._report(
+                module,
+                node,
+                "RL101",
+                f"arithmetic mixes units: left operand in {left}, right in "
+                f"{right} ({op})",
+                f"convert one operand so both carry {left} (or {right})",
+            )
+
+    def _check_compare(self, module: ModuleInfo, node: ast.Compare, env: UnitEnv) -> None:
+        if len(node.ops) != 1 or not isinstance(
+            node.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        ):
+            return
+        left = unit_of(node.left, env)
+        right = unit_of(node.comparators[0], env)
+        if left is not None and right is not None and left != right:
+            self._report(
+                module,
+                node,
+                "RL101",
+                f"comparison mixes units: left operand in {left}, right in {right}",
+                f"convert one side so both carry {left} (or {right})",
+            )
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call, env: UnitEnv) -> None:
+        callee = self.project.resolve_call(module, node)
+        if callee is None:
+            return
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            param = callee.param_at(index)
+            self._check_argument(module, node, callee, param, arg, env)
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            self._check_argument(module, node, callee, kw.arg, kw.value, env)
+
+    def _check_argument(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        callee: FunctionInfo,
+        param: Optional[str],
+        arg: ast.AST,
+        env: UnitEnv,
+    ) -> None:
+        if param is None:
+            return
+        param_unit = suffix_of(param)
+        if param_unit is None:
+            return
+        arg_unit = unit_of(arg, env)
+        if arg_unit is None or arg_unit == param_unit:
+            return
+        self._report(
+            module,
+            arg,
+            "RL103",
+            f"argument in {arg_unit} passed to parameter {param!r} ({param_unit}) "
+            f"of {callee.qualname}()",
+            f"convert the argument to {param_unit} at the call site",
+        )

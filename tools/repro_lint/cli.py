@@ -1,4 +1,16 @@
-"""Command-line front end: ``python -m repro_lint [paths...]``."""
+"""Command-line front end: ``python -m repro_lint [paths...]``.
+
+Two modes share one executable and one suppression syntax:
+
+* **lint** (default) — the per-file AST rules (RL001–RL008) plus the
+  engine's suppression meta checks (RL009/RL010).
+* **``--analyze``** — the whole-program analysis pack (RL1xx units-flow,
+  RL2xx cache-key completeness, RL3xx determinism, RL4xx contracts
+  coverage) over a project tree, diffed against the checked-in baseline
+  (``tools/repro_lint/analysis_baseline.json``).  Exit is non-zero on
+  any finding not in the baseline; the baseline itself may only shrink
+  (CI enforces the ratchet against the merge base).
+"""
 
 from __future__ import annotations
 
@@ -9,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set
 
-from repro_lint.engine import LintRunner
+from repro_lint.engine import META_CODES, LintRunner, Violation
 from repro_lint.rules import RULES
 
 
@@ -23,18 +35,36 @@ def build_parser() -> argparse.ArgumentParser:
     """The argparse parser (exposed for --help tests)."""
     parser = argparse.ArgumentParser(
         prog="repro_lint",
-        description="Custom AST lint pack encoding this repo's invariants.",
+        description="Custom AST lint pack + whole-program analysis for this repo.",
     )
-    parser.add_argument("paths", nargs="*", default=["src", "tests", "benchmarks"],
-                        help="files or directories to lint (default: src tests benchmarks)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src tests benchmarks; "
+                             "src only under --analyze)")
+    parser.add_argument("--format", "--output", dest="format",
+                        choices=("text", "json"), default="text",
                         help="output format")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run (default: all)")
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
     parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalogue and exit")
+                        help="print the rule + analyzer catalogue and exit")
+    analysis = parser.add_argument_group("whole-program analysis")
+    analysis.add_argument("--analyze", action="store_true",
+                          help="run the RL1xx-RL4xx analyzer families instead of "
+                               "the per-file rules")
+    analysis.add_argument("--baseline", metavar="PATH", default=None,
+                          help="baseline file of accepted findings (default: "
+                               "tools/repro_lint/analysis_baseline.json)")
+    analysis.add_argument("--no-baseline", action="store_true",
+                          help="ignore the baseline: report every finding")
+    analysis.add_argument("--write-baseline", action="store_true",
+                          help="accept all current findings as the new baseline")
+    analysis.add_argument("--report", metavar="PATH",
+                          help="also write the JSON findings report to PATH")
+    analysis.add_argument("--fail-stale", action="store_true",
+                          help="exit non-zero when the baseline lists findings "
+                               "that no longer fire (forces the ratchet to shrink)")
     return parser
 
 
@@ -50,17 +80,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 141
 
 
+def _known_codes() -> Set[str]:
+    return LintRunner.known_codes()
+
+
 def _run(argv: Optional[Sequence[str]]) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
+        from repro_lint.analysis import analyzer_codes
+
         for rule in RULES:
             print(f"{rule.code}  {rule.summary}")
+        for code in sorted(META_CODES):
+            print(f"{code}  {META_CODES[code]}")
+        for code, summary in sorted(analyzer_codes().items()):
+            print(f"{code}  {summary}")
         return 0
 
     select = _parse_codes(args.select)
     ignore = _parse_codes(args.ignore)
-    known = {rule.code for rule in RULES}
+    known = _known_codes()
     for flag, requested in (("--select", select), ("--ignore", ignore)):
         unknown = sorted(requested - known) if requested else []
         if unknown:
@@ -71,12 +111,17 @@ def _run(argv: Optional[Sequence[str]]) -> int:
             )
             return 2
 
-    runner = LintRunner(select=select, ignore=ignore)
-    paths: List[Path] = [Path(p) for p in args.paths]
+    default_paths = ["src"] if args.analyze else ["src", "tests", "benchmarks"]
+    paths: List[Path] = [Path(p) for p in (args.paths or default_paths)]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"repro_lint: no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
+
+    if args.analyze:
+        return _run_analysis(args, paths, select, ignore)
+
+    runner = LintRunner(select=select, ignore=ignore)
     violations, errors = runner.lint_paths(paths)
 
     if args.format == "json":
@@ -100,6 +145,91 @@ def _run(argv: Optional[Sequence[str]]) -> int:
     if errors:
         return 2
     return 1 if violations else 0
+
+
+def _run_analysis(
+    args: argparse.Namespace,
+    paths: List[Path],
+    select: Optional[Set[str]],
+    ignore: Optional[Set[str]],
+) -> int:
+    from repro_lint.analysis import analyze_project
+    from repro_lint.analysis.baseline import (
+        DEFAULT_BASELINE,
+        diff_against_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro_lint.analysis.project import Project
+
+    project, errors = Project.load(paths)
+    violations = analyze_project(
+        project, select=sorted(select or ()), ignore=sorted(ignore or ())
+    )
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    if args.write_baseline:
+        count = write_baseline(baseline_path, violations)
+        print(f"repro_lint: baseline written to {baseline_path} ({count} finding(s))")
+        return 0
+
+    baseline = load_baseline(baseline_path) if not args.no_baseline else None
+    if baseline is not None:
+        new, stale = diff_against_baseline(violations, baseline)
+    else:
+        new, stale = list(violations), []
+
+    payload = {
+        "mode": "analyze",
+        "count": len(violations),
+        "new_count": len(new),
+        "new": [v.as_dict() for v in new],
+        "violations": [v.as_dict() for v in violations],
+        "baseline": {
+            "path": str(baseline_path) if baseline is not None else None,
+            "count": sum(baseline.values()) if baseline is not None else 0,
+            "stale": [
+                {"path": p, "code": c, "message": m} for (p, c, m) in stale
+            ],
+        },
+        "errors": errors,
+    }
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in new:
+            print(violation.format_human())
+            if violation.hint:
+                print(f"    hint: {violation.hint}")
+        for error in errors:
+            print(f"repro_lint: error: {error}", file=sys.stderr)
+        baselined = len(violations) - len(new)
+        summary = (
+            f"repro_lint: analyze: {len(violations)} finding(s), "
+            f"{baselined} baselined, {len(new)} new"
+        )
+        if stale:
+            summary += f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+        print(summary)
+        for path, code, message in stale:
+            print(f"  stale: {path}: {code} {message}")
+        if stale:
+            print(
+                "  (fixed findings: shrink the baseline with "
+                "'python -m repro_lint --analyze --write-baseline')"
+            )
+    if errors:
+        return 2
+    if new:
+        return 1
+    if stale and args.fail_stale:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

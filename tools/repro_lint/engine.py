@@ -10,21 +10,36 @@ suppression comments.
 Suppression syntax
 ------------------
 * Line level — append ``# repro-lint: disable=RL001`` (or a
-  comma-separated list, or ``all``) to the offending line.
+  comma-separated list like ``disable=RL001,RL003``, or ``all``) to the
+  offending line.
 * File level — put ``# repro-lint: disable-file=RL001`` on a line of
   its own anywhere in the file to silence a rule for the whole file.
+
+Suppressions are themselves checked: a code that no rule or analyzer
+defines is reported as **RL009**, and a suppression that never
+suppressed anything in the run is reported as **RL010** — dead waivers
+rot just like dead code.  Only real comment tokens count (a suppression
+spelled inside a string literal is inert).
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 _LINE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
-_FILE_DISABLE = re.compile(r"^\s*#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)\s*$")
+_FILE_DISABLE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)\s*$")
+
+#: Engine-level meta findings about the suppression comments themselves.
+META_CODES = {
+    "RL009": "suppression names an unknown rule/analyzer code",
+    "RL010": "suppression never suppressed anything in this run (dead waiver)",
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -36,6 +51,8 @@ class Violation:
     col: int
     code: str
     message: str
+    #: Optional actionable fix hint (analyzers set this).
+    hint: Optional[str] = None
 
     def format_human(self) -> str:
         """Render as ``path:line:col: CODE message`` (clickable in most UIs)."""
@@ -62,7 +79,14 @@ class FileContext:
         #: The CLI front end is allowed to print.
         self.is_cli = self.is_library and base == "cli.py"
         self.is_test = base.startswith("test_") or base.startswith("bench_") or base == "conftest.py"
-        self._file_disabled = self._parse_file_disables()
+        #: lineno -> raw comment text, from real COMMENT tokens only —
+        #: a suppression spelled inside a string literal is inert.
+        self.comment_tokens = self._tokenize_comments(source)
+        self._file_disabled, self._file_disable_lines = self._parse_file_disables()
+        self._line_disabled = self._parse_line_disables()
+        #: Suppressions that actually fired: (lineno, CODE) pairs; file-level
+        #: uses lineno 0.
+        self._used: Set[Tuple[int, str]] = set()
 
     @staticmethod
     def _derive_module_name(path: Path) -> str:
@@ -73,29 +97,140 @@ class FileContext:
             parts = parts[:-1]
         return ".".join(parts)
 
-    def _parse_file_disables(self) -> Set[str]:
+    @staticmethod
+    def _tokenize_comments(source: str) -> Dict[int, str]:
+        comments: Dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass
+        return comments
+
+    def _parse_file_disables(self) -> Tuple[Set[str], Dict[str, int]]:
         disabled: Set[str] = set()
-        for line in self.lines:
-            match = _FILE_DISABLE.match(line)
+        first_line: Dict[str, int] = {}
+        for lineno, comment in sorted(self.comment_tokens.items()):
+            match = _FILE_DISABLE.search(comment)
+            # File-level disables must sit on a comment-only line.
+            own_line = (
+                1 <= lineno <= len(self.lines)
+                and self.lines[lineno - 1].lstrip().startswith("#")
+            )
+            if match and own_line:
+                for code in (c.strip().upper() for c in match.group(1).split(",")):
+                    if code:
+                        disabled.add(code)
+                        first_line.setdefault(code, lineno)
+        return disabled, first_line
+
+    def _parse_line_disables(self) -> Dict[int, Set[str]]:
+        disables: Dict[int, Set[str]] = {}
+        for lineno, comment in self.comment_tokens.items():
+            if _FILE_DISABLE.search(comment):
+                continue
+            match = _LINE_DISABLE.search(comment)
             if match:
-                disabled.update(c.strip().upper() for c in match.group(1).split(","))
-        return disabled
+                codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+                if codes:
+                    disables[lineno] = codes
+        return disables
 
     def line_disables(self, lineno: int) -> Set[str]:
         """Rule codes suppressed on a given 1-based source line."""
-        if not 1 <= lineno <= len(self.lines):
-            return set()
-        match = _LINE_DISABLE.search(self.lines[lineno - 1])
-        if not match:
-            return set()
-        return {c.strip().upper() for c in match.group(1).split(",")}
+        return set(self._line_disabled.get(lineno, set()))
 
     def is_suppressed(self, code: str, lineno: int) -> bool:
-        """True when ``code`` is disabled at ``lineno`` (line or file level)."""
-        for disabled in (self._file_disabled, self.line_disables(lineno)):
-            if "ALL" in disabled or code.upper() in disabled:
-                return True
+        """True when ``code`` is disabled at ``lineno`` (line or file level).
+
+        Records which suppression fired, so dead waivers can be
+        reported afterwards (:meth:`suppression_violations`).
+        """
+        code = code.upper()
+        file_disabled = self._file_disabled
+        if "ALL" in file_disabled:
+            self._used.add((0, "ALL"))
+            return True
+        if code in file_disabled:
+            self._used.add((0, code))
+            return True
+        line_disabled = self._line_disabled.get(lineno, set())
+        if "ALL" in line_disabled:
+            self._used.add((lineno, "ALL"))
+            return True
+        if code in line_disabled:
+            self._used.add((lineno, code))
+            return True
         return False
+
+    def suppression_violations(
+        self, active_codes: Set[str], known_codes: Set[str]
+    ) -> List[Violation]:
+        """Meta findings about the suppression comments themselves.
+
+        * **RL009** — a suppression naming a code no rule or analyzer
+          defines (typo'd waivers silently waive nothing).
+        * **RL010** — a suppression for an *active* code that never
+          suppressed a finding in this run (dead waiver).  Codes outside
+          ``active_codes`` are skipped: a lint run cannot judge an
+          analyzer waiver and vice versa.
+        """
+        found: List[Violation] = []
+
+        def report(lineno: int, code: str, meta: str, message: str, hint: str) -> None:
+            found.append(
+                Violation(
+                    path=str(self.path),
+                    line=lineno,
+                    col=1,
+                    code=meta,
+                    message=message,
+                    hint=hint,
+                )
+            )
+
+        for lineno, codes in sorted(self._line_disabled.items()):
+            for code in sorted(codes):
+                if code == "ALL":
+                    continue
+                if code not in known_codes:
+                    report(
+                        lineno,
+                        code,
+                        "RL009",
+                        f"suppression names unknown code {code}",
+                        "fix the code (see --list-rules) or drop the waiver",
+                    )
+                elif code in active_codes and (lineno, code) not in self._used:
+                    report(
+                        lineno,
+                        code,
+                        "RL010",
+                        f"suppression of {code} on this line never fired (dead waiver)",
+                        "remove the stale '# repro-lint: disable' comment",
+                    )
+        for code in sorted(self._file_disabled):
+            lineno = self._file_disable_lines.get(code, 1)
+            if code == "ALL":
+                continue
+            if code not in known_codes:
+                report(
+                    lineno,
+                    code,
+                    "RL009",
+                    f"file-level suppression names unknown code {code}",
+                    "fix the code (see --list-rules) or drop the waiver",
+                )
+            elif code in active_codes and (0, code) not in self._used:
+                report(
+                    lineno,
+                    code,
+                    "RL010",
+                    f"file-level suppression of {code} never fired (dead waiver)",
+                    "remove the stale '# repro-lint: disable-file' comment",
+                )
+        return found
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -125,6 +260,7 @@ class LintRunner:
         rules: Optional[Sequence[type]] = None,
         select: Optional[Set[str]] = None,
         ignore: Optional[Set[str]] = None,
+        check_suppressions: bool = True,
     ):
         from repro_lint.rules import RULES
 
@@ -134,6 +270,27 @@ class LintRunner:
         if ignore:
             chosen = [r for r in chosen if r.code not in ignore]
         self.rules = chosen
+        self.check_suppressions = check_suppressions
+        self._meta_selected = {
+            code
+            for code in META_CODES
+            if (not select or code in select) and (not ignore or code not in ignore)
+        }
+
+    @staticmethod
+    def known_codes() -> Set[str]:
+        """Every code a suppression may legitimately name: the per-file
+        rules, the engine meta codes, and the whole-program analyzers."""
+        from repro_lint.rules import RULES
+
+        known = {rule.code for rule in RULES} | set(META_CODES)
+        try:
+            from repro_lint.analysis import analyzer_codes
+
+            known |= set(analyzer_codes())
+        except ImportError:  # pragma: no cover - analysis pack always ships
+            pass
+        return known
 
     def lint_file(self, path: Path) -> Tuple[List[Violation], Optional[str]]:
         """Lint one file.  Returns ``(violations, error)``; ``error`` is a
@@ -151,6 +308,10 @@ class LintRunner:
             violations.extend(
                 v for v in rule.violations if not ctx.is_suppressed(v.code, v.line)
             )
+        if self.check_suppressions and self._meta_selected:
+            active = {r.code for r in self.rules}
+            meta = ctx.suppression_violations(active, self.known_codes())
+            violations.extend(v for v in meta if v.code in self._meta_selected)
         violations.sort(key=lambda v: (v.line, v.col, v.code))
         return violations, None
 
