@@ -60,8 +60,10 @@ def single_linkage(traces: np.ndarray, k: int, min_common_samples: int = 10) -> 
     # representatives; merging takes the elementwise minimum.
     while len(active) > k:
         best = (np.inf, -1, -1)
-        for i in active:
-            for j in active:
+        # Sorted scan: on distance ties the lowest (i, j) pair must win
+        # regardless of set hash order, or labels differ across runs.
+        for i in sorted(active):
+            for j in sorted(active):
                 if j <= i:
                     continue
                 if d[i, j] < best[0]:

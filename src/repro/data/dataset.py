@@ -185,7 +185,7 @@ class AuditoriumDataset:
         if mode is not None:
             windows = daily_windows(self.axis, mode)
             mask = np.zeros(self.n_samples, dtype=bool)
-            for day in wanted:
+            for day in sorted(wanted):
                 if day in windows:
                     start, stop = windows[day]
                     mask[start:stop] = True

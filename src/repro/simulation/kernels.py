@@ -340,11 +340,11 @@ class ThermalIntegrate:
         m = state.mass_temps
         h = plan.substep_h
         derivatives = plan.network.derivatives
-        flow = state.zone_flow_kgs
-        supply_t = state.zone_supply_temp_c
-        heat = state.zone_heat_w
+        flow_kgs = state.zone_flow_kgs
+        supply_t_c = state.zone_supply_temp_c
+        heat_w = state.zone_heat_w
         for _ in range(plan.substeps):
-            dz, dm = derivatives(z, m, flow, supply_t, heat, ambient_c)
+            dz, dm = derivatives(z, m, flow_kgs, supply_t_c, heat_w, ambient_c)
             z += h * dz
             m += h * dm
         if not (np.all(np.isfinite(z)) and np.all(np.isfinite(m))):

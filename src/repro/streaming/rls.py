@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import ensure_finite
 from repro.errors import StreamingError
 from repro.streaming.ingest import GatedTick
 from repro.sysid.models import FirstOrderModel, SecondOrderModel, ThermalModel
@@ -75,7 +76,7 @@ class RecursiveLeastSquares:
     @property
     def weights(self) -> np.ndarray:
         """Current parameter matrix ``W``, shape ``(q, p)`` (a copy)."""
-        return self._weights.copy()
+        return ensure_finite(self._weights.copy(), "RLS weights")
 
     def predict(self, phi: np.ndarray) -> np.ndarray:
         """Model output ``Wᵀ φ`` for one regressor vector."""
@@ -84,7 +85,7 @@ class RecursiveLeastSquares:
             raise StreamingError(
                 f"phi has shape {phi.shape}, expected ({self.n_regressors},)"
             )
-        return self._weights.T @ phi
+        return ensure_finite(self._weights.T @ phi, "RLS prediction")
 
     def update(self, phi: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Absorb one ``(φ, y)`` pair; returns the prior innovation.
@@ -113,7 +114,9 @@ class RecursiveLeastSquares:
         # to the batch normal equations.
         self._covariance = 0.5 * (self._covariance + self._covariance.T)
         self.n_updates += 1
-        return innovation
+        # A collapsing gain denominator (forgetting too aggressive for
+        # the excitation) surfaces here instead of poisoning W silently.
+        return ensure_finite(innovation, "RLS innovation")
 
 
 class OnlineModelEstimator:

@@ -235,12 +235,19 @@ def identify_cached(
 
     options = options or IdentificationOptions()
     cache = default_cache()
+    # The whole axis is keyed, not just its period: mode-restricted fits
+    # derive their masks from hour-of-day, so two traces with identical
+    # arrays but shifted epochs are different training sets.
+    # Derived inputs need no key entry of their own:
+    # n_sensors/channels are the array widths (in the data digest) and
+    # segments() recomputes from the arrays, axis and mode.
+    # repro-lint: key-covers=dataset.n_sensors,dataset.channels,dataset.segments
     key = artifact_key(
         "identified-model",
         {
             "data": array_digest(dataset.temperatures, dataset.inputs),
             "sensors": dataset.sensor_ids,
-            "period": float(dataset.axis.period),
+            "axis": fingerprint(dataset.axis),
             "options": options,
             "mode": mode,
             "segments": None if segments is None else fingerprint(tuple(segments)),

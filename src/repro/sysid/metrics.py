@@ -11,6 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import check_shapes, ensure_finite
 from repro.errors import DataError
 
 __all__ = [
@@ -23,7 +24,10 @@ __all__ = [
 ]
 
 
-def rms(errors: np.ndarray, axis: Optional[int] = None) -> np.ndarray:
+# NaN-aware reduction over arbitrary-rank input; a NaN result is the
+# documented all-missing signal, so neither a shape spec nor a
+# finiteness contract applies here.
+def rms(errors: np.ndarray, axis: Optional[int] = None) -> np.ndarray:  # repro-lint: disable=RL401
     """Root mean square over ``axis``, ignoring NaN entries."""
     errors = np.asarray(errors, dtype=float)
     with np.errstate(invalid="ignore"):
@@ -43,6 +47,7 @@ def pooled_rms(predicted: np.ndarray, measured: np.ndarray) -> float:
     return float(np.sqrt(np.mean(np.square(err[finite]))))
 
 
+@check_shapes(predicted="n p", measured="n p", ret="p")
 def per_sensor_rms(predicted: np.ndarray, measured: np.ndarray) -> np.ndarray:
     """RMS per column over finite pairs; NaN for all-missing columns."""
     predicted = np.asarray(predicted, dtype=float)
@@ -72,10 +77,12 @@ def empirical_cdf(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     if finite.size == 0:
         raise DataError("no finite values for CDF")
     f = np.arange(1, finite.size + 1) / finite.size
-    return finite, f
+    return ensure_finite(finite, "empirical_cdf values"), f
 
 
-def max_pairwise_difference(columns: np.ndarray) -> np.ndarray:
+# NaN marks pairs with no common finite rows — a legitimate output this
+# seam's consumers (the cluster-quality CDFs) filter themselves.
+def max_pairwise_difference(columns: np.ndarray) -> np.ndarray:  # repro-lint: disable=RL401
     """For each pair of columns, the maximum |difference| over rows.
 
     Rows where either column is NaN are ignored per pair.  Returns the

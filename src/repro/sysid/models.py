@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.contracts import check_shapes
+from repro.contracts import check_shapes, ensure_finite
 from repro.errors import IdentificationError
 
 __all__ = [
@@ -143,7 +143,11 @@ class FirstOrderModel(ThermalModel):
         return self.B.shape[1]
 
     def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
-        return self.A @ history[-1] + self.B @ u + self.c
+        # ensure_finite catches free-run divergence (unstable A) the
+        # moment it overflows instead of filling the trace with inf.
+        return ensure_finite(
+            self.A @ history[-1] + self.B @ u + self.c, "FirstOrderModel.step prediction"
+        )
 
     def interaction_matrix(self) -> np.ndarray:
         """Off-diagonal part of ``A``: thermal interaction between the
@@ -189,7 +193,10 @@ class SecondOrderModel(ThermalModel):
 
     def step(self, history: np.ndarray, u: np.ndarray) -> np.ndarray:
         delta = history[-1] - history[-2]
-        return self.A1 @ history[-1] + self.A2 @ delta + self.B @ u + self.c
+        return ensure_finite(
+            self.A1 @ history[-1] + self.A2 @ delta + self.B @ u + self.c,
+            "SecondOrderModel.step prediction",
+        )
 
     def block_form(self) -> Tuple[np.ndarray, np.ndarray]:
         """The paper's ``(A', B')`` over the stacked state ``[T; ΔT]``."""

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import stats
 
+from repro.contracts import ensure_finite
 from repro.data.dataset import AuditoriumDataset
 from repro.data.gaps import Segment
 from repro.data.modes import Mode
@@ -60,7 +61,8 @@ def one_step_residuals(
             rows.append(temps[k + 1] - predicted)
     if not rows:
         raise IdentificationError("no segment long enough for residual analysis")
-    return np.vstack(rows)
+    # Segments are fully-valid runs, so the residual stack must be finite.
+    return ensure_finite(np.vstack(rows), "one-step residuals")
 
 
 def autocorrelation(series: np.ndarray, max_lag: int) -> np.ndarray:
