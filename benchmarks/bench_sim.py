@@ -1,4 +1,5 @@
-"""Step-kernel simulator benchmark → ``sim`` section of ``BENCH_report.json``.
+"""Step-kernel simulator benchmark → ``sim`` + ``fleet`` sections of
+``BENCH_report.json``.
 
 Times the closed-loop auditorium simulation under three drivers:
 
@@ -13,10 +14,16 @@ All three must produce *bit-identical* traces (asserted with
 ``np.array_equal`` before any number is reported), so the speedup can
 never come from changing the physics.
 
+The ``fleet`` section then batches a generated building fleet through
+:class:`repro.simulation.fleet.FleetSimulator` and compares one
+vectorized pass against running every building's solo simulator
+sequentially — again gated on per-building bit-identity first.
+
 Environment knobs:
 
-* ``REPRO_BENCH_SIM_DAYS``    — simulated days per timing (default 3),
-* ``REPRO_BENCH_SIM_REPEATS`` — repeats per engine, best-of (default 2).
+* ``REPRO_BENCH_SIM_DAYS``      — simulated days per timing (default 3),
+* ``REPRO_BENCH_SIM_REPEATS``   — repeats per engine, best-of (default 2),
+* ``REPRO_BENCH_FLEET_SIZE``    — buildings in the fleet section (default 8).
 
 Run via ``make bench-json`` (or directly:
 ``PYTHONPATH=src python benchmarks/bench_sim.py``).  The section is
@@ -38,9 +45,11 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.simulation import AuditoriumSimulator, SimulationConfig  # noqa: E402
+from repro.simulation.fleet import FleetConfig, FleetSimulator, build_fleet  # noqa: E402
 
 SIM_DAYS = float(os.environ.get("REPRO_BENCH_SIM_DAYS", "3"))
 REPEATS = int(os.environ.get("REPRO_BENCH_SIM_REPEATS", "2"))
+FLEET_SIZE = int(os.environ.get("REPRO_BENCH_FLEET_SIZE", "8"))
 
 #: Result arrays compared across engines for bit-identity.
 PARITY_FIELDS = (
@@ -64,6 +73,52 @@ def _time_engine(run):
         best = min(best, time.perf_counter() - begin)
         result = candidate
     return best, result
+
+
+def _bench_fleet():
+    """Batched fleet pass vs sequential solo runs; returns the section.
+
+    Returns ``None`` when the per-building parity gate fails — the
+    caller treats that as a hard error, exactly like the engine gate.
+    """
+    specs = build_fleet(FleetConfig(n_buildings=FLEET_SIZE, days=SIM_DAYS))
+    n_steps = specs[0].simulation.n_steps
+
+    print(f"benchmarking a {FLEET_SIZE}-building fleet at {SIM_DAYS:g} days each ...")
+    batched_s, fleet = _time_engine(lambda: FleetSimulator(specs).run())
+
+    def run_sequential():
+        return [spec.simulator().run() for spec in specs]
+
+    sequential_s, solos = _time_engine(run_sequential)
+
+    bit_identical = all(
+        np.array_equal(getattr(batched, field), getattr(solo, field))
+        for batched, solo in zip(fleet.results, solos)
+        for field in PARITY_FIELDS
+    )
+    if not bit_identical:
+        return None
+
+    building_steps = FLEET_SIZE * n_steps
+    cohorts = [cohort.n_buildings for cohort in FleetSimulator(specs).cohorts]
+    print(
+        f"  batched   : {batched_s:7.2f} s  ({building_steps / batched_s:8.0f} building-steps/s, "
+        f"cohorts {cohorts})"
+    )
+    print(f"  sequential: {sequential_s:7.2f} s  ({building_steps / sequential_s:8.0f} building-steps/s)")
+    return {
+        "buildings": FLEET_SIZE,
+        "days": SIM_DAYS,
+        "n_steps": n_steps,
+        "cohorts": cohorts,
+        "building_steps_per_second": {
+            "batched": round(building_steps / batched_s, 1),
+            "sequential": round(building_steps / sequential_s, 1),
+        },
+        "speedup": {"batched_vs_sequential": round(sequential_s / batched_s, 2)},
+        "bit_identical": True,
+    }
 
 
 def main() -> int:
@@ -104,6 +159,14 @@ def main() -> int:
         "bit_identical": bit_identical,
     }
 
+    fleet_section = _bench_fleet()
+    if fleet_section is None:
+        print(
+            "ERROR: batched fleet disagrees with solo runs; refusing to report timings",
+            file=sys.stderr,
+        )
+        return 1
+
     target = ROOT / "BENCH_report.json"
     try:
         payload = json.loads(target.read_text())
@@ -112,9 +175,10 @@ def main() -> int:
     except (OSError, ValueError):
         payload = {}
     payload["sim"] = section
+    payload["fleet"] = fleet_section
     target.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote the sim section of {target}")
-    print(json.dumps(section["speedup"], indent=2))
+    print(f"wrote the sim and fleet sections of {target}")
+    print(json.dumps({**section["speedup"], **fleet_section["speedup"]}, indent=2))
     return 0
 
 

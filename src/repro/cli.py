@@ -4,6 +4,8 @@ Subcommands::
 
     repro simulate    generate the synthetic trace and save it as CSV
     repro synth       generate the trace with chunk/engine control
+    repro fleet       batch-simulate a building fleet (``--parity``
+                      checks every building against its solo run)
     repro info        summarize a dataset (synthetic or loaded from CSV)
     repro fit         identify thermal models and report prediction error
     repro cluster     spectral-cluster the sensors and print memberships
@@ -111,6 +113,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the in-process and on-disk caches"
     )
 
+    p = sub.add_parser(
+        "fleet", help="batch-simulate a fleet of buildings in one vectorized pass"
+    )
+    p.add_argument(
+        "--buildings", type=int, default=8, help="fleet size (default 8)"
+    )
+    p.add_argument(
+        "--days", type=float, default=3.0, help="trace length per building (default 3)"
+    )
+    p.add_argument(
+        "--seed", type=int, default=rng_mod.DEFAULT_SEED, help="fleet distribution seed"
+    )
+    p.add_argument(
+        "--chunk-steps",
+        type=int,
+        default=None,
+        help="simulation steps per streamed chunk (default: 7-day slabs)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk artifact cache"
+    )
+    p.add_argument(
+        "--parity",
+        action="store_true",
+        help="re-run every building solo and bit-compare against the batched pass",
+    )
+
     p = sub.add_parser("info", help="summarize a dataset")
     _add_common(p)
     p.add_argument("--input", help="CSV stem to load (default: synthesize)")
@@ -147,7 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "id",
         help="experiment id (table1, table2, fig2..fig11, ext-control, "
         "ext-occupancy, ext-order, ext-stability, ext-streaming, "
-        "robustness, robustness-count, or 'all')",
+        "ext-fleet, robustness, robustness-count, or 'all')",
     )
 
     p = sub.add_parser("report", help="run every experiment and write a combined report")
@@ -274,6 +303,60 @@ def _cmd_synth(args) -> int:
 
         path = save_dataset_csv(dataset, args.output)
         print(f"wrote {path}")
+    return 0
+
+
+#: Trajectory fields compared by ``repro fleet --parity``.
+_FLEET_PARITY_FIELDS = (
+    "zone_temps",
+    "mass_temps",
+    "vav_flows",
+    "vav_temps",
+    "co2",
+    "humidity_ratio",
+    "thermostat_readings",
+    "thermostat_true",
+)
+
+
+def _cmd_fleet(args) -> int:
+    import numpy as np
+
+    from repro.data.synth import generate_fleet
+    from repro.simulation.fleet import FleetConfig, FleetSimulator, build_fleet
+
+    config = FleetConfig(n_buildings=args.buildings, days=args.days, seed=args.seed)
+    specs = build_fleet(config)
+    fleet = generate_fleet(
+        specs=specs, use_cache=not args.no_cache, chunk_steps=args.chunk_steps
+    )
+    cohorts = FleetSimulator(specs).cohorts
+    print(
+        f"fleet of {fleet.n_buildings} buildings, {args.days:g} days each, "
+        f"{len(cohorts)} cohort(s) "
+        f"({', '.join(str(c.n_buildings) for c in cohorts)} buildings)"
+    )
+    for spec, result in zip(fleet.specs, fleet.results):
+        mean_temp = float(result.zone_temps.mean())
+        print(
+            f"  {spec.name:14s} {spec.width:5.1f}x{spec.depth:4.1f}x{spec.height:3.1f} m, "
+            f"{spec.capacity:3d} seats, {spec.n_vavs} VAVs, "
+            f"setpoint {spec.simulation.hvac.setpoint:5.2f} degC, "
+            f"mean zone temp {mean_temp:5.2f} degC"
+        )
+    if args.parity:
+        failures = []
+        for spec, result in zip(fleet.specs, fleet.results):
+            solo = spec.simulator().run()
+            for field in _FLEET_PARITY_FIELDS:
+                if not np.array_equal(getattr(result, field), getattr(solo, field)):
+                    failures.append(f"{spec.name}.{field}")
+        if failures:
+            print(f"PARITY FAILED: {', '.join(failures)}", file=sys.stderr)
+            return 1
+        print(
+            f"parity: all {fleet.n_buildings} buildings bit-identical to their solo runs"
+        )
     return 0
 
 
@@ -633,6 +716,7 @@ def _cmd_snapshot(args) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "synth": _cmd_synth,
+    "fleet": _cmd_fleet,
     "snapshot": _cmd_snapshot,
     "info": _cmd_info,
     "fit": _cmd_fit,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro import rng as rng_mod
 from repro.core.artifacts import (
@@ -34,15 +34,24 @@ from repro.core.artifacts import (
 from repro.data.assemble import AssemblyConfig, assemble_dataset
 from repro.data.dataset import AuditoriumDataset
 from repro.data.screening import ScreeningThresholds, screen_sensors
+from repro.errors import ContractError, SimulationError
 from repro.geometry.layout import THERMOSTAT_IDS
 from repro.sensing.deployment import Deployment, DeploymentConfig
 from repro.sensing.raw import RawDataset
+from repro.simulation.fleet import (
+    BuildingSpec,
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    build_fleet,
+)
 from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig, SimulationResult
 
 __all__ = [
     "SynthConfig",
     "SynthOutput",
     "generate",
+    "generate_fleet",
     "preprocess",
     "default_output",
     "default_dataset",
@@ -59,7 +68,7 @@ class SynthConfig:
     assembly: AssemblyConfig = field(default_factory=AssemblyConfig)
     seed: int = rng_mod.DEFAULT_SEED
 
-    def cache_key(self) -> str:
+    def cache_key(self, engine: str = "kernel") -> str:
         """Stable content key covering *every* configuration field.
 
         Delegates to :func:`repro.core.artifacts.fingerprint` so the
@@ -67,13 +76,17 @@ class SynthConfig:
         new configuration field can never be silently left out of the
         key (the previous hand-written tuple omitted the thermostat
         noise/draft and initial-temperature fields, aliasing distinct
-        configurations onto one cache slot).
+        configurations onto one cache slot).  ``engine`` is part of the
+        key: the engines are bit-identical by contract, but a cached
+        kernel trace must never *silently* satisfy an explicit request
+        for the reference loop — that is exactly the aliasing the
+        parity checks exist to detect.
         """
-        return fingerprint(self)
+        return "{}|engine={}".format(fingerprint(self), engine)
 
-    def artifact_key(self) -> str:
-        """Content-addressed on-disk key (config + package version)."""
-        return artifact_key("synth-output", self)
+    def artifact_key(self, engine: str = "kernel") -> str:
+        """Content-addressed on-disk key (config + engine + version)."""
+        return artifact_key("synth-output", {"config": fingerprint(self), "engine": engine})
 
 
 @dataclass
@@ -94,6 +107,10 @@ _CACHE: Dict[str, SynthOutput] = {}
 #: Artifact kind of the streamed simulation-chunk series (keyed on the
 #: resolved :class:`SimulationConfig`, which fully determines the trace).
 SIM_CHUNK_KIND = "sim-chunks"
+#: Artifact kind of per-building fleet chunk series (keyed on the full
+#: :class:`BuildingSpec` — geometry and plant change the trace, so the
+#: solo kind's SimulationConfig key would alias distinct buildings).
+FLEET_CHUNK_KIND = "fleet-sim-chunks"
 #: Default chunk length for streamed generation: 7 simulated days.
 DEFAULT_CHUNK_DAYS = 7.0
 
@@ -144,10 +161,106 @@ def _resume_from_chunks(
         return None
     try:
         return simulator.assemble(chunks)
-    except Exception:
-        # A stale/foreign series (wrong spans, truncated pickle survivors)
-        # is a miss, not an error — regenerate from scratch.
+    except (ContractError, SimulationError):
+        # A sealed series that fails the integrator-health contracts or
+        # mis-tiles the horizon is a genuine defect in the cached data,
+        # not a miss — silently regenerating would hide it forever.
+        raise
+    except (KeyError, AttributeError, TypeError, ValueError, IndexError, EOFError):
+        # A foreign series (wrong types, truncated pickle survivors,
+        # missing attributes after a schema change) is a miss —
+        # regenerate from scratch.
         return None
+
+
+def _resume_fleet_building(
+    spec: BuildingSpec, simulator: AuditoriumSimulator, disk
+) -> Optional[SimulationResult]:
+    """Assemble a building's cached fleet chunk series, or ``None``.
+
+    Falls back to the solo ``sim-chunks`` series when the spec uses the
+    canonical paper geometry — a solo run and a fleet member are then
+    the same trace, so either cache satisfies the other.
+    """
+    if disk is None:
+        return None
+    chunks = load_chunk_series(disk, FLEET_CHUNK_KIND, spec)
+    if chunks is None and spec.use_default_geometry:
+        chunks = load_chunk_series(disk, SIM_CHUNK_KIND, spec.simulation)
+    if chunks is None:
+        return None
+    try:
+        return simulator.assemble(chunks)
+    except (ContractError, SimulationError):
+        # Same policy as the solo path: defective cached data must
+        # surface, not be relabeled a miss.
+        raise
+    except (KeyError, AttributeError, TypeError, ValueError, IndexError, EOFError):
+        return None
+
+
+def generate_fleet(
+    config: Optional[FleetConfig] = None,
+    specs: Optional[Sequence[BuildingSpec]] = None,
+    use_cache: bool = True,
+    chunk_steps: Optional[int] = None,
+) -> FleetResult:
+    """Simulate a building fleet in one batched pass, cache per building.
+
+    Buildings whose chunk series are already in the artifact store are
+    assembled from cache; the remainder integrate together through
+    :class:`FleetSimulator` and their chunks are persisted as they
+    stream out, each under its own ``BuildingSpec``-fingerprinted key.
+    Paper-default-geometry members additionally mirror into the solo
+    ``sim-chunks`` series, so a later ``generate()`` for that
+    configuration resumes from the fleet trace instead of re-running.
+    """
+    if specs is None:
+        specs = build_fleet(config or FleetConfig())
+    specs = tuple(specs)
+    disk = default_cache() if use_cache else None
+
+    results: Dict[int, SimulationResult] = {}
+    pending: list = []
+    for slot, spec in enumerate(specs):
+        resumed = _resume_fleet_building(spec, spec.simulator(), disk)
+        if resumed is not None:
+            results[slot] = resumed
+        else:
+            pending.append(slot)
+
+    if pending:
+        sub_specs = [specs[s] for s in pending]
+        fleet = FleetSimulator(sub_specs)
+        size = (
+            chunk_steps
+            if chunk_steps is not None
+            else _default_chunk_steps(sub_specs[0].simulation)
+        )
+        collected: list = [[] for _ in sub_specs]
+        for j, chunk in fleet.iter_building_chunks(size):
+            collected[j].append(chunk)
+            if disk is not None:
+                spec = sub_specs[j]
+                disk.store(chunk_key(FLEET_CHUNK_KIND, spec, size, chunk.index), chunk)
+                if spec.use_default_geometry:
+                    disk.store(
+                        chunk_key(SIM_CHUNK_KIND, spec.simulation, size, chunk.index), chunk
+                    )
+        for j, chunks in enumerate(collected):
+            spec = sub_specs[j]
+            results[pending[j]] = fleet.simulators[j].assemble(chunks)
+            if disk is not None:
+                manifest = ChunkManifest(
+                    n_chunks=len(chunks), chunk_steps=size, n_steps=spec.simulation.n_steps
+                )
+                disk.store(chunk_manifest_key(FLEET_CHUNK_KIND, spec), manifest)
+                if spec.use_default_geometry:
+                    disk.store(chunk_manifest_key(SIM_CHUNK_KIND, spec.simulation), manifest)
+
+    return FleetResult(
+        specs=specs, results=tuple(results[slot] for slot in range(len(specs)))
+    )
 
 
 def generate(
@@ -171,12 +284,12 @@ def generate(
     if engine not in ("kernel", "loop"):
         raise ValueError(f"unknown simulation engine {engine!r}; use 'kernel' or 'loop'")
     config = config or SynthConfig()
-    key = config.cache_key()
+    key = config.cache_key(engine)
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     disk = default_cache() if use_cache else None
-    disk_key = config.artifact_key() if use_cache else ""
+    disk_key = config.artifact_key(engine) if use_cache else ""
     if disk is not None:
         cached = disk.load(disk_key)
         if isinstance(cached, SynthOutput):

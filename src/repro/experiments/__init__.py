@@ -13,6 +13,7 @@ from types import SimpleNamespace
 from repro.experiments import (
     ext_analysis,
     ext_control,
+    ext_fleet,
     ext_streaming,
     fig2,
     fig3,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "ext-occupancy": SimpleNamespace(run=ext_analysis.run_occupancy),
     "ext-order": SimpleNamespace(run=ext_analysis.run_order_sweep),
     "ext-stability": SimpleNamespace(run=ext_analysis.run_stability),
+    "ext-fleet": ext_fleet,
     "ext-streaming": ext_streaming,
     "robustness": robustness,
     "robustness-count": SimpleNamespace(run=robustness.run_count_sweep),

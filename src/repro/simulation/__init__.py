@@ -26,6 +26,14 @@ from repro.simulation.simulator import (
     SimulationResult,
 )
 from repro.simulation.humidity import MoistureBalance, MoistureConfig
+from repro.simulation.fleet import (
+    BuildingSpec,
+    FleetConfig,
+    FleetResult,
+    FleetSimulator,
+    build_fleet,
+    seed_fleet,
+)
 from repro.simulation.validation import EnergyAudit, energy_audit, steady_state, time_constants
 
 __all__ = [
@@ -49,6 +57,12 @@ __all__ = [
     "SimulationResult",
     "MoistureBalance",
     "MoistureConfig",
+    "BuildingSpec",
+    "FleetConfig",
+    "FleetResult",
+    "FleetSimulator",
+    "build_fleet",
+    "seed_fleet",
     "EnergyAudit",
     "energy_audit",
     "steady_state",

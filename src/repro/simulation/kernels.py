@@ -314,9 +314,15 @@ class DiffuserMix:
             fed = flows[idx]
             f = fed.sum()
             diffuser_flows[d] = f
-            diffuser_temps[d] = (
-                float(np.dot(fed, discharge[idx]) / f) if f > 1e-12 else discharge[idx].mean()
-            )
+            if f > 1e-12:
+                diffuser_temps[d] = float(np.dot(fed, discharge[idx]) / f)
+            elif idx.size:
+                diffuser_temps[d] = discharge[idx].mean()
+            else:
+                # A diffuser with no feeding VAVs supplies nothing; its
+                # temperature must still be finite (an empty-slice mean
+                # is NaN and would poison the zone projection below).
+                diffuser_temps[d] = 0.0
         state.zone_flow_kgs, state.zone_supply_temp_c = plan.network._supply_core(
             diffuser_flows, diffuser_temps
         )
@@ -388,11 +394,12 @@ class MoistureStep:
         diffuser_flows = state.diffuser_flows
         diffuser_temps = state.diffuser_temps
         total_flow = float(diffuser_flows.sum())
-        mean_discharge = (
-            float(np.dot(diffuser_flows, diffuser_temps) / total_flow)
-            if total_flow > 1e-12
-            else float(diffuser_temps.mean())
-        )
+        if total_flow > 1e-12:
+            mean_discharge = float(np.dot(diffuser_flows, diffuser_temps) / total_flow)
+        elif diffuser_temps.size:
+            mean_discharge = float(diffuser_temps.mean())
+        else:
+            mean_discharge = 0.0
         chunk.humidity_ratio[row] = state.moisture.step(
             plan.dt,
             occupants=float(plan.occupancy_total[k]),

@@ -604,9 +604,14 @@ class AuditoriumSimulator:
             for d, ids in enumerate(diffuser_idx):
                 f = flows[ids].sum()
                 diffuser_flows[d] = f
-                diffuser_temps[d] = (
-                    float(np.dot(flows[ids], discharge[ids]) / f) if f > 1e-12 else discharge[ids].mean()
-                )
+                if f > 1e-12:
+                    diffuser_temps[d] = float(np.dot(flows[ids], discharge[ids]) / f)
+                elif ids.size:
+                    diffuser_temps[d] = discharge[ids].mean()
+                else:
+                    # No feeding VAVs: zero supply; keep the temperature
+                    # finite so it cannot poison the zone projection.
+                    diffuser_temps[d] = 0.0
 
             zone_flow, zone_supply_temp_c = self.network.supply_to_zones(diffuser_flows, diffuser_temps)
             zone_heat_w = self.network.occupant_zone_heat(zone_occupancy[k])
@@ -632,11 +637,12 @@ class AuditoriumSimulator:
 
             # 6. Moisture balance (cooling coil dehumidifies).
             total_flow = float(diffuser_flows.sum())
-            mean_discharge = (
-                float(np.dot(diffuser_flows, diffuser_temps) / total_flow)
-                if total_flow > 1e-12
-                else float(diffuser_temps.mean())
-            )
+            if total_flow > 1e-12:
+                mean_discharge = float(np.dot(diffuser_flows, diffuser_temps) / total_flow)
+            elif diffuser_temps.size:
+                mean_discharge = float(diffuser_temps.mean())
+            else:
+                mean_discharge = 0.0
             out_humidity[k] = moisture.step(
                 cfg.dt,
                 occupants=float(occupancy_total[k]),

@@ -40,3 +40,17 @@ def analyze_cached(config: PartialKeyConfig) -> float:  # expect: RL202
     key = artifact_key("an", {"days": config.days})
     assert key
     return analyze(config)
+
+
+def simulate_trace(config: PartialKeyConfig, engine: str) -> float:
+    """Underlying producer: the engine changes how the trace is built."""
+    return config.days if engine == "loop" else config.days * 2.0
+
+
+def simulate_trace_cached(config: PartialKeyConfig, engine: str) -> float:  # expect: RL202
+    """RL202: the engine-blind key — a warm cache silently serves one
+    engine's output for another's explicit request (the bug class fixed
+    in ``repro.data.synth.generate``)."""
+    key = artifact_key("trace", {"config": fingerprint(config)})
+    assert key
+    return simulate_trace(config, engine)

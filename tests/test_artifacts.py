@@ -17,8 +17,16 @@ from repro.core.artifacts import (
     default_cache,
     fingerprint,
 )
-from repro.data.synth import SynthConfig, SynthOutput, clear_cache, generate
-from repro.simulation.simulator import SimulationConfig
+from repro.data.synth import (
+    SIM_CHUNK_KIND,
+    SynthConfig,
+    SynthOutput,
+    clear_cache,
+    generate,
+    generate_fleet,
+)
+from repro.simulation.fleet import BuildingSpec
+from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig
 
 TINY_DAYS = 2.0
 
@@ -254,6 +262,156 @@ class TestSynthReadThrough:
             equal_nan=True,
         )
         assert path.exists()  # regenerated artifact was re-stored
+
+
+class TestEngineKeying:
+    """The cache key must include the engine (the engine-blind bug)."""
+
+    def test_loop_request_never_served_from_kernel_cache(self, monkeypatch, tmp_path):
+        """A kernel-warmed cache must still run ``run_loop`` when asked to."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        generate(config)  # warm both cache layers with the kernel engine
+
+        calls = {"loop": 0}
+        original = AuditoriumSimulator.run_loop
+
+        def counting_run_loop(self):
+            calls["loop"] += 1
+            return original(self)
+
+        monkeypatch.setattr(AuditoriumSimulator, "run_loop", counting_run_loop)
+        loop_output = generate(config, engine="loop")
+        assert calls["loop"] == 1, "loop request was served from the kernel cache"
+        # The engines are bit-identical by contract, so the *data* agrees —
+        # only the provenance differs.
+        kernel_output = generate(config)
+        assert np.array_equal(
+            loop_output.simulation.zone_temps, kernel_output.simulation.zone_temps
+        )
+
+    def test_engine_keys_are_distinct(self):
+        config = tiny_config()
+        assert config.cache_key("kernel") != config.cache_key("loop")
+        assert config.artifact_key("kernel") != config.artifact_key("loop")
+
+    def test_warm_loop_cache_reused_for_loop(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        generate(config, engine="loop")
+        calls = {"loop": 0}
+        original = AuditoriumSimulator.run_loop
+
+        def counting_run_loop(self):
+            calls["loop"] += 1
+            return original(self)
+
+        monkeypatch.setattr(AuditoriumSimulator, "run_loop", counting_run_loop)
+        generate(config, engine="loop")  # in-process hit
+        clear_cache()
+        generate(config, engine="loop")  # disk hit
+        assert calls["loop"] == 0
+
+
+class TestChunkResume:
+    """Resume semantics of the streamed chunk series."""
+
+    def test_mismatched_chunk_steps_resume_is_byte_identical(self, monkeypatch, tmp_path):
+        """The manifest's slab size wins: a 7-day-slab series satisfies a
+        caller asking for 1-day slabs, byte for byte."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        day_steps = int(round(86400.0 / config.simulation.dt))
+        first = generate(config, chunk_steps=7 * day_steps)
+        clear_cache()
+        # Drop the assembled output so generate() must resume from chunks.
+        default_cache().path_for(config.artifact_key()).unlink()
+        resumed = generate(config, chunk_steps=day_steps)
+        assert pickle.dumps(first.simulation.zone_temps) == pickle.dumps(
+            resumed.simulation.zone_temps
+        )
+        for field in ("mass_temps", "co2", "humidity_ratio", "thermostat_readings"):
+            assert np.array_equal(
+                getattr(first.simulation, field), getattr(resumed.simulation, field)
+            )
+
+    def test_poisoned_sealed_series_raises(self, monkeypatch, tmp_path):
+        """A sealed series with non-finite data is a defect, not a miss."""
+        from repro.core.artifacts import chunk_key, load_chunk_series
+        from repro.errors import ContractError
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        generate(config)
+        default_cache().path_for(config.artifact_key()).unlink()
+        sim_cfg = config.simulation
+        size = int(round(7 * 86400.0 / sim_cfg.dt))
+        chunk = load_chunk_series(default_cache(), SIM_CHUNK_KIND, sim_cfg)[0]
+        chunk.zone_temps[0, 0] = np.nan
+        default_cache().store(chunk_key(SIM_CHUNK_KIND, sim_cfg, size, 0), chunk)
+        clear_cache()
+        with pytest.raises(ContractError):
+            generate(config)
+
+    def test_foreign_typed_chunks_regenerate(self, monkeypatch, tmp_path):
+        """Structurally wrong cached chunks are a miss — regenerate."""
+        from repro.core.artifacts import chunk_key
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config()
+        first = generate(config)
+        default_cache().path_for(config.artifact_key()).unlink()
+        sim_cfg = config.simulation
+        size = int(round(7 * 86400.0 / sim_cfg.dt))
+        default_cache().store(
+            chunk_key(SIM_CHUNK_KIND, sim_cfg, size, 0), {"not": "a chunk"}
+        )
+        clear_cache()
+        regenerated = generate(config)
+        assert np.array_equal(
+            first.simulation.zone_temps, regenerated.simulation.zone_temps
+        )
+
+
+class TestFleetCache:
+    """Fleet chunk series interoperate with the solo cache."""
+
+    def test_solo_generate_resumes_from_fleet_trace(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config(seed=555)
+        spec = BuildingSpec.paper_default(simulation=config.simulation, name="paper")
+        fleet = generate_fleet(specs=(spec,))
+
+        integrated = {"count": 0}
+        original = AuditoriumSimulator.iter_chunks
+
+        def counting_iter_chunks(self, chunk_steps=None):
+            integrated["count"] += 1
+            return original(self, chunk_steps)
+
+        monkeypatch.setattr(AuditoriumSimulator, "iter_chunks", counting_iter_chunks)
+        solo = generate(config)
+        assert integrated["count"] == 0, "solo generate re-integrated a fleet-cached trace"
+        assert pickle.dumps(solo.simulation.zone_temps) == pickle.dumps(
+            fleet.results[0].zone_temps
+        )
+
+    def test_fleet_resumes_its_own_series(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        config = tiny_config(seed=556)
+        spec = BuildingSpec.paper_default(simulation=config.simulation, name="paper")
+        first = generate_fleet(specs=(spec,))
+        again = generate_fleet(specs=(spec,))
+        assert pickle.dumps(first.results[0].zone_temps) == pickle.dumps(
+            again.results[0].zone_temps
+        )
 
 
 @pytest.mark.parametrize("payload", [None, 42, "text"])

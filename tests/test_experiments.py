@@ -43,6 +43,7 @@ class TestRegistry:
         }
         extensions = {
             "ext-control",
+            "ext-fleet",
             "ext-occupancy",
             "ext-order",
             "ext-stability",
