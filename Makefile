@@ -31,12 +31,13 @@ bench:
 bench-quick:
 	REPRO_BENCH_DAYS=28 pytest benchmarks/ --benchmark-only
 
-# Cache/parallelism + simulator speedup tracking: writes
-# BENCH_report.json (see docs/performance.md).  REPRO_BENCH_DAYS /
-# REPRO_BENCH_JOBS / REPRO_BENCH_SIM_DAYS scale it.
+# Cache/parallelism + simulator speedup + serving throughput tracking:
+# writes BENCH_report.json (see docs/performance.md).  REPRO_BENCH_DAYS /
+# REPRO_BENCH_JOBS / REPRO_BENCH_SIM_DAYS / REPRO_BENCH_SERVE_* scale it.
 bench-json:
 	PYTHONPATH=src python benchmarks/bench_cache.py
 	PYTHONPATH=src python benchmarks/bench_sim.py
+	PYTHONPATH=src python benchmarks/bench_serve.py
 
 report:
 	repro report --days 98 --output report.txt

@@ -18,6 +18,10 @@ Subcommands::
                       (``--live``: drive it off the chunked simulator
                       through event-level sensing instead of a replay)
     repro serve       answer predict-ahead requests from the online model
+                      (``--workers N --port P``: supervised multi-worker
+                      TCP server; ``--workers 0``: stdin JSON-lines)
+    repro loadtest    drive a running server at a fixed request rate,
+                      optionally killing a worker mid-run
 
 Every subcommand accepts ``--days`` and ``--seed`` to control the
 synthetic trace; the trace is cached per configuration within a process
@@ -200,6 +204,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default="severity",
         help="sweep fault severity (default) or the number of faulted sensors",
     )
+    p.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="seed replicates per sweep point, batch-simulated as one fleet "
+        "(default 1 = the paper trace only)",
+    )
+    p.add_argument(
+        "--serial-traces",
+        action="store_true",
+        help="integrate replicate traces one by one instead of as a batched "
+        "fleet (slow; for parity checking)",
+    )
 
     p = sub.add_parser(
         "stream", help="replay the synthetic trace through the online pipeline"
@@ -259,6 +276,86 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-queue", type=int, default=64)
     p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="supervised worker processes behind a TCP front end "
+        "(default 0 = single-process stdin JSON-lines mode)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (TCP mode)")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral, printed on startup; TCP mode)",
+    )
+    p.add_argument(
+        "--final-snapshot",
+        metavar="NAME",
+        help="save the pipeline back under this snapshot name on graceful "
+        "shutdown (TCP mode)",
+    )
+    p.add_argument(
+        "--allow-chaos",
+        action="store_true",
+        help="honour kill-worker/hang-worker control commands (fault injection)",
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-request deadline before retry on another worker (seconds)",
+    )
+    p.add_argument(
+        "--liveness-deadline",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="heartbeat age at which a worker counts as hung (seconds)",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="respawn budget per worker before permanent downgrade",
+    )
+
+    p = sub.add_parser(
+        "loadtest", help="drive a running prediction server at a fixed rate"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--requests", type=int, default=100, help="total requests to send")
+    p.add_argument(
+        "--rate", type=float, default=0.0, help="aggregate requests/s (0 = unpaced)"
+    )
+    p.add_argument("--connections", type=int, default=4)
+    p.add_argument(
+        "--horizon", type=int, default=8, help="prediction horizon per request, ticks"
+    )
+    p.add_argument(
+        "--kill-worker-after",
+        type=float,
+        default=None,
+        metavar="S",
+        help="inject a kill-worker control command this many seconds in "
+        "(needs --allow-chaos on the server)",
+    )
+    p.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="ask the server to shut down gracefully after the run",
+    )
+    p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="how long to retry the initial connect while the server boots",
+    )
 
     return parser
 
@@ -529,11 +626,18 @@ def _cmd_robustness(args) -> int:
     from repro.experiments.robustness import N_FAULTED
 
     if args.sweep == "count":
-        result = EXPERIMENTS["robustness-count"].run(context=_context(args))
+        result = EXPERIMENTS["robustness-count"].run(
+            context=_context(args),
+            replicates=args.replicates,
+            batched=not args.serial_traces,
+        )
     else:
         n_faulted = args.faulted if args.faulted is not None else N_FAULTED
         result = EXPERIMENTS["robustness"].run(
-            context=_context(args), n_faulted=n_faulted
+            context=_context(args),
+            n_faulted=n_faulted,
+            replicates=args.replicates,
+            batched=not args.serial_traces,
         )
     print(result.render())
     return 0
@@ -550,7 +654,7 @@ def _stream_sensor_ids(ctx) -> List[int]:
     return near_mean_selection(clustering, ctx.train_occupied_wireless).sensors()
 
 
-def _build_pipeline(args, forgetting: float = 1.0):
+def _build_pipeline(args, forgetting: float = 1.0, should_stop=None):
     """Stream the analysis trace (selected sensors) into a fresh pipeline."""
     from repro.streaming import OnlinePipeline, ReplaySource
 
@@ -562,11 +666,11 @@ def _build_pipeline(args, forgetting: float = 1.0):
         order=args.order,
         forgetting=forgetting,
     )
-    pipeline.run(ReplaySource(stream_ds))
+    pipeline.run(ReplaySource(stream_ds), should_stop=should_stop)
     return pipeline
 
 
-def _build_live_pipeline(args):
+def _build_live_pipeline(args, should_stop=None):
     """Run the online pipeline straight off the chunked simulator."""
     from repro.simulation.simulator import SimulationConfig
     from repro.streaming import GateThresholds, LiveSimSource, OnlinePipeline
@@ -586,17 +690,35 @@ def _build_live_pipeline(args):
         forgetting=args.forgetting,
         gate_thresholds=thresholds,
     )
-    pipeline.run(source)
+    pipeline.run(source, should_stop=should_stop)
     return pipeline
 
 
-def _cmd_stream(args) -> int:
-    from repro.streaming import save_snapshot
+#: Snapshot name used when an interrupted ``repro stream`` has no
+#: ``--snapshot`` of its own: state is never silently discarded.
+AUTOSAVE_SNAPSHOT = "stream-autosave"
 
-    if args.live:
-        pipeline = _build_live_pipeline(args)
-    else:
-        pipeline = _build_pipeline(args, forgetting=args.forgetting)
+
+def _cmd_stream(args) -> int:
+    from repro.streaming import GracefulShutdown, save_snapshot
+
+    with GracefulShutdown() as stop:
+        if args.live:
+            pipeline = _build_live_pipeline(args, should_stop=stop.requested)
+        else:
+            pipeline = _build_pipeline(
+                args, forgetting=args.forgetting, should_stop=stop.requested
+            )
+        interrupted = stop.triggered
+        interrupt_signal = stop.signal_number
+    snapshot_name = args.snapshot
+    if interrupted:
+        snapshot_name = snapshot_name or AUTOSAVE_SNAPSHOT
+        print(
+            f"interrupted by signal {interrupt_signal}; drained between ticks, "
+            f"saving snapshot {snapshot_name!r}",
+            file=sys.stderr,
+        )
     print(f"streamed sensors: {list(pipeline.sensor_ids)}")
     print(pipeline.summary.describe())
     if pipeline.gate.reason_counts:
@@ -615,13 +737,84 @@ def _cmd_stream(args) -> int:
         )
     else:
         print("online model: underdetermined (not enough clean ticks)")
-    if args.snapshot:
-        key = save_snapshot(args.snapshot, pipeline)
+    if snapshot_name:
+        key = save_snapshot(snapshot_name, pipeline)
         if key is None:
             print("cache disabled; snapshot not saved", file=sys.stderr)
             return 1
-        print(f"snapshot {args.snapshot!r} saved ({key[:16]}...)")
+        print(f"snapshot {snapshot_name!r} saved ({key[:16]}...)")
     return 0
+
+
+def _serve_tcp(args) -> int:
+    """``repro serve --workers N``: the supervised multi-worker server."""
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.streaming import (
+        PredictionServer,
+        ServerConfig,
+        WorkerPoolConfig,
+        load_snapshot,
+        save_snapshot,
+    )
+
+    snapshot_name = args.restore or "serve"
+    if load_snapshot(snapshot_name) is None:
+        if args.restore:
+            print(
+                f"snapshot {args.restore!r} not found; streaming afresh",
+                file=sys.stderr,
+            )
+        pipeline = _build_pipeline(args)
+        if save_snapshot(snapshot_name, pipeline) is None:
+            print(
+                "multi-worker serving needs the artifact cache; "
+                "unset REPRO_CACHE=off or use --workers 0",
+                file=sys.stderr,
+            )
+            return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        pool=WorkerPoolConfig(
+            n_workers=args.workers,
+            snapshot_name=snapshot_name,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            request_timeout_s=args.request_timeout,
+            liveness_deadline_s=args.liveness_deadline,
+            max_restarts=args.max_restarts,
+        ),
+        final_snapshot=args.final_snapshot,
+        allow_chaos=args.allow_chaos,
+    )
+
+    async def _run():
+        server = PredictionServer(config)
+        port = await server.start()
+        print(
+            f"serving on {config.host}:{port} with {args.workers} workers",
+            flush=True,
+        )
+        return await server.serve_until_shutdown()
+
+    try:
+        summary = asyncio.run(_run())
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"drain {'clean' if summary['drain_clean'] else 'DIRTY'}: "
+        f"served {summary['served']}, shed {summary['shed']}, "
+        f"retried {summary['retried']}, restarts {summary['restarts']}, "
+        f"deadline misses {summary['deadline_misses']} "
+        f"(reason: {summary['reason']})",
+        file=sys.stderr,
+    )
+    if summary.get("final_snapshot_key"):
+        print(f"final snapshot {args.final_snapshot!r} saved", file=sys.stderr)
+    return 0 if summary["drain_clean"] else 1
 
 
 def _cmd_serve(args) -> int:
@@ -635,6 +828,8 @@ def _cmd_serve(args) -> int:
         load_snapshot,
     )
 
+    if args.workers > 0:
+        return _serve_tcp(args)
     pipeline = None
     if args.restore:
         pipeline = load_snapshot(args.restore)
@@ -695,10 +890,55 @@ def _cmd_serve(args) -> int:
         flush()
     stats = service.stats.as_dict()
     print(
-        f"served {stats['served']} requests in {stats['batches']} batches "
+        f"served {stats['served']} requests in {stats['batches']} batches, "
+        f"shed {stats['shed']}, rejected {stats['rejected']} "
         f"(mean latency {stats['mean_latency_s'] * 1000.0:.2f} ms)",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    from repro.errors import ServingError
+    from repro.streaming.loadtest import LoadTestConfig, run_loadtest
+
+    try:
+        result = run_loadtest(
+            LoadTestConfig(
+                host=args.host,
+                port=args.port,
+                n_requests=args.requests,
+                rate_rps=args.rate,
+                n_connections=args.connections,
+                horizon_ticks=args.horizon,
+                kill_worker_after_s=args.kill_worker_after,
+                connect_timeout_s=args.connect_timeout,
+                shutdown_after=args.shutdown,
+            )
+        )
+    except ServingError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = result.as_dict()
+    print(
+        f"sent {summary['sent']}, served {summary['served']}, "
+        f"shed {summary['shed']}, errors {summary['errors']}, "
+        f"lost {summary['lost']}"
+    )
+    print(
+        f"throughput {summary['req_per_s']:.1f} req/s; latency "
+        f"p50 {summary['p50_latency_s'] * 1000.0:.2f} ms, "
+        f"p95 {summary['p95_latency_s'] * 1000.0:.2f} ms, "
+        f"p99 {summary['p99_latency_s'] * 1000.0:.2f} ms"
+    )
+    if result.killed_worker is not None:
+        print(f"fault injection: killed worker {result.killed_worker}")
+    if result.lost > 0:
+        print(f"LOADTEST FAILED: {result.lost} accepted requests lost", file=sys.stderr)
+        return 1
+    if result.served == 0:
+        print("LOADTEST FAILED: no requests served", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -727,6 +967,7 @@ _COMMANDS = {
     "robustness": _cmd_robustness,
     "stream": _cmd_stream,
     "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

@@ -52,6 +52,7 @@ __all__ = [
     "SynthOutput",
     "generate",
     "generate_fleet",
+    "observe_output",
     "preprocess",
     "default_output",
     "default_dataset",
@@ -308,17 +309,30 @@ def generate(
             size = chunk_steps if chunk_steps is not None else _default_chunk_steps(sim_cfg)
             result = _simulate_streaming(simulator, sim_cfg, size, disk)
 
-    deployment = Deployment(config=config.deployment, seed=rng_mod.derive(config.seed, "deployment"))
-    raw = deployment.observe(result)
-    full = assemble_dataset(raw, config=config.assembly)
-
-    analysis = preprocess(full, raw)
-    output = SynthOutput(full_dataset=full, analysis_dataset=analysis, raw=raw, simulation=result)
+    output = observe_output(result, config)
     if use_cache:
         _CACHE[key] = output
         if disk is not None:
             disk.store(disk_key, output)
     return output
+
+
+def observe_output(result: SimulationResult, config: Optional[SynthConfig] = None) -> SynthOutput:
+    """Observe, assemble and screen one already-integrated trace.
+
+    The post-simulation half of :func:`generate`, exposed so callers
+    that integrate traces elsewhere — a batched
+    :func:`generate_fleet` pass over :func:`repro.simulation.fleet.
+    seed_fleet` replicates, for instance — run the *identical*
+    deployment/assembly/screening sequence and get bit-identical
+    datasets for the same ``(result, config)`` pair.
+    """
+    config = config or SynthConfig()
+    deployment = Deployment(config=config.deployment, seed=rng_mod.derive(config.seed, "deployment"))
+    raw = deployment.observe(result)
+    full = assemble_dataset(raw, config=config.assembly)
+    analysis = preprocess(full, raw)
+    return SynthOutput(full_dataset=full, analysis_dataset=analysis, raw=raw, simulation=result)
 
 
 def preprocess(full: AuditoriumDataset, raw: RawDataset) -> AuditoriumDataset:

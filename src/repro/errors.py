@@ -25,6 +25,8 @@ __all__ = [
     "ContractError",
     "StreamingError",
     "ServiceOverloadError",
+    "SnapshotError",
+    "ServingError",
 ]
 
 
@@ -109,3 +111,16 @@ class ServiceOverloadError(StreamingError):
 
     The typed backpressure signal: callers shed or retry rather than
     growing an unbounded backlog inside the service."""
+
+
+class SnapshotError(StreamingError):
+    """A required pipeline snapshot is missing, corrupt or disabled.
+
+    Raised by :func:`repro.streaming.state.load_snapshot` with
+    ``required=True`` — the typed form of "cannot restore", so a worker
+    restart failure surfaces as a catchable error, not a traceback."""
+
+
+class ServingError(StreamingError):
+    """The multi-worker serving layer failed (no live workers, a worker
+    pool that cannot start, a drain that cannot complete, ...)."""

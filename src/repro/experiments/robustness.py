@@ -17,6 +17,17 @@ also stored as a machine-readable artifact in the content-addressed
 cache, keyed by the campaign configuration, the trace configuration
 and the package source digest.
 
+With ``replicates > 1`` the sweep averages each point over several
+seed-replicate traces.  The replicate traces come from **one batched**
+:class:`repro.simulation.fleet.FleetSimulator` pass over a
+:func:`repro.simulation.fleet.seed_fleet` cohort (paper-default
+buildings differing only in seed), then flow through the identical
+post-simulation path (:func:`repro.data.synth.observe_output`) the solo
+generator uses — the fleet engine's bit-parity guarantee makes the
+batched traces interchangeable with serially integrated ones, which
+``batched=False`` (CLI ``--serial-traces``) re-derives the slow way for
+parity checking.
+
 A severity at which the *modelling* stages run out of usable data is
 reported as a degraded row (``n/a`` metrics plus the typed error in
 the notes) rather than failing the experiment — that is the graceful
@@ -25,8 +36,10 @@ part of the degradation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import rng as rng_mod
 from repro.core.artifacts import artifact_key, default_cache, source_digest
 from repro.data.gaps import gap_statistics
 from repro.data.modes import OCCUPIED
@@ -43,6 +56,7 @@ __all__ = [
     "FAULT_COUNTS",
     "COUNT_SWEEP_SEVERITY",
     "build_campaign",
+    "replicate_analyses",
     "run",
     "run_count_sweep",
 ]
@@ -62,6 +76,14 @@ FAULT_COUNTS = (0, 2, 4, 6, 8, 10)
 COUNT_SWEEP_SEVERITY = 0.75
 
 
+def _campaign_for(analysis, seed: int, n_faulted: int) -> FaultCampaign:
+    """The sweep campaign over one analysis dataset's wireless sensors."""
+    wireless_ids = [s for s in analysis.sensor_ids if s not in THERMOSTAT_IDS]
+    return default_campaign(
+        wireless_ids[:n_faulted], name="robustness-mixed", seed=seed
+    )
+
+
 def build_campaign(context: ExperimentContext, n_faulted: int = N_FAULTED) -> FaultCampaign:
     """The experiment's campaign: a fault-kind cycle over wireless sensors.
 
@@ -71,8 +93,48 @@ def build_campaign(context: ExperimentContext, n_faulted: int = N_FAULTED) -> Fa
     taxonomy order, so any ``n_faulted >= 3`` exercises at least three
     concurrent fault types.
     """
-    targets = list(context.wireless.sensor_ids)[:n_faulted]
-    return default_campaign(targets, name="robustness-mixed", seed=context.seed)
+    return _campaign_for(context.analysis, context.seed, n_faulted)
+
+
+def replicate_analyses(
+    context: Optional[ExperimentContext] = None,
+    replicates: int = 1,
+    batched: bool = True,
+) -> Tuple[Tuple[int, object], ...]:
+    """``(seed, analysis_dataset)`` per replicate trace.
+
+    Replicate 0 is always the context's own trace (same seed, same
+    dataset object), so a single-replicate sweep is exactly the classic
+    sweep.  Further replicates are paper-default buildings differing
+    only in seed; with ``batched=True`` (default) they all integrate in
+    one :func:`repro.data.synth.generate_fleet` pass, otherwise each
+    runs its solo simulator serially.  Both paths feed
+    :func:`repro.data.synth.observe_output`, so per-replicate outputs
+    are bit-identical between them.
+    """
+    ctx = resolve_context(context)
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    if replicates == 1:
+        return ((ctx.seed, ctx.analysis),)
+    from repro.data.synth import SynthConfig, generate_fleet, observe_output
+    from repro.simulation.fleet import seed_fleet
+    from repro.simulation.simulator import SimulationConfig
+
+    seeds = (
+        int(ctx.seed),
+        *(int(s) for s in rng_mod.spawn_seeds(ctx.seed, "robustness-replicates", replicates - 1)),
+    )
+    specs = seed_fleet(SimulationConfig(days=ctx.days, seed=ctx.seed), seeds=seeds)
+    if batched:
+        results = generate_fleet(specs=specs).results
+    else:
+        results = tuple(spec.simulator().run() for spec in specs)
+    analyses = []
+    for seed, spec, result in zip(seeds, specs, results):
+        config = SynthConfig(simulation=spec.simulation, seed=seed)
+        analyses.append((seed, observe_output(result, config).analysis_dataset))
+    return tuple(analyses)
 
 
 def _jaccard(a: Sequence[int], b: Sequence[int]) -> float:
@@ -116,14 +178,85 @@ def _model_survivors(
     return float(evaluation.overall_rms()), float(selection_error), selection.sensors()
 
 
+@dataclass
+class _PointMetrics:
+    """One replicate's metrics at one sweep point."""
+
+    n_applied: int
+    quarantined: int
+    survivors: int
+    segments: int
+    rmse_c: Optional[float]
+    selection_error_c: Optional[float]
+    selected: Optional[List[int]]
+    overlap: Optional[float] = None
+    error: Optional[str] = None
+
+
+def _evaluate_point(analysis, campaign: FaultCampaign) -> _PointMetrics:
+    """Run one campaign instance through the full degraded path."""
+    result = apply_campaign(analysis, campaign)
+    report = _screen(result.dataset)
+    survivors = result.dataset.select_sensors(report.kept_ids)
+    stats = gap_statistics(survivors.temperatures)
+    point = _PointMetrics(
+        n_applied=len(result.applied),
+        quarantined=report.n_dropped,
+        survivors=report.n_kept,
+        segments=stats.n_segments,
+        rmse_c=None,
+        selection_error_c=None,
+        selected=None,
+    )
+    try:
+        rmse, selection_error, selected = _model_survivors(survivors)
+        point.rmse_c = rmse
+        point.selection_error_c = selection_error
+        point.selected = selected
+    except ReproError as exc:
+        point.error = f"{type(exc).__name__}: {exc}"
+    return point
+
+
+def _agg_count(values: Sequence[int]):
+    """Integer counts: exact for one replicate, mean beyond."""
+    if len(values) == 1:
+        return values[0]
+    return sum(values) / len(values)
+
+
+def _agg_float(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Mean over the replicates that produced a value (None: none did)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return float(sum(present) / len(present))
+
+
+def _cell(value) -> object:
+    """Table cell: numbers render as-is, missing metrics as ``n/a``."""
+    return value if value is not None else "n/a"
+
+
 def run(
     context: Optional[ExperimentContext] = None,
     severities: Sequence[float] = SEVERITIES,
     n_faulted: int = N_FAULTED,
+    replicates: int = 1,
+    batched: bool = True,
 ) -> ExperimentResult:
-    """Sweep fault severity and chart the pipeline's degradation."""
+    """Sweep fault severity and chart the pipeline's degradation.
+
+    ``replicates`` averages every sweep point over that many seed
+    replicates (trace seeds, not campaign seeds), integrated together in
+    one batched fleet pass unless ``batched=False``.
+    """
     ctx = resolve_context(context)
-    base = build_campaign(ctx, n_faulted=n_faulted)
+    reps = replicate_analyses(ctx, replicates=replicates, batched=batched)
+    campaigns = [
+        _campaign_for(analysis, seed, n_faulted) for seed, analysis in reps
+    ]
+    base = campaigns[0]
 
     headers = [
         "severity",
@@ -141,6 +274,12 @@ def run(
         "quarantine = sensors screening drops at that severity (thermostats protected)",
         "overlap = Jaccard similarity of the selected sensors vs the fault-free selection",
     ]
+    if len(reps) > 1:
+        trace_mode = "batched fleet pass" if batched else "serial solo runs"
+        notes.append(
+            f"metrics averaged over {len(reps)} seed replicates "
+            f"(seeds {[seed for seed, _ in reps]}; traces from one {trace_mode})"
+        )
     curve = {
         "severity": [],
         "quarantined": [],
@@ -150,46 +289,47 @@ def run(
         "selection_overlap": [],
     }
 
-    baseline_selection: Optional[List[int]] = None
+    baselines: List[Optional[List[int]]] = [None] * len(reps)
     for severity in severities:
-        result = apply_campaign(ctx.analysis, base.scaled(severity))
-        report = _screen(result.dataset)
-        survivors = result.dataset.select_sensors(report.kept_ids)
-        stats = gap_statistics(survivors.temperatures)
-        rmse_c: object = "n/a"
-        selection_error_c: object = "n/a"
-        overlap: object = "n/a"
-        try:
-            rmse, selection_error, selected = _model_survivors(survivors)
-            rmse_c, selection_error_c = rmse, selection_error
-            if baseline_selection is None:
-                baseline_selection = selected
-            overlap = _jaccard(selected, baseline_selection)
-        except ReproError as exc:
-            notes.append(
-                f"severity {severity:g} degraded past modelling: "
-                f"{type(exc).__name__}: {exc}"
-            )
+        points: List[_PointMetrics] = []
+        for r, ((seed, analysis), campaign) in enumerate(zip(reps, campaigns)):
+            point = _evaluate_point(analysis, campaign.scaled(severity))
+            if point.error is not None:
+                replicate_tag = f" (replicate seed {seed})" if len(reps) > 1 else ""
+                notes.append(
+                    f"severity {severity:g}{replicate_tag} degraded past modelling: "
+                    f"{point.error}"
+                )
+            else:
+                if baselines[r] is None:
+                    baselines[r] = point.selected
+                point.overlap = _jaccard(point.selected, baselines[r])
+            points.append(point)
+        quarantined = _agg_count([p.quarantined for p in points])
+        survivors = _agg_count([p.survivors for p in points])
+        segments = _agg_count([p.segments for p in points])
+        faulted = _agg_count([p.n_applied for p in points])
+        rmse_c = _agg_float([p.rmse_c for p in points])
+        selection_error_c = _agg_float([p.selection_error_c for p in points])
+        overlap = _agg_float([p.overlap for p in points])
         rows.append(
             [
                 severity,
-                len(result.applied),
-                report.n_dropped,
-                report.n_kept,
-                stats.n_segments,
-                rmse_c,
-                selection_error_c,
-                overlap,
+                faulted,
+                quarantined,
+                survivors,
+                segments,
+                _cell(rmse_c),
+                _cell(selection_error_c),
+                _cell(overlap),
             ]
         )
         curve["severity"].append(float(severity))
-        curve["quarantined"].append(report.n_dropped)
-        curve["survivors"].append(report.n_kept)
-        curve["model_rmse_c"].append(rmse_c if isinstance(rmse_c, float) else None)
-        curve["selection_error_c"].append(
-            selection_error_c if isinstance(selection_error_c, float) else None
-        )
-        curve["selection_overlap"].append(overlap if isinstance(overlap, float) else None)
+        curve["quarantined"].append(quarantined)
+        curve["survivors"].append(survivors)
+        curve["model_rmse_c"].append(rmse_c)
+        curve["selection_error_c"].append(selection_error_c)
+        curve["selection_overlap"].append(overlap)
 
     notes.append(
         f"max quarantined: {max(curve['quarantined'])} of {len(base.faults)} faulted sensors"
@@ -202,6 +342,7 @@ def run(
             "severities": tuple(float(s) for s in severities),
             "days": ctx.days,
             "seed": ctx.seed,
+            "seeds": tuple(seed for seed, _ in reps),
             "source": source_digest(),
         },
     )
@@ -224,6 +365,8 @@ def run_count_sweep(
     context: Optional[ExperimentContext] = None,
     counts: Sequence[int] = FAULT_COUNTS,
     severity: float = COUNT_SWEEP_SEVERITY,
+    replicates: int = 1,
+    batched: bool = True,
 ) -> ExperimentResult:
     """Sweep the *number* of faulted sensors at fixed severity.
 
@@ -232,7 +375,8 @@ def run_count_sweep(
     before the selected-representative set destabilizes.  The headline
     column is selection stability — Jaccard overlap of the selected
     sensors against the fault-free selection — charted against the
-    count of concurrently faulted units.
+    count of concurrently faulted units.  ``replicates``/``batched``
+    behave exactly as in :func:`run`.
     """
     ctx = resolve_context(context)
     max_count = max(counts, default=0)
@@ -241,6 +385,7 @@ def run_count_sweep(
             f"cannot fault {max_count} sensors: only "
             f"{len(ctx.wireless.sensor_ids)} wireless sensors exist"
         )
+    reps = replicate_analyses(ctx, replicates=replicates, batched=batched)
 
     headers = [
         "faulted",
@@ -255,6 +400,12 @@ def run_count_sweep(
         f"severity fixed at {severity:g}; campaign cycles the fault taxonomy",
         "overlap = Jaccard similarity of the selected sensors vs the fault-free selection",
     ]
+    if len(reps) > 1:
+        trace_mode = "batched fleet pass" if batched else "serial solo runs"
+        notes.append(
+            f"metrics averaged over {len(reps)} seed replicates "
+            f"(seeds {[seed for seed, _ in reps]}; traces from one {trace_mode})"
+        )
     curve = {
         "n_faulted": [],
         "quarantined": [],
@@ -264,37 +415,44 @@ def run_count_sweep(
         "selection_overlap": [],
     }
 
-    baseline_selection: Optional[List[int]] = None
+    baselines: List[Optional[List[int]]] = [None] * len(reps)
     for count in counts:
-        campaign = build_campaign(ctx, n_faulted=count).scaled(severity)
-        result = apply_campaign(ctx.analysis, campaign)
-        report = _screen(result.dataset)
-        survivors = result.dataset.select_sensors(report.kept_ids)
-        rmse_c: object = "n/a"
-        selection_error_c: object = "n/a"
-        overlap: object = "n/a"
-        try:
-            rmse, selection_error, selected = _model_survivors(survivors)
-            rmse_c, selection_error_c = rmse, selection_error
-            if baseline_selection is None:
-                baseline_selection = selected
-            overlap = _jaccard(selected, baseline_selection)
-        except ReproError as exc:
-            notes.append(
-                f"{count} faulted sensors degraded past modelling: "
-                f"{type(exc).__name__}: {exc}"
-            )
+        points: List[_PointMetrics] = []
+        for r, (seed, analysis) in enumerate(reps):
+            campaign = _campaign_for(analysis, seed, count).scaled(severity)
+            point = _evaluate_point(analysis, campaign)
+            if point.error is not None:
+                replicate_tag = f" (replicate seed {seed})" if len(reps) > 1 else ""
+                notes.append(
+                    f"{count} faulted sensors{replicate_tag} degraded past modelling: "
+                    f"{point.error}"
+                )
+            else:
+                if baselines[r] is None:
+                    baselines[r] = point.selected
+                point.overlap = _jaccard(point.selected, baselines[r])
+            points.append(point)
+        quarantined = _agg_count([p.quarantined for p in points])
+        survivors = _agg_count([p.survivors for p in points])
+        rmse_c = _agg_float([p.rmse_c for p in points])
+        selection_error_c = _agg_float([p.selection_error_c for p in points])
+        overlap = _agg_float([p.overlap for p in points])
         rows.append(
-            [count, report.n_dropped, report.n_kept, rmse_c, selection_error_c, overlap]
+            [
+                count,
+                quarantined,
+                survivors,
+                _cell(rmse_c),
+                _cell(selection_error_c),
+                _cell(overlap),
+            ]
         )
         curve["n_faulted"].append(int(count))
-        curve["quarantined"].append(report.n_dropped)
-        curve["survivors"].append(report.n_kept)
-        curve["model_rmse_c"].append(rmse_c if isinstance(rmse_c, float) else None)
-        curve["selection_error_c"].append(
-            selection_error_c if isinstance(selection_error_c, float) else None
-        )
-        curve["selection_overlap"].append(overlap if isinstance(overlap, float) else None)
+        curve["quarantined"].append(quarantined)
+        curve["survivors"].append(survivors)
+        curve["model_rmse_c"].append(rmse_c)
+        curve["selection_error_c"].append(selection_error_c)
+        curve["selection_overlap"].append(overlap)
 
     stable = [
         n for n, o in zip(curve["n_faulted"], curve["selection_overlap"]) if o == 1.0
@@ -311,6 +469,7 @@ def run_count_sweep(
             "severity": float(severity),
             "days": ctx.days,
             "seed": ctx.seed,
+            "seeds": tuple(seed for seed, _ in reps),
             "source": source_digest(),
         },
     )

@@ -20,6 +20,13 @@ stream:
   predict-ahead service (the ``repro serve`` backend).
 * :mod:`repro.streaming.state` — snapshot/restore of a live pipeline
   through the artifact cache.
+* :mod:`repro.streaming.supervisor` — a supervised multi-process worker
+  pool (heartbeats, crash/hang respawn with bounded backoff, timeout
+  retry on a different worker, explicit load-shedding).
+* :mod:`repro.streaming.server` — the asyncio JSON-lines TCP front end
+  over that pool (``repro serve --workers N --port P``).
+* :mod:`repro.streaming.shutdown` — cooperative SIGINT/SIGTERM handling
+  so stream loops drain and snapshot instead of dying mid-tick.
 """
 
 from __future__ import annotations
@@ -47,7 +54,10 @@ from repro.streaming.service import (
     ServiceStats,
     build_request,
 )
+from repro.streaming.server import PredictionServer, ServerConfig, ServerStats, run_server
+from repro.streaming.shutdown import GracefulShutdown
 from repro.streaming.state import load_snapshot, save_snapshot, snapshot_key
+from repro.streaming.supervisor import PoolStats, Supervisor, WorkerPoolConfig
 
 __all__ = [
     "StreamTick",
@@ -73,4 +83,12 @@ __all__ = [
     "snapshot_key",
     "save_snapshot",
     "load_snapshot",
+    "GracefulShutdown",
+    "WorkerPoolConfig",
+    "PoolStats",
+    "Supervisor",
+    "ServerConfig",
+    "ServerStats",
+    "PredictionServer",
+    "run_server",
 ]

@@ -13,7 +13,7 @@ artifact cache (:mod:`repro.streaming.state`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -143,9 +143,21 @@ class OnlinePipeline:
             drift_fired=self.drift.fired,
         )
 
-    def run(self, source: Iterable[StreamTick]) -> StreamSummary:
-        """Process every tick of ``source``; returns the running summary."""
+    def run(
+        self,
+        source: Iterable[StreamTick],
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> StreamSummary:
+        """Process every tick of ``source``; returns the running summary.
+
+        ``should_stop`` is polled *between* ticks (a tick is never left
+        half-processed), so a signal-driven shutdown leaves the pipeline
+        in a state that snapshots and resumes tick-for-tick — see
+        :mod:`repro.streaming.shutdown`.
+        """
         for tick in source:
+            if should_stop is not None and should_stop():
+                break
             self.process(tick)
         return self.summary
 

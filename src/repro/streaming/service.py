@@ -115,7 +115,10 @@ class ServiceStats:
     """Operational counters of a prediction service."""
 
     served: int = 0
+    #: Requests refused because they were invalid (bad horizon, shape).
     rejected: int = 0
+    #: Requests shed by backpressure: the bounded queue was full.
+    shed: int = 0
     batches: int = 0
     total_latency_s: float = 0.0
     #: Wall-clock seconds spent inside drain calls.
@@ -135,6 +138,7 @@ class ServiceStats:
         return {
             "served": self.served,
             "rejected": self.rejected,
+            "shed": self.shed,
             "batches": self.batches,
             "mean_latency_s": self.mean_latency_s,
             "throughput_rps": self.throughput_rps(),
@@ -168,14 +172,21 @@ class PredictionService:
         return len(self._queue)
 
     def submit(self, request: PredictionRequest) -> None:
-        """Queue one request; raises when the bounded queue is full."""
+        """Queue one request; raises when the bounded queue is full.
+
+        An invalid request counts as ``rejected``; a request refused
+        only because the bounded queue is full counts as ``shed`` — the
+        two failure modes are separated so operators can tell bad
+        clients from genuine overload.
+        """
         horizon = request.horizon_inputs.shape[0]
         if horizon < 1 or horizon > self.config.max_horizon_ticks:
+            self.stats.rejected += 1
             raise StreamingError(
                 f"horizon of {horizon} ticks outside [1, {self.config.max_horizon_ticks}]"
             )
         if len(self._queue) >= self.config.max_queue:
-            self.stats.rejected += 1
+            self.stats.shed += 1
             raise ServiceOverloadError(
                 f"request queue full ({self.config.max_queue} pending)"
             )

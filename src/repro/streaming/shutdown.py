@@ -1,0 +1,88 @@
+"""Cooperative SIGINT/SIGTERM handling for long-running stream loops.
+
+``repro stream`` and the multi-worker server both need the same
+behaviour on an operator interrupt: stop *between* ticks (never half
+way through one), persist the live state as a named snapshot, and exit
+cleanly — a deployment that loses its online model to a ^C has no
+business calling itself robust.
+
+:class:`GracefulShutdown` is a context manager that installs handlers
+for SIGINT and SIGTERM, records that a shutdown was requested, and
+restores the previous handlers on exit.  The first signal only sets the
+flag (the loop drains and saves); a second signal falls through to the
+previous handler, so a stuck drain can still be interrupted the
+old-fashioned way.
+"""
+
+from __future__ import annotations
+
+import signal
+from types import FrameType
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "GracefulShutdown",
+]
+
+#: Signals a graceful shutdown listens for.
+_SHUTDOWN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+class GracefulShutdown:
+    """Flag-setting SIGINT/SIGTERM handler with second-signal escape.
+
+    Usage::
+
+        with GracefulShutdown() as stop:
+            pipeline.run(source, should_stop=stop.requested)
+            if stop.triggered:
+                save_snapshot(name, pipeline)
+    """
+
+    def __init__(self) -> None:
+        """Create an un-armed handler; arming happens on ``__enter__``."""
+        self._triggered = False
+        self._signal: Optional[int] = None
+        self._previous: List[Tuple[int, object]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether a shutdown signal has arrived since arming."""
+        return self._triggered
+
+    @property
+    def signal_number(self) -> Optional[int]:
+        """The first signal received, or ``None``."""
+        return self._signal
+
+    def requested(self) -> bool:
+        """Callable form of :attr:`triggered` (for ``should_stop=``)."""
+        return self._triggered
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self._triggered:
+            # Second signal: restore the previous handlers and re-raise
+            # it, so a wedged drain is still interruptible.
+            self._restore()
+            signal.raise_signal(signum)
+            return
+        self._triggered = True
+        self._signal = signum
+
+    def _restore(self) -> None:
+        for signum, previous in self._previous:
+            signal.signal(signum, previous)
+        self._previous = []
+
+    def __enter__(self) -> "GracefulShutdown":
+        """Install the handlers (main thread only, like ``signal`` itself)."""
+        self._previous = [
+            (signum, signal.getsignal(signum)) for signum in _SHUTDOWN_SIGNALS
+        ]
+        for signum in _SHUTDOWN_SIGNALS:
+            signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Restore whatever handlers were installed before."""
+        self._restore()

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.artifacts import ArtifactCache, artifact_key, default_cache
-from repro.errors import StreamingError
+from repro.errors import SnapshotError, StreamingError
 from repro.streaming.pipeline import OnlinePipeline
 
 __all__ = [
@@ -53,16 +53,31 @@ def save_snapshot(
 
 
 def load_snapshot(
-    name: str, cache: Optional[ArtifactCache] = None
+    name: str, cache: Optional[ArtifactCache] = None, required: bool = False
 ) -> Optional[OnlinePipeline]:
     """The pipeline saved under ``name``, or ``None`` on a miss.
 
     A corrupt or foreign artifact is treated as a miss (and self-healed)
     by the cache layer; a value of the wrong type is also a miss rather
     than an error, so a stale name never poisons a restart.
+
+    With ``required=True`` a miss raises the typed
+    :class:`repro.errors.SnapshotError` instead — the contract the
+    serving workers rely on: a worker that cannot restore its model
+    must fail with a catchable, descriptive error, never a pickle
+    traceback and never a silently empty pipeline.
     """
     cache = cache or default_cache()
+    if required and not cache.enabled:
+        raise SnapshotError(
+            f"snapshot {name!r} is required but the artifact cache is disabled "
+            "(REPRO_CACHE=off)"
+        )
     value = cache.load(snapshot_key(name))
     if isinstance(value, OnlinePipeline):
         return value
+    if required:
+        raise SnapshotError(
+            f"snapshot {name!r} is missing or corrupt in the artifact cache"
+        )
     return None

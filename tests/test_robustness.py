@@ -126,6 +126,47 @@ class TestCountSweep:
             run_count_sweep(context=ctx14, counts=(10_000,))
 
 
+class TestReplicateTraces:
+    """Satellite: replicate traces come from one batched fleet pass."""
+
+    @pytest.fixture(scope="class")
+    def ctx7(self):
+        return ExperimentContext.create(days=7.0)
+
+    def test_single_replicate_is_the_context_trace_itself(self, ctx7):
+        from repro.experiments.robustness import replicate_analyses
+
+        reps = replicate_analyses(ctx7, replicates=1)
+        assert reps == ((ctx7.seed, ctx7.analysis),)
+
+    def test_invalid_replicates_rejected(self, ctx7):
+        from repro.experiments.robustness import replicate_analyses
+
+        with pytest.raises(ValueError, match="replicates"):
+            replicate_analyses(ctx7, replicates=0)
+
+    def test_batched_traces_bit_identical_to_serial(self, ctx7):
+        from repro.experiments.robustness import replicate_analyses
+
+        batched = replicate_analyses(ctx7, replicates=2, batched=True)
+        serial = replicate_analyses(ctx7, replicates=2, batched=False)
+        assert [s for s, _ in batched] == [s for s, _ in serial]
+        assert batched[0][0] == ctx7.seed  # replicate 0 keeps the context seed
+        for (_, fast), (_, slow) in zip(batched, serial):
+            assert fast.sensor_ids == slow.sensor_ids
+            np.testing.assert_array_equal(fast.temperatures, slow.temperatures)
+
+    def test_replicated_sweep_unchanged_vs_serial_path(self, ctx7):
+        from repro.experiments.robustness import run
+
+        kwargs = dict(context=ctx7, severities=(0.0, 0.75), replicates=2)
+        fast = run(batched=True, **kwargs)
+        slow = run(batched=False, **kwargs)
+        assert fast.rows == slow.rows
+        assert fast.extras["curve"] == slow.extras["curve"]
+        assert any("2 seed replicates" in note for note in fast.notes)
+
+
 class TestDeterminism:
     def test_sweep_is_reproducible(self, ctx14, result14):
         again = EXPERIMENTS["robustness"].run(context=ctx14, severities=(0.0, 1.0))

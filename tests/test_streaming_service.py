@@ -134,8 +134,18 @@ class TestBackpressure:
         service.submit(make_request(dataset, "b"))
         with pytest.raises(ServiceOverloadError, match="queue full"):
             service.submit(make_request(dataset, "c"))
+        # Backpressure counts as shed, not rejected: the request was
+        # valid, the service just had no room for it.
+        assert service.stats.shed == 1
+        assert service.stats.rejected == 0
+        assert service.pending == 2  # the shed request never queued
+
+    def test_invalid_request_counts_as_rejected_not_shed(self, pipeline, dataset):
+        service = PredictionService(pipeline, ServiceConfig(max_horizon_ticks=8))
+        with pytest.raises(StreamingError, match="horizon"):
+            service.submit(make_request(dataset, "long", horizon=9))
         assert service.stats.rejected == 1
-        assert service.pending == 2  # the rejected request never queued
+        assert service.stats.shed == 0
 
     def test_horizon_limits_enforced_at_submit(self, pipeline, dataset):
         service = PredictionService(pipeline, ServiceConfig(max_horizon_ticks=8))
@@ -177,10 +187,12 @@ class TestStats:
         assert set(payload) == {
             "served",
             "rejected",
+            "shed",
             "batches",
             "mean_latency_s",
             "throughput_rps",
         }
+        assert payload["shed"] == 0
 
     def test_latency_covers_queue_wait(self, pipeline, dataset):
         import time
@@ -302,6 +314,11 @@ class TestStreamServeCli:
         assert [line["id"] for line in answered] == ["good"]
         assert len(errors) == 2
         assert "served 1 requests" in err
+        # The stderr summary exposes the shed/rejected counters
+        # explicitly (invalid lines fail in build_request, before the
+        # service's own rejected counter, so both stay 0 here).
+        assert "shed 0" in err
+        assert "rejected 0" in err
 
 
 class TestExtStreamingExperiment:
