@@ -38,6 +38,7 @@ bench-json:
 	PYTHONPATH=src python benchmarks/bench_cache.py
 	PYTHONPATH=src python benchmarks/bench_sim.py
 	PYTHONPATH=src python benchmarks/bench_serve.py
+	PYTHONPATH=src python benchmarks/bench_ingest.py
 
 report:
 	repro report --days 98 --output report.txt

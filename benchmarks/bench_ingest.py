@@ -1,0 +1,219 @@
+"""Partitioned ingestion benchmark → ``streaming`` section of
+``BENCH_report.json``.
+
+Runs one :class:`~repro.streaming.partition.IngestPlan` fleet three
+ways and reports sustained ticks/s for each:
+
+* ``single_pipeline`` — one building through one
+  :class:`~repro.streaming.pipeline.OnlinePipeline`, no bus and no
+  shards (the per-partition baseline every scaling number is against),
+* ``serial``          — the whole fleet through
+  :func:`~repro.streaming.shards.run_serial` (the parity reference),
+* ``sharded``         — :func:`~repro.streaming.shards.run_ingest`
+  at each shard count in the sweep.
+
+Every sharded run is *gated* before any number is reported, exactly
+like the simulator benchmark gates on trace bit-identity: each
+building's record log must be byte-identical to the serial reference
+(:func:`~repro.streaming.shards.verify_parity`).  On a multi-core host
+the report additionally gates on ticks/s increasing monotonically with
+the shard count; on a single-core host (where shard processes time-slice
+one CPU and scaling is physically impossible) that gate is recorded as
+``null`` with an explanatory note, following the cache benchmark's
+convention for environment-dependent gates.
+
+Environment knobs:
+
+* ``REPRO_BENCH_INGEST_DAYS``      — simulated days per building (default 2),
+* ``REPRO_BENCH_INGEST_BUILDINGS`` — fleet size (default 6),
+* ``REPRO_BENCH_INGEST_SHARDS``    — comma-separated shard sweep (default 1,2,4).
+
+Run via ``make bench-json`` (or directly:
+``PYTHONPATH=src python benchmarks/bench_ingest.py``).  The section is
+merged into an existing ``BENCH_report.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.artifacts import default_cache  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    IngestPlan,
+    run_ingest,
+    run_partition_serial,
+    run_serial,
+    verify_parity,
+)
+
+INGEST_DAYS = float(os.environ.get("REPRO_BENCH_INGEST_DAYS", "2"))
+N_BUILDINGS = int(os.environ.get("REPRO_BENCH_INGEST_BUILDINGS", "6"))
+SHARD_SWEEP = tuple(
+    int(n) for n in os.environ.get("REPRO_BENCH_INGEST_SHARDS", "1,2,4").split(",")
+)
+
+
+def _plan(n_shards: int) -> IngestPlan:
+    return IngestPlan(
+        n_buildings=N_BUILDINGS, days=INGEST_DAYS, n_shards=n_shards
+    )
+
+
+def _single_pipeline_baseline(out_dir: Path) -> dict:
+    """One building, one pipeline, no bus: the per-partition floor."""
+    spec = _plan(1).partitions()[0]
+    started = time.perf_counter()
+    pipeline = run_partition_serial(spec, out_dir / spec.records_name)
+    elapsed = time.perf_counter() - started
+    ticks = pipeline.summary.n_ticks
+    return {
+        "building": spec.topic,
+        "ticks": ticks,
+        "elapsed_s": elapsed,
+        "ticks_per_s": ticks / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def main() -> int:
+    if not default_cache().enabled:
+        print(
+            "ERROR: REPRO_CACHE=off; the ingest benchmark needs the artifact "
+            "cache for partition snapshots",
+            file=sys.stderr,
+        )
+        return 1
+
+    work = Path(tempfile.mkdtemp(prefix="bench-ingest-"))
+    print(
+        f"ingest benchmark: {N_BUILDINGS} buildings x {INGEST_DAYS:g} days, "
+        f"shard sweep {list(SHARD_SWEEP)}"
+    )
+
+    print("single-pipeline baseline (one building, no bus, no shards) ...")
+    single = _single_pipeline_baseline(work / "single")
+    print(
+        f"  {single['building']}: {single['ticks']} ticks in "
+        f"{single['elapsed_s']:.2f} s ({single['ticks_per_s']:.0f} ticks/s)"
+    )
+
+    print(f"serial reference ({N_BUILDINGS} buildings) ...")
+    serial_dir = work / "serial"
+    started = time.perf_counter()
+    counts = run_serial(_plan(1), serial_dir)
+    serial_elapsed = time.perf_counter() - started
+    serial_ticks = sum(counts.values())
+    serial = {
+        "ticks": serial_ticks,
+        "elapsed_s": serial_elapsed,
+        "ticks_per_s": serial_ticks / serial_elapsed,
+    }
+    print(
+        f"  {serial_ticks} ticks in {serial_elapsed:.2f} s "
+        f"({serial['ticks_per_s']:.0f} ticks/s)"
+    )
+
+    sharded = []
+    for n_shards in SHARD_SWEEP:
+        plan = _plan(n_shards)
+        out = work / f"sharded-{n_shards}"
+        print(f"sharded run: {n_shards} shard(s) ...")
+        report = run_ingest(plan, out)
+        if not report.completed:
+            print(
+                f"ERROR: the {n_shards}-shard run did not complete",
+                file=sys.stderr,
+            )
+            return 1
+        mismatched = verify_parity(out, serial_dir, report.topics)
+        if mismatched:
+            print(
+                "ERROR: sharded record logs diverge from the serial reference "
+                f"for {', '.join(mismatched)}; refusing to report timings",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"  {report.ticks} ticks in {report.elapsed_s:.2f} s "
+            f"({report.ticks_per_s:.0f} ticks/s), parity OK"
+        )
+        sharded.append(
+            {
+                "n_shards": n_shards,
+                "ticks": report.ticks,
+                "elapsed_s": report.elapsed_s,
+                "ticks_per_s": report.ticks_per_s,
+                "restarts": report.restarts,
+                "byte_identical": True,
+            }
+        )
+
+    cpu_count = os.cpu_count() or 1
+    rates = [run["ticks_per_s"] for run in sharded]
+    if cpu_count >= 2:
+        monotonic = all(b > a for a, b in zip(rates, rates[1:]))
+        scaling_note = None
+        if not monotonic and len(rates) > 1:
+            print(
+                "ERROR: ticks/s does not increase monotonically with shard "
+                f"count on this {cpu_count}-core host: "
+                f"{[f'{r:.0f}' for r in rates]}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        monotonic = None
+        scaling_note = (
+            f"single-core host (cpu_count={cpu_count}): shard processes "
+            "time-slice one CPU, so the monotonic-scaling gate is not "
+            "meaningful and was skipped; parity was still enforced"
+        )
+        print(f"note: {scaling_note}")
+
+    section = {
+        "buildings": N_BUILDINGS,
+        "days": INGEST_DAYS,
+        "shard_sweep": list(SHARD_SWEEP),
+        "cpu_count": cpu_count,
+        "single_pipeline": single,
+        "serial": serial,
+        "sharded": sharded,
+        "byte_identical": True,
+        "monotonic_scaling": monotonic,
+        "scaling_note": scaling_note,
+    }
+
+    target = ROOT / "BENCH_report.json"
+    try:
+        payload = json.loads(target.read_text())
+        if not isinstance(payload, dict):
+            payload = {}
+    except (OSError, ValueError):
+        payload = {}
+    payload["streaming"] = section
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote the streaming section of {target}")
+    print(
+        json.dumps(
+            {
+                "single_pipeline_ticks_per_s": single["ticks_per_s"],
+                "serial_ticks_per_s": serial["ticks_per_s"],
+                "sharded_ticks_per_s": {
+                    str(run["n_shards"]): run["ticks_per_s"] for run in sharded
+                },
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

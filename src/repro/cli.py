@@ -16,7 +16,12 @@ Subcommands::
     repro robustness  fault-injection sweeps (severity or faulted-count)
     repro stream      replay the trace through the online pipeline
                       (``--live``: drive it off the chunked simulator
-                      through event-level sensing instead of a replay)
+                      through event-level sensing instead of a replay;
+                      ``--building-index I``: stream fleet member I)
+    repro ingest      partitioned event-bus ingestion of a building
+                      fleet, sharded over supervised worker processes
+                      (``--parity`` byte-compares every building's
+                      record log against its serial single-pipeline run)
     repro serve       answer predict-ahead requests from the online model
                       (``--workers N --port P``: supervised multi-worker
                       TCP server; ``--workers 0``: stdin JSON-lines)
@@ -250,6 +255,85 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="staleness gate limit, seconds (default: 1.5 heartbeats; --live only)",
+    )
+    p.add_argument(
+        "--building-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="stream fleet member I (via build_fleet) instead of the paper "
+        "building (--live only)",
+    )
+    p.add_argument(
+        "--building-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="fleet distribution seed for --building-index (default: --seed)",
+    )
+
+    p = sub.add_parser(
+        "ingest",
+        help="partitioned event-bus ingestion: one pipeline per building, "
+        "sharded over supervised worker processes",
+    )
+    p.add_argument(
+        "--buildings", type=int, default=4, help="fleet size (default 4)"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard worker processes consuming the partitions (default 2)",
+    )
+    p.add_argument(
+        "--days", type=float, default=1.0, help="trace length per building (default 1)"
+    )
+    p.add_argument(
+        "--seed", type=int, default=rng_mod.DEFAULT_SEED, help="fleet distribution seed"
+    )
+    p.add_argument(
+        "--out",
+        default="ingest-out",
+        metavar="DIR",
+        help="directory for per-building record logs (default ingest-out/)",
+    )
+    p.add_argument(
+        "--chunk-steps",
+        type=int,
+        default=None,
+        help="simulation steps per live chunk (default: 1-day slabs)",
+    )
+    p.add_argument(
+        "--solo-producers",
+        action="store_true",
+        help="interleave per-building solo sources instead of one batched "
+        "fleet pass per shard",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume partitions from their snapshots (continue an "
+        "interrupted run)",
+    )
+    p.add_argument(
+        "--kill-shard-after",
+        type=float,
+        default=None,
+        metavar="S",
+        help="chaos hook: SIGKILL one shard this many seconds in "
+        "(it respawns and resumes from its partition snapshots)",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="respawn budget per shard before the run fails",
+    )
+    p.add_argument(
+        "--parity",
+        action="store_true",
+        help="re-run every building serially and byte-compare the record logs",
     )
 
     p = sub.add_parser(
@@ -670,14 +754,41 @@ def _build_pipeline(args, forgetting: float = 1.0, should_stop=None):
     return pipeline
 
 
+def _resolve_fleet_building(index: int, days: float, seed: int):
+    """Fleet member ``index`` of the seeded spec distribution.
+
+    Per-building draws are independent derived streams, so resolving
+    member ``index`` only needs a fleet of ``index + 1`` — the spec is
+    identical in any larger fleet with the same seed.
+    """
+    from repro.errors import StreamingError
+    from repro.simulation.fleet import FleetConfig, build_fleet
+
+    if index < 0:
+        raise StreamingError("--building-index must be >= 0")
+    return build_fleet(FleetConfig(n_buildings=index + 1, days=days, seed=seed))[index]
+
+
 def _build_live_pipeline(args, should_stop=None):
     """Run the online pipeline straight off the chunked simulator."""
     from repro.simulation.simulator import SimulationConfig
     from repro.streaming import GateThresholds, LiveSimSource, OnlinePipeline
 
-    source = LiveSimSource(
-        SimulationConfig(days=args.days, seed=args.seed), chunk_steps=args.chunk_steps
-    )
+    if args.building_index is not None:
+        fleet_seed = (
+            args.building_seed if args.building_seed is not None else args.seed
+        )
+        building = _resolve_fleet_building(args.building_index, args.days, fleet_seed)
+        print(
+            f"streaming fleet member {args.building_index} "
+            f"({building.name}, seed {fleet_seed})"
+        )
+        source = LiveSimSource(building=building, chunk_steps=args.chunk_steps)
+    else:
+        source = LiveSimSource(
+            SimulationConfig(days=args.days, seed=args.seed),
+            chunk_steps=args.chunk_steps,
+        )
     thresholds = source.default_thresholds()
     if args.max_age is not None:
         import dataclasses
@@ -702,6 +813,9 @@ AUTOSAVE_SNAPSHOT = "stream-autosave"
 def _cmd_stream(args) -> int:
     from repro.streaming import GracefulShutdown, save_snapshot
 
+    if args.building_index is not None and not args.live:
+        print("--building-index needs --live (fleet members stream live)", file=sys.stderr)
+        return 2
     with GracefulShutdown() as stop:
         if args.live:
             pipeline = _build_live_pipeline(args, should_stop=stop.requested)
@@ -743,6 +857,89 @@ def _cmd_stream(args) -> int:
             print("cache disabled; snapshot not saved", file=sys.stderr)
             return 1
         print(f"snapshot {snapshot_name!r} saved ({key[:16]}...)")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    """``repro ingest``: sharded fleet ingestion with optional parity."""
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.streaming import (
+        IngestPlan,
+        ShardRunnerOptions,
+        run_ingest,
+        run_serial,
+        verify_parity,
+    )
+
+    plan = IngestPlan(
+        n_buildings=args.buildings,
+        days=args.days,
+        seed=args.seed,
+        n_shards=args.shards,
+        chunk_steps=args.chunk_steps,
+        batched=not args.solo_producers,
+    )
+    out = Path(args.out)
+    sharded_dir = out / "sharded"
+    assignment = plan.assignment()
+    print(
+        f"ingesting {args.buildings} buildings over {args.shards} shard(s), "
+        f"{args.days:g} day(s) each"
+    )
+    for shard_id in sorted(assignment):
+        topics = ", ".join(spec.topic for spec in assignment[shard_id]) or "(idle)"
+        print(f"  shard {shard_id}: {topics}")
+    try:
+        report = run_ingest(
+            plan,
+            sharded_dir,
+            ShardRunnerOptions(
+                resume=args.resume,
+                kill_shard_after_s=args.kill_shard_after,
+                max_restarts=args.max_restarts,
+            ),
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if report.killed_shard is not None:
+        print(f"chaos: killed shard {report.killed_shard} (respawned and resumed)")
+    print(
+        f"processed {report.ticks} ticks in {report.elapsed_s:.2f} s "
+        f"({report.ticks_per_s:.0f} ticks/s), restarts {report.restarts}"
+    )
+    for shard_id, stats in sorted(report.shards.items()):
+        for topic, part in sorted(stats.get("partitions", {}).items()):
+            print(
+                f"  shard {shard_id} {topic}: {part['n_ticks']} ticks, "
+                f"high water {part['high_water']}, blocked {part['blocked']}, "
+                f"dropped {part['dropped']}"
+            )
+    if report.interrupted:
+        state = "clean" if report.drain_clean else "DIRTY"
+        print(
+            f"drain {state}: every partition snapshot resealed; "
+            f"rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 0 if report.drain_clean else 1
+    if not report.completed:
+        print("ingest did not complete", file=sys.stderr)
+        return 1
+    if args.parity:
+        serial_dir = out / "serial"
+        print("parity: re-running every building serially ...")
+        run_serial(plan, serial_dir)
+        mismatched = verify_parity(sharded_dir, serial_dir, report.topics)
+        if mismatched:
+            print(f"PARITY FAILED: {', '.join(mismatched)}", file=sys.stderr)
+            return 1
+        print(
+            f"parity OK: all {len(report.topics)} buildings byte-identical "
+            f"to their serial runs"
+        )
     return 0
 
 
@@ -812,6 +1009,13 @@ def _serve_tcp(args) -> int:
         f"(reason: {summary['reason']})",
         file=sys.stderr,
     )
+    for wid, worker in sorted(summary.get("per_worker", {}).items()):
+        print(
+            f"  worker {wid}: {worker['state']}, "
+            f"queue depth {worker['queue_depth']}, "
+            f"restarts {worker['restarts']}, shed {worker['shed']}",
+            file=sys.stderr,
+        )
     if summary.get("final_snapshot_key"):
         print(f"final snapshot {args.final_snapshot!r} saved", file=sys.stderr)
     return 0 if summary["drain_clean"] else 1
@@ -966,6 +1170,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "robustness": _cmd_robustness,
     "stream": _cmd_stream,
+    "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
 }

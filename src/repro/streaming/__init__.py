@@ -27,10 +27,27 @@ stream:
   over that pool (``repro serve --workers N --port P``).
 * :mod:`repro.streaming.shutdown` — cooperative SIGINT/SIGTERM handling
   so stream loops drain and snapshot instead of dying mid-tick.
+* :mod:`repro.streaming.bus` — a local partitioned event bus: one
+  bounded topic/partition per building, explicit backpressure/drop
+  accounting, seeded deterministic producer interleaving.
+* :mod:`repro.streaming.partition` — ingestion planning: stable
+  topic→shard hashing, per-building partition specs, the canonical
+  tick-record byte serialization and the serial reference runner.
+* :mod:`repro.streaming.shards` — the shared-nothing shard runner:
+  K supervised worker processes each owning their partitions end to
+  end, with heartbeats, crash respawn from per-partition snapshots and
+  graceful drain (``repro ingest --buildings B --shards K``).
 """
 
 from __future__ import annotations
 
+from repro.streaming.bus import (
+    BusConfig,
+    EventBus,
+    Partition,
+    PartitionStats,
+    interleave,
+)
 from repro.streaming.drift import (
     ClusterConsistencyMonitor,
     CusumDriftDetector,
@@ -39,10 +56,19 @@ from repro.streaming.drift import (
 from repro.streaming.ingest import (
     GatedTick,
     GateThresholds,
+    LiveSensing,
     LiveSimSource,
     ReplaySource,
     StreamTick,
     TickGate,
+    building_sensor_layout,
+)
+from repro.streaming.partition import (
+    IngestPlan,
+    PartitionSpec,
+    record_line,
+    run_partition_serial,
+    shard_of,
 )
 from repro.streaming.pipeline import OnlinePipeline, StreamSummary, TickRecord
 from repro.streaming.rls import OnlineModelEstimator, RecursiveLeastSquares
@@ -55,6 +81,13 @@ from repro.streaming.service import (
     build_request,
 )
 from repro.streaming.server import PredictionServer, ServerConfig, ServerStats, run_server
+from repro.streaming.shards import (
+    IngestReport,
+    ShardRunnerOptions,
+    run_ingest,
+    run_serial,
+    verify_parity,
+)
 from repro.streaming.shutdown import GracefulShutdown
 from repro.streaming.state import load_snapshot, save_snapshot, snapshot_key
 from repro.streaming.supervisor import PoolStats, Supervisor, WorkerPoolConfig
@@ -63,9 +96,26 @@ __all__ = [
     "StreamTick",
     "ReplaySource",
     "LiveSimSource",
+    "LiveSensing",
+    "building_sensor_layout",
     "GateThresholds",
     "GatedTick",
     "TickGate",
+    "BusConfig",
+    "PartitionStats",
+    "Partition",
+    "EventBus",
+    "interleave",
+    "IngestPlan",
+    "PartitionSpec",
+    "shard_of",
+    "record_line",
+    "run_partition_serial",
+    "ShardRunnerOptions",
+    "IngestReport",
+    "run_ingest",
+    "run_serial",
+    "verify_parity",
     "RecursiveLeastSquares",
     "OnlineModelEstimator",
     "DriftConfig",

@@ -23,19 +23,27 @@ exercised against staleness and transmission loss, not just plausibility.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.data.dataset import AuditoriumDataset, InputChannels
 from repro.errors import StreamingError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geometry.layout import SensorSpec
+    from repro.simulation.fleet import BuildingSpec
+    from repro.simulation.kernels import SimulationChunk
+
 __all__ = [
     "StreamTick",
     "ReplaySource",
     "LiveSimSource",
+    "LiveSensing",
+    "building_sensor_layout",
     "GateThresholds",
     "GatedTick",
     "TickGate",
@@ -133,6 +141,41 @@ class ReplaySource:
             )
 
 
+def building_sensor_layout(spec: "BuildingSpec") -> Dict[int, "SensorSpec"]:
+    """The paper's sensor deployment scaled onto ``spec``'s floor plan.
+
+    Every fleet member carries the same 39-unit deployment *pattern*
+    (front/back near-ground groups, ceiling units, thermostats), with
+    positions scaled from the paper room's footprint to the building's
+    own width and depth.  Mounting heights are preserved (clamped under
+    low ceilings), so the near-ground population — the one the live
+    source streams — is identical in structure across the fleet.  For
+    the canonical paper spec (``use_default_geometry=True``) the layout
+    is returned untouched, so that building aliases exactly onto the
+    solo :func:`default_sensor_layout` path.
+    """
+    from repro.geometry.auditorium import Point, default_auditorium
+    from repro.geometry.layout import default_sensor_layout
+
+    layout = default_sensor_layout()
+    if spec.use_default_geometry:
+        return layout
+    room = default_auditorium()
+    scale_x = spec.width / room.width
+    scale_y = spec.depth / room.depth
+    return {
+        sid: dataclasses.replace(
+            unit,
+            position=Point(
+                unit.position.x * scale_x,
+                unit.position.y * scale_y,
+                min(unit.position.z, spec.height - 0.2),
+            ),
+        )
+        for sid, unit in layout.items()
+    }
+
+
 class LiveSimSource:
     """Ticks straight off the chunked simulator, through live sensing.
 
@@ -173,6 +216,7 @@ class LiveSimSource:
         seed: Optional[int] = None,
         fade_every_days: float = 1.0,
         fade_minutes: Tuple[float, float] = (20.0, 90.0),
+        building: Optional["BuildingSpec"] = None,
     ) -> None:
         """Bind the source to a simulation and a sensing configuration.
 
@@ -183,6 +227,14 @@ class LiveSimSource:
         fade process (mean spacing and log-uniform duration range of
         windows where that unit's packets are all lost); set
         ``fade_every_days=0`` to disable fading.
+
+        ``building`` binds the source to one fleet member instead of the
+        paper room: the simulator comes from
+        :meth:`repro.simulation.fleet.BuildingSpec.simulator` and the
+        sensor deployment from :func:`building_sensor_layout`, so any
+        ``build_fleet`` building streams through the same event-level
+        sensing path.  Mutually exclusive with ``config`` (the spec
+        carries its own :class:`SimulationConfig`).
         """
         from repro.geometry.layout import default_sensor_layout
         from repro.sensing.network import NetworkConfig, draw_outages
@@ -190,8 +242,18 @@ class LiveSimSource:
         from repro.simulation.simulator import AuditoriumSimulator, SimulationConfig
         from repro import rng as rng_mod
 
-        self.sim_config = config or SimulationConfig()
-        self.simulator = AuditoriumSimulator(self.sim_config)
+        if building is not None:
+            if config is not None:
+                raise StreamingError(
+                    "pass either a SimulationConfig or a BuildingSpec, not both"
+                )
+            self.building = building
+            self.sim_config = building.simulation
+            self.simulator = building.simulator()
+        else:
+            self.building = None
+            self.sim_config = config or SimulationConfig()
+            self.simulator = AuditoriumSimulator(self.sim_config)
         self.readout = readout or SensorReadoutConfig()
         self.network_config = network or NetworkConfig()
         self._seed = self.sim_config.seed if seed is None else int(seed)
@@ -215,7 +277,11 @@ class LiveSimSource:
         # The streamed units: reliable near-ground wireless sensors (the
         # same population the batch pre-processing keeps, minus the
         # wired thermostats — this source models the wireless path).
-        layout = default_sensor_layout()
+        layout = (
+            building_sensor_layout(building)
+            if building is not None
+            else default_sensor_layout()
+        )
         self._specs = [
             spec
             for _, spec in sorted(layout.items())
@@ -302,99 +368,141 @@ class LiveSimSource:
         n_steps = self.sim_config.n_steps
         return (n_steps + self._stride - 1) // self._stride
 
+    def sensing(self) -> "LiveSensing":
+        """A fresh stateful chunk→tick converter for this source.
+
+        This is the seam the partitioned ingestion layer uses: a fleet
+        producer integrates many buildings in one batched pass
+        (:meth:`repro.simulation.fleet.FleetSimulator.
+        iter_building_chunks`) and feeds each building's chunks through
+        that building's own ``LiveSensing``, yielding exactly the ticks
+        the solo iterator would have produced.
+        """
+        return LiveSensing(self)
+
     def __iter__(self) -> Iterator[StreamTick]:
-        rng_mod = self._rng_mod
-        dt = float(self.sim_config.dt)
-        stride = self._stride
-        n_sensors = len(self._specs)
-        threshold = self.readout.report_threshold - 1e-12
-        quant = self.readout.quantization
-        period = self.readout.heartbeat_period
-        loss = self.network_config.packet_loss
-
-        noise_gens = [
-            rng_mod.derive(self._seed, "live-sensor-noise", index=spec.sensor_id)
-            for spec in self._specs
-        ]
-        loss_gens = [
-            rng_mod.derive(self._seed, "live-packet-loss", index=spec.sensor_id)
-            for spec in self._specs
-        ]
-
-        # Carried across chunk boundaries: the last transmitted quantized
-        # value and heartbeat index (transmission state), and the last
-        # *delivered* value and its wall-clock time (what a base station
-        # would actually know).
-        prev_quantized = np.full(n_sensors, np.nan)
-        prev_beat = np.full(n_sensors, -np.inf)
-        held_value = np.full(n_sensors, np.nan)
-        held_time = np.full(n_sensors, -np.inf)
-
-        tick_index = 0
+        sensing = self.sensing()
         for chunk in self.simulator.iter_chunks(self.chunk_steps):
-            times = np.arange(chunk.start, chunk.stop, dtype=float) * dt
-            truth = chunk.zone_temps @ self._weights.T + self._offsets
+            yield from sensing.ticks(chunk)
 
-            delivered: List[Tuple[np.ndarray, np.ndarray]] = []
-            cursors = [0] * n_sensors
-            for s, model in enumerate(self._models):
-                readings = (
-                    truth[:, s]
-                    + model.bias
-                    + self.readout.noise_sigma * noise_gens[s].standard_normal(times.shape)
-                )
-                quantized = np.round(readings / quant) * quant
 
-                prev = prev_quantized[s]
-                if np.isnan(prev):
-                    prev = np.inf  # nothing sent yet: first sample always reports
-                mask = (
-                    np.abs(np.diff(np.concatenate(([prev], quantized)))) >= threshold
-                )
-                phase = (model.sensor_id * 137.0) % period
-                beat = np.floor((times - phase) / period)
-                mask |= np.diff(np.concatenate(([prev_beat[s]], beat))) > 0
-                prev_quantized[s] = quantized[-1]
-                prev_beat[s] = beat[-1]
+class LiveSensing:
+    """Event-level sensing state of one :class:`LiveSimSource` run.
 
-                report_times = times[mask]
-                report_values = quantized[mask]
-                keep = self.outages.wireless_keep_mask(report_times)
-                for lo_t, hi_t in self.fade_windows[s]:
-                    keep &= (report_times < lo_t) | (report_times >= hi_t)
-                keep &= loss_gens[s].random(report_times.shape) >= loss
-                delivered.append((report_times[keep], report_values[keep]))
+    Holds everything the live iteration carries across chunk
+    boundaries: per-sensor noise and packet-loss streams, the last
+    transmitted quantized value and heartbeat index (transmission
+    state), and the last *delivered* value with its wall-clock time
+    (what a base station actually knows).  All randomness is re-derived
+    from the source's seed at construction, so two ``LiveSensing``
+    objects over the same source produce identical tick streams —
+    and feeding one chunks from a batched fleet pass (bit-identical to
+    the solo chunks by the fleet parity guarantee) yields ticks
+    byte-identical to iterating the solo source.
+    """
 
-            first = chunk.start + (-chunk.start) % stride
-            for k in range(first, chunk.stop, stride):
-                t = k * dt
-                row = k - chunk.start
-                for s in range(n_sensors):
-                    d_times, d_values = delivered[s]
-                    i = cursors[s]
-                    while i < d_times.size and d_times[i] <= t:
-                        held_value[s] = d_values[i]
-                        held_time[s] = d_times[i]
-                        i += 1
-                    cursors[s] = i
-                inputs = np.concatenate(
+    def __init__(self, source: LiveSimSource) -> None:
+        """Derive the sensing streams and zero the carried state."""
+        rng_mod = source._rng_mod
+        self.source = source
+        n_sensors = len(source._specs)
+        self._noise_gens = [
+            rng_mod.derive(source._seed, "live-sensor-noise", index=spec.sensor_id)
+            for spec in source._specs
+        ]
+        self._loss_gens = [
+            rng_mod.derive(source._seed, "live-packet-loss", index=spec.sensor_id)
+            for spec in source._specs
+        ]
+        self._prev_quantized = np.full(n_sensors, np.nan)
+        self._prev_beat = np.full(n_sensors, -np.inf)
+        self._held_value = np.full(n_sensors, np.nan)
+        self._held_time = np.full(n_sensors, -np.inf)
+        self.tick_index = 0
+
+    def ticks(self, chunk: "SimulationChunk") -> Iterator[StreamTick]:
+        """Convert one simulation chunk into its delivered ticks.
+
+        Chunks must arrive in order (this object owns the carried
+        state); tick indices continue across calls.
+        """
+        source = self.source
+        dt = float(source.sim_config.dt)
+        stride = source._stride
+        n_sensors = len(source._specs)
+        threshold = source.readout.report_threshold - 1e-12
+        quant = source.readout.quantization
+        period = source.readout.heartbeat_period
+        loss = source.network_config.packet_loss
+        prev_quantized = self._prev_quantized
+        prev_beat = self._prev_beat
+        held_value = self._held_value
+        held_time = self._held_time
+
+        times = np.arange(chunk.start, chunk.stop, dtype=float) * dt
+        truth = chunk.zone_temps @ source._weights.T + source._offsets
+
+        delivered: List[Tuple[np.ndarray, np.ndarray]] = []
+        cursors = [0] * n_sensors
+        for s, model in enumerate(source._models):
+            readings = (
+                truth[:, s]
+                + model.bias
+                + source.readout.noise_sigma
+                * self._noise_gens[s].standard_normal(times.shape)
+            )
+            quantized = np.round(readings / quant) * quant
+
+            prev = prev_quantized[s]
+            if np.isnan(prev):
+                prev = np.inf  # nothing sent yet: first sample always reports
+            mask = (
+                np.abs(np.diff(np.concatenate(([prev], quantized)))) >= threshold
+            )
+            phase = (model.sensor_id * 137.0) % period
+            beat = np.floor((times - phase) / period)
+            mask |= np.diff(np.concatenate(([prev_beat[s]], beat))) > 0
+            prev_quantized[s] = quantized[-1]
+            prev_beat[s] = beat[-1]
+
+            report_times = times[mask]
+            report_values = quantized[mask]
+            keep = source.outages.wireless_keep_mask(report_times)
+            for lo_t, hi_t in source.fade_windows[s]:
+                keep &= (report_times < lo_t) | (report_times >= hi_t)
+            keep &= self._loss_gens[s].random(report_times.shape) >= loss
+            delivered.append((report_times[keep], report_values[keep]))
+
+        first = chunk.start + (-chunk.start) % stride
+        for k in range(first, chunk.stop, stride):
+            t = k * dt
+            row = k - chunk.start
+            for s in range(n_sensors):
+                d_times, d_values = delivered[s]
+                i = cursors[s]
+                while i < d_times.size and d_times[i] <= t:
+                    held_value[s] = d_values[i]
+                    held_time[s] = d_times[i]
+                    i += 1
+                cursors[s] = i
+            inputs = np.concatenate(
+                (
+                    chunk.vav_flows[row],
                     (
-                        chunk.vav_flows[row],
-                        (
-                            float(chunk.occupancy[row]),
-                            float(chunk.lighting[row]),
-                            float(chunk.ambient[row]),
-                        ),
-                    )
+                        float(chunk.occupancy[row]),
+                        float(chunk.lighting[row]),
+                        float(chunk.ambient[row]),
+                    ),
                 )
-                yield StreamTick(
-                    index=tick_index,
-                    seconds=t,
-                    temperatures=held_value.copy(),
-                    inputs=inputs,
-                    age_s=t - held_time,
-                )
-                tick_index += 1
+            )
+            yield StreamTick(
+                index=self.tick_index,
+                seconds=t,
+                temperatures=held_value.copy(),
+                inputs=inputs,
+                age_s=t - held_time,
+            )
+            self.tick_index += 1
 
 
 @dataclass(frozen=True)

@@ -248,6 +248,10 @@ class _WorkerSlot:
         self.heartbeat: Optional[Any] = None
         self.restarts = 0
         self.respawn_at = 0.0
+        #: Sheds this worker contributed to (its queue was full when a
+        #: submit had to be refused) — the per-worker saturation signal
+        #: the autoscaling follow-on watches.
+        self.shed = 0
         #: Seqs currently dispatched to this worker.
         self.inflight: set = set()
         #: Final ServiceStats reported by a cleanly stopped worker.
@@ -395,6 +399,9 @@ class Supervisor:
                         self._parked.append(entry)
                         return future
                 self.stats.shed += 1
+                for slot_ in self._slots:
+                    if slot_.state == LIVE:
+                        slot_.shed += 1
                 raise ServiceOverloadError(
                     "every live worker's request queue is full"
                 )
@@ -668,11 +675,33 @@ class Supervisor:
                 if slot.final_stats is not None
             }
 
+    def per_worker_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-worker operational signals: state, queue depth, failures.
+
+        ``queue_depth`` is the worker's current in-flight count against
+        its bounded queue; ``restarts``/``shed`` are that slot's own
+        respawn and saturation counters.  Together these are the
+        per-worker load signals a worker-autoscaler needs.
+        """
+        with self._lock:
+            return {
+                slot.worker_id: {
+                    "state": slot.state,
+                    "queue_depth": len(slot.inflight),
+                    "restarts": slot.restarts,
+                    "shed": slot.shed,
+                }
+                for slot in self._slots
+            }
+
     def stats_dict(self) -> Dict[str, Any]:
         """Pool counters plus per-worker states, JSON-ready."""
         payload: Dict[str, Any] = dict(self.stats.as_dict())
         payload["workers"] = {
             str(wid): state for wid, state in self.worker_states().items()
+        }
+        payload["per_worker"] = {
+            str(wid): stats for wid, stats in self.per_worker_stats().items()
         }
         payload["pending"] = self.pending()
         return payload

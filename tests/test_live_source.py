@@ -185,3 +185,101 @@ def _lossless_network():
         station_outage_every_days=1e6,
         server_outage_every_days=1e6,
     )
+
+
+class TestFleetBuildingSource:
+    def test_fleet_member_streams_through_scaled_layout(self):
+        from repro.simulation.fleet import FleetConfig, build_fleet
+        from repro.streaming import building_sensor_layout
+
+        building = build_fleet(FleetConfig(n_buildings=2, days=0.5))[1]
+        source = LiveSimSource(building=building)
+        layout = building_sensor_layout(building)
+        # The source keeps the reliable near-ground wireless population.
+        assert source.sensor_ids == tuple(
+            sid
+            for sid, spec in sorted(layout.items())
+            if spec.near_ground and not spec.is_thermostat and spec.fault is None
+        )
+        ticks = list(source)
+        assert len(ticks) == len(source)
+        assert np.all(np.isfinite(ticks[-1].temperatures))
+
+    def test_building_and_config_are_mutually_exclusive(self):
+        from repro.simulation.fleet import FleetConfig, build_fleet
+
+        building = build_fleet(FleetConfig(n_buildings=1, days=0.5))[0]
+        with pytest.raises(StreamingError):
+            LiveSimSource(SHORT, building=building)
+
+
+class TestCombinedFaultGating:
+    def test_reason_counts_under_staleness_and_clock_skew(self):
+        """Outage staleness and a clock-skewed unit are counted apart.
+
+        A default-seed day of live streaming has seeded outage windows
+        (the ``stale`` events); on top of that one sensor's trace is
+        corrupted by the campaign-framework ``clock_skew`` fault, whose
+        backward replay at onset jumps the reported reading by more than
+        the step bound.  The gate must quarantine both — staleness by
+        age, the skew jump by implausible step — with correct
+        categories, and the skewed sensor must gain a post-onset step
+        quarantine the clean trace does not have.
+        """
+        from repro.sensing.faults import FaultConfig, apply_fault_config
+
+        source = LiveSimSource(SimulationConfig(days=1.0))
+        ticks = list(source)
+        temps = np.array([t.temperatures for t in ticks])
+        seconds = np.array([t.seconds for t in ticks])
+        # Sensor 7 warms ~0.8 degC into midday, so the onset-time
+        # backward replay overshoots a 0.5 degC step bound.
+        col = source.sensor_ids.index(7)
+        skewed = apply_fault_config(
+            FaultConfig(
+                kind="clock_skew",
+                severity=1.0,
+                onset_fraction=0.5,
+                clock_skew_s_per_day=100 * 86400.0,
+            ),
+            temps[:, col],
+            seconds,
+            seed=11,
+            sensor_id=7,
+        )
+        onset = len(ticks) // 2
+
+        def run_gate(column):
+            thresholds = replace(source.default_thresholds(), max_step_c=0.5)
+            gate = TickGate(source.sensor_ids, thresholds=thresholds)
+            post_onset_hits = 0
+            for k, t in enumerate(ticks):
+                modified = t.temperatures.copy()
+                modified[col] = column[k]
+                gated = gate.check(
+                    StreamTick(
+                        index=t.index,
+                        seconds=t.seconds,
+                        temperatures=modified,
+                        inputs=t.inputs,
+                        age_s=t.age_s,
+                    )
+                )
+                if k >= onset and 7 in gated.quarantined:
+                    assert "step" in gated.quarantined[7]
+                    post_onset_hits += 1
+            return gate, post_onset_hits
+
+        clean_gate, clean_hits = run_gate(temps[:, col])
+        skew_gate, skew_hits = run_gate(skewed)
+        # The seeded outages drive staleness in both runs.
+        assert clean_gate.reason_counts.get("stale", 0) > 0
+        assert skew_gate.reason_counts.get("stale", 0) > 0
+        assert skew_gate.reason_counts["stale"] == clean_gate.reason_counts["stale"]
+        # The skew adds a step quarantine on the faulted sensor that the
+        # clean run does not have, and it lands after the fault onset.
+        assert skew_gate.reason_counts.get("step", 0) > clean_gate.reason_counts.get(
+            "step", 0
+        )
+        assert clean_hits == 0
+        assert skew_hits > 0

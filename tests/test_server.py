@@ -195,7 +195,30 @@ class TestSupervisor:
             with pytest.raises(ServiceOverloadError):
                 supervisor.submit({"id": "shed-me", "horizon_ticks": 4})
             assert supervisor.stats.shed == 1
+            # The shed is attributed to the saturated worker too.
+            assert supervisor.per_worker_stats()[0]["shed"] == 1
             assert "predictions" in first.result(timeout=30)
+        finally:
+            supervisor.drain(timeout_s=30.0)
+
+    def test_per_worker_stats_report_depth_restarts_and_sheds(self):
+        supervisor = Supervisor(pool_config(n_workers=1))
+        try:
+            supervisor.start()
+            # Stall the only worker so the in-flight count is observable.
+            supervisor.hang_worker(0.5)
+            future = supervisor.submit({"id": "pw", "horizon_ticks": 4})
+            per_worker = supervisor.per_worker_stats()
+            assert set(per_worker) == {0}
+            stats = per_worker[0]
+            assert set(stats) == {"state", "queue_depth", "restarts", "shed"}
+            assert stats["queue_depth"] == 1
+            assert stats["restarts"] == 0
+            assert stats["shed"] == 0
+            assert "predictions" in future.result(timeout=30)
+            payload = supervisor.stats_dict()
+            assert set(payload["per_worker"]) == {"0"}
+            assert payload["per_worker"]["0"]["state"] in ("live", "starting")
         finally:
             supervisor.drain(timeout_s=30.0)
 
