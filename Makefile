@@ -36,6 +36,7 @@ bench-quick:
 # REPRO_BENCH_JOBS / REPRO_BENCH_SIM_DAYS / REPRO_BENCH_SERVE_* scale it.
 bench-json:
 	PYTHONPATH=src python benchmarks/bench_cache.py
+	PYTHONPATH=src python benchmarks/bench_schedule.py
 	PYTHONPATH=src python benchmarks/bench_sim.py
 	PYTHONPATH=src python benchmarks/bench_serve.py
 	PYTHONPATH=src python benchmarks/bench_ingest.py

@@ -130,11 +130,16 @@ def main() -> int:
         target = ROOT / "BENCH_report.json"
         try:
             existing = json.loads(target.read_text())
+            if not isinstance(existing, dict):
+                existing = {}
         except (OSError, ValueError):
             existing = {}
-        if isinstance(existing, dict) and "sim" in existing:
-            # bench_sim.py owns the "sim" section; keep it across reruns.
-            payload["sim"] = existing["sim"]
+        # Merge over whatever the sibling benchmarks (sim, fleet,
+        # serving, ingest, scheduling, ...) already wrote, dropping only
+        # our own possibly-stale conditional key.
+        existing.pop("note", None)
+        existing.update(payload)
+        payload = existing
         target.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {target}")
         print(json.dumps(payload["speedup"], indent=2))

@@ -1,0 +1,177 @@
+"""Cost-aware scheduling benchmark → ``scheduling`` section of
+``BENCH_report.json``.
+
+Measures whether the persisted task cost model actually buys makespan
+on a cold parallel ``repro report``:
+
+* ``cold_registry`` — empty cache A, ``--jobs N --schedule registry``
+  (registry-order dispatch, the pre-cost-model behaviour).  This run
+  also *populates* the cost model for protocol length ``--days``.
+* ``cold_cost``     — empty cache B that has been seeded with **only**
+  the cost artifact from A, ``--jobs N --schedule cost`` (longest-
+  processing-time-first dispatch inside each dependency wave).
+
+Both reports must be *byte-identical* — scheduling may only reorder
+work, never change it — and the benchmark exits non-zero otherwise.
+
+The section also records ``cost_spread``, the max/min ratio of learned
+per-task costs: LPT can only help when task durations are uneven, so a
+spread near 1.0 explains away a null speedup.  On a single-CPU host the
+speedup is reported as ``null`` with a note, exactly like
+``bench_cache.py``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DAYS`` — trace length (default 98; CI smoke uses 7),
+* ``REPRO_BENCH_JOBS`` — worker processes (default 4).
+
+Run via ``make bench-json`` (or directly:
+``PYTHONPATH=src python benchmarks/bench_schedule.py``).  The section
+is merged into an existing ``BENCH_report.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.artifacts import ArtifactCache  # noqa: E402
+from repro.experiments.costs import CostModel, costs_key  # noqa: E402
+
+BENCH_DAYS = os.environ.get("REPRO_BENCH_DAYS", "98")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _run_report(cache_dir: Path, output: Path, schedule: str) -> float:
+    """Time one cold ``repro report`` in a fresh subprocess; returns seconds."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "report",
+        "--days",
+        BENCH_DAYS,
+        "--jobs",
+        str(BENCH_JOBS),
+        "--schedule",
+        schedule,
+        "--output",
+        str(output),
+    ]
+    begin = time.perf_counter()
+    subprocess.run(command, check=True, env=env, stdout=subprocess.DEVNULL)
+    return time.perf_counter() - begin
+
+
+def _copy_cost_artifact(source_root: Path, target_root: Path) -> CostModel:
+    """Seed ``target_root`` with only the cost table learned under
+    ``source_root``; returns the model for spread reporting."""
+    key = costs_key(float(BENCH_DAYS))
+    source = ArtifactCache(root=source_root, enabled=True)
+    payload = source.load(key)
+    if payload is None:
+        raise SystemExit(
+            "cold registry run did not persist a cost model; "
+            "is REPRO_COSTS=off set in the environment?"
+        )
+    ArtifactCache(root=target_root, enabled=True).store(key, payload)
+    return CostModel(
+        days=float(BENCH_DAYS),
+        ewma_s=dict(payload.get("ewma_s", {})),
+        samples=dict(payload.get("samples", {})),
+    )
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-schedule-"))
+    try:
+        cache_registry = workdir / "cache-registry"
+        cache_cost = workdir / "cache-cost"
+        report_registry = workdir / "report-registry.txt"
+        report_cost = workdir / "report-cost.txt"
+
+        print(
+            f"benchmarking repro report --days {BENCH_DAYS} --jobs {BENCH_JOBS} "
+            "(registry vs cost schedule) ..."
+        )
+        timings = {}
+        timings["cold_registry"] = _run_report(
+            cache_registry, report_registry, schedule="registry"
+        )
+        print(f"  cold, registry: {timings['cold_registry']:8.2f} s")
+
+        model = _copy_cost_artifact(cache_registry, cache_cost)
+        known = list(model.ewma_s.values())
+        positive = [cost for cost in known if cost > 0.0]
+        cost_spread = (
+            round(max(positive) / min(positive), 2) if positive else None
+        )
+
+        timings["cold_cost"] = _run_report(cache_cost, report_cost, schedule="cost")
+        print(f"  cold, cost    : {timings['cold_cost']:8.2f} s")
+
+        byte_identical = report_registry.read_bytes() == report_cost.read_bytes()
+        if not byte_identical:
+            print(
+                "ERROR: reports differ between registry and cost schedules",
+                file=sys.stderr,
+            )
+
+        cpus = os.cpu_count()
+        speedup = {
+            "cost_vs_registry": round(
+                timings["cold_registry"] / timings["cold_cost"], 2
+            ),
+        }
+        section = {
+            "days": float(BENCH_DAYS),
+            "jobs": BENCH_JOBS,
+            "seconds": {k: round(v, 3) for k, v in timings.items()},
+            "speedup": speedup,
+            "reports_byte_identical": byte_identical,
+            "cost_spread": cost_spread,
+            "tasks_costed": len(known),
+            "cpus": cpus,
+        }
+        if cpus == 1:
+            # Scheduling reorders work across workers; with one CPU the
+            # two regimes are the same serial run plus noise.
+            speedup["cost_vs_registry"] = None
+            section["note"] = (
+                "single-CPU host: cost_vs_registry reported as null "
+                "(LPT scheduling cannot change a serial makespan)"
+            )
+
+        target = ROOT / "BENCH_report.json"
+        try:
+            payload = json.loads(target.read_text())
+            if not isinstance(payload, dict):
+                payload = {}
+        except (OSError, ValueError):
+            payload = {}
+        payload["scheduling"] = section
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote the scheduling section of {target}")
+        print(json.dumps(section["speedup"], indent=2))
+        return 0 if byte_identical else 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

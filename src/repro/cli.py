@@ -79,7 +79,16 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for running experiments (default 1 = serial)",
+        help="worker processes for running experiment tasks (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("cost", "registry"),
+        default="cost",
+        help="task dispatch order: 'cost' starts the longest tasks first "
+        "using the persisted cost model (falls back to registry order "
+        "when no costs are recorded yet); 'registry' keeps registry "
+        "order.  Output is byte-identical either way.",
     )
 
 
@@ -192,6 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_common(p, days_default=DEFAULT_DAYS)
     _add_jobs(p)
     p.add_argument("--output", help="write the report to this file (default: stdout)")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the report, print the persisted per-task cost model "
+        "the cost-aware schedule draws from",
+    )
 
     p = sub.add_parser(
         "robustness", help="fault-injection sweeps (severity or faulted-count)"
@@ -640,6 +655,7 @@ def _cmd_experiment(args) -> int:
             seed=args.seed,
             jobs=args.jobs,
             options=RunnerOptions.from_env(),
+            schedule=args.schedule,
         )
     except ExperimentError as exc:
         print(str(exc), file=sys.stderr)
@@ -675,6 +691,22 @@ def _report_header(days: float, seed: int) -> List[str]:
     ]
 
 
+def _render_cost_profile(days: float) -> str:
+    """The ``--profile`` rendering of the persisted per-task cost model."""
+    from repro.experiments.costs import CostModel
+
+    model = CostModel.load(days)
+    lines = [
+        f"== task cost model ({days:g}-day protocol, {len(model.ewma_s)} tasks) =="
+    ]
+    for task_id, cost_s, n_samples in model.table():
+        plural = "s" if n_samples != 1 else ""
+        lines.append(f"  {task_id:<28} {cost_s:9.3f} s  ({n_samples} sample{plural})")
+    if not model.known():
+        lines.append("  (empty - run a cold report to populate it)")
+    return "\n".join(lines)
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.runner import RunnerOptions, run_experiments_detailed
 
@@ -684,6 +716,7 @@ def _cmd_report(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         options=RunnerOptions.from_env(),
+        schedule=args.schedule,
     )
     chunks = _report_header(args.days, args.seed)
     for _, rendered in report.results:
@@ -699,6 +732,8 @@ def _cmd_report(args) -> int:
         print(f"wrote report to {args.output}")
     else:
         print(text)
+    if args.profile:
+        print(_render_cost_profile(args.days))
     if report.failures:
         print(report.render_failures(), file=sys.stderr)
         return 1

@@ -1,0 +1,146 @@
+"""Persisted per-task cost model feeding the cost-aware scheduler.
+
+Longest-processing-time scheduling needs an estimate of how long each
+task runs, and the only trustworthy source is *observed* wall-clock on
+this machine.  This module persists those observations through the
+artifact cache (:mod:`repro.core.artifacts`) as an exponentially
+weighted moving average per task id, keyed on the protocol length in
+days — a 7-day smoke run and the 98-day paper protocol have wildly
+different per-task costs and must not pollute each other's estimates.
+
+Properties worth noting:
+
+* **Scheduling only, never results.**  The cost table influences the
+  *order* tasks start in, nothing else; reports are byte-identical
+  whatever it contains (including garbage).  That is why persisting it
+  in a cache that may be deleted at any time is safe.
+* **EWMA, not last-sample.**  ``alpha = 0.5`` halves the influence of
+  each older run, so the estimate tracks machine-load drift within a
+  few reports without a single outlier (cold page cache, CI noise)
+  capsizing the schedule.
+* **Off switch.** ``REPRO_COSTS=off`` (or disabling the artifact cache
+  itself) turns the model into an always-empty stub: the scheduler then
+  falls back to registry order, the pre-refactor behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.artifacts import artifact_key, default_cache
+
+__all__ = [
+    "ENV_COSTS",
+    "CostModel",
+    "costs_enabled",
+    "costs_key",
+]
+
+#: Environment switch disabling cost persistence (``off``/``0``/``false``/``no``).
+ENV_COSTS = "REPRO_COSTS"
+
+#: EWMA smoothing factor: weight of the newest observation.
+_EWMA_ALPHA = 0.5
+
+
+def costs_enabled() -> bool:
+    """Whether cost observations are persisted (``REPRO_COSTS`` switch)."""
+    return os.environ.get(ENV_COSTS, "").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+def costs_key(days: float) -> str:
+    """Artifact key of the cost table for one protocol length.
+
+    Deliberately *excludes* the source digest: editing a module does
+    not invalidate what we learned about task durations, and a stale
+    estimate only costs schedule quality, never correctness.
+    """
+    return artifact_key("task-costs", {"days": float(days)})
+
+
+@dataclass
+class CostModel:
+    """Observed per-task wall-clock, EWMA-smoothed and cache-persisted.
+
+    ``ewma_s`` maps task id to the smoothed duration estimate in
+    seconds; ``samples`` counts how many observations fed each entry.
+    """
+
+    days: float
+    ewma_s: Dict[str, float] = field(default_factory=dict)
+    samples: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, days: float) -> "CostModel":
+        """The persisted model for ``days``, or an empty one.
+
+        Returns an empty model when persistence is off, the cache
+        misses, or the stored payload has an unexpected shape (an old
+        package version's pickle, say) — the scheduler degrades to
+        registry order rather than erroring.
+        """
+        model = cls(days=float(days))
+        if not costs_enabled():
+            return model
+        payload = default_cache().load(costs_key(days))
+        if not isinstance(payload, dict):
+            return model
+        ewma = payload.get("ewma_s")
+        samples = payload.get("samples")
+        if not isinstance(ewma, dict) or not isinstance(samples, dict):
+            return model
+        for task_id, value in ewma.items():
+            if isinstance(task_id, str) and isinstance(value, (int, float)) and value >= 0:
+                model.ewma_s[task_id] = float(value)
+                count = samples.get(task_id)
+                model.samples[task_id] = int(count) if isinstance(count, int) else 1
+        return model
+
+    def observe(self, task_id: str, seconds: float) -> None:
+        """Fold one measured duration into the task's EWMA estimate."""
+        if seconds < 0:
+            return
+        previous = self.ewma_s.get(task_id)
+        if previous is None:
+            self.ewma_s[task_id] = float(seconds)
+        else:
+            self.ewma_s[task_id] = _EWMA_ALPHA * float(seconds) + (1.0 - _EWMA_ALPHA) * previous
+        self.samples[task_id] = self.samples.get(task_id, 0) + 1
+
+    def cost_of(self, task_id: str) -> Optional[float]:
+        """Estimated seconds for ``task_id``, or ``None`` if never seen."""
+        return self.ewma_s.get(task_id)
+
+    def known(self) -> bool:
+        """Whether the model carries at least one estimate."""
+        return bool(self.ewma_s)
+
+    def save(self) -> None:
+        """Persist the table through the artifact cache (no-op when off)."""
+        if not costs_enabled() or not self.ewma_s:
+            return
+        default_cache().store(
+            costs_key(self.days),
+            {"ewma_s": dict(self.ewma_s), "samples": dict(self.samples)},
+        )
+
+    def table(self) -> List[Tuple[str, float, int]]:
+        """``(task_id, ewma_s, samples)`` rows, most expensive first.
+
+        Ties break on the task id so the ``--profile`` rendering is
+        deterministic.
+        """
+        return sorted(
+            (
+                (task_id, cost, self.samples.get(task_id, 1))
+                for task_id, cost in self.ewma_s.items()
+            ),
+            key=lambda row: (-row[1], row[0]),
+        )

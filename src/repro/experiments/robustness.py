@@ -32,6 +32,14 @@ A severity at which the *modelling* stages run out of usable data is
 reported as a degraded row (``n/a`` metrics plus the typed error in
 the notes) rather than failing the experiment — that is the graceful
 part of the degradation.
+
+The severity sweep is also exposed as a task decomposition
+(:func:`tasks` / :func:`reduce_tasks`): each (severity, replicate)
+cell runs the degraded path on its own schedulable shard
+(:func:`run_severity_cell`), and the reduce recomputes the cross-cell
+selection-overlap baselines and reassembles the table — byte-identical
+to the monolithic :func:`run` whenever every shard succeeded, with
+``n/a`` metrics for any cell whose shard did not.
 """
 
 from __future__ import annotations
@@ -59,6 +67,9 @@ __all__ = [
     "replicate_analyses",
     "run",
     "run_count_sweep",
+    "run_severity_cell",
+    "reduce_tasks",
+    "tasks",
 ]
 
 #: Severity sweep of the degradation curve.
@@ -238,6 +249,141 @@ def _cell(value) -> object:
     return value if value is not None else "n/a"
 
 
+def _assemble_severity(
+    ctx: ExperimentContext,
+    seeds: Sequence[int],
+    base: FaultCampaign,
+    severities: Sequence[float],
+    points: dict,
+    batched: bool,
+) -> ExperimentResult:
+    """Assemble the severity sweep from its per-cell points.
+
+    ``points`` maps ``(severity_index, replicate_index)`` to the cell's
+    :class:`_PointMetrics`; a missing entry means the cell's shard
+    failed, and its metrics degrade to ``n/a`` instead of failing the
+    experiment.  Both the monolithic :func:`run` (all cells present)
+    and the task-graph reduce funnel through here, so their renders are
+    byte-identical whenever every cell succeeded.
+    """
+    headers = [
+        "severity",
+        "faulted",
+        "quarantined",
+        "survivors",
+        "segments",
+        "model RMSE (degC)",
+        "selection err (degC)",
+        "selection overlap",
+    ]
+    rows: List[List[object]] = []
+    notes: List[str] = [
+        f"campaign {base.name!r}: {len(base.faults)} sensors, kinds {list(base.kinds)}",
+        "quarantine = sensors screening drops at that severity (thermostats protected)",
+        "overlap = Jaccard similarity of the selected sensors vs the fault-free selection",
+    ]
+    if len(seeds) > 1:
+        trace_mode = "batched fleet pass" if batched else "serial solo runs"
+        notes.append(
+            f"metrics averaged over {len(seeds)} seed replicates "
+            f"(seeds {list(seeds)}; traces from one {trace_mode})"
+        )
+    curve = {
+        "severity": [],
+        "quarantined": [],
+        "survivors": [],
+        "model_rmse_c": [],
+        "selection_error_c": [],
+        "selection_overlap": [],
+    }
+
+    n_missing = 0
+    baselines: List[Optional[List[int]]] = [None] * len(seeds)
+    for si, severity in enumerate(severities):
+        cell_points: List[_PointMetrics] = []
+        for r, seed in enumerate(seeds):
+            point = points.get((si, r))
+            replicate_tag = f" (replicate seed {seed})" if len(seeds) > 1 else ""
+            if point is None:
+                n_missing += 1
+                notes.append(
+                    f"severity {severity:g}{replicate_tag} shard failed; "
+                    "metrics omitted from this row"
+                )
+                continue
+            if point.error is not None:
+                notes.append(
+                    f"severity {severity:g}{replicate_tag} degraded past modelling: "
+                    f"{point.error}"
+                )
+            else:
+                if baselines[r] is None:
+                    baselines[r] = point.selected
+                point.overlap = _jaccard(point.selected, baselines[r])
+            cell_points.append(point)
+        if cell_points:
+            quarantined = _agg_count([p.quarantined for p in cell_points])
+            survivors = _agg_count([p.survivors for p in cell_points])
+            segments = _agg_count([p.segments for p in cell_points])
+            faulted = _agg_count([p.n_applied for p in cell_points])
+        else:
+            quarantined = survivors = segments = faulted = None
+        rmse_c = _agg_float([p.rmse_c for p in cell_points])
+        selection_error_c = _agg_float([p.selection_error_c for p in cell_points])
+        overlap = _agg_float([p.overlap for p in cell_points])
+        rows.append(
+            [
+                severity,
+                _cell(faulted),
+                _cell(quarantined),
+                _cell(survivors),
+                _cell(segments),
+                _cell(rmse_c),
+                _cell(selection_error_c),
+                _cell(overlap),
+            ]
+        )
+        curve["severity"].append(float(severity))
+        curve["quarantined"].append(quarantined)
+        curve["survivors"].append(survivors)
+        curve["model_rmse_c"].append(rmse_c)
+        curve["selection_error_c"].append(selection_error_c)
+        curve["selection_overlap"].append(overlap)
+
+    quarantined_seen = [q for q in curve["quarantined"] if q is not None]
+    notes.append(
+        f"max quarantined: {max(quarantined_seen, default=0)} "
+        f"of {len(base.faults)} faulted sensors"
+    )
+
+    key = artifact_key(
+        "robustness-curve",
+        {
+            "campaign": base.cache_key(),
+            "severities": tuple(float(s) for s in severities),
+            "days": ctx.days,
+            "seed": ctx.seed,
+            "seeds": tuple(seeds),
+            "source": source_digest(),
+        },
+    )
+    cache = default_cache()
+    if cache.enabled and not n_missing:
+        # A curve with shard-failure holes is transient state, not a
+        # reusable artifact — only complete sweeps are persisted.
+        cache.store(key, curve)
+        notes.append(f"degradation curve stored as artifact {key[:16]}...")
+
+    return ExperimentResult(
+        experiment_id="robustness",
+        title="Fault-injection severity sweep (degradation curve)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+        extras={"curve": curve, "artifact_key": key},
+    )
+
+
 def run(
     context: Optional[ExperimentContext] = None,
     severities: Sequence[float] = SEVERITIES,
@@ -256,108 +402,74 @@ def run(
     campaigns = [
         _campaign_for(analysis, seed, n_faulted) for seed, analysis in reps
     ]
-    base = campaigns[0]
-
-    headers = [
-        "severity",
-        "faulted",
-        "quarantined",
-        "survivors",
-        "segments",
-        "model RMSE (degC)",
-        "selection err (degC)",
-        "selection overlap",
-    ]
-    rows: List[List[object]] = []
-    notes: List[str] = [
-        f"campaign {base.name!r}: {len(base.faults)} sensors, kinds {list(base.kinds)}",
-        "quarantine = sensors screening drops at that severity (thermostats protected)",
-        "overlap = Jaccard similarity of the selected sensors vs the fault-free selection",
-    ]
-    if len(reps) > 1:
-        trace_mode = "batched fleet pass" if batched else "serial solo runs"
-        notes.append(
-            f"metrics averaged over {len(reps)} seed replicates "
-            f"(seeds {[seed for seed, _ in reps]}; traces from one {trace_mode})"
-        )
-    curve = {
-        "severity": [],
-        "quarantined": [],
-        "survivors": [],
-        "model_rmse_c": [],
-        "selection_error_c": [],
-        "selection_overlap": [],
-    }
-
-    baselines: List[Optional[List[int]]] = [None] * len(reps)
-    for severity in severities:
-        points: List[_PointMetrics] = []
-        for r, ((seed, analysis), campaign) in enumerate(zip(reps, campaigns)):
-            point = _evaluate_point(analysis, campaign.scaled(severity))
-            if point.error is not None:
-                replicate_tag = f" (replicate seed {seed})" if len(reps) > 1 else ""
-                notes.append(
-                    f"severity {severity:g}{replicate_tag} degraded past modelling: "
-                    f"{point.error}"
-                )
-            else:
-                if baselines[r] is None:
-                    baselines[r] = point.selected
-                point.overlap = _jaccard(point.selected, baselines[r])
-            points.append(point)
-        quarantined = _agg_count([p.quarantined for p in points])
-        survivors = _agg_count([p.survivors for p in points])
-        segments = _agg_count([p.segments for p in points])
-        faulted = _agg_count([p.n_applied for p in points])
-        rmse_c = _agg_float([p.rmse_c for p in points])
-        selection_error_c = _agg_float([p.selection_error_c for p in points])
-        overlap = _agg_float([p.overlap for p in points])
-        rows.append(
-            [
-                severity,
-                faulted,
-                quarantined,
-                survivors,
-                segments,
-                _cell(rmse_c),
-                _cell(selection_error_c),
-                _cell(overlap),
-            ]
-        )
-        curve["severity"].append(float(severity))
-        curve["quarantined"].append(quarantined)
-        curve["survivors"].append(survivors)
-        curve["model_rmse_c"].append(rmse_c)
-        curve["selection_error_c"].append(selection_error_c)
-        curve["selection_overlap"].append(overlap)
-
-    notes.append(
-        f"max quarantined: {max(curve['quarantined'])} of {len(base.faults)} faulted sensors"
+    points = {}
+    for si, severity in enumerate(severities):
+        for r, ((_seed, analysis), campaign) in enumerate(zip(reps, campaigns)):
+            points[(si, r)] = _evaluate_point(analysis, campaign.scaled(severity))
+    return _assemble_severity(
+        ctx, [seed for seed, _ in reps], campaigns[0], severities, points, batched
     )
 
-    key = artifact_key(
-        "robustness-curve",
-        {
-            "campaign": base.cache_key(),
-            "severities": tuple(float(s) for s in severities),
-            "days": ctx.days,
-            "seed": ctx.seed,
-            "seeds": tuple(seed for seed, _ in reps),
-            "source": source_digest(),
-        },
-    )
-    cache = default_cache()
-    if cache.enabled:
-        cache.store(key, curve)
-        notes.append(f"degradation curve stored as artifact {key[:16]}...")
 
-    return ExperimentResult(
-        experiment_id="robustness",
-        title="Fault-injection severity sweep (degradation curve)",
-        headers=headers,
-        rows=rows,
-        notes=notes,
-        extras={"curve": curve, "artifact_key": key},
+def run_severity_cell(
+    days: float,
+    seed: int,
+    severity: float,
+    replicate: int = 0,
+    n_faulted: int = N_FAULTED,
+    replicates: int = 1,
+    batched: bool = True,
+) -> _PointMetrics:
+    """Task entry point: one (severity, replicate) cell of the sweep.
+
+    Self-contained: resolves the shared context, derives the replicate's
+    analysis dataset and campaign exactly as :func:`run` would, and
+    runs the full degraded path for one severity.  The returned
+    :class:`_PointMetrics` carries no ``overlap`` — selection overlap
+    is relative to the fault-free baseline, a cross-cell property the
+    reduce computes once all cells are in.
+    """
+    from repro.experiments.context import get_context
+
+    ctx = get_context(days=days, seed=seed)
+    reps = replicate_analyses(ctx, replicates=replicates, batched=batched)
+    rep_seed, analysis = reps[replicate]
+    campaign = _campaign_for(analysis, rep_seed, n_faulted)
+    return _evaluate_point(analysis, campaign.scaled(severity))
+
+
+def _severity_task_id(severity: float, replicate: int) -> str:
+    if replicate:
+        return f"robustness/sev-{severity:g}-r{replicate}"
+    return f"robustness/sev-{severity:g}"
+
+
+def tasks(days: float, seed: int):
+    """One shard per (severity, replicate) cell of the default sweep."""
+    from repro.experiments.graph import Task
+
+    return [
+        Task(
+            task_id=_severity_task_id(severity, 0),
+            experiment_id="robustness",
+            fn=run_severity_cell,
+            params=(("severity", float(severity)),),
+        )
+        for severity in SEVERITIES
+    ]
+
+
+def reduce_tasks(context: ExperimentContext, shards) -> ExperimentResult:
+    """Reassemble the sweep from per-severity shards, degrading holes."""
+    reps = replicate_analyses(context, replicates=1)
+    base = _campaign_for(reps[0][1], reps[0][0], N_FAULTED)
+    points = {}
+    for si, severity in enumerate(SEVERITIES):
+        shard = shards.get(_severity_task_id(severity, 0))
+        if shard is not None:
+            points[(si, 0)] = shard
+    return _assemble_severity(
+        context, [seed for seed, _ in reps], base, SEVERITIES, points, batched=True
     )
 
 

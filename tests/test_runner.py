@@ -31,6 +31,14 @@ class TestResolveIds:
         with pytest.raises(ExperimentError, match="fig99"):
             resolve_ids(["fig2", "fig99"])
 
+    def test_unknown_id_lists_valid_ids(self):
+        with pytest.raises(ExperimentError, match="table1"):
+            resolve_ids(["fig99"])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            resolve_ids(["fig2", "fig3", "fig2"])
+
 
 class TestRunExperiments:
     @pytest.fixture(autouse=True)
@@ -145,6 +153,15 @@ class TestRunnerOptions:
     def test_from_env_rejects_garbage(self, monkeypatch):
         monkeypatch.setenv("REPRO_RUNNER_TIMEOUT_S", "soon")
         with pytest.raises(ExperimentError, match="REPRO_RUNNER_TIMEOUT_S"):
+            RunnerOptions.from_env()
+
+    def test_from_env_reads_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_BACKOFF_S", "0.75")
+        assert RunnerOptions.from_env().backoff_s == 0.75
+
+    def test_from_env_rejects_garbage_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_BACKOFF_S", "a while")
+        with pytest.raises(ExperimentError, match="REPRO_RUNNER_BACKOFF_S"):
             RunnerOptions.from_env()
 
 
